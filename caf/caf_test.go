@@ -1,0 +1,1234 @@
+package caf
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cafmpi/internal/fabric"
+	"cafmpi/internal/mpi"
+	"cafmpi/internal/rtmpi"
+	"cafmpi/internal/sim"
+	"cafmpi/internal/trace"
+)
+
+// testPlatform is a small, fast parameter set for unit tests.
+func testPlatform() *fabric.Params {
+	p := fabric.Fusion // copy
+	p.Name = "test"
+	p.GASNet.SRQ.Enabled = false
+	return &p
+}
+
+// forBoth runs the test body once per substrate.
+func forBoth(t *testing.T, n int, fn func(*Image) error) {
+	t.Helper()
+	for _, sub := range []Substrate{MPI, GASNet} {
+		sub := sub
+		t.Run(string(sub), func(t *testing.T) {
+			cfg := Config{Substrate: sub, Platform: testPlatform(), Trace: true}
+			wrapped := func(im *Image) error {
+				err := fn(im)
+				if err != nil {
+					t.Logf("image %d: %v", im.ID(), err)
+				}
+				return err
+			}
+			if err := Run(n, cfg, wrapped); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestCoarrayPutGetRoundTrip(t *testing.T) {
+	forBoth(t, 4, func(im *Image) error {
+		co, err := im.AllocCoarray(im.World(), 128)
+		if err != nil {
+			return err
+		}
+		next := (im.ID() + 1) % im.N()
+		msg := []byte{byte(im.ID()), 0xAB}
+		if err := co.Put(next, 7, msg); err != nil {
+			return err
+		}
+		if err := im.World().Barrier(); err != nil {
+			return err
+		}
+		prev := (im.ID() - 1 + im.N()) % im.N()
+		if co.Local()[7] != byte(prev) || co.Local()[8] != 0xAB {
+			return fmt.Errorf("image %d local = %v, want from %d", im.ID(), co.Local()[7:9], prev)
+		}
+		got := make([]byte, 2)
+		if err := co.Get(next, 7, got); err != nil {
+			return err
+		}
+		if got[0] != byte(im.ID()) {
+			return fmt.Errorf("get returned %v", got)
+		}
+		if err := im.World().Barrier(); err != nil {
+			return err
+		}
+		return co.Free()
+	})
+}
+
+func TestCoarrayValidation(t *testing.T) {
+	forBoth(t, 2, func(im *Image) error {
+		co, err := im.AllocCoarray(im.World(), 16)
+		if err != nil {
+			return err
+		}
+		if err := co.Put(1, 14, []byte{1, 2, 3}); err == nil {
+			return fmt.Errorf("out-of-range put accepted")
+		}
+		if err := co.Put(5, 0, []byte{1}); err == nil {
+			return fmt.Errorf("bad target accepted")
+		}
+		if err := co.Get(0, -1, make([]byte, 2)); err == nil {
+			return fmt.Errorf("negative offset accepted")
+		}
+		if err := co.Free(); err != nil {
+			return err
+		}
+		if err := co.Put(0, 0, []byte{1}); err == nil {
+			return fmt.Errorf("put on freed coarray accepted")
+		}
+		return nil
+	})
+}
+
+func TestEventsNotifyWait(t *testing.T) {
+	forBoth(t, 2, func(im *Image) error {
+		evs, err := im.NewEvents(im.World(), 2)
+		if err != nil {
+			return err
+		}
+		peer := 1 - im.ID()
+		if im.ID() == 0 {
+			if err := evs.Notify(peer, 0); err != nil {
+				return err
+			}
+			return evs.Wait(1)
+		}
+		if err := evs.Wait(0); err != nil {
+			return err
+		}
+		return evs.Notify(peer, 1)
+	})
+}
+
+func TestEventsAreCountingSemaphores(t *testing.T) {
+	forBoth(t, 2, func(im *Image) error {
+		evs, err := im.NewEvents(im.World(), 1)
+		if err != nil {
+			return err
+		}
+		const k = 5
+		if im.ID() == 0 {
+			for i := 0; i < k; i++ {
+				if err := evs.Notify(1, 0); err != nil {
+					return err
+				}
+			}
+			return im.World().Barrier()
+		}
+		for i := 0; i < k; i++ {
+			if err := evs.Wait(0); err != nil {
+				return err
+			}
+		}
+		ok, err := evs.TryWait(0)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return fmt.Errorf("TryWait succeeded on drained event")
+		}
+		return im.World().Barrier()
+	})
+}
+
+// TestNotifyReleasesPriorWrites is the RandomAccess communication pattern
+// (§3.4): deferred bulk writes followed by a notify; the waiter must see
+// the data once the event posts.
+func TestNotifyReleasesPriorWrites(t *testing.T) {
+	forBoth(t, 2, func(im *Image) error {
+		co, err := im.AllocCoarray(im.World(), 1<<14)
+		if err != nil {
+			return err
+		}
+		evs, err := im.NewEvents(im.World(), 1)
+		if err != nil {
+			return err
+		}
+		if im.ID() == 0 {
+			payload := bytes.Repeat([]byte{0x5A}, 1<<14)
+			if err := co.PutDeferred(1, 0, payload); err != nil {
+				return err
+			}
+			if err := evs.Notify(1, 0); err != nil {
+				return err
+			}
+			return im.World().Barrier()
+		}
+		if err := evs.Wait(0); err != nil {
+			return err
+		}
+		for i, b := range co.Local() {
+			if b != 0x5A {
+				return fmt.Errorf("byte %d = %#x before data arrived: notify did not release writes", i, b)
+			}
+		}
+		return im.World().Barrier()
+	})
+}
+
+func TestCofenceCompletesDeferredGets(t *testing.T) {
+	forBoth(t, 2, func(im *Image) error {
+		co, err := im.AllocCoarray(im.World(), 64)
+		if err != nil {
+			return err
+		}
+		copy(co.Local(), bytes.Repeat([]byte{byte(10 + im.ID())}, 64))
+		if err := im.World().Barrier(); err != nil {
+			return err
+		}
+		peer := 1 - im.ID()
+		into := make([]byte, 64)
+		if err := co.GetDeferred(peer, 0, into); err != nil {
+			return err
+		}
+		if err := im.Cofence(); err != nil {
+			return err
+		}
+		if into[0] != byte(10+peer) || into[63] != byte(10+peer) {
+			return fmt.Errorf("deferred get data wrong after cofence: %v", into[:2])
+		}
+		return im.World().Barrier()
+	})
+}
+
+func TestPutAsyncSourceEvent(t *testing.T) {
+	forBoth(t, 2, func(im *Image) error {
+		co, err := im.AllocCoarray(im.World(), 256)
+		if err != nil {
+			return err
+		}
+		evs, err := im.NewEvents(im.World(), 1)
+		if err != nil {
+			return err
+		}
+		if im.ID() == 0 {
+			src := evs.Ref(0)
+			if err := co.PutAsync(1, 0, []byte("async-data"), AsyncOpts{SrcDone: &src}); err != nil {
+				return err
+			}
+			if err := evs.Wait(0); err != nil { // source reusable
+				return err
+			}
+			if err := evs.Notify(1, 0); err != nil { // release + tell peer
+				return err
+			}
+		} else {
+			if err := evs.Wait(0); err != nil {
+				return err
+			}
+			if string(co.Local()[:10]) != "async-data" {
+				return fmt.Errorf("data not delivered: %q", co.Local()[:10])
+			}
+		}
+		return im.World().Barrier()
+	})
+}
+
+func TestPutAsyncDestinationEvent(t *testing.T) {
+	// §3.3 rule 4: the destination event posts on the target once the data
+	// is in place — via an AM-shipped copy under CAF-MPI.
+	forBoth(t, 2, func(im *Image) error {
+		co, err := im.AllocCoarray(im.World(), 256)
+		if err != nil {
+			return err
+		}
+		evs, err := im.NewEvents(im.World(), 1)
+		if err != nil {
+			return err
+		}
+		if im.ID() == 0 {
+			dst := evs.RefOn(1, 0)
+			if err := co.PutAsync(1, 16, []byte("rule4!"), AsyncOpts{DstDone: &dst}); err != nil {
+				return err
+			}
+		} else {
+			if err := evs.Wait(0); err != nil {
+				return err
+			}
+			if string(co.Local()[16:22]) != "rule4!" {
+				return fmt.Errorf("destination event posted before data: %q", co.Local()[16:22])
+			}
+		}
+		return im.World().Barrier()
+	})
+}
+
+func TestGetAsyncEvent(t *testing.T) {
+	forBoth(t, 2, func(im *Image) error {
+		co, err := im.AllocCoarray(im.World(), 64)
+		if err != nil {
+			return err
+		}
+		copy(co.Local(), bytes.Repeat([]byte{byte(0xC0 | im.ID())}, 64))
+		if err := im.World().Barrier(); err != nil {
+			return err
+		}
+		evs, err := im.NewEvents(im.World(), 1)
+		if err != nil {
+			return err
+		}
+		peer := 1 - im.ID()
+		into := make([]byte, 64)
+		done := evs.Ref(0)
+		if err := co.GetAsync(peer, 0, into, AsyncOpts{DstDone: &done}); err != nil {
+			return err
+		}
+		if err := evs.Wait(0); err != nil {
+			return err
+		}
+		if into[0] != byte(0xC0|peer) {
+			return fmt.Errorf("async get data %#x, want %#x", into[0], 0xC0|peer)
+		}
+		return im.World().Barrier()
+	})
+}
+
+func TestPredicateEventGatesCopy(t *testing.T) {
+	forBoth(t, 2, func(im *Image) error {
+		co, err := im.AllocCoarray(im.World(), 64)
+		if err != nil {
+			return err
+		}
+		evs, err := im.NewEvents(im.World(), 2)
+		if err != nil {
+			return err
+		}
+		if im.ID() == 0 {
+			// The predicate is posted by image 1; the copy must wait for it.
+			pred := evs.Ref(0)
+			dst := evs.RefOn(1, 1)
+			if err := co.PutAsync(1, 0, []byte{0x77}, AsyncOpts{Pred: &pred, DstDone: &dst}); err != nil {
+				return err
+			}
+		} else {
+			copy(co.Local(), []byte{0x11})
+			if err := evs.Notify(0, 0); err != nil { // release the predicate
+				return err
+			}
+			if err := evs.Wait(1); err != nil {
+				return err
+			}
+			if co.Local()[0] != 0x77 {
+				return fmt.Errorf("copy did not land after predicate: %#x", co.Local()[0])
+			}
+		}
+		return im.World().Barrier()
+	})
+}
+
+func TestCopyAsyncRemoteToRemote(t *testing.T) {
+	forBoth(t, 3, func(im *Image) error {
+		co, err := im.AllocCoarray(im.World(), 32)
+		if err != nil {
+			return err
+		}
+		copy(co.Local(), bytes.Repeat([]byte{byte(im.ID() + 1)}, 32))
+		if err := im.World().Barrier(); err != nil {
+			return err
+		}
+		evs, err := im.NewEvents(im.World(), 1)
+		if err != nil {
+			return err
+		}
+		if im.ID() == 0 {
+			// Copy image 1's data into image 2, from image 0.
+			dst := evs.RefOn(2, 0)
+			if err := im.CopyAsync(co, 2, 0, co, 1, 0, 16, AsyncOpts{DstDone: &dst}); err != nil {
+				return err
+			}
+		}
+		if im.ID() == 2 {
+			if err := evs.Wait(0); err != nil {
+				return err
+			}
+			if co.Local()[0] != 2 || co.Local()[15] != 2 {
+				return fmt.Errorf("remote-to-remote copy delivered %v", co.Local()[:16])
+			}
+			if co.Local()[16] != 3 {
+				return fmt.Errorf("copy overwrote beyond its range")
+			}
+		}
+		return im.World().Barrier()
+	})
+}
+
+func TestTeamCollectives(t *testing.T) {
+	forBoth(t, 6, func(im *Image) error {
+		w := im.World()
+		// Allreduce.
+		in := []int64{int64(im.ID() + 1)}
+		out := make([]int64, 1)
+		if err := w.Allreduce(I64Bytes(in), I64Bytes(out), Int64, OpSum); err != nil {
+			return err
+		}
+		if out[0] != 21 {
+			return fmt.Errorf("allreduce got %d, want 21", out[0])
+		}
+		// Bcast from a non-zero root.
+		buf := make([]float64, 3)
+		if im.ID() == 4 {
+			buf = []float64{1.5, 2.5, 3.5}
+		}
+		if err := w.Bcast(F64Bytes(buf), 4); err != nil {
+			return err
+		}
+		if buf[2] != 3.5 {
+			return fmt.Errorf("bcast got %v", buf)
+		}
+		// Allgather.
+		all := make([]int64, im.N())
+		if err := w.Allgather(I64Bytes([]int64{int64(im.ID() * 3)}), I64Bytes(all)); err != nil {
+			return err
+		}
+		for r := range all {
+			if all[r] != int64(r*3) {
+				return fmt.Errorf("allgather[%d] = %d", r, all[r])
+			}
+		}
+		// Reduce to a root.
+		rout := make([]int64, 1)
+		if err := w.Reduce(I64Bytes([]int64{2}), I64Bytes(rout), Int64, OpProd, 1); err != nil {
+			return err
+		}
+		if im.ID() == 1 && rout[0] != 64 {
+			return fmt.Errorf("reduce prod got %d, want 64", rout[0])
+		}
+		return nil
+	})
+}
+
+func TestTeamAlltoall(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		n := n
+		forBoth(t, n, func(im *Image) error {
+			send := make([]int32, n)
+			for d := range send {
+				send[d] = int32(im.ID()*100 + d)
+			}
+			recv := make([]int32, n)
+			if err := im.World().Alltoall(I32Bytes(send), I32Bytes(recv)); err != nil {
+				return err
+			}
+			for s := range recv {
+				if recv[s] != int32(s*100+im.ID()) {
+					return fmt.Errorf("n=%d image %d: block from %d = %d, want %d", n, im.ID(), s, recv[s], s*100+im.ID())
+				}
+			}
+			// A second alltoall immediately after (exercises scratch reuse
+			// and the generation keying of the hand-crafted path).
+			if err := im.World().Alltoall(I32Bytes(recv), I32Bytes(send)); err != nil {
+				return err
+			}
+			for d := range send {
+				if send[d] != int32(im.ID()*100+d) {
+					return fmt.Errorf("double alltoall not an involution at %d: %d", d, send[d])
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestTeamSplitAndSubteamCollectives(t *testing.T) {
+	forBoth(t, 6, func(im *Image) error {
+		sub, err := im.World().Split(im.ID()%2, im.ID())
+		if err != nil {
+			return err
+		}
+		if sub.Size() != 3 {
+			return fmt.Errorf("split size %d", sub.Size())
+		}
+		out := make([]int64, 1)
+		if err := sub.Allreduce(I64Bytes([]int64{int64(im.ID())}), I64Bytes(out), Int64, OpSum); err != nil {
+			return err
+		}
+		want := int64(0 + 2 + 4)
+		if im.ID()%2 == 1 {
+			want = 1 + 3 + 5
+		}
+		if out[0] != want {
+			return fmt.Errorf("subteam allreduce got %d, want %d", out[0], want)
+		}
+		// Coarray over the subteam.
+		co, err := im.AllocCoarray(sub, 8)
+		if err != nil {
+			return err
+		}
+		if sub.Rank() == 0 {
+			if err := co.Put(sub.Size()-1, 0, []byte{0xEE}); err != nil {
+				return err
+			}
+		}
+		if err := sub.Barrier(); err != nil {
+			return err
+		}
+		if sub.Rank() == sub.Size()-1 && co.Local()[0] != 0xEE {
+			return fmt.Errorf("subteam coarray put missing")
+		}
+		return im.World().Barrier()
+	})
+}
+
+func TestSplitUndefinedColor(t *testing.T) {
+	forBoth(t, 4, func(im *Image) error {
+		color := 7
+		if im.ID() == 2 {
+			color = -1
+		}
+		sub, err := im.World().Split(color, 0)
+		if err != nil {
+			return err
+		}
+		if im.ID() == 2 {
+			if sub != nil {
+				return fmt.Errorf("negative color produced a team")
+			}
+			return im.World().Barrier()
+		}
+		if sub.Size() != 3 {
+			return fmt.Errorf("split size %d, want 3", sub.Size())
+		}
+		if err := sub.Barrier(); err != nil {
+			return err
+		}
+		return im.World().Barrier()
+	})
+}
+
+func TestFinishWithoutSpawnsIsFastPath(t *testing.T) {
+	forBoth(t, 4, func(im *Image) error {
+		co, err := im.AllocCoarray(im.World(), 64)
+		if err != nil {
+			return err
+		}
+		err = im.Finish(im.World(), func() error {
+			return co.PutDeferred((im.ID()+1)%im.N(), 0, []byte{byte(im.ID() + 1)})
+		})
+		if err != nil {
+			return err
+		}
+		prev := (im.ID() - 1 + im.N()) % im.N()
+		if co.Local()[0] != byte(prev+1) {
+			return fmt.Errorf("finish did not complete deferred put: %d", co.Local()[0])
+		}
+		return nil
+	})
+}
+
+const (
+	fnAccumulate uint64 = iota + 1
+	fnChain
+)
+
+func TestFunctionShippingAndFinish(t *testing.T) {
+	forBoth(t, 4, func(im *Image) error {
+		counter := new(int64)
+		if err := im.RegisterFunc(fnAccumulate, func(target *Image, args []byte) {
+			*counter += int64(args[0])
+		}); err != nil {
+			return err
+		}
+		err := im.Finish(im.World(), func() error {
+			// Everyone ships one increment to every image (incl. self).
+			for t := 0; t < im.N(); t++ {
+				if err := im.Spawn(im.World(), t, fnAccumulate, []byte{1}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if *counter != int64(im.N()) {
+			return fmt.Errorf("image %d executed %d spawns, want %d", im.ID(), *counter, im.N())
+		}
+		return nil
+	})
+}
+
+func TestNestedSpawnChainTermination(t *testing.T) {
+	// A spawn chain hopping across images: finish must not terminate until
+	// the whole chain has run (the scenario Yang's repeated reductions
+	// exist for).
+	forBoth(t, 4, func(im *Image) error {
+		hops := new(int64)
+		if err := im.RegisterFunc(fnChain, func(target *Image, args []byte) {
+			*hops++
+			remaining := int(args[0])
+			if remaining > 0 {
+				next := (target.ID() + 1) % target.N()
+				if err := target.Spawn(target.World(), next, fnChain, []byte{byte(remaining - 1)}); err != nil {
+					panic(err)
+				}
+			}
+		}); err != nil {
+			return err
+		}
+		err := im.Finish(im.World(), func() error {
+			if im.ID() == 0 {
+				return im.Spawn(im.World(), 1, fnChain, []byte{9}) // 10-hop chain
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		// After finish, sum of hops across images must be exactly 10.
+		sum := make([]int64, 1)
+		if err := im.World().Allreduce(I64Bytes([]int64{*hops}), I64Bytes(sum), Int64, OpSum); err != nil {
+			return err
+		}
+		if sum[0] != 10 {
+			return fmt.Errorf("chain executed %d hops before finish returned, want 10", sum[0])
+		}
+		return nil
+	})
+}
+
+func TestTraceCategoriesPopulated(t *testing.T) {
+	forBoth(t, 2, func(im *Image) error {
+		co, err := im.AllocCoarray(im.World(), 32)
+		if err != nil {
+			return err
+		}
+		evs, err := im.NewEvents(im.World(), 1)
+		if err != nil {
+			return err
+		}
+		peer := 1 - im.ID()
+		if err := co.Put(peer, 0, []byte{1}); err != nil {
+			return err
+		}
+		if err := evs.Notify(peer, 0); err != nil {
+			return err
+		}
+		if err := evs.Wait(0); err != nil {
+			return err
+		}
+		tr := im.Tracer()
+		for _, c := range []trace.Category{trace.CoarrayWrite, trace.EventNotify, trace.EventWait} {
+			if tr.Count(c) == 0 {
+				return fmt.Errorf("category %v not traced", c)
+			}
+		}
+		return im.World().Barrier()
+	})
+}
+
+// TestNotifyCostScaling verifies the paper's Figure 4 mechanism: after bulk
+// puts, event_notify under CAF-MPI pays a per-rank FlushAll scan (linear in
+// P), while CAF-GASNet's NBI sync does not scale with P.
+func TestNotifyCostScaling(t *testing.T) {
+	notifyCost := func(sub Substrate, n int) int64 {
+		var dt int64
+		cfg := Config{Substrate: sub, Platform: testPlatform()}
+		if err := Run(n, cfg, func(im *Image) error {
+			co, err := im.AllocCoarray(im.World(), 64)
+			if err != nil {
+				return err
+			}
+			evs, err := im.NewEvents(im.World(), 1)
+			if err != nil {
+				return err
+			}
+			if im.ID() == 0 {
+				if err := co.PutDeferred(1, 0, []byte{1}); err != nil {
+					return err
+				}
+				t0 := im.Proc().Now()
+				if err := evs.Notify(1, 0); err != nil {
+					return err
+				}
+				dt = im.Proc().Now() - t0
+			}
+			if im.ID() == 1 {
+				if err := evs.Wait(0); err != nil {
+					return err
+				}
+			}
+			return im.World().Barrier()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return dt
+	}
+	mpiGrowth := notifyCost(MPI, 128) - notifyCost(MPI, 8)
+	gasnetGrowth := notifyCost(GASNet, 128) - notifyCost(GASNet, 8)
+	if mpiGrowth <= 0 {
+		t.Errorf("CAF-MPI notify cost did not grow with P (delta %d ns); FlushAll scan missing", mpiGrowth)
+	}
+	if gasnetGrowth != 0 {
+		t.Errorf("CAF-GASNet notify cost grew with P (delta %d ns); NBI sync should be O(1)", gasnetGrowth)
+	}
+}
+
+func TestMPIInterop(t *testing.T) {
+	// Hybrid MPI+CAF on the shared runtime: a coarray write and a direct
+	// MPI allreduce in one program (the paper's headline use case).
+	cfg := Config{Substrate: MPI, Platform: testPlatform()}
+	if err := Run(4, cfg, func(im *Image) error {
+		env, err := MPIEnv(im)
+		if err != nil {
+			return err
+		}
+		co, err := im.AllocCoarray(im.World(), 16)
+		if err != nil {
+			return err
+		}
+		if err := co.Put((im.ID()+1)%im.N(), 0, []byte{byte(im.ID())}); err != nil {
+			return err
+		}
+		out := make([]int64, 1)
+		if err := env.CommWorld().Allreduce(mpi.I64Bytes([]int64{1}), mpi.I64Bytes(out), mpi.Int64, mpi.OpSum); err != nil {
+			return err
+		}
+		if out[0] != 4 {
+			return fmt.Errorf("MPI allreduce through CAF runtime got %d", out[0])
+		}
+		return im.World().Barrier()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Under CAF-GASNet there is no shared MPI instance.
+	cfg = Config{Substrate: GASNet, Platform: testPlatform()}
+	if err := Run(2, cfg, func(im *Image) error {
+		if _, err := MPIEnv(im); err == nil {
+			return fmt.Errorf("MPIEnv succeeded on the GASNet substrate")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFigure2Deadlock reproduces the paper's Figure 2: image 0 performs a
+// blocking coarray write while every image enters an MPI barrier of a
+// second, independent MPI runtime. When the CAF implementation needs the
+// target to make progress to complete the write (AM-mediated writes), the
+// program deadlocks; CAF-MPI's one-sided write completes regardless.
+func TestFigure2Deadlock(t *testing.T) {
+	scenario := func(sub Substrate, amWrite bool) error {
+		w := sim.NewWorld(2)
+		return w.RunTimeout(2*time.Second, func(p *sim.Proc) error {
+			cfg := Config{Substrate: sub, Platform: testPlatform()}
+			cfg.GASNetOptions.AMWrite = amWrite
+			im, err := Boot(p, cfg)
+			if err != nil {
+				return err
+			}
+			co, err := im.AllocCoarray(im.World(), 1<<16)
+			if err != nil {
+				return err
+			}
+			// The application's own MPI library (a second runtime under
+			// CAF-GASNet; the same instance under CAF-MPI).
+			var comm *mpi.Comm
+			if env, err := MPIEnv(im); err == nil {
+				comm = env.CommWorld()
+			} else {
+				net := fabric.AttachNet(p.World(), testPlatform())
+				comm = mpi.Init(p, net).CommWorld()
+			}
+			if im.ID() == 0 {
+				if err := co.Put(1, 0, bytes.Repeat([]byte{1}, 1<<16)); err != nil {
+					return err
+				}
+			}
+			return comm.Barrier() // Figure 2 line 11
+		})
+	}
+	if err := scenario(GASNet, true); err != sim.ErrTimeout {
+		t.Errorf("AM-write CAF-GASNet under an MPI barrier should deadlock; got %v", err)
+	}
+	if err := scenario(MPI, false); err != nil {
+		t.Errorf("CAF-MPI must complete the Figure 2 program; got %v", err)
+	}
+	if err := scenario(GASNet, false); err != nil {
+		t.Errorf("RDMA-write CAF-GASNet should also complete; got %v", err)
+	}
+}
+
+// Property: coarray put/get round trips arbitrary payloads at arbitrary
+// offsets on both substrates.
+func TestCoarrayRoundTripProperty(t *testing.T) {
+	const size = 512
+	for _, sub := range []Substrate{MPI, GASNet} {
+		sub := sub
+		t.Run(string(sub), func(t *testing.T) {
+			f := func(data []byte, off uint16) bool {
+				if len(data) == 0 || len(data) > size {
+					return true
+				}
+				o := int(off) % (size - len(data) + 1)
+				ok := true
+				cfg := Config{Substrate: sub, Platform: testPlatform()}
+				err := Run(2, cfg, func(im *Image) error {
+					co, err := im.AllocCoarray(im.World(), size)
+					if err != nil {
+						return err
+					}
+					if im.ID() == 0 {
+						if err := co.Put(1, o, data); err != nil {
+							return err
+						}
+						back := make([]byte, len(data))
+						if err := co.Get(1, o, back); err != nil {
+							return err
+						}
+						ok = bytes.Equal(back, data)
+					}
+					return im.World().Barrier()
+				})
+				return err == nil && ok
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Property: team allreduce(SUM) matches the serial fold on both substrates
+// (exercising MPI's native collectives and the hand-crafted AM tree).
+func TestAllreduceMatchesFoldProperty(t *testing.T) {
+	f := func(vals []int32, nRaw uint8, gasnet bool) bool {
+		n := int(nRaw)%5 + 2
+		if len(vals) < n {
+			return true
+		}
+		var want int64
+		for r := 0; r < n; r++ {
+			want += int64(vals[r])
+		}
+		sub := MPI
+		if gasnet {
+			sub = GASNet
+		}
+		ok := true
+		err := Run(n, Config{Substrate: sub, Platform: testPlatform()}, func(im *Image) error {
+			out := make([]int64, 1)
+			if err := im.World().Allreduce(I64Bytes([]int64{int64(vals[im.ID()])}), I64Bytes(out), Int64, OpSum); err != nil {
+				return err
+			}
+			if out[0] != want {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncCollectives(t *testing.T) {
+	forBoth(t, 6, func(im *Image) error {
+		evs, err := im.NewEvents(im.World(), 2)
+		if err != nil {
+			return err
+		}
+		in := []int64{int64(im.ID() + 1)}
+		out := make([]int64, 1)
+		dataDone, opDone := evs.Ref(0), evs.Ref(1)
+		if err := im.World().AllreduceAsync(I64Bytes(in), I64Bytes(out), Int64, OpSum, &dataDone, &opDone); err != nil {
+			return err
+		}
+		if err := evs.Wait(0); err != nil { // result readable
+			return err
+		}
+		if err := evs.Wait(1); err != nil { // input reusable
+			return err
+		}
+		if out[0] != 21 {
+			return fmt.Errorf("async allreduce got %d, want 21", out[0])
+		}
+		// Async broadcast from rank 2.
+		buf := make([]float64, 2)
+		if im.ID() == 2 {
+			buf[0], buf[1] = 2.5, -1.5
+		}
+		done := evs.Ref(0)
+		if err := im.World().BcastAsync(F64Bytes(buf), 2, &done); err != nil {
+			return err
+		}
+		if err := evs.Wait(0); err != nil {
+			return err
+		}
+		if buf[0] != 2.5 || buf[1] != -1.5 {
+			return fmt.Errorf("async bcast got %v", buf)
+		}
+		return im.World().Barrier()
+	})
+}
+
+// TestAsyncCollectiveOverlap verifies the CAF-MPI mapping to MPI_Iallreduce
+// overlaps a straggler's computation with the collective: the other images
+// progress the reduction tree while the late image computes, so its
+// post-compute residual is far smaller than a full blocking allreduce.
+// (With *every* image computing simultaneously there is little to overlap:
+// nonblocking MPI collectives progress only when tested — the well-known
+// asynchronous-progress caveat the paper's §5 AM discussion circles.)
+func TestAsyncCollectiveOverlap(t *testing.T) {
+	measure := func(async bool) (total float64) {
+		cfg := Config{Substrate: MPI, Platform: testPlatform()}
+		if err := Run(16, cfg, func(im *Image) error {
+			evs, err := im.NewEvents(im.World(), 1)
+			if err != nil {
+				return err
+			}
+			in := []int64{1}
+			out := make([]int64, 1)
+			if err := im.World().Barrier(); err != nil {
+				return err
+			}
+			// Image 5 is a leaf of the reduction tree and the straggler:
+			// under the async form its contribution is injected *before*
+			// its computation, so the tree completes while it computes.
+			const straggler = 5
+			const compute = 200_000 // 200us of local work on the straggler
+			t0 := im.Now()
+			if async {
+				ev := evs.Ref(0)
+				if err := im.World().AllreduceAsync(I64Bytes(in), I64Bytes(out), Int64, OpSum, &ev, nil); err != nil {
+					return err
+				}
+				if im.ID() == straggler {
+					im.Proc().Advance(compute)
+				}
+				if err := evs.Wait(0); err != nil {
+					return err
+				}
+			} else {
+				if im.ID() == straggler {
+					im.Proc().Advance(compute)
+				}
+				if err := im.World().Allreduce(I64Bytes(in), I64Bytes(out), Int64, OpSum); err != nil {
+					return err
+				}
+			}
+			if out[0] != 16 {
+				return fmt.Errorf("allreduce got %d, want 16", out[0])
+			}
+			if im.ID() == straggler {
+				total = im.Now() - t0
+			}
+			return im.World().Barrier()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return total
+	}
+	asyncTotal := measure(true)
+	syncTotal := measure(false)
+	const compute = 200e-6
+	syncResidual := syncTotal - compute
+	asyncResidual := asyncTotal - compute
+	if syncResidual <= 0 {
+		t.Fatalf("sync residual not positive (%.2f us total)", syncTotal*1e6)
+	}
+	// The peers drove the reduction while image 0 computed: the async
+	// residual must be a small fraction of the blocking one.
+	if asyncResidual > 0.5*syncResidual {
+		t.Errorf("async residual %.2f us should be well under the blocking %.2f us",
+			asyncResidual*1e6, syncResidual*1e6)
+	}
+}
+
+func TestScopedCofence(t *testing.T) {
+	forBoth(t, 2, func(im *Image) error {
+		co, err := im.AllocCoarray(im.World(), 64)
+		if err != nil {
+			return err
+		}
+		copy(co.Local(), bytes.Repeat([]byte{byte(im.ID() + 1)}, 64))
+		if err := im.World().Barrier(); err != nil {
+			return err
+		}
+		peer := 1 - im.ID()
+		into := make([]byte, 4)
+		if err := co.GetDeferred(peer, 0, into); err != nil {
+			return err
+		}
+		// A puts-only cofence need not complete the get on MPI (GASNet's
+		// NBI machinery fences both); a gets cofence must.
+		if err := im.CofenceScoped(CofenceOpts{Gets: true}); err != nil {
+			return err
+		}
+		if into[0] != byte(peer+1) {
+			return fmt.Errorf("get not complete after gets-cofence: %d", into[0])
+		}
+		if err := co.PutDeferred(peer, 32, []byte{0xEE}); err != nil {
+			return err
+		}
+		if err := im.CofenceScoped(CofenceOpts{Puts: true}); err != nil {
+			return err
+		}
+		return im.World().Barrier()
+	})
+}
+
+func TestNestedFinish(t *testing.T) {
+	forBoth(t, 4, func(im *Image) error {
+		const fnTick uint64 = 77
+		ticks := new(int64)
+		if err := im.RegisterFunc(fnTick, func(*Image, []byte) { *ticks++ }); err != nil {
+			return err
+		}
+		outer := im.Finish(im.World(), func() error {
+			if err := im.Spawn(im.World(), (im.ID()+1)%im.N(), fnTick, nil); err != nil {
+				return err
+			}
+			// Inner finish: its spawns are complete when it returns.
+			if err := im.Finish(im.World(), func() error {
+				return im.Spawn(im.World(), (im.ID()+2)%im.N(), fnTick, nil)
+			}); err != nil {
+				return err
+			}
+			return nil
+		})
+		if outer != nil {
+			return outer
+		}
+		sum := make([]int64, 1)
+		if err := im.World().Allreduce(I64Bytes([]int64{*ticks}), I64Bytes(sum), Int64, OpSum); err != nil {
+			return err
+		}
+		if sum[0] != int64(2*im.N()) {
+			return fmt.Errorf("nested finish executed %d ticks, want %d", sum[0], 2*im.N())
+		}
+		return nil
+	})
+}
+
+func TestSpawnPanicSurfaces(t *testing.T) {
+	cfg := Config{Substrate: MPI, Platform: testPlatform()}
+	err := Run(2, cfg, func(im *Image) error {
+		const fnBoom uint64 = 13
+		if err := im.RegisterFunc(fnBoom, func(*Image, []byte) { panic("shipped bomb") }); err != nil {
+			return err
+		}
+		if im.ID() == 0 {
+			if err := im.Spawn(im.World(), 1, fnBoom, nil); err != nil {
+				return err
+			}
+			return nil
+		}
+		im.Poll() // may or may not have arrived yet
+		for {
+			im.Poll() // the bomb detonates inside a poll
+		}
+	})
+	pe, ok := err.(*sim.PanicError)
+	if !ok || pe.Image != 1 {
+		t.Fatalf("want image-1 panic from shipped function, got %v", err)
+	}
+}
+
+func TestMismatchedCollectiveSizesError(t *testing.T) {
+	forBoth(t, 2, func(im *Image) error {
+		// All images agree the buffer is invalid -> local error everywhere,
+		// no deadlock.
+		in := make([]byte, 7)
+		out := make([]byte, 7)
+		if err := im.World().Allreduce(in, out, Int64, OpSum); err == nil {
+			return fmt.Errorf("non-multiple reduce size accepted")
+		}
+		return im.World().Barrier()
+	})
+}
+
+func TestEventValidation(t *testing.T) {
+	forBoth(t, 2, func(im *Image) error {
+		evs, err := im.NewEvents(im.World(), 2)
+		if err != nil {
+			return err
+		}
+		if err := evs.Wait(5); err == nil {
+			return fmt.Errorf("bad slot accepted")
+		}
+		if err := evs.Notify(9, 0); err == nil {
+			return fmt.Errorf("bad target accepted")
+		}
+		if _, err := evs.TryWait(-1); err == nil {
+			return fmt.Errorf("negative slot accepted")
+		}
+		if _, err := im.NewEvents(im.World(), 0); err == nil {
+			return fmt.Errorf("zero-slot events accepted")
+		}
+		return im.World().Barrier()
+	})
+}
+
+func TestCoIntrinsics(t *testing.T) {
+	forBoth(t, 4, func(im *Image) error {
+		w := im.World()
+		f := []float64{float64(im.ID()), -float64(im.ID())}
+		if err := w.CoSumF64(f); err != nil {
+			return err
+		}
+		if f[0] != 6 || f[1] != -6 {
+			return fmt.Errorf("co_sum got %v", f)
+		}
+		mx := []float64{float64(im.ID() * im.ID())}
+		if err := w.CoMaxF64(mx); err != nil {
+			return err
+		}
+		if mx[0] != 9 {
+			return fmt.Errorf("co_max got %v", mx)
+		}
+		mn := []int64{int64(10 + im.ID())}
+		if err := w.CoMinI64(mn); err != nil {
+			return err
+		}
+		if mn[0] != 10 {
+			return fmt.Errorf("co_min got %v", mn)
+		}
+		iv := []int64{int64(im.ID() * 5)}
+		if err := w.CoSumI64(iv); err != nil {
+			return err
+		}
+		if iv[0] != 30 {
+			return fmt.Errorf("co_sum i64 got %v", iv)
+		}
+		mxi := []int64{int64(im.ID())}
+		if err := w.CoMaxI64(mxi); err != nil {
+			return err
+		}
+		if mxi[0] != 3 {
+			return fmt.Errorf("co_max i64 got %v", mxi)
+		}
+		mnf := []float64{float64(im.ID()) + 0.5}
+		if err := w.CoMinF64(mnf); err != nil {
+			return err
+		}
+		if mnf[0] != 0.5 {
+			return fmt.Errorf("co_min f64 got %v", mnf)
+		}
+		bf := make([]float64, 2)
+		bi := make([]int64, 1)
+		if im.ID() == 2 {
+			bf[0], bf[1] = 1.25, 2.5
+			bi[0] = 42
+		}
+		if err := w.CoBroadcastF64(bf, 2); err != nil {
+			return err
+		}
+		if err := w.CoBroadcastI64(bi, 2); err != nil {
+			return err
+		}
+		if bf[1] != 2.5 || bi[0] != 42 {
+			return fmt.Errorf("co_broadcast got %v %v", bf, bi)
+		}
+		return nil
+	})
+}
+
+// TestAtomicEventsDesign runs the §3.4 alternative event implementation
+// (FETCH_AND_OP notify + COMPARE_AND_SWAP busy-wait) through the same
+// correctness gauntlet as the shipped ISEND/RECV design.
+func TestAtomicEventsDesign(t *testing.T) {
+	cfg := Config{Substrate: MPI, Platform: testPlatform(),
+		MPIOptions: rtmpi.Options{AtomicEvents: true}}
+	if err := Run(4, cfg, func(im *Image) error {
+		evs, err := im.NewEvents(im.World(), 2)
+		if err != nil {
+			return err
+		}
+		next := (im.ID() + 1) % im.N()
+		prev := (im.ID() - 1 + im.N()) % im.N()
+		// Counting semantics across the ring.
+		for i := 0; i < 3; i++ {
+			if err := evs.Notify(next, 0); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < 3; i++ {
+			if err := evs.Wait(0); err != nil {
+				return err
+			}
+		}
+		ok, err := evs.TryWait(0)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return fmt.Errorf("drained event still posted")
+		}
+		// Release semantics: a deferred put followed by notify must be
+		// visible to the waiter.
+		co, err := im.AllocCoarray(im.World(), 8)
+		if err != nil {
+			return err
+		}
+		if err := co.PutDeferred(next, 0, []byte{byte(42 + im.ID())}); err != nil {
+			return err
+		}
+		if err := evs.Notify(next, 1); err != nil {
+			return err
+		}
+		if err := evs.Wait(1); err != nil {
+			return err
+		}
+		if co.Local()[0] != byte(42+prev) {
+			return fmt.Errorf("notify did not release the put: %d", co.Local()[0])
+		}
+		if err := im.World().Barrier(); err != nil {
+			return err
+		}
+		return evs.Free()
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncImagesPairwise(t *testing.T) {
+	forBoth(t, 4, func(im *Image) error {
+		w := im.World()
+		co, err := im.AllocCoarray(w, 16)
+		if err != nil {
+			return err
+		}
+		// Lazy allocation of the handshake events is collective: the first
+		// SyncImages must be reached by everyone. Pair (0,1) and (2,3).
+		partner := im.ID() ^ 1
+		if im.ID()%2 == 0 {
+			if err := co.PutDeferred(partner, 0, []byte{byte(0x50 + im.ID())}); err != nil {
+				return err
+			}
+		}
+		// SyncImages releases the writes (its notify runs the release
+		// fence) and orders the pair.
+		if err := w.SyncImages([]int{partner}); err != nil {
+			return err
+		}
+		if im.ID()%2 == 1 {
+			if co.Local()[0] != byte(0x50+partner) {
+				return fmt.Errorf("image %d: pairwise sync did not order the write (%#x)", im.ID(), co.Local()[0])
+			}
+		}
+		return w.Barrier()
+	})
+}

@@ -1,0 +1,191 @@
+package caf
+
+import (
+	"fmt"
+
+	"cafmpi/internal/elem"
+)
+
+// DistArray is a one-dimensional distributed array of float64 spanning a
+// team's memory — the paper's §1 motivating use case: applications like
+// QMCPACK and GFMC keep large per-node arrays whose growth outpaces node
+// memory, and hybridizing with CAF lets them declare those arrays as
+// coarrays so the runtime spreads them over images and turns loads and
+// stores into one-sided accesses.
+//
+// Elements are block-distributed: image r owns indices
+// [r*blockLen, (r+1)*blockLen) with the last block padded. Local accesses
+// touch memory directly; remote ones become coarray gets and puts.
+type DistArray struct {
+	im       *Image
+	team     *Team
+	co       *Coarray
+	n        int // global length
+	blockLen int // elements per image (last block padded)
+}
+
+// NewDistArray collectively allocates a distributed array of n float64
+// elements over team t.
+func NewDistArray(im *Image, t *Team, n int) (*DistArray, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("caf: DistArray length must be positive, got %d", n)
+	}
+	blockLen := (n + t.Size() - 1) / t.Size()
+	co, err := im.AllocCoarray(t, blockLen*8)
+	if err != nil {
+		return nil, err
+	}
+	return &DistArray{im: im, team: t, co: co, n: n, blockLen: blockLen}, nil
+}
+
+// Len returns the global element count.
+func (a *DistArray) Len() int { return a.n }
+
+// BlockLen returns the per-image block length.
+func (a *DistArray) BlockLen() int { return a.blockLen }
+
+// Owner returns the team rank owning global index i and i's offset within
+// that image's block.
+func (a *DistArray) Owner(i int) (rank, off int) {
+	return i / a.blockLen, i % a.blockLen
+}
+
+// LocalRange returns the global index range [lo, hi) stored on this image.
+func (a *DistArray) LocalRange() (lo, hi int) {
+	lo = a.team.Rank() * a.blockLen
+	hi = lo + a.blockLen
+	if hi > a.n {
+		hi = a.n
+	}
+	if lo > a.n {
+		lo = a.n
+	}
+	return lo, hi
+}
+
+// Local returns this image's elements (aliasing the coarray memory).
+func (a *DistArray) Local() []float64 {
+	lo, hi := a.LocalRange()
+	return elem.BytesF64(a.co.Local())[:hi-lo]
+}
+
+func (a *DistArray) check(i int, what string) error {
+	if i < 0 || i >= a.n {
+		return fmt.Errorf("caf: DistArray %s index %d out of range [0,%d)", what, i, a.n)
+	}
+	return nil
+}
+
+// Get performs the load A(i): local when this image owns i, otherwise a
+// blocking one-sided read.
+func (a *DistArray) Get(i int) (float64, error) {
+	if err := a.check(i, "Get"); err != nil {
+		return 0, err
+	}
+	rank, off := a.Owner(i)
+	if rank == a.team.Rank() {
+		return elem.BytesF64(a.co.Local())[off], nil
+	}
+	var v [1]float64
+	if err := a.co.Get(rank, off*8, elem.F64Bytes(v[:])); err != nil {
+		return 0, err
+	}
+	return v[0], nil
+}
+
+// Put performs the store A(i) = v.
+func (a *DistArray) Put(i int, v float64) error {
+	if err := a.check(i, "Put"); err != nil {
+		return err
+	}
+	rank, off := a.Owner(i)
+	if rank == a.team.Rank() {
+		elem.BytesF64(a.co.Local())[off] = v
+		return nil
+	}
+	vv := [1]float64{v}
+	return a.co.Put(rank, off*8, elem.F64Bytes(vv[:]))
+}
+
+// GetSlice reads n=len(out) elements starting at global index lo, spanning
+// owner blocks with bulk one-sided reads.
+func (a *DistArray) GetSlice(lo int, out []float64) error {
+	if len(out) == 0 {
+		return nil
+	}
+	if err := a.check(lo, "GetSlice"); err != nil {
+		return err
+	}
+	if err := a.check(lo+len(out)-1, "GetSlice"); err != nil {
+		return err
+	}
+	for done := 0; done < len(out); {
+		i := lo + done
+		rank, off := a.Owner(i)
+		run := a.blockLen - off
+		if rem := len(out) - done; run > rem {
+			run = rem
+		}
+		chunk := out[done : done+run]
+		if rank == a.team.Rank() {
+			copy(chunk, elem.BytesF64(a.co.Local())[off:off+run])
+		} else if err := a.co.Get(rank, off*8, elem.F64Bytes(chunk)); err != nil {
+			return err
+		}
+		done += run
+	}
+	return nil
+}
+
+// PutSlice writes vals starting at global index lo, spanning owner blocks
+// with bulk one-sided writes.
+func (a *DistArray) PutSlice(lo int, vals []float64) error {
+	if len(vals) == 0 {
+		return nil
+	}
+	if err := a.check(lo, "PutSlice"); err != nil {
+		return err
+	}
+	if err := a.check(lo+len(vals)-1, "PutSlice"); err != nil {
+		return err
+	}
+	for done := 0; done < len(vals); {
+		i := lo + done
+		rank, off := a.Owner(i)
+		run := a.blockLen - off
+		if rem := len(vals) - done; run > rem {
+			run = rem
+		}
+		chunk := vals[done : done+run]
+		if rank == a.team.Rank() {
+			copy(elem.BytesF64(a.co.Local())[off:off+run], chunk)
+		} else if err := a.co.Put(rank, off*8, elem.F64Bytes(chunk)); err != nil {
+			return err
+		}
+		done += run
+	}
+	return nil
+}
+
+// Sum reduces the array's elements across the team (every image gets the
+// global sum). Collective.
+func (a *DistArray) Sum() (float64, error) {
+	local := 0.0
+	for _, v := range a.Local() {
+		local += v
+	}
+	a.im.Compute(int64(len(a.Local())))
+	out := make([]float64, 1)
+	if err := a.team.Allreduce(elem.F64Bytes([]float64{local}), elem.F64Bytes(out), elem.Float64, elem.Sum); err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// Barrier synchronizes the owning team (Put visibility for subsequent
+// Gets follows CAF semantics: blocking puts are globally visible on
+// return; ordering between images still needs events or a barrier).
+func (a *DistArray) Barrier() error { return a.team.Barrier() }
+
+// Free releases the array collectively.
+func (a *DistArray) Free() error { return a.co.Free() }

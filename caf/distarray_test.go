@@ -1,0 +1,186 @@
+package caf
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistArrayLocalRemoteAccess(t *testing.T) {
+	forBoth(t, 4, func(im *Image) error {
+		a, err := NewDistArray(im, im.World(), 100) // blockLen 25
+		if err != nil {
+			return err
+		}
+		lo, hi := a.LocalRange()
+		if hi-lo != 25 {
+			return fmt.Errorf("image %d local range [%d,%d)", im.ID(), lo, hi)
+		}
+		// Everyone initializes its own block: A(i) = i.
+		loc := a.Local()
+		for k := range loc {
+			loc[k] = float64(lo + k)
+		}
+		if err := a.Barrier(); err != nil {
+			return err
+		}
+		// Random remote loads.
+		for _, i := range []int{0, 24, 25, 50, 99} {
+			v, err := a.Get(i)
+			if err != nil {
+				return err
+			}
+			if v != float64(i) {
+				return fmt.Errorf("A(%d) = %v", i, v)
+			}
+		}
+		if err := a.Barrier(); err != nil { // everyone done loading
+			return err
+		}
+		// Remote store, then owner checks after a barrier.
+		if im.ID() == 0 {
+			if err := a.Put(99, -1); err != nil {
+				return err
+			}
+		}
+		if err := a.Barrier(); err != nil {
+			return err
+		}
+		if v, _ := a.Get(99); v != -1 {
+			return fmt.Errorf("store to A(99) lost: %v", v)
+		}
+		if err := a.Barrier(); err != nil {
+			return err
+		}
+		return a.Free()
+	})
+}
+
+func TestDistArraySliceSpansOwners(t *testing.T) {
+	forBoth(t, 4, func(im *Image) error {
+		a, err := NewDistArray(im, im.World(), 64) // blockLen 16
+		if err != nil {
+			return err
+		}
+		lo, _ := a.LocalRange()
+		for k := range a.Local() {
+			a.Local()[k] = float64(100 + lo + k)
+		}
+		if err := a.Barrier(); err != nil {
+			return err
+		}
+		// A slice crossing three owner blocks.
+		out := make([]float64, 40)
+		if err := a.GetSlice(10, out); err != nil {
+			return err
+		}
+		for k, v := range out {
+			if v != float64(110+k) {
+				return fmt.Errorf("slice[%d] = %v, want %v", k, v, 110+k)
+			}
+		}
+		if err := a.Barrier(); err != nil { // reads done before the write
+			return err
+		}
+		// Cross-block write from image N-1, visible after barrier.
+		if im.ID() == im.N()-1 {
+			vals := make([]float64, 30)
+			for k := range vals {
+				vals[k] = float64(-k)
+			}
+			if err := a.PutSlice(5, vals); err != nil {
+				return err
+			}
+		}
+		if err := a.Barrier(); err != nil {
+			return err
+		}
+		got := make([]float64, 30)
+		if err := a.GetSlice(5, got); err != nil {
+			return err
+		}
+		for k, v := range got {
+			if v != float64(-k) {
+				return fmt.Errorf("after PutSlice, A(%d) = %v", 5+k, v)
+			}
+		}
+		return a.Barrier()
+	})
+}
+
+func TestDistArraySumAndValidation(t *testing.T) {
+	forBoth(t, 3, func(im *Image) error {
+		a, err := NewDistArray(im, im.World(), 30)
+		if err != nil {
+			return err
+		}
+		lo, hi := a.LocalRange()
+		for k := 0; k < hi-lo; k++ {
+			a.Local()[k] = 1
+		}
+		if err := a.Barrier(); err != nil {
+			return err
+		}
+		sum, err := a.Sum()
+		if err != nil {
+			return err
+		}
+		if math.Abs(sum-30) > 1e-12 {
+			return fmt.Errorf("sum = %v, want 30", sum)
+		}
+		if _, err := a.Get(30); err == nil {
+			return fmt.Errorf("out-of-range Get accepted")
+		}
+		if err := a.Put(-1, 0); err == nil {
+			return fmt.Errorf("negative index accepted")
+		}
+		if err := a.GetSlice(25, make([]float64, 10)); err == nil {
+			return fmt.Errorf("overrunning slice accepted")
+		}
+		if _, err := NewDistArray(im, im.World(), 0); err == nil {
+			return fmt.Errorf("empty array accepted")
+		}
+		return nil
+	})
+}
+
+// Property: PutSlice followed by GetSlice round trips arbitrary windows.
+func TestDistArraySliceRoundTripProperty(t *testing.T) {
+	f := func(lo8, n8 uint8, seed int64) bool {
+		const N = 96
+		lo := int(lo8) % N
+		n := int(n8)%(N-lo) + 1
+		ok := true
+		cfg := Config{Substrate: MPI, Platform: testPlatform()}
+		err := Run(3, cfg, func(im *Image) error {
+			a, err := NewDistArray(im, im.World(), N)
+			if err != nil {
+				return err
+			}
+			if im.ID() == 1 {
+				vals := make([]float64, n)
+				for k := range vals {
+					vals[k] = float64(seed) + float64(k)*0.5
+				}
+				if err := a.PutSlice(lo, vals); err != nil {
+					return err
+				}
+				back := make([]float64, n)
+				if err := a.GetSlice(lo, back); err != nil {
+					return err
+				}
+				for k := range back {
+					if back[k] != vals[k] {
+						ok = false
+					}
+				}
+			}
+			return a.Barrier()
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

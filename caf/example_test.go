@@ -1,0 +1,133 @@
+package caf_test
+
+import (
+	"fmt"
+	"log"
+
+	"cafmpi/caf"
+	"cafmpi/internal/fabric"
+)
+
+// Example demonstrates the minimal CAF 2.0 program: a coarray, a one-sided
+// write, an event doorbell, and a team reduction — on the paper's CAF-MPI
+// runtime.
+func Example() {
+	cfg := caf.Config{Substrate: caf.MPI, Platform: fabric.Platform("fusion")}
+	err := caf.Run(4, cfg, func(im *caf.Image) error {
+		co, err := im.AllocCoarray(im.World(), 8)
+		if err != nil {
+			return err
+		}
+		evs, err := im.NewEvents(im.World(), 1)
+		if err != nil {
+			return err
+		}
+		right := (im.ID() + 1) % im.N()
+		// One-sided write into the right neighbor, then ring its doorbell.
+		if err := co.PutDeferred(right, 0, []byte{byte(im.ID())}); err != nil {
+			return err
+		}
+		if err := evs.Notify(right, 0); err != nil {
+			return err
+		}
+		if err := evs.Wait(0); err != nil {
+			return err
+		}
+		left := (im.ID() - 1 + im.N()) % im.N()
+		if int(co.Local()[0]) != left {
+			return fmt.Errorf("image %d saw %d", im.ID(), co.Local()[0])
+		}
+		// Team reduction: sum of all image ids.
+		sum := []int64{int64(im.ID())}
+		if err := im.World().CoSumI64(sum); err != nil {
+			return err
+		}
+		if im.ID() == 0 {
+			fmt.Printf("sum of image ids: %d\n", sum[0])
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output: sum of image ids: 6
+}
+
+// ExampleTeam_Split partitions the world into row teams and reduces within
+// each — the CAF 2.0 first-class team feature.
+func ExampleTeam_Split() {
+	cfg := caf.Config{Substrate: caf.GASNet, Platform: fabric.Platform("edison")}
+	err := caf.Run(6, cfg, func(im *caf.Image) error {
+		row, err := im.World().Split(im.ID()%2, im.ID())
+		if err != nil {
+			return err
+		}
+		sum := []int64{int64(im.ID())}
+		if err := row.CoSumI64(sum); err != nil {
+			return err
+		}
+		if im.ID() <= 1 {
+			fmt.Printf("row %d sum: %d\n", im.ID()%2, sum[0])
+		}
+		return im.World().Barrier()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Unordered output:
+	// row 0 sum: 6
+	// row 1 sum: 9
+}
+
+// ExampleImage_Finish ships work to every image and waits for global
+// completion with the finish construct.
+func ExampleImage_Finish() {
+	cfg := caf.Config{Substrate: caf.MPI, Platform: fabric.Platform("fusion")}
+	err := caf.Run(4, cfg, func(im *caf.Image) error {
+		const fnCount uint64 = 1
+		counter := new(int64)
+		if err := im.RegisterFunc(fnCount, func(*caf.Image, []byte) { *counter++ }); err != nil {
+			return err
+		}
+		err := im.Finish(im.World(), func() error {
+			for t := 0; t < im.N(); t++ {
+				if err := im.Spawn(im.World(), t, fnCount, nil); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if im.ID() == 2 {
+			fmt.Printf("image %d executed %d shipped functions\n", im.ID(), *counter)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output: image 2 executed 4 shipped functions
+}
+
+// ExampleMPIEnv shows hybrid MPI+CAF: the same runtime serves coarray
+// operations and direct MPI calls (the paper's interoperability goal).
+func ExampleMPIEnv() {
+	cfg := caf.Config{Substrate: caf.MPI, Platform: fabric.Platform("fusion")}
+	err := caf.Run(4, cfg, func(im *caf.Image) error {
+		env, err := caf.MPIEnv(im)
+		if err != nil {
+			return err
+		}
+		if im.ID() == 0 {
+			fmt.Printf("MPI rank %d of %d shares the CAF runtime\n",
+				env.CommWorld().Rank(), env.CommWorld().Size())
+		}
+		return im.World().Barrier()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output: MPI rank 0 of 4 shares the CAF runtime
+}

@@ -1,0 +1,140 @@
+package caf
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestStressMixedWorkload drives a randomized but reproducible mix of the
+// whole API — coarray puts/gets (blocking, deferred, async), events,
+// collectives, teams, and function shipping — and checks invariants after
+// every phase. The same program runs on both substrates.
+func TestStressMixedWorkload(t *testing.T) {
+	const (
+		images = 8
+		phases = 12
+		slots  = 4
+	)
+	forBoth(t, images, func(im *Image) error {
+		w := im.World()
+		rng := rand.New(rand.NewSource(12345)) // same stream on every image
+
+		co, err := im.AllocCoarray(w, 256)
+		if err != nil {
+			return err
+		}
+		evs, err := im.NewEvents(w, slots)
+		if err != nil {
+			return err
+		}
+		const fnAdd uint64 = 99
+		shippedSum := new(int64)
+		if err := im.RegisterFunc(fnAdd, func(_ *Image, args []byte) {
+			*shippedSum += int64(args[0])
+		}); err != nil {
+			return err
+		}
+
+		for phase := 0; phase < phases; phase++ {
+			op := rng.Intn(5) // same op chosen on every image
+			switch op {
+			case 0:
+				// Ring of deferred puts released by notify, consumed by wait.
+				right := (im.ID() + 1) % im.N()
+				val := byte(phase*16 + im.ID())
+				if err := co.PutDeferred(right, phase%8, []byte{val}); err != nil {
+					return err
+				}
+				if err := evs.Notify(right, phase%slots); err != nil {
+					return err
+				}
+				if err := evs.Wait(phase % slots); err != nil {
+					return err
+				}
+				left := (im.ID() - 1 + im.N()) % im.N()
+				if co.Local()[phase%8] != byte(phase*16+left) {
+					return fmt.Errorf("phase %d: ring put lost", phase)
+				}
+			case 1:
+				// Allreduce invariant: sum of ranks.
+				out := make([]int64, 1)
+				if err := w.Allreduce(I64Bytes([]int64{int64(im.ID() + phase)}), I64Bytes(out), Int64, OpSum); err != nil {
+					return err
+				}
+				want := int64(images*(images-1)/2 + images*phase)
+				if out[0] != want {
+					return fmt.Errorf("phase %d: allreduce %d != %d", phase, out[0], want)
+				}
+			case 2:
+				// Split into two teams, reduce within, rejoin.
+				sub, err := w.Split(im.ID()%2, im.ID())
+				if err != nil {
+					return err
+				}
+				out := make([]int64, 1)
+				if err := sub.Allreduce(I64Bytes([]int64{1}), I64Bytes(out), Int64, OpSum); err != nil {
+					return err
+				}
+				if out[0] != int64(sub.Size()) {
+					return fmt.Errorf("phase %d: subteam count %d", phase, out[0])
+				}
+			case 3:
+				// Finish over shipped increments: every image ships `phase`
+				// to a rotating target.
+				before := *shippedSum
+				err := im.Finish(w, func() error {
+					target := (im.ID() + phase) % im.N()
+					return im.Spawn(w, target, fnAdd, []byte{byte(phase)})
+				})
+				if err != nil {
+					return err
+				}
+				_ = before
+				// Global conservation: total shipped value each such phase
+				// is images*phase; checked at the end.
+			case 4:
+				// Async get with completion event + alltoall.
+				peer := (im.ID() + im.N()/2) % im.N()
+				into := make([]byte, 8)
+				done := evs.Ref(phase % slots)
+				if err := co.GetAsync(peer, 0, into, AsyncOpts{DstDone: &done}); err != nil {
+					return err
+				}
+				if err := evs.Wait(phase % slots); err != nil {
+					return err
+				}
+				send := make([]int32, im.N())
+				for d := range send {
+					send[d] = int32(im.ID()*100 + d + phase)
+				}
+				recv := make([]int32, im.N())
+				if err := w.Alltoall(I32Bytes(send), I32Bytes(recv)); err != nil {
+					return err
+				}
+				for s := range recv {
+					if recv[s] != int32(s*100+im.ID()+phase) {
+						return fmt.Errorf("phase %d: alltoall block %d = %d", phase, s, recv[s])
+					}
+				}
+			}
+		}
+
+		// Conservation check on function shipping across all phases.
+		sum := make([]int64, 1)
+		if err := w.Allreduce(I64Bytes([]int64{*shippedSum}), I64Bytes(sum), Int64, OpSum); err != nil {
+			return err
+		}
+		var want int64
+		rng2 := rand.New(rand.NewSource(12345))
+		for phase := 0; phase < phases; phase++ {
+			if rng2.Intn(5) == 3 {
+				want += int64(images * phase)
+			}
+		}
+		if sum[0] != want {
+			return fmt.Errorf("shipped-value conservation broken: %d != %d", sum[0], want)
+		}
+		return w.Barrier()
+	})
+}

@@ -1,0 +1,112 @@
+// Command benchsuite regenerates the paper's tables and figures on the
+// simulated platforms and prints each as an aligned text table.
+//
+// Usage:
+//
+//	benchsuite [-exp fig3,fig4 | -exp all] [-maxp 256] [-quick] [-out results.txt]
+//
+// Experiment ids mirror the paper artifacts (fig1..fig12, tab1,
+// ubench-mira, ubench-edison, ubench-fusion, ablation-rflush); see
+// DESIGN.md for the index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cafmpi/internal/bench"
+	"cafmpi/internal/fabric"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		platform = flag.String("platform", "fusion", "default platform preset (fusion|edison|mira); figures with a fixed platform override this")
+		maxP     = flag.Int("maxp", 256, "cap for process-count sweeps")
+		quick    = flag.Bool("quick", false, "shrink workloads (smoke test)")
+		paper    = flag.Bool("paper", false, "also print the paper's original series for comparison")
+		out      = flag.String("out", "", "also append formatted results to this file")
+		csvOut   = flag.String("csv", "", "also append CSV rows to this file")
+		list     = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	pf := fabric.Platform(*platform)
+	if pf == nil {
+		fmt.Fprintf(os.Stderr, "benchsuite: unknown platform %q\n", *platform)
+		os.Exit(2)
+	}
+	opts := bench.Options{Platform: pf, MaxP: *maxP, Quick: *quick}
+
+	var ids []string
+	if *expFlag == "all" {
+		for _, e := range bench.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*expFlag, ",")
+	}
+
+	var csvSink *os.File
+	if *csvOut != "" {
+		f, err := os.OpenFile(*csvOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csvSink = f
+	}
+	var sink *os.File
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink = f
+	}
+
+	failed := 0
+	for _, id := range ids {
+		e, ok := bench.Lookup(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchsuite: unknown experiment %q (use -list)\n", id)
+			failed++
+			continue
+		}
+		start := time.Now()
+		tab, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: %s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		text := bench.Format(tab)
+		fmt.Printf("%s# paper: %s\n# (wall %s)\n\n", text, e.Paper, time.Since(start).Round(time.Millisecond))
+		if *paper {
+			if ref := bench.PaperReference(e.ID); ref != nil {
+				fmt.Println(bench.Format(ref))
+			}
+		}
+		if sink != nil {
+			fmt.Fprintf(sink, "%s# paper: %s\n\n", text, e.Paper)
+		}
+		if csvSink != nil {
+			fmt.Fprint(csvSink, bench.FormatCSV(tab))
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

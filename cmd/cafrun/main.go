@@ -1,0 +1,145 @@
+// Command cafrun launches one of the bundled CAF applications on a
+// simulated machine, on either runtime substrate.
+//
+// Usage:
+//
+//	cafrun -app ra|fft|hpl|cgpop -np 16 -substrate mpi|gasnet \
+//	       [-platform fusion|edison|mira] [-trace] [app flags]
+//
+// Examples:
+//
+//	cafrun -app ra -np 64 -substrate gasnet -ra-bits 10
+//	cafrun -app fft -np 16 -substrate mpi -fft-log 16 -trace
+//	cafrun -app cgpop -np 8 -cg-pull
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cafmpi/caf"
+	"cafmpi/internal/cgpop"
+	"cafmpi/internal/fabric"
+	"cafmpi/internal/hpcc"
+	"cafmpi/internal/rtmpi"
+	"cafmpi/internal/trace"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "ra", "application: ra | fft | hpl | hpl2d | cgpop")
+		np       = flag.Int("np", 8, "number of images")
+		sub      = flag.String("substrate", "mpi", "runtime substrate: mpi | gasnet")
+		platform = flag.String("platform", "fusion", "platform preset")
+		trc      = flag.Bool("trace", false, "print the per-category time decomposition")
+		verify   = flag.Bool("verify", true, "run the application's self-verification")
+		rflush   = flag.Bool("rflush", false, "CAF-MPI: use the proposed MPI_WIN_RFLUSH in the notify fence (§5)")
+		atomicEv = flag.Bool("atomic-events", false, "CAF-MPI: use the §3.4 FETCH_AND_OP/CAS event design")
+		noSRQ    = flag.Bool("nosrq", false, "disable the GASNet SRQ model (CAF-GASNet-NOSRQ)")
+
+		raBits    = flag.Int("ra-bits", 10, "ra: log2 of per-image table entries")
+		raUpdates = flag.Int("ra-updates", 4096, "ra: updates per image")
+		fftLog    = flag.Int("fft-log", 14, "fft: log2 of transform size")
+		hplN      = flag.Int("hpl-n", 512, "hpl: matrix order")
+		hplNB     = flag.Int("hpl-nb", 16, "hpl: block size")
+		cgNX      = flag.Int("cg-nx", 256, "cgpop: grid width")
+		cgNY      = flag.Int("cg-ny", 512, "cgpop: grid height")
+		cgIters   = flag.Int("cg-iters", 60, "cgpop: solver iterations")
+		cgPull    = flag.Bool("cg-pull", false, "cgpop: use PULL halo exchange")
+	)
+	flag.Parse()
+
+	pf := fabric.Platform(*platform)
+	if pf == nil {
+		fail("unknown platform %q", *platform)
+	}
+	if *noSRQ {
+		cp := *pf
+		cp.GASNet.SRQ.Enabled = false
+		pf = &cp
+	}
+	cfg := caf.Config{Substrate: caf.Substrate(*sub), Platform: pf, Trace: *trc,
+		MPIOptions: rtmpi.Options{UseRflush: *rflush, AtomicEvents: *atomicEv}}
+
+	err := caf.Run(*np, cfg, func(im *caf.Image) error {
+		var summary string
+		switch *app {
+		case "ra":
+			res, err := hpcc.RandomAccess(im, hpcc.RAConfig{
+				TableBits: *raBits, UpdatesPerImage: *raUpdates, Verify: *verify})
+			if err != nil {
+				return err
+			}
+			summary = fmt.Sprintf("RandomAccess: %.6f GUPS (%d updates in %.6f virtual s; errors=%d)",
+				res.GUPS, res.Updates, res.Seconds, res.Errors)
+		case "fft":
+			res, err := hpcc.FFT(im, hpcc.FFTConfig{LogSize: *fftLog, Verify: *verify})
+			if err != nil {
+				return err
+			}
+			summary = fmt.Sprintf("FFT: %.4f GFlop/s (2^%d points in %.6f virtual s; max round-trip error %.2e)",
+				res.GFlops, *fftLog, res.Seconds, res.MaxError)
+		case "hpl":
+			res, err := hpcc.HPL(im, hpcc.HPLConfig{N: *hplN, NB: *hplNB, Verify: *verify})
+			if err != nil {
+				return err
+			}
+			summary = fmt.Sprintf("HPL: %.6f TFlop/s (N=%d in %.6f virtual s; scaled residual %.3f)",
+				res.TFlops, res.N, res.Seconds, res.Residual)
+		case "hpl2d":
+			res, err := hpcc.HPL2D(im, hpcc.HPLConfig{N: *hplN, NB: *hplNB, Verify: *verify})
+			if err != nil {
+				return err
+			}
+			summary = fmt.Sprintf("HPL2D: %.6f TFlop/s (N=%d in %.6f virtual s; scaled residual %.3f)",
+				res.TFlops, res.N, res.Seconds, res.Residual)
+		case "cgpop":
+			res, err := cgpop.Run(im, cgpop.Config{NX: *cgNX, NY: *cgNY, Iters: *cgIters, Pull: *cgPull})
+			if err != nil {
+				return err
+			}
+			mode := "PUSH"
+			if *cgPull {
+				mode = "PULL"
+			}
+			summary = fmt.Sprintf("CGPOP(%s): %.6f virtual s for %d iterations; residual %.3e -> %.3e (dual runtime: %v, runtime memory %.1f MB)",
+				mode, res.Seconds, res.Iterations, res.InitialNorm, res.FinalNorm,
+				res.DualRuntime, float64(res.RuntimeMemory)/(1<<20))
+		default:
+			return fmt.Errorf("unknown app %q", *app)
+		}
+		if im.ID() == 0 {
+			fmt.Printf("%s x %d images on %s (%s substrate)\n%s\n", *app, im.N(), pf.Name, *sub, summary)
+		}
+		if *trc {
+			// Aggregate the decomposition across images.
+			cats := trace.Categories()
+			in := make([]float64, len(cats))
+			for i, c := range cats {
+				in[i] = float64(im.Tracer().Total(c)) * 1e-9
+			}
+			out := make([]float64, len(cats))
+			if err := im.World().Allreduce(caf.F64Bytes(in), caf.F64Bytes(out), caf.Float64, caf.OpSum); err != nil {
+				return err
+			}
+			if im.ID() == 0 {
+				fmt.Println("aggregate time decomposition (virtual seconds):")
+				for i, c := range cats {
+					if out[i] > 0 {
+						fmt.Printf("  %-16s %12.6f\n", c, out[i])
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cafrun: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,131 @@
+// Heat: 1-D heat diffusion with halo exchange — the canonical stencil
+// pattern the paper's CGPOP miniapp generalizes. Each image owns a strip of
+// the rod; every step it pushes its boundary cells into the neighbors' halo
+// slots with one-sided coarray writes and synchronizes with events. Halo
+// slots are double-buffered by step parity: a neighbor may run one step
+// ahead (the events allow no more), so writes for step s+1 land in the
+// other slot while step s is still being read. A final reduction checks
+// that heat is conserved.
+//
+//	go run ./examples/heat
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"cafmpi/caf"
+	"cafmpi/internal/fabric"
+)
+
+const (
+	images   = 8
+	cellsPer = 128  // rod cells per image
+	steps    = 400  // time steps
+	alpha    = 0.25 // diffusion number (stable: <= 0.5)
+)
+
+func main() {
+	cfg := caf.Config{Substrate: caf.MPI, Platform: fabric.Platform("edison")}
+	err := caf.Run(images, cfg, func(im *caf.Image) error {
+		world := im.World()
+		n := cellsPer
+
+		// Coarray layout (float64 each):
+		//   [0..1]      left halo, slots for even/odd steps
+		//   [2..n+1]    interior cells
+		//   [n+2..n+3]  right halo, slots for even/odd steps
+		field, err := im.AllocCoarray(world, (n+4)*8)
+		if err != nil {
+			return err
+		}
+		u := caf.BytesF64(field.Local())
+		interior := u[2 : n+2]
+		evs, err := im.NewEvents(world, 2)
+		if err != nil {
+			return err
+		}
+		const fromLeft, fromRight = 0, 1
+
+		// Initial condition: a hot spike in the middle of the global rod.
+		total := images * n
+		for i := 0; i < n; i++ {
+			if im.ID()*n+i == total/2 {
+				interior[i] = 1000
+			}
+		}
+		initialHeat := localSum(interior)
+
+		next := make([]float64, n)
+		left, right := im.ID()-1, im.ID()+1
+		for s := 0; s < steps; s++ {
+			par := s % 2
+			// Push boundary cells into the neighbors' parity halo slots.
+			if left >= 0 {
+				if err := field.PutDeferred(left, (n+2+par)*8, caf.F64Bytes(interior[:1])); err != nil {
+					return err
+				}
+				if err := evs.Notify(left, fromRight); err != nil {
+					return err
+				}
+			}
+			if right < im.N() {
+				if err := field.PutDeferred(right, par*8, caf.F64Bytes(interior[n-1:])); err != nil {
+					return err
+				}
+				if err := evs.Notify(right, fromLeft); err != nil {
+					return err
+				}
+			}
+			haloL, haloR := interior[0], interior[n-1] // insulated ends
+			if left >= 0 {
+				if err := evs.Wait(fromLeft); err != nil {
+					return err
+				}
+				haloL = u[par]
+			}
+			if right < im.N() {
+				if err := evs.Wait(fromRight); err != nil {
+					return err
+				}
+				haloR = u[n+2+par]
+			}
+			// Explicit Euler step.
+			next[0] = interior[0] + alpha*(haloL-2*interior[0]+interior[1])
+			for i := 1; i < n-1; i++ {
+				next[i] = interior[i] + alpha*(interior[i-1]-2*interior[i]+interior[i+1])
+			}
+			next[n-1] = interior[n-1] + alpha*(interior[n-2]-2*interior[n-1]+haloR)
+			copy(interior, next)
+			im.Compute(int64(n) * 4)
+		}
+
+		// Heat conservation check (insulated ends): global sums match.
+		sums := []float64{localSum(interior), initialHeat}
+		out := make([]float64, 2)
+		if err := world.Allreduce(caf.F64Bytes(sums), caf.F64Bytes(out), caf.Float64, caf.OpSum); err != nil {
+			return err
+		}
+		if im.ID() == 0 {
+			drift := math.Abs(out[0]-out[1]) / out[1]
+			fmt.Printf("heat: %d cells x %d steps on %d images; total heat %.6f -> %.6f (drift %.2e), virtual time %.3f ms\n",
+				total, steps, im.N(), out[1], out[0], drift, im.Now()*1e3)
+			if drift > 1e-9 {
+				return fmt.Errorf("heat not conserved")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func localSum(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,121 @@
+// Histogram: function shipping and finish. Every image scans a local shard
+// of values and, instead of moving the data, ships increment functions to
+// the images that own the histogram bins (compute-to-data, CAF 2.0 function
+// shipping). The enclosing finish block guarantees every shipped function —
+// including the re-shipped overflow handling — has executed globally before
+// the histogram is read.
+//
+//	go run ./examples/histogram
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"cafmpi/caf"
+	"cafmpi/internal/fabric"
+)
+
+const (
+	images       = 8
+	binsPerImage = 16
+	valuesPer    = 10_000
+)
+
+const (
+	fnBump uint64 = iota + 1 // args: 4-byte bin index, 4-byte count
+	fnTally
+)
+
+func main() {
+	cfg := caf.Config{Substrate: caf.MPI, Platform: fabric.Platform("fusion")}
+	err := caf.Run(images, cfg, func(im *caf.Image) error {
+		world := im.World()
+		bins := make([]int64, binsPerImage) // my shard of the histogram
+		tallied := make([]int64, 1)
+
+		// Shipped functions run on the target image's goroutine; they see
+		// the target's closure state. Registration must be symmetric.
+		if err := im.RegisterFunc(fnBump, func(target *caf.Image, args []byte) {
+			bin := binary.LittleEndian.Uint32(args[0:4])
+			cnt := binary.LittleEndian.Uint32(args[4:8])
+			bins[bin] += int64(cnt)
+		}); err != nil {
+			return err
+		}
+		if err := im.RegisterFunc(fnTally, func(target *caf.Image, args []byte) {
+			// A shipped function may itself ship work: forward a summary
+			// bump of everything tallied so far to image 0's bin 0 — this
+			// exercises transitive termination detection.
+			tallied[0]++
+			if target.ID() != 0 {
+				var buf [8]byte
+				binary.LittleEndian.PutUint32(buf[4:], 0)
+				if err := target.Spawn(target.World(), 0, fnBump, buf[:]); err != nil {
+					panic(err)
+				}
+			}
+		}); err != nil {
+			return err
+		}
+
+		totalBins := images * binsPerImage
+		counts := make(map[int]uint32) // local aggregation before shipping
+		rng := im.Proc().Rng()
+		for i := 0; i < valuesPer; i++ {
+			v := int(rng.Int63()) % totalBins
+			counts[v]++
+		}
+
+		err := im.Finish(world, func() error {
+			for bin, cnt := range counts {
+				owner := bin / binsPerImage
+				var buf [8]byte
+				binary.LittleEndian.PutUint32(buf[0:4], uint32(bin%binsPerImage))
+				binary.LittleEndian.PutUint32(buf[4:8], cnt)
+				if err := im.Spawn(world, owner, fnBump, buf[:]); err != nil {
+					return err
+				}
+			}
+			// One tally ping to every image (each re-ships to image 0).
+			for t := 0; t < im.N(); t++ {
+				if err := im.Spawn(world, t, fnTally, nil); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+
+		// After finish, all shipped work is globally complete: verify.
+		local := int64(0)
+		for _, b := range bins {
+			local += b
+		}
+		if im.ID() == 0 {
+			// Image 0's bin 0 also received one forwarded bump (count 0)
+			// from every other image's tally — counts unchanged, but the
+			// spawns had to terminate for finish to return.
+			local -= 0
+		}
+		sum := make([]int64, 1)
+		if err := world.Allreduce(caf.I64Bytes([]int64{local}), caf.I64Bytes(sum), caf.Int64, caf.OpSum); err != nil {
+			return err
+		}
+		want := int64(images * valuesPer)
+		if im.ID() == 0 {
+			fmt.Printf("histogram: %d values binned across %d images; total %d (want %d); tallies on image 0: %d; virtual time %.3f us\n",
+				want, im.N(), sum[0], want, tallied[0], im.Now()*1e6)
+			if sum[0] != want {
+				return fmt.Errorf("lost updates: %d != %d", sum[0], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+// Interop: the paper's Figure 2 program, live. Image 0 performs a coarray
+// write while every image enters an MPI barrier. Whether this terminates
+// depends on the CAF implementation:
+//
+//   - CAF-GASNet with AM-mediated writes: the write needs the *target* to
+//     poll the CAF runtime, but the target is blocked inside MPI_BARRIER of
+//     a separate MPI library that knows nothing about CAF — deadlock.
+//
+//   - CAF-GASNet with RDMA writes: completes (no target involvement), but
+//     the application still pays for two redundant runtimes.
+//
+//   - CAF-MPI: one shared runtime; the one-sided MPI_PUT completes without
+//     target involvement, and the same MPI library serves the barrier.
+//
+//     go run ./examples/interop
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"cafmpi/caf"
+	"cafmpi/internal/fabric"
+	"cafmpi/internal/mpi"
+	"cafmpi/internal/sim"
+)
+
+func scenario(sub caf.Substrate, amWrite bool) (outcome string, runtimeMB float64) {
+	platform := fabric.Platform("fusion")
+	w := sim.NewWorld(2)
+	var mb float64
+	err := w.RunTimeout(2*time.Second, func(p *sim.Proc) error {
+		cfg := caf.Config{Substrate: sub, Platform: platform}
+		cfg.GASNetOptions.AMWrite = amWrite
+		im, err := caf.Boot(p, cfg)
+		if err != nil {
+			return err
+		}
+		a, err := im.AllocCoarray(im.World(), 1<<16)
+		if err != nil {
+			return err
+		}
+
+		// The application's MPI library: shared under CAF-MPI, a second
+		// independent runtime under CAF-GASNet (Figure 1's duplication).
+		var comm *mpi.Comm
+		if env, err := caf.MPIEnv(im); err == nil {
+			comm = env.CommWorld()
+			if p.ID() == 0 {
+				mb = float64(im.MemoryFootprint()) / (1 << 20)
+			}
+		} else {
+			env := mpi.Init(p, fabric.AttachNet(p.World(), platform))
+			comm = env.CommWorld()
+			if p.ID() == 0 {
+				mb = float64(im.MemoryFootprint()+env.MemoryFootprint()) / (1 << 20)
+			}
+		}
+
+		if im.ID() == 0 {
+			// Figure 2 line 8: A(:)[1] = A(:)
+			if err := a.Put(1, 0, a.Local()); err != nil {
+				return err
+			}
+		}
+		// Figure 2 line 11: CALL MPI_BARRIER(MPI_COMM_WORLD, IERR)
+		return comm.Barrier()
+	})
+	switch {
+	case err == sim.ErrTimeout:
+		return "DEADLOCK (timed out)", mb
+	case err != nil:
+		return fmt.Sprintf("error: %v", err), mb
+	default:
+		return "completed", mb
+	}
+}
+
+func main() {
+	fmt.Println("Figure 2: coarray write on image 0, then MPI_BARRIER on all images")
+	fmt.Println()
+	for _, c := range []struct {
+		name    string
+		sub     caf.Substrate
+		amWrite bool
+	}{
+		{"CAF-GASNet + separate MPI, AM-mediated writes", caf.GASNet, true},
+		{"CAF-GASNet + separate MPI, RDMA writes       ", caf.GASNet, false},
+		{"CAF-MPI (single shared runtime)              ", caf.MPI, false},
+	} {
+		outcome, mb := scenario(c.sub, c.amWrite)
+		fmt.Printf("  %s -> %-22s (runtime memory %.1f MB/process)\n", c.name, outcome, mb)
+	}
+}

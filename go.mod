@@ -1,0 +1,3 @@
+module cafmpi
+
+go 1.22

@@ -1,0 +1,266 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickOpts() Options {
+	return Options{MaxP: 16, Quick: true}
+}
+
+func runExp(t *testing.T, id string) *Table {
+	t.Helper()
+	e, ok := Lookup(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	tab, err := e.Run(quickOpts())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	return tab
+}
+
+// value fetches a row by series and x.
+func value(t *testing.T, tab *Table, series string, x int) float64 {
+	t.Helper()
+	for _, r := range tab.Rows {
+		if r.Series == series && r.X == x {
+			return r.Y
+		}
+	}
+	t.Fatalf("%s: no row %q at x=%d", tab.ID, series, x)
+	return 0
+}
+
+func valueByLabel(t *testing.T, tab *Table, series, label string) float64 {
+	t.Helper()
+	for _, r := range tab.Rows {
+		if r.Series == series && r.Label == label {
+			return r.Y
+		}
+	}
+	t.Fatalf("%s: no row %q label %q", tab.ID, series, label)
+	return 0
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "fig11", "fig12", "tab1", "ubench-mira", "ubench-edison",
+		"ubench-fusion", "ablation-rflush", "ablation-events", "ablation-hpl2d"}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	if len(Experiments()) < len(want) {
+		t.Errorf("registry has %d experiments, want at least %d", len(Experiments()), len(want))
+	}
+}
+
+func TestFig1MemoryShape(t *testing.T) {
+	tab := runExp(t, "fig1")
+	for _, p := range []int{4, 16} {
+		g := value(t, tab, "GASNet-only", p)
+		m := value(t, tab, "MPI-only", p)
+		d := value(t, tab, "Duplicate Runtimes", p)
+		if !(g < m && d > m) {
+			t.Errorf("P=%d: want GASNet(%f) < MPI(%f) < Duplicate(%f)", p, g, m, d)
+		}
+	}
+	if value(t, tab, "MPI-only", 16) <= value(t, tab, "MPI-only", 4) {
+		t.Error("MPI footprint should grow with job size")
+	}
+}
+
+func TestFig2Outcomes(t *testing.T) {
+	tab := runExp(t, "fig2")
+	if valueByLabel(t, tab, "outcome", "CAF-GASNet (AM-mediated write)") != 1 {
+		t.Error("AM-mediated write under MPI barrier should deadlock")
+	}
+	if valueByLabel(t, tab, "outcome", "CAF-MPI (one-sided write)") != 0 {
+		t.Error("CAF-MPI scenario should complete")
+	}
+	if valueByLabel(t, tab, "outcome", "CAF-GASNet (RDMA write)") != 0 {
+		t.Error("RDMA-write scenario should complete")
+	}
+}
+
+func TestFig3RandomAccessShape(t *testing.T) {
+	tab := runExp(t, "fig3")
+	// GUPS grows with P for every implementation.
+	for _, s := range []string{"CAF-MPI", "CAF-GASNet", "CAF-GASNet-NOSRQ"} {
+		if value(t, tab, s, 16) <= value(t, tab, s, 4) {
+			t.Errorf("%s GUPS did not grow from P=4 to P=16", s)
+		}
+	}
+	// Everyone is below ideal at the top of the sweep.
+	if value(t, tab, "CAF-MPI", 16) > value(t, tab, "IDEAL-SCALE", 16) {
+		t.Error("CAF-MPI exceeded ideal scaling")
+	}
+}
+
+func TestFig4DecompositionShape(t *testing.T) {
+	tab := runExp(t, "fig4")
+	mpiNotify := valueByLabel(t, tab, "CAF-MPI", "event_notify")
+	gnNotify := valueByLabel(t, tab, "CAF-GASNet", "event_notify")
+	if mpiNotify <= 1.5*gnNotify {
+		t.Errorf("CAF-MPI event_notify (%g s) should far exceed CAF-GASNet's (%g s): FlushAll per-rank scan", mpiNotify, gnNotify)
+	}
+	gnWait := valueByLabel(t, tab, "CAF-GASNet", "event_wait")
+	if gnWait <= gnNotify {
+		t.Errorf("CAF-GASNet time should sit in event_wait (%g s) not notify (%g s)", gnWait, gnNotify)
+	}
+}
+
+func TestFig6FFTShape(t *testing.T) {
+	tab := runExp(t, "fig6")
+	pTop := 16
+	m, g := value(t, tab, "CAF-MPI", pTop), value(t, tab, "CAF-GASNet", pTop)
+	if m <= g {
+		t.Errorf("CAF-MPI FFT (%g GF) should beat CAF-GASNet (%g GF) at P=%d: tuned MPI_ALLTOALL", m, g, pTop)
+	}
+}
+
+func TestFig8FFTDecomposition(t *testing.T) {
+	tab := runExp(t, "fig8")
+	gnA2A := valueByLabel(t, tab, "CAF-GASNet", "alltoall")
+	mpiA2A := valueByLabel(t, tab, "CAF-MPI", "alltoall")
+	if gnA2A <= mpiA2A {
+		t.Errorf("hand-crafted all-to-all (%g s) should cost more than MPI_ALLTOALL (%g s)", gnA2A, mpiA2A)
+	}
+	gnComp := valueByLabel(t, tab, "CAF-GASNet", "computation")
+	mpiComp := valueByLabel(t, tab, "CAF-MPI", "computation")
+	ratio := gnComp / mpiComp
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("local computation should be comparable: %g vs %g s", gnComp, mpiComp)
+	}
+}
+
+func TestFig9HPLShape(t *testing.T) {
+	tab := runExp(t, "fig9")
+	pTop := 16
+	m, g := value(t, tab, "CAF-MPI", pTop), value(t, tab, "CAF-GASNet", pTop)
+	// At simulated laptop scale HPL is panel-broadcast-bound, so a modest
+	// substrate gap remains (see EXPERIMENTS.md); at paper scale DGEMM
+	// dominates and the curves coincide. Bound the gap rather than demand
+	// equality.
+	ratio := m / g
+	if ratio < 0.55 || ratio > 1.8 {
+		t.Errorf("HPL substrate gap out of bounds: CAF-MPI %g vs CAF-GASNet %g TF", m, g)
+	}
+	if value(t, tab, "CAF-MPI", 16) <= value(t, tab, "CAF-MPI", 4) {
+		t.Error("HPL TFlops should grow with P in this range")
+	}
+}
+
+func TestFig11CGPOPShape(t *testing.T) {
+	tab := runExp(t, "fig11")
+	for _, p := range []int{4, 16} {
+		vals := []float64{
+			value(t, tab, "CAF-MPI (PUSH)", p),
+			value(t, tab, "CAF-MPI (PULL)", p),
+			value(t, tab, "CAF-GASNet (PUSH)", p),
+			value(t, tab, "CAF-GASNet (PULL)", p),
+		}
+		lo, hi := vals[0], vals[0]
+		for _, v := range vals {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi > 1.6*lo {
+			t.Errorf("P=%d: CGPOP variants should be close (paper: hardly any difference); spread %g..%g s", p, lo, hi)
+		}
+	}
+	// Execution time falls as P grows (strong scaling).
+	if value(t, tab, "CAF-MPI (PUSH)", 16) >= value(t, tab, "CAF-MPI (PUSH)", 4) {
+		t.Error("CGPOP time should drop from P=4 to P=16")
+	}
+}
+
+func TestMicrobenchShape(t *testing.T) {
+	tab := runExp(t, "ubench-mira")
+	p := 16
+	if g, m := value(t, tab, "CAF-GASNet READ", p), value(t, tab, "CAF-MPI READ", p); g <= m {
+		t.Errorf("Mira: GASNet read rate (%g) should exceed MPI's (%g)", g, m)
+	}
+	if g, m := value(t, tab, "CAF-GASNet WRITE", p), value(t, tab, "CAF-MPI WRITE", p); g <= m {
+		t.Errorf("Mira: GASNet write rate (%g) should exceed MPI's (%g)", g, m)
+	}
+}
+
+func TestAblationRflush(t *testing.T) {
+	tab := runExp(t, "ablation-rflush")
+	p := 32
+	fa, rf := value(t, tab, "CAF-MPI(FlushAll)", p), value(t, tab, "CAF-MPI(Rflush)", p)
+	if rf < fa {
+		t.Errorf("Rflush (%g GUPS) should not lose to FlushAll (%g GUPS)", rf, fa)
+	}
+}
+
+func TestAblationEventDesign(t *testing.T) {
+	tab := runExp(t, "ablation-events")
+	p := 16
+	isend := value(t, tab, "CAF-MPI(isend/recv events)", p)
+	atomic := value(t, tab, "CAF-MPI(atomic events)", p)
+	if isend <= atomic {
+		t.Errorf("the shipped isend/recv design (%g GUPS) should beat atomic events (%g GUPS), as §3.4 expects", isend, atomic)
+	}
+}
+
+func TestTab1AndFormat(t *testing.T) {
+	tab := runExp(t, "tab1")
+	s := Format(tab)
+	for _, want := range []string{"fusion", "edison", "mira", "latency_ns"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("formatted tab1 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestPaperReferenceData(t *testing.T) {
+	// Every sweep figure has transcribed paper data with the same series
+	// names as the regenerated table, so -paper comparisons line up.
+	for _, id := range []string{"fig1", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "ubench-mira", "ubench-edison"} {
+		ref := PaperReference(id)
+		if ref == nil {
+			t.Errorf("no paper reference for %s", id)
+			continue
+		}
+		if len(ref.Rows) == 0 {
+			t.Errorf("%s: empty paper reference", id)
+		}
+	}
+	if PaperReference("fig2") != nil {
+		t.Error("fig2 is a code listing, not a data series")
+	}
+	// Spot checks against the paper text.
+	f3 := PaperReference("fig3")
+	found := false
+	for _, r := range f3.Rows {
+		if r.Series == "CAF-GASNet" && r.X == 128 {
+			if r.Y != 0.20760 {
+				t.Errorf("fig3 GASNet@128 = %v, want 0.20760 (the SRQ dip)", r.Y)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("fig3 paper data missing the 128-rank point")
+	}
+	f4 := PaperReference("fig4")
+	for _, r := range f4.Rows {
+		if r.Series == "CAF-MPI" && r.Label == "event_notify" && r.Y != 219.08 {
+			t.Errorf("fig4 MPI notify = %v, want 219.08", r.Y)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+
+	"cafmpi/caf"
+	"cafmpi/internal/fabric"
+)
+
+// microResult holds one platform/substrate microbenchmark point.
+type microResult struct {
+	read, write, notify, alltoall float64 // ops per second
+}
+
+// micro measures the paper's microbenchmark suite: blocking coarray read
+// and write rates, event-notify rate, and team all-to-all rate.
+func micro(platform *fabric.Params, sub caf.Substrate, p, k, ka int) (microResult, error) {
+	var out microResult
+	err := job(platform, sub, p, false, func(im *caf.Image) error {
+		var mine microResult
+		co, err := im.AllocCoarray(im.World(), 4096)
+		if err != nil {
+			return err
+		}
+		evs, err := im.NewEvents(im.World(), 1)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, 8)
+		target := im.N() - 1 // farthest peer, as microbenchmarks do
+
+		// rate measures n origin-side operations; for notify, the sustained
+		// delivery rate observed at the target (as the paper's
+		// EVENT_NOTIFY microbenchmark does).
+		rate := func(name string, n int, fn func() error) (float64, error) {
+			if err := im.World().Barrier(); err != nil {
+				return 0, err
+			}
+			t0 := im.Now()
+			if im.ID() == 0 {
+				for i := 0; i < n; i++ {
+					if err := fn(); err != nil {
+						return 0, fmt.Errorf("%s: %w", name, err)
+					}
+				}
+			}
+			if name == "notify" && im.ID() == target && im.ID() != 0 {
+				for i := 0; i < n; i++ {
+					if err := evs.Wait(0); err != nil {
+						return 0, err
+					}
+				}
+			}
+			dt := im.Now() - t0
+			if err := im.World().Barrier(); err != nil {
+				return 0, err
+			}
+			measurer := 0
+			if name == "notify" && target != 0 {
+				measurer = target
+			}
+			if im.ID() != measurer || dt <= 0 {
+				return 0, nil
+			}
+			return float64(n) / dt, nil
+		}
+
+		if mine.write, err = rate("write", k, func() error { return co.Put(target, 0, buf) }); err != nil {
+			return err
+		}
+		if mine.read, err = rate("read", k, func() error { return co.Get(target, 0, buf) }); err != nil {
+			return err
+		}
+		if mine.notify, err = rate("notify", k, func() error { return evs.Notify(target, 0) }); err != nil {
+			return err
+		}
+		if im.ID() == 0 && target == 0 {
+			// Single image: drain the self-notifies.
+			for i := 0; i < k; i++ {
+				if err := evs.Wait(0); err != nil {
+					return err
+				}
+			}
+		}
+
+		// All-to-all rate: every image participates.
+		send := make([]byte, 8*im.N())
+		recv := make([]byte, 8*im.N())
+		if err := im.World().Barrier(); err != nil {
+			return err
+		}
+		t0 := im.Now()
+		for i := 0; i < ka; i++ {
+			if err := im.World().Alltoall(send, recv); err != nil {
+				return err
+			}
+		}
+		dt := im.Now() - t0
+		if dt > 0 {
+			mine.alltoall = float64(ka) / dt
+		}
+		if err := im.World().Barrier(); err != nil {
+			return err
+		}
+		// The notify rate was observed at the target: ship it to image 0.
+		nbuf := []float64{mine.notify}
+		nout := make([]float64, 1)
+		if err := im.World().Allreduce(caf.F64Bytes(nbuf), caf.F64Bytes(nout), caf.Float64, caf.OpMax); err != nil {
+			return err
+		}
+		mine.notify = nout[0]
+		if im.ID() == 0 {
+			out = mine
+		}
+		return nil
+	})
+	return out, err
+}
+
+func microFigure(id, title, platform string) Experiment {
+	return Experiment{
+		ID:    id,
+		Title: title,
+		Paper: "GASNet point-to-point rates exceed MPI's (software RMA overhead); notify rates are flat for both; GASNet's hand-rolled all-to-all decays faster than MPI_ALLTOALL with core count.",
+		Run: func(o Options) (*Table, error) {
+			o = o.withDefaults()
+			pf := fabric.Platform(platform)
+			ps := o.pSweep(4)
+			k, ka := 400, 30
+			if o.Quick {
+				k, ka = 60, 6
+			}
+			t := &Table{ID: id, Title: title, XLabel: "processes", YLabel: "ops/second",
+				Notes: fmt.Sprintf("platform=%s 8-byte operations", platform)}
+			for _, s := range []struct {
+				name string
+				sub  caf.Substrate
+			}{{"CAF-GASNet", caf.GASNet}, {"CAF-MPI", caf.MPI}} {
+				for _, p := range ps {
+					r, err := micro(pf, s.sub, p, k, ka)
+					if err != nil {
+						return nil, fmt.Errorf("%s P=%d: %w", s.name, p, err)
+					}
+					t.Rows = append(t.Rows,
+						Row{Series: s.name + " READ", X: p, Y: r.read},
+						Row{Series: s.name + " WRITE", X: p, Y: r.write},
+						Row{Series: s.name + " NOTIFY", X: p, Y: r.notify},
+						Row{Series: s.name + " AlltoAll", X: p, Y: r.alltoall},
+					)
+				}
+			}
+			return t, nil
+		},
+	}
+}
+
+func init() {
+	register(microFigure("ubench-mira", "Mira microbenchmarks", "mira"))
+	register(microFigure("ubench-edison", "Edison microbenchmarks", "edison"))
+	register(microFigure("ubench-fusion", "Fusion microbenchmarks", "fusion"))
+}

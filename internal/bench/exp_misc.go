@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"cafmpi/caf"
+	"cafmpi/internal/cgpop"
+	"cafmpi/internal/fabric"
+	"cafmpi/internal/gasnet"
+	"cafmpi/internal/mpi"
+	"cafmpi/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig1",
+		Title: "Per-process memory of dual runtimes",
+		Paper: "GASNet-only ~26-39 MB, MPI-only ~107-115 MB, duplicated runtimes the sum — all growing with job size.",
+		Run: func(o Options) (*Table, error) {
+			o = o.withDefaults()
+			ps := []int{16, 64, 256}
+			if o.Quick {
+				ps = []int{4, 16}
+			}
+			var filtered []int
+			for _, p := range ps {
+				if p <= o.MaxP {
+					filtered = append(filtered, p)
+				}
+			}
+			t := &Table{ID: "fig1", Title: "Per-process memory of dual runtimes", XLabel: "processes",
+				YLabel: "MB", Notes: fmt.Sprintf("platform=%s", o.Platform.Name)}
+			for _, p := range filtered {
+				var gOnly, mOnly int64
+				w := sim.NewWorld(p)
+				err := w.Run(func(pr *sim.Proc) error {
+					net := fabric.AttachNet(pr.World(), o.Platform)
+					ep, err := gasnet.Attach(pr, net, 1<<20)
+					if err != nil {
+						return err
+					}
+					env := mpi.Init(pr, net)
+					if pr.ID() == 0 {
+						gOnly = ep.MemoryFootprint()
+						mOnly = env.MemoryFootprint()
+					}
+					return nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				mb := func(b int64) float64 { return float64(b) / (1 << 20) }
+				t.Rows = append(t.Rows,
+					Row{Series: "GASNet-only", X: p, Y: mb(gOnly)},
+					Row{Series: "MPI-only", X: p, Y: mb(mOnly)},
+					Row{Series: "Duplicate Runtimes", X: p, Y: mb(gOnly + mOnly)},
+				)
+			}
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "fig2",
+		Title: "Figure 2 interoperability scenario (coarray write + MPI barrier)",
+		Paper: "A coarray write needing target-side progress deadlocks when every image sits in MPI_BARRIER; CAF-MPI's one-sided write completes.",
+		Run: func(o Options) (*Table, error) {
+			o = o.withDefaults()
+			scenario := func(sub caf.Substrate, amWrite bool) (int, error) {
+				w := sim.NewWorld(2)
+				err := w.RunTimeout(2*time.Second, func(p *sim.Proc) error {
+					cfg := caf.Config{Substrate: sub, Platform: o.Platform}
+					cfg.GASNetOptions.AMWrite = amWrite
+					im, err := caf.Boot(p, cfg)
+					if err != nil {
+						return err
+					}
+					co, err := im.AllocCoarray(im.World(), 1<<16)
+					if err != nil {
+						return err
+					}
+					var comm *mpi.Comm
+					if env, err := caf.MPIEnv(im); err == nil {
+						comm = env.CommWorld()
+					} else {
+						comm = mpi.Init(p, fabric.AttachNet(p.World(), o.Platform)).CommWorld()
+					}
+					if im.ID() == 0 {
+						if err := co.Put(1, 0, make([]byte, 1<<16)); err != nil {
+							return err
+						}
+					}
+					return comm.Barrier()
+				})
+				if err == sim.ErrTimeout {
+					return 1, nil
+				}
+				if err != nil {
+					return 0, err
+				}
+				return 0, nil
+			}
+			t := &Table{ID: "fig2", Title: "Figure 2 scenario outcomes", XLabel: "configuration",
+				YLabel: "1=deadlock 0=completes"}
+			cases := []struct {
+				label string
+				sub   caf.Substrate
+				am    bool
+			}{
+				{"CAF-GASNet (AM-mediated write)", caf.GASNet, true},
+				{"CAF-GASNet (RDMA write)", caf.GASNet, false},
+				{"CAF-MPI (one-sided write)", caf.MPI, false},
+			}
+			for i, c := range cases {
+				out, err := scenario(c.sub, c.am)
+				if err != nil {
+					return nil, err
+				}
+				t.Rows = append(t.Rows, Row{Series: "outcome", X: i, Label: c.label, Y: float64(out)})
+			}
+			return t, nil
+		},
+	})
+
+	register(cgpopFigure("fig11", "CGPOP on Fusion (execution time)", "fusion"))
+	register(cgpopFigure("fig12", "CGPOP on Edison (execution time)", "edison"))
+
+	register(Experiment{
+		ID:    "tab1",
+		Title: "Platform presets (Table 1 substitution)",
+		Paper: "Fusion: 320-node IB QDR cluster with MVAPICH2; Edison: Cray XC30 with Cray MPICH; plus Mira (BG/Q) for the microbenchmarks.",
+		Run: func(o Options) (*Table, error) {
+			t := &Table{ID: "tab1", Title: "Platform presets", XLabel: "parameter", YLabel: "value"}
+			for _, name := range []string{"fusion", "edison", "mira"} {
+				p := fabric.Platform(name)
+				add := func(label string, v float64) {
+					t.Rows = append(t.Rows, Row{Series: name, Label: label, Y: v})
+				}
+				add("latency_ns", float64(p.LatencyNS))
+				add("bandwidth_GBps", 1/p.GapPerByteNS)
+				add("mpi_put_overhead_ns", float64(p.MPI.PutNS))
+				add("gasnet_put_overhead_ns", float64(p.GASNet.PutNS))
+				add("mpi_flush_scan_ns_per_rank", float64(p.MPI.FlushScanNS))
+				srq := 0.0
+				if p.GASNet.SRQ.Enabled {
+					srq = float64(p.GASNet.SRQ.Threshold)
+				}
+				add("srq_threshold_procs", srq)
+				add("flop_ns", p.FlopNS)
+			}
+			return t, nil
+		},
+	})
+}
+
+func cgpopFigure(id, title, platform string) Experiment {
+	return Experiment{
+		ID:    id,
+		Title: title,
+		Paper: "All four variants (PUSH/PULL x CAF-MPI/CAF-GASNet) lie on top of each other: both use MPI_REDUCE for GlobalSum and the one-sided halo costs are comparable (Figures 11/12).",
+		Run: func(o Options) (*Table, error) {
+			o = o.withDefaults()
+			pf := fabric.Platform(platform)
+			ps := o.pSweep(4)
+			nx := 512
+			ny := 2048
+			if ny < 8*o.MaxP {
+				ny = 8 * o.MaxP
+			}
+			iters := 60
+			if o.Quick {
+				iters = 15
+				nx, ny = 256, 512
+			}
+			t := &Table{ID: id, Title: title, XLabel: "processes", YLabel: "execution time (s)",
+				Notes: fmt.Sprintf("platform=%s grid=%dx%d iters=%d", platform, nx, ny, iters)}
+			for _, v := range []struct {
+				name string
+				sub  caf.Substrate
+				pull bool
+			}{
+				{"CAF-MPI (PUSH)", caf.MPI, false},
+				{"CAF-MPI (PULL)", caf.MPI, true},
+				{"CAF-GASNet (PUSH)", caf.GASNet, false},
+				{"CAF-GASNet (PULL)", caf.GASNet, true},
+			} {
+				for _, p := range ps {
+					if ny%p != 0 {
+						continue
+					}
+					var secs float64
+					err := job(pf, v.sub, p, false, func(im *caf.Image) error {
+						res, err := cgpop.Run(im, cgpop.Config{NX: nx, NY: ny, Iters: iters, Pull: v.pull})
+						if err != nil {
+							return err
+						}
+						if im.ID() == 0 {
+							secs = res.Seconds
+						}
+						return nil
+					})
+					if err != nil {
+						return nil, fmt.Errorf("%s P=%d: %w", v.name, p, err)
+					}
+					t.Rows = append(t.Rows, Row{Series: v.name, X: p, Y: secs})
+				}
+			}
+			return t, nil
+		},
+	}
+}

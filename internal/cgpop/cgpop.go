@@ -1,0 +1,297 @@
+// Package cgpop implements the CGPOP miniapp the paper evaluates in §4.4:
+// the conjugate-gradient solver extracted from LANL POP 2.0 (global ocean
+// model), ported to a hybrid MPI+CAF form. Each solver iteration performs
+// one halo exchange between neighboring subdomains — expressed with CAF
+// coarray one-sided operations, in PUSH (put to neighbor halos) or PULL
+// (get from neighbor boundaries) style — and one 3-word GlobalSum vector
+// reduction performed with plain MPI, exercising both models in one code.
+//
+// Under CAF-MPI the GlobalSum reuses the runtime's own MPI library (full
+// interoperability); under CAF-GASNet a second, independent MPI runtime is
+// initialized alongside GASNet — the duplicated-runtime configuration whose
+// memory cost Figure 1 quantifies.
+package cgpop
+
+import (
+	"fmt"
+	"math"
+
+	"cafmpi/caf"
+	"cafmpi/internal/fabric"
+	"cafmpi/internal/mpi"
+)
+
+// Config parameterizes the solver.
+type Config struct {
+	// NX, NY: global grid dimensions (5-point Laplacian). NY must be
+	// divisible by the image count.
+	NX, NY int
+	// Iters: solver iterations to run (the paper measures fixed work).
+	Iters int
+	// Pull selects the PULL halo exchange (get-based); default is PUSH
+	// (put-based).
+	Pull bool
+}
+
+// Result reports the measurement.
+type Result struct {
+	Seconds     float64
+	Iterations  int
+	InitialNorm float64
+	FinalNorm   float64
+	// DualRuntime is true when the GlobalSum had to initialize a second
+	// MPI runtime beside the CAF substrate (the CAF-GASNet configuration).
+	DualRuntime bool
+	// RuntimeMemory is the per-image memory footprint of all initialized
+	// communication runtimes (Figure 1's quantity).
+	RuntimeMemory int64
+}
+
+// Run executes the CGPOP solver.
+func Run(im *caf.Image, cfg Config) (Result, error) {
+	p := im.N()
+	if cfg.NY%p != 0 {
+		return Result{}, fmt.Errorf("cgpop: NY (%d) must be divisible by the image count (%d)", cfg.NY, p)
+	}
+	if cfg.NX < 3 || cfg.NY < 3 {
+		return Result{}, fmt.Errorf("cgpop: grid %dx%d too small", cfg.NX, cfg.NY)
+	}
+	nx := cfg.NX
+	rows := cfg.NY / p
+	me := im.ID()
+
+	// GlobalSum transport: the runtime's MPI under CAF-MPI, a second MPI
+	// runtime under CAF-GASNet (as the original CGPOP-on-CAF2.0 did).
+	var comm *mpi.Comm
+	res := Result{Iterations: cfg.Iters}
+	if env, err := caf.MPIEnv(im); err == nil {
+		comm = env.CommWorld()
+		res.RuntimeMemory = im.MemoryFootprint()
+	} else {
+		env := mpi.Init(im.Proc(), fabric.AttachNet(im.Proc().World(), im.Platform()))
+		comm = env.CommWorld()
+		res.DualRuntime = true
+		res.RuntimeMemory = im.MemoryFootprint() + env.MemoryFootprint()
+	}
+
+	// The vector being multiplied each iteration lives in a coarray with
+	// one halo row above and below: rows+2 rows of nx points.
+	pad := (rows + 2) * nx
+	rCo, err := im.AllocCoarray(im.World(), pad*8)
+	if err != nil {
+		return Result{}, err
+	}
+	defer rCo.Free()
+	r := caf.BytesF64(rCo.Local()) // (rows+2) x nx, row-major, halo at 0 and rows+1
+	evs, err := im.NewEvents(im.World(), 2)
+	if err != nil {
+		return Result{}, err
+	}
+	defer evs.Free()
+	const evFromAbove, evFromBelow = 0, 1
+
+	// Problem setup: A = 2-D 5-point Laplacian (Dirichlet), b = A·u_exact.
+	uExact := func(gi, gj int) float64 {
+		return math.Sin(math.Pi*float64(gi+1)/float64(cfg.NY+1)) *
+			math.Cos(2*math.Pi*float64(gj)/float64(nx)) // gi: global row
+	}
+	b := make([]float64, rows*nx)
+	for i := 0; i < rows; i++ {
+		gi := me*rows + i
+		for j := 0; j < nx; j++ {
+			c := 4*uExact(gi, j) - uExact(gi, (j+1)%nx) - uExact(gi, (j-1+nx)%nx)
+			if gi+1 < cfg.NY {
+				c -= uExact(gi+1, j)
+			}
+			if gi-1 >= 0 {
+				c -= uExact(gi-1, j)
+			}
+			b[i*nx+j] = c
+		}
+	}
+
+	x := make([]float64, rows*nx)
+	w := make([]float64, rows*nx)  // w = A r
+	pv := make([]float64, rows*nx) // direction
+	q := make([]float64, rows*nx)  // A p
+
+	halo := &haloExchanger{im: im, co: rCo, evs: evs, nx: nx, rows: rows, pull: cfg.Pull}
+
+	// applyA computes w = A·r for the interior rows, using the halo.
+	applyA := func(dst []float64) error {
+		if err := halo.exchange(); err != nil {
+			return err
+		}
+		for i := 0; i < rows; i++ {
+			ri := r[(i+1)*nx : (i+2)*nx]
+			up := r[i*nx : (i+1)*nx]
+			dn := r[(i+2)*nx : (i+3)*nx]
+			for j := 0; j < nx; j++ {
+				dst[i*nx+j] = 4*ri[j] - ri[(j+1)%nx] - ri[(j-1+nx)%nx] - up[j] - dn[j]
+			}
+		}
+		im.Compute(int64(rows*nx) * 6)
+		return nil
+	}
+	// globalSum3 is CGPOP's GlobalSum: a 3-word vector MPI reduction.
+	globalSum3 := func(v *[3]float64) error {
+		out := make([]float64, 3)
+		if err := comm.Allreduce(mpi.F64Bytes(v[:]), mpi.F64Bytes(out), mpi.Float64, mpi.OpSum); err != nil {
+			return err
+		}
+		copy(v[:], out)
+		return nil
+	}
+
+	// r = b (x0 = 0), stored into the coarray interior.
+	for i := 0; i < rows*nx; i++ {
+		r[nx+i] = b[i]
+	}
+
+	if err := im.World().Barrier(); err != nil {
+		return Result{}, err
+	}
+	t0 := im.Now()
+
+	// Chronopoulos-Gear CG: one fused reduction per iteration computing
+	// (gamma = r·r, delta = r·w, norm tracking word).
+	if err := applyA(w); err != nil {
+		return Result{}, err
+	}
+	var gammaOld, alpha, beta float64
+	for it := 0; it < cfg.Iters; it++ {
+		sums := [3]float64{0, 0, 0}
+		for i := 0; i < rows*nx; i++ {
+			ri := r[nx+i]
+			sums[0] += ri * ri
+			sums[1] += ri * w[i]
+			sums[2] += math.Abs(ri)
+		}
+		im.Compute(int64(rows*nx) * 5)
+		if err := globalSum3(&sums); err != nil {
+			return Result{}, err
+		}
+		gamma, delta := sums[0], sums[1]
+		if it == 0 {
+			res.InitialNorm = math.Sqrt(gamma)
+			alpha = gamma / delta
+			copy(pv, r[nx:nx+rows*nx])
+			copy(q, w)
+		} else {
+			beta = gamma / gammaOld
+			alpha = gamma / (delta - beta*gamma/alpha)
+			for i := 0; i < rows*nx; i++ {
+				pv[i] = r[nx+i] + beta*pv[i]
+				q[i] = w[i] + beta*q[i]
+			}
+			im.Compute(int64(rows*nx) * 4)
+		}
+		gammaOld = gamma
+		for i := 0; i < rows*nx; i++ {
+			x[i] += alpha * pv[i]
+			r[nx+i] -= alpha * q[i]
+		}
+		im.Compute(int64(rows*nx) * 4)
+		if err := applyA(w); err != nil {
+			return Result{}, err
+		}
+	}
+
+	if err := im.World().Barrier(); err != nil {
+		return Result{}, err
+	}
+	res.Seconds = im.Now() - t0
+
+	final := [3]float64{}
+	for i := 0; i < rows*nx; i++ {
+		final[0] += r[nx+i] * r[nx+i]
+	}
+	if err := globalSum3(&final); err != nil {
+		return Result{}, err
+	}
+	res.FinalNorm = math.Sqrt(final[0])
+	return res, nil
+}
+
+// haloExchanger moves boundary rows between vertical neighbors through the
+// coarray, in PUSH (put + notify) or PULL (notify-ready + get) style — the
+// two variants the paper's Figures 11/12 compare.
+type haloExchanger struct {
+	im       *caf.Image
+	co       *caf.Coarray
+	evs      *caf.Events
+	nx, rows int
+	pull     bool
+}
+
+func (h *haloExchanger) exchange() error {
+	me, p, nx := h.im.ID(), h.im.N(), h.nx
+	rowBytes := nx * 8
+	up, down := me-1, me+1
+	local := caf.BytesF64(h.co.Local())
+	const evFromAbove, evFromBelow = 0, 1
+
+	if !h.pull {
+		// PUSH: write my edge rows into the neighbors' halo rows.
+		if up >= 0 {
+			// My first interior row -> neighbor's bottom halo (row rows+1).
+			if err := h.co.PutDeferred(up, (h.rows+1)*rowBytes, caf.F64Bytes(local[nx:2*nx])); err != nil {
+				return err
+			}
+			if err := h.evs.Notify(up, evFromBelow); err != nil {
+				return err
+			}
+		}
+		if down < p {
+			// My last interior row -> neighbor's top halo (row 0).
+			if err := h.co.PutDeferred(down, 0, caf.F64Bytes(local[h.rows*nx:(h.rows+1)*nx])); err != nil {
+				return err
+			}
+			if err := h.evs.Notify(down, evFromAbove); err != nil {
+				return err
+			}
+		}
+		if up >= 0 {
+			if err := h.evs.Wait(evFromAbove); err != nil {
+				return err
+			}
+		}
+		if down < p {
+			if err := h.evs.Wait(evFromBelow); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// PULL: announce my boundary rows are ready, then get the neighbors'.
+	if up >= 0 {
+		if err := h.evs.Notify(up, evFromBelow); err != nil {
+			return err
+		}
+	}
+	if down < p {
+		if err := h.evs.Notify(down, evFromAbove); err != nil {
+			return err
+		}
+	}
+	if up >= 0 {
+		if err := h.evs.Wait(evFromAbove); err != nil {
+			return err
+		}
+		// Neighbor's last interior row -> my top halo.
+		if err := h.co.Get(up, h.rows*rowBytes, caf.F64Bytes(local[:nx])); err != nil {
+			return err
+		}
+	}
+	if down < p {
+		if err := h.evs.Wait(evFromBelow); err != nil {
+			return err
+		}
+		// Neighbor's first interior row -> my bottom halo.
+		if err := h.co.Get(down, rowBytes, caf.F64Bytes(local[(h.rows+1)*nx:(h.rows+2)*nx])); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package cgpop
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"cafmpi/caf"
+	"cafmpi/internal/fabric"
+)
+
+func testPlatform() *fabric.Params {
+	p := fabric.Fusion
+	p.Name = "test"
+	p.GASNet.SRQ.Enabled = false
+	return &p
+}
+
+func run(t *testing.T, sub caf.Substrate, n int, cfg Config) Result {
+	t.Helper()
+	var res Result
+	c := caf.Config{Substrate: sub, Platform: testPlatform()}
+	if err := caf.Run(n, c, func(im *caf.Image) error {
+		r, err := Run(im, cfg)
+		if err != nil {
+			return err
+		}
+		if im.ID() == 0 {
+			res = r
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCGConvergesPush(t *testing.T) {
+	for _, sub := range []caf.Substrate{caf.MPI, caf.GASNet} {
+		res := run(t, sub, 4, Config{NX: 16, NY: 32, Iters: 60})
+		if res.FinalNorm >= res.InitialNorm*1e-6 {
+			t.Errorf("%s push: CG did not converge: %g -> %g", sub, res.InitialNorm, res.FinalNorm)
+		}
+	}
+}
+
+func TestCGConvergesPull(t *testing.T) {
+	for _, sub := range []caf.Substrate{caf.MPI, caf.GASNet} {
+		res := run(t, sub, 4, Config{NX: 16, NY: 32, Iters: 60, Pull: true})
+		if res.FinalNorm >= res.InitialNorm*1e-6 {
+			t.Errorf("%s pull: CG did not converge: %g -> %g", sub, res.InitialNorm, res.FinalNorm)
+		}
+	}
+}
+
+func TestPushPullSameNumerics(t *testing.T) {
+	// The exchange style must not change the arithmetic.
+	push := run(t, caf.MPI, 4, Config{NX: 12, NY: 24, Iters: 25})
+	pull := run(t, caf.MPI, 4, Config{NX: 12, NY: 24, Iters: 25, Pull: true})
+	if math.Abs(push.FinalNorm-pull.FinalNorm) > 1e-12*math.Max(1, push.FinalNorm) {
+		t.Errorf("push residual %g != pull residual %g", push.FinalNorm, pull.FinalNorm)
+	}
+}
+
+func TestSingleImageMatchesSerial(t *testing.T) {
+	one := run(t, caf.MPI, 1, Config{NX: 12, NY: 24, Iters: 25})
+	four := run(t, caf.MPI, 4, Config{NX: 12, NY: 24, Iters: 25})
+	if math.Abs(one.FinalNorm-four.FinalNorm) > 1e-9*math.Max(1, one.FinalNorm) {
+		t.Errorf("decomposition changed the numerics: 1 image %g vs 4 images %g", one.FinalNorm, four.FinalNorm)
+	}
+}
+
+func TestDualRuntimeAccounting(t *testing.T) {
+	// CAF-MPI: one shared runtime. CAF-GASNet: GlobalSum forces a second
+	// MPI runtime; the memory footprint must reflect both (Figure 1).
+	mpiRes := run(t, caf.MPI, 2, Config{NX: 8, NY: 8, Iters: 3})
+	gnRes := run(t, caf.GASNet, 2, Config{NX: 8, NY: 8, Iters: 3})
+	if mpiRes.DualRuntime {
+		t.Error("CAF-MPI CGPOP should share one runtime")
+	}
+	if !gnRes.DualRuntime {
+		t.Error("CAF-GASNet CGPOP must initialize a second MPI runtime")
+	}
+	if gnRes.RuntimeMemory <= mpiRes.RuntimeMemory {
+		t.Errorf("duplicated runtimes (%d bytes) should cost more than the shared one (%d bytes)",
+			gnRes.RuntimeMemory, mpiRes.RuntimeMemory)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	c := caf.Config{Substrate: caf.MPI, Platform: testPlatform()}
+	if err := caf.Run(3, c, func(im *caf.Image) error {
+		if _, err := Run(im, Config{NX: 8, NY: 16, Iters: 1}); err == nil {
+			return fmt.Errorf("NY=16 on 3 images accepted")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"cafmpi/internal/trace"
+)
+
+// Coarray is a symmetric allocation over a team: every member holds `bytes`
+// of remotely accessible memory, addressed by (team rank, byte offset).
+// Remote access maps to one-sided substrate operations (MPI_PUT/MPI_GET on
+// a lock_all'd window for CAF-MPI, §3.1).
+type Coarray struct {
+	im    *Image
+	team  *Team
+	id    uint64
+	seg   Segment
+	bytes int
+	freed bool
+}
+
+// AllocCoarray collectively allocates a coarray of `bytes` bytes per image
+// over team t.
+func (im *Image) AllocCoarray(t *Team, bytes int) (*Coarray, error) {
+	if bytes < 0 {
+		return nil, fmt.Errorf("core: negative coarray size %d", bytes)
+	}
+	id, err := im.newID(t)
+	if err != nil {
+		return nil, err
+	}
+	seg, err := im.sub.AllocSegment(t.ref, bytes, id)
+	if err != nil {
+		return nil, err
+	}
+	ca := &Coarray{im: im, team: t, id: id, seg: seg, bytes: bytes}
+	im.coarrays[id] = ca
+	// All members must have registered before any image references the
+	// coarray remotely (including by AM-mediated copy-puts naming its id).
+	if err := t.Barrier(); err != nil {
+		return nil, err
+	}
+	return ca, nil
+}
+
+// Team returns the team the coarray is allocated over.
+func (ca *Coarray) Team() *Team { return ca.team }
+
+// Bytes returns the per-image size.
+func (ca *Coarray) Bytes() int { return ca.bytes }
+
+// Local returns this image's portion.
+func (ca *Coarray) Local() []byte { return ca.seg.Local() }
+
+// Free releases the coarray collectively.
+func (ca *Coarray) Free() error {
+	if ca.freed {
+		return fmt.Errorf("core: coarray already freed")
+	}
+	if err := ca.team.Barrier(); err != nil {
+		return err
+	}
+	ca.freed = true
+	delete(ca.im.coarrays, ca.id)
+	return ca.im.sub.FreeSegment(ca.seg)
+}
+
+func (ca *Coarray) check(target, off, n int, what string) error {
+	if ca.freed {
+		return fmt.Errorf("core: %s on freed coarray", what)
+	}
+	if target < 0 || target >= ca.team.Size() {
+		return fmt.Errorf("core: %s target image %d out of range [0,%d)", what, target, ca.team.Size())
+	}
+	if off < 0 || off+n > ca.bytes {
+		return fmt.Errorf("core: %s range [%d,%d) outside coarray of %d bytes", what, off, off+n, ca.bytes)
+	}
+	return nil
+}
+
+// Put performs a blocking coarray write: A(off:...)[target] = data. The
+// write is globally visible when Put returns (§3.1: MPI_PUT +
+// MPI_WIN_FLUSH under CAF-MPI).
+func (ca *Coarray) Put(target, off int, data []byte) error {
+	if err := ca.check(target, off, len(data), "Put"); err != nil {
+		return err
+	}
+	defer ca.im.tr.Span(trace.CoarrayWrite)()
+	return ca.im.sub.Put(ca.seg, target, off, data)
+}
+
+// Get performs a blocking coarray read: into = A(off:...)[target].
+func (ca *Coarray) Get(target, off int, into []byte) error {
+	if err := ca.check(target, off, len(into), "Get"); err != nil {
+		return err
+	}
+	defer ca.im.tr.Span(trace.CoarrayRead)()
+	return ca.im.sub.Get(ca.seg, target, off, into)
+}
+
+// PutDeferred starts an implicitly synchronized write; it completes locally
+// at the next Cofence and globally at the next release point (event notify,
+// finish).
+func (ca *Coarray) PutDeferred(target, off int, data []byte) error {
+	if err := ca.check(target, off, len(data), "PutDeferred"); err != nil {
+		return err
+	}
+	defer ca.im.tr.Span(trace.CoarrayWrite)()
+	return ca.im.sub.PutDeferred(ca.seg, target, off, data)
+}
+
+// GetDeferred starts an implicitly synchronized read; `into` is readable
+// after the next Cofence.
+func (ca *Coarray) GetDeferred(target, off int, into []byte) error {
+	if err := ca.check(target, off, len(into), "GetDeferred"); err != nil {
+		return err
+	}
+	defer ca.im.tr.Span(trace.CoarrayRead)()
+	return ca.im.sub.GetDeferred(ca.seg, target, off, into)
+}

@@ -1,0 +1,476 @@
+package core
+
+import (
+	"fmt"
+
+	"cafmpi/internal/elem"
+	"cafmpi/internal/trace"
+)
+
+// Team collectives. Each operation first tries the substrate's native
+// implementation (CAF-MPI maps these to MPI's long-optimized collectives —
+// one of the paper's headline benefits of the rich MPI interface); when the
+// substrate reports ErrUnsupported, the runtime falls back to hand-crafted
+// algorithms, exactly as the original CAF 2.0 runtime does over
+// collective-less GASNet (§4.2): small payloads ride active messages, bulk
+// payloads move by one-sided puts into a slotted per-team scratch coarray
+// with AM signals and credit-based flow control.
+
+// collAMMax is the largest payload carried inside a collective AM; larger
+// transfers go through the scratch coarray.
+const collAMMax = 1024
+
+// Barrier blocks until every team member has entered it.
+func (t *Team) Barrier() error {
+	defer t.im.tr.Span(trace.Collective)()
+	if err := t.im.sub.Barrier(t.ref); err != ErrUnsupported {
+		return err
+	}
+	return t.genericBarrier()
+}
+
+func (t *Team) genericBarrier() error {
+	n := t.Size()
+	base := t.coll.nextKey()
+	for k, round := 1, 0; k < n; k, round = k<<1, round+1 {
+		key := base + round
+		dst := (t.Rank() + k) % n
+		src := (t.Rank() - k + n) % n
+		if err := t.sendSignal(dst, key); err != nil {
+			return err
+		}
+		t.im.pollUntil(func() bool { return t.coll.consumeSig(key, src) })
+	}
+	return nil
+}
+
+// sendSignal delivers an AM signal (key, myRank) to teammate dst.
+func (t *Team) sendSignal(dst, key int) error {
+	return t.im.sub.AMSend(t.WorldRank(dst), amCollSignal,
+		[]uint64{t.id, uint64(uint(key)), uint64(t.Rank())}, nil)
+}
+
+// sendData delivers a small payload to teammate dst under key.
+func (t *Team) sendData(dst, key int, payload []byte) error {
+	return t.im.sub.AMSend(t.WorldRank(dst), amCollData,
+		[]uint64{t.id, uint64(uint(key)), uint64(t.Rank())}, payload)
+}
+
+// ensureScratch guarantees the team scratch coarray has at least slotBytes
+// per team rank. Growth is collective (all members reach the same op with
+// the same sizes). Outstanding credits survive reallocation: they count
+// slot availability, which a collective reallocation preserves.
+func (t *Team) ensureScratch(slotBytes int) error {
+	if t.coll.scratch != nil && t.coll.slotBytes >= slotBytes {
+		return nil
+	}
+	want := 64
+	for want < slotBytes {
+		want *= 2
+	}
+	if t.coll.scratch != nil {
+		if err := t.im.sub.FreeSegment(t.coll.scratch); err != nil {
+			return err
+		}
+	}
+	id, err := t.im.newID(t)
+	if err != nil {
+		return err
+	}
+	seg, err := t.im.sub.AllocSegment(t.ref, want*t.Size(), id)
+	if err != nil {
+		return err
+	}
+	t.coll.scratch, t.coll.slotBytes = seg, want
+	return t.genericBarrier()
+}
+
+// putSlot writes data into dst's scratch slot for this image and signals
+// (key, myRank). It consumes one flow-control credit for dst.
+func (t *Team) putSlot(dst, key int, data []byte) error {
+	t.im.pollUntil(func() bool { return t.coll.takeCredit(dst) })
+	if err := t.im.sub.PutDeferred(t.coll.scratch, dst, t.Rank()*t.coll.slotBytes, data); err != nil {
+		return err
+	}
+	if err := t.im.sub.ReleaseFence(); err != nil {
+		return err
+	}
+	return t.sendSignal(dst, key)
+}
+
+// recvSlot waits for (key, src), copies n bytes out of src's slot into dst,
+// and returns the credit.
+func (t *Team) recvSlot(src, key int, dst []byte) error {
+	t.im.pollUntil(func() bool { return t.coll.consumeSig(key, src) })
+	slot := t.coll.scratch.Local()[src*t.coll.slotBytes:]
+	copy(dst, slot[:len(dst)])
+	return t.sendSignal(src, creditKey)
+}
+
+// Bcast broadcasts root's buf to every member.
+func (t *Team) Bcast(buf []byte, root int) error {
+	defer t.im.tr.Span(trace.Collective)()
+	return t.bcast(buf, root)
+}
+
+func (t *Team) bcast(buf []byte, root int) error {
+	if err := t.checkRank(root, "Bcast root"); err != nil {
+		return err
+	}
+	if err := t.im.sub.Bcast(t.ref, buf, root); err != ErrUnsupported {
+		return err
+	}
+	return t.genericBcast(buf, root)
+}
+
+func (t *Team) genericBcast(buf []byte, root int) error {
+	n := t.Size()
+	big := len(buf) > collAMMax
+	if big {
+		if err := t.ensureScratch(len(buf)); err != nil {
+			return err
+		}
+	}
+	key := t.coll.nextKey()
+	vr := (t.Rank() - root + n) % n
+	mask := 1
+	for mask < n {
+		if vr&mask != 0 {
+			parent := (t.Rank() - mask + n) % n
+			if big {
+				if err := t.recvSlot(parent, key, buf); err != nil {
+					return err
+				}
+			} else {
+				var got []byte
+				t.im.pollUntil(func() bool {
+					got = t.coll.take(key, parent)
+					return got != nil
+				})
+				if len(got) != len(buf) {
+					return fmt.Errorf("core: bcast size mismatch (%d vs %d)", len(got), len(buf))
+				}
+				copy(buf, got)
+			}
+			break
+		}
+		mask <<= 1
+	}
+	var children []int
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if vr+mask < n {
+			children = append(children, (t.Rank()+mask)%n)
+		}
+	}
+	if !big {
+		for _, child := range children {
+			if err := t.sendData(child, key, buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Bulk forwarding: write every child's slot, one fence, then signal —
+	// the puts overlap instead of paying a completion round trip each.
+	for _, child := range children {
+		t.im.pollUntil(func() bool { return t.coll.takeCredit(child) })
+		if err := t.im.sub.PutDeferred(t.coll.scratch, child, t.Rank()*t.coll.slotBytes, buf); err != nil {
+			return err
+		}
+	}
+	if len(children) > 0 {
+		if err := t.im.sub.ReleaseFence(); err != nil {
+			return err
+		}
+		for _, child := range children {
+			if err := t.sendSignal(child, key); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// bcastU64 broadcasts a small uint64 vector (runtime-internal helper).
+func (t *Team) bcastU64(v []uint64, root int) error {
+	return t.bcast(elem.U64Bytes(v), root)
+}
+
+// Reduce combines in from every member with op into out at root.
+func (t *Team) Reduce(in, out []byte, k elem.Kind, op elem.Op, root int) error {
+	defer t.im.tr.Span(trace.Collective)()
+	return t.reduce(in, out, k, op, root)
+}
+
+func (t *Team) reduce(in, out []byte, k elem.Kind, op elem.Op, root int) error {
+	if err := t.checkRank(root, "Reduce root"); err != nil {
+		return err
+	}
+	if len(in)%k.Size() != 0 {
+		return fmt.Errorf("core: Reduce buffer size %d not a multiple of element size %d", len(in), k.Size())
+	}
+	if err := t.im.sub.Reduce(t.ref, in, out, k, op, root); err != ErrUnsupported {
+		return err
+	}
+	return t.genericReduce(in, out, k, op, root)
+}
+
+func (t *Team) genericReduce(in, out []byte, k elem.Kind, op elem.Op, root int) error {
+	n := t.Size()
+	big := len(in) > collAMMax
+	if big {
+		if err := t.ensureScratch(len(in)); err != nil {
+			return err
+		}
+	}
+	key := t.coll.nextKey()
+	acc := append([]byte(nil), in...)
+	tmp := make([]byte, len(in))
+	vr := (t.Rank() - root + n) % n
+	for mask := 1; mask < n; mask <<= 1 {
+		if vr&mask != 0 {
+			parent := (t.Rank() - mask + n) % n
+			if big {
+				return t.putSlot(parent, key, acc)
+			}
+			return t.sendData(parent, key, acc)
+		}
+		if vr+mask < n {
+			child := (t.Rank() + mask) % n
+			if big {
+				if err := t.recvSlot(child, key, tmp); err != nil {
+					return err
+				}
+			} else {
+				var got []byte
+				t.im.pollUntil(func() bool {
+					got = t.coll.take(key, child)
+					return got != nil
+				})
+				if len(got) != len(tmp) {
+					return fmt.Errorf("core: reduce size mismatch (%d vs %d)", len(got), len(tmp))
+				}
+				copy(tmp, got)
+			}
+			if err := elem.ReduceInto(acc, tmp, k, op); err != nil {
+				return err
+			}
+			t.im.Compute(int64(len(acc) / k.Size()))
+		}
+	}
+	if len(out) < len(acc) {
+		return fmt.Errorf("core: Reduce out buffer too small (%d < %d)", len(out), len(acc))
+	}
+	copy(out, acc)
+	return nil
+}
+
+// Allreduce combines in across the team with op; every member receives the
+// result in out.
+func (t *Team) Allreduce(in, out []byte, k elem.Kind, op elem.Op) error {
+	defer t.im.tr.Span(trace.Collective)()
+	if len(out) < len(in) {
+		return fmt.Errorf("core: Allreduce out buffer too small (%d < %d)", len(out), len(in))
+	}
+	if err := t.im.sub.Allreduce(t.ref, in, out, k, op); err != ErrUnsupported {
+		return err
+	}
+	if err := t.reduce(in, out, k, op, 0); err != nil {
+		return err
+	}
+	return t.bcast(out[:len(in)], 0)
+}
+
+// Allgather concatenates every member's equal-size send block into recv,
+// ordered by team rank: a gather to rank 0 followed by a broadcast.
+func (t *Team) Allgather(send, recv []byte) error {
+	defer t.im.tr.Span(trace.Collective)()
+	blk := len(send)
+	n := t.Size()
+	if len(recv) < blk*n {
+		return fmt.Errorf("core: Allgather recv buffer too small (%d < %d)", len(recv), blk*n)
+	}
+	if err := t.im.sub.Allgather(t.ref, send, recv); err != ErrUnsupported {
+		return err
+	}
+	big := blk > collAMMax
+	if big {
+		if err := t.ensureScratch(blk); err != nil {
+			return err
+		}
+	}
+	key := t.coll.nextKey()
+	if t.Rank() != 0 {
+		if big {
+			if err := t.putSlot(0, key, send); err != nil {
+				return err
+			}
+		} else if err := t.sendData(0, key, send); err != nil {
+			return err
+		}
+	} else {
+		copy(recv[:blk], send)
+		for src := 1; src < n; src++ {
+			if big {
+				if err := t.recvSlot(src, key, recv[src*blk:(src+1)*blk]); err != nil {
+					return err
+				}
+				continue
+			}
+			var got []byte
+			s := src
+			t.im.pollUntil(func() bool {
+				got = t.coll.take(key, s)
+				return got != nil
+			})
+			if len(got) != blk {
+				return fmt.Errorf("core: Allgather block size mismatch from rank %d (%d vs %d)", s, len(got), blk)
+			}
+			copy(recv[s*blk:(s+1)*blk], got)
+		}
+	}
+	return t.bcast(recv[:blk*n], 0)
+}
+
+// Alltoall exchanges equal-size blocks between all pairs: recv block s is
+// member s's send block for this image. CAF-MPI maps it to MPI_ALLTOALL;
+// the fallback is the CAF-GASNet construction from unscheduled one-sided
+// puts plus AM signals, whose incast congestion and per-put overheads are
+// what the paper's FFT analysis (Figure 8) attributes the gap to.
+func (t *Team) Alltoall(send, recv []byte) error {
+	defer t.im.tr.Span(trace.Alltoall)()
+	n := t.Size()
+	if len(send)%n != 0 {
+		return fmt.Errorf("core: Alltoall buffer size %d not divisible by team size %d", len(send), n)
+	}
+	blk := len(send) / n
+	if len(recv) < blk*n {
+		return fmt.Errorf("core: Alltoall recv buffer too small (%d < %d)", len(recv), blk*n)
+	}
+	if err := t.im.sub.Alltoall(t.ref, send, recv); err != ErrUnsupported {
+		return err
+	}
+	return t.genericAlltoall(send, recv, blk)
+}
+
+// DebugA2A enables phase timing printouts in genericAlltoall (diagnostics).
+var DebugA2A bool
+
+func (t *Team) genericAlltoall(send, recv []byte, blk int) error {
+	n := t.Size()
+	me := t.Rank()
+	tA := t.im.p.Now()
+	// Double-buffered scratch (alternating halves by operation parity)
+	// instead of per-peer credits: an image can run at most one all-to-all
+	// ahead of a peer (its recv phase needs every peer's signal), so two
+	// buffers suffice and the credit AMs are saved — the construction is
+	// puts + one signal per peer, as the CAF 2.0 runtime's was.
+	if err := t.ensureScratch(2 * blk); err != nil {
+		return err
+	}
+	key := t.coll.nextKey()
+	par := (key / keysPerOp) % 2
+	off := me*t.coll.slotBytes + par*blk
+	// Naive unscheduled exchange: every image writes to destination 0,
+	// then 1, ... so each destination's NIC absorbs a synchronized burst
+	// (no pairwise schedule — the hand-crafted CAF 2.0 construction).
+	for dst := 0; dst < n; dst++ {
+		if dst == me {
+			copy(recv[me*blk:(me+1)*blk], send[me*blk:(me+1)*blk])
+			continue
+		}
+		if err := t.im.sub.PutDeferred(t.coll.scratch, dst, off, send[dst*blk:(dst+1)*blk]); err != nil {
+			return err
+		}
+	}
+	tB := t.im.p.Now()
+	// Complete all puts remotely, then tell every peer its block landed.
+	if err := t.im.sub.ReleaseFence(); err != nil {
+		return err
+	}
+	tC := t.im.p.Now()
+	for dst := 0; dst < n; dst++ {
+		if dst == me {
+			continue
+		}
+		if err := t.sendSignal(dst, key); err != nil {
+			return err
+		}
+	}
+	tD := t.im.p.Now()
+	local := t.coll.scratch.Local()
+	for src := 0; src < n; src++ {
+		if src == me {
+			continue
+		}
+		t.im.pollUntil(func() bool { return t.coll.consumeSig(key, src) })
+		slot := local[src*t.coll.slotBytes+par*blk:]
+		copy(recv[src*blk:(src+1)*blk], slot[:blk])
+	}
+	if DebugA2A && me == 5 {
+		tE := t.im.p.Now()
+		fmt.Printf("a2a: puts=%dns fence=%dns sig=%dns recv=%dns\n", tB-tA, tC-tB, tD-tC, tE-tD)
+	}
+	return nil
+}
+
+// AllreduceAsync is the asynchronous team reduction (§2.1,
+// team_reduce_async): it returns immediately and posts dataDone (result
+// readable in out) and opDone (input buffer reusable) when the reduction
+// completes. Under CAF-MPI it maps to MPI_Iallreduce and genuinely overlaps
+// with computation; substrates without nonblocking collectives complete
+// the operation at issue and post the events immediately.
+func (t *Team) AllreduceAsync(in, out []byte, k elem.Kind, op elem.Op, dataDone, opDone *EventRef) error {
+	if len(out) < len(in) {
+		return fmt.Errorf("core: AllreduceAsync out buffer too small (%d < %d)", len(out), len(in))
+	}
+	comp, err := t.im.sub.AllreduceAsync(t.ref, in, out, k, op)
+	if err == nil {
+		t.im.notePending(comp, dataDone, opDone)
+		return nil
+	}
+	if err != ErrUnsupported {
+		return err
+	}
+	if err := t.Allreduce(in, out, k, op); err != nil {
+		return err
+	}
+	if dataDone != nil {
+		t.im.postEvent(*dataDone, 1)
+	}
+	if opDone != nil {
+		t.im.postEvent(*opDone, 1)
+	}
+	return nil
+}
+
+// BcastAsync is the asynchronous broadcast (team_broadcast_async); done
+// posts when buf holds the root's data (and, at the root, when buf is
+// reusable).
+func (t *Team) BcastAsync(buf []byte, root int, done *EventRef) error {
+	if err := t.checkRank(root, "BcastAsync root"); err != nil {
+		return err
+	}
+	comp, err := t.im.sub.BcastAsync(t.ref, buf, root)
+	if err == nil {
+		t.im.notePending(comp, done, nil)
+		return nil
+	}
+	if err != ErrUnsupported {
+		return err
+	}
+	if err := t.Bcast(buf, root); err != nil {
+		return err
+	}
+	if done != nil {
+		t.im.postEvent(*done, 1)
+	}
+	return nil
+}
+
+func (t *Team) checkRank(r int, what string) error {
+	if r < 0 || r >= t.Size() {
+		return fmt.Errorf("core: %s rank %d out of range [0,%d)", what, r, t.Size())
+	}
+	return nil
+}

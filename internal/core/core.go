@@ -1,0 +1,344 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"cafmpi/internal/fabric"
+	"cafmpi/internal/sim"
+	"cafmpi/internal/trace"
+)
+
+// Runtime active-message kinds carried over Substrate.AMSend.
+const (
+	amEventNotify uint8 = iota + 1 // args: eventsID, slot, count
+	amSpawn                        // args: funcID; payload: user argument bytes
+	amCopyPut                      // args: coarrayID, off, eventsID, slot, eventOwnerWorld; payload: data
+	amCollSignal                   // args: teamID, key, srcTeamRank
+	amCollData                     // args: teamID, key, srcTeamRank; payload: data
+)
+
+// noEvent marks an absent event reference inside AM args.
+const noEvent = ^uint64(0)
+
+// SubstrateFactory builds an image's substrate. deliver must be wired as
+// the substrate's AM dispatcher before the factory returns (AMs may arrive
+// as soon as any other image finishes booting).
+type SubstrateFactory func(p *sim.Proc, deliver DeliverFunc) (Substrate, error)
+
+// Config configures the runtime for one job.
+type Config struct {
+	// Factory selects and constructs the substrate (CAF-MPI or CAF-GASNet;
+	// see package caf for the wiring).
+	Factory SubstrateFactory
+	// Trace enables per-image category timing (Figures 4 and 8).
+	Trace bool
+}
+
+// SpawnFunc is a shippable function (CAF 2.0 function shipping). It runs on
+// the target image's goroutine with the target's Image and the argument
+// bytes sent by the spawner.
+type SpawnFunc func(im *Image, args []byte)
+
+// Image is one CAF process image: the handle through which a program uses
+// the entire CAF 2.0 API.
+type Image struct {
+	p   *sim.Proc
+	sub Substrate
+	tr  *trace.Tracer
+
+	world *Team
+	ids   *atomic.Uint64 // world-shared id allocator (teams, coarrays, events)
+
+	teams    map[uint64]*Team
+	coarrays map[uint64]*Coarray
+	events   map[uint64]*Events
+
+	funcs     map[uint64]SpawnFunc
+	shipped   int64 // spawns sent (monotone; §3.5 termination detection)
+	completed int64 // shipped functions executed locally (monotone)
+
+	// pending holds (completion, event) pairs from explicitly synchronized
+	// async operations (§3.3 rules 2 and 3): when the completion tests
+	// done, the event is posted. Drained during polls.
+	pending []pendingEvent
+
+	// orphanAMs buffers collective AMs naming a team this image has not
+	// finished creating yet (a faster teammate can complete Split and start
+	// team traffic while this image is still inside the split's allgather).
+	// They replay when the team registers. orphanSpawns does the same for
+	// spawns of functions whose local registration has not run yet.
+	orphanAMs    map[uint64][]orphanAM
+	orphanSpawns map[uint64][]orphanAM
+}
+
+type orphanAM struct {
+	src     int
+	kind    uint8
+	args    []uint64
+	payload []byte
+}
+
+type pendingEvent struct {
+	comp Completion
+	evs  []EventRef
+}
+
+// notePending parks a completion whose events fire when it tests done.
+func (im *Image) notePending(comp Completion, evs ...*EventRef) {
+	pe := pendingEvent{comp: comp}
+	for _, e := range evs {
+		if e != nil {
+			pe.evs = append(pe.evs, *e)
+		}
+	}
+	im.pending = append(im.pending, pe)
+}
+
+// Boot initializes the CAF runtime on image p. Every image of the world
+// must boot with an equivalent Config before any communication.
+func Boot(p *sim.Proc, cfg Config) (*Image, error) {
+	if cfg.Factory == nil {
+		return nil, fmt.Errorf("core: Config.Factory is required")
+	}
+	im := &Image{
+		p:        p,
+		teams:    make(map[uint64]*Team),
+		coarrays: make(map[uint64]*Coarray),
+		events:   make(map[uint64]*Events),
+		funcs:    make(map[uint64]SpawnFunc),
+	}
+	im.ids = p.World().Shared("core.ids", func() any {
+		c := new(atomic.Uint64)
+		c.Store(1)
+		return c
+	}).(*atomic.Uint64)
+	if cfg.Trace {
+		im.tr = trace.New(p)
+	}
+	// TEAM_WORLD must be addressable by AMs before the substrate's first
+	// poll: a faster image can finish booting and send world-team
+	// collective AMs while this image is still inside the substrate's
+	// startup barrier (which dispatches AMs).
+	im.world = &Team{im: im, id: 0}
+	im.world.initColl()
+	im.teams[0] = im.world
+	sub, err := cfg.Factory(p, im.deliver)
+	if err != nil {
+		return nil, err
+	}
+	im.sub = sub
+	im.world.ref = sub.WorldTeam()
+	im.world.buildIndex()
+	return im, nil
+}
+
+// Run boots an n-image world and executes fn on every image.
+func Run(n int, cfg Config, fn func(*Image) error) error {
+	w := sim.NewWorld(n)
+	return w.Run(func(p *sim.Proc) error {
+		im, err := Boot(p, cfg)
+		if err != nil {
+			return err
+		}
+		return fn(im)
+	})
+}
+
+// ID returns this image's world rank (its index in TEAM_WORLD).
+func (im *Image) ID() int { return im.p.ID() }
+
+// N returns the world size.
+func (im *Image) N() int { return im.p.N() }
+
+// World returns TEAM_WORLD.
+func (im *Image) World() *Team { return im.world }
+
+// Proc returns the underlying simulated process.
+func (im *Image) Proc() *sim.Proc { return im.p }
+
+// Substrate returns the communication substrate (for interop access, e.g.
+// reaching the MPI environment from a hybrid MPI+CAF application).
+func (im *Image) Substrate() Substrate { return im.sub }
+
+// Tracer returns the image's tracer (nil unless Config.Trace was set).
+func (im *Image) Tracer() *trace.Tracer { return im.tr }
+
+// Now returns the image's virtual clock in seconds.
+func (im *Image) Now() float64 { return float64(im.p.Now()) * 1e-9 }
+
+// Platform returns the machine cost model in force.
+func (im *Image) Platform() *fabric.Params { return im.sub.Platform() }
+
+// Compute charges flops of computation against the platform's flop rate,
+// attributing the time to the computation trace category.
+func (im *Image) Compute(flops int64) {
+	dt := im.sub.Platform().FlopTime(flops)
+	im.p.Advance(dt)
+	im.tr.Add(trace.Computation, dt)
+}
+
+// MemWork charges bytes of local memory traffic (packing, table updates) to
+// the computation category.
+func (im *Image) MemWork(bytes int64) {
+	dt := im.sub.Platform().MemTime(bytes)
+	im.p.Advance(dt)
+	im.tr.Add(trace.Computation, dt)
+}
+
+// MemoryFootprint reports the substrate runtime's memory on this image.
+func (im *Image) MemoryFootprint() int64 { return im.sub.MemoryFootprint() }
+
+// Poll makes runtime progress: dispatches arrived AMs (running event posts
+// and shipped functions) and fires events for completed async operations.
+func (im *Image) Poll() {
+	im.sub.Poll()
+	im.drainPending()
+}
+
+// pollUntil blocks until cond holds, making full runtime progress. If the
+// awaited condition can only be produced by a locally issued asynchronous
+// operation (a pending completion), the wait completes that operation —
+// advancing the virtual clock — instead of parking on the network.
+func (im *Image) pollUntil(cond func() bool) {
+	for {
+		im.Poll()
+		if cond() {
+			return
+		}
+		if len(im.pending) > 0 {
+			im.pending[0].comp.Wait()
+			continue
+		}
+		im.sub.PollUntil(func() bool {
+			im.drainPending()
+			return cond()
+		})
+		return
+	}
+}
+
+func (im *Image) drainPending() {
+	if len(im.pending) == 0 {
+		return
+	}
+	kept := im.pending[:0]
+	for _, pe := range im.pending {
+		if pe.comp.Test() {
+			for _, ev := range pe.evs {
+				im.postEvent(ev, 1)
+			}
+		} else {
+			kept = append(kept, pe)
+		}
+	}
+	im.pending = kept
+}
+
+// newID draws a world-unique id, agreed across the members of team t by a
+// broadcast from the team's rank 0. It is used for every collectively
+// created object (teams, coarrays, events) so AMs can name them.
+func (im *Image) newID(t *Team) (uint64, error) {
+	var id uint64
+	if t.Rank() == 0 {
+		id = im.ids.Add(1)
+	}
+	buf := []uint64{id}
+	if err := t.bcastU64(buf, 0); err != nil {
+		return 0, err
+	}
+	return buf[0], nil
+}
+
+// deliver is the runtime's AM dispatcher, invoked by the substrate on this
+// image's goroutine during polls.
+func (im *Image) deliver(src int, kind uint8, args []uint64, payload []byte) {
+	switch kind {
+	case amEventNotify:
+		evs, ok := im.events[args[0]]
+		if !ok {
+			panic(fmt.Sprintf("core: image %d received notify for unknown events object %d", im.ID(), args[0]))
+		}
+		evs.post(int(args[1]), int64(args[2]))
+
+	case amSpawn:
+		fn, ok := im.funcs[args[0]]
+		if !ok {
+			// The spawner registered (and shipped) before this image's
+			// symmetric registration ran: park the spawn for replay. The
+			// shipped/completed imbalance keeps any enclosing finish alive
+			// until the replay executes.
+			if im.orphanSpawns == nil {
+				im.orphanSpawns = make(map[uint64][]orphanAM)
+			}
+			im.orphanSpawns[args[0]] = append(im.orphanSpawns[args[0]],
+				orphanAM{src: src, kind: kind, args: append([]uint64(nil), args...), payload: append([]byte(nil), payload...)})
+			return
+		}
+		fn(im, payload)
+		im.completed++
+
+	case amCopyPut:
+		co, ok := im.coarrays[args[0]]
+		if !ok {
+			panic(fmt.Sprintf("core: image %d received copy-put for unknown coarray %d", im.ID(), args[0]))
+		}
+		off := int(args[1])
+		copy(co.Local()[off:off+len(payload)], payload)
+		if args[2] != noEvent {
+			ev := EventRef{evsID: args[2], Slot: int(args[3]), ownerWorld: int(args[4])}
+			im.postEvent(ev, 1)
+		}
+
+	case amCollSignal, amCollData:
+		t, ok := im.teams[args[0]]
+		if !ok {
+			// Team still being created locally: park the AM for replay.
+			if im.orphanAMs == nil {
+				im.orphanAMs = make(map[uint64][]orphanAM)
+			}
+			im.orphanAMs[args[0]] = append(im.orphanAMs[args[0]],
+				orphanAM{src: src, kind: kind, args: append([]uint64(nil), args...), payload: append([]byte(nil), payload...)})
+			return
+		}
+		key := int(int64(int32(uint32(args[1])))) // sign-preserving (creditKey)
+		if kind == amCollSignal {
+			t.coll.signal(key, int(args[2]))
+		} else {
+			t.coll.deposit(key, int(args[2]), payload)
+		}
+
+	default:
+		panic(fmt.Sprintf("core: image %d received AM of unknown kind %d from %d", im.ID(), kind, src))
+	}
+}
+
+// registerTeam publishes a newly created team and replays any collective
+// AMs that arrived for it while it was still being created.
+func (im *Image) registerTeam(t *Team) {
+	im.teams[t.id] = t
+	if q := im.orphanAMs[t.id]; q != nil {
+		delete(im.orphanAMs, t.id)
+		for _, o := range q {
+			im.deliver(o.src, o.kind, o.args, o.payload)
+		}
+	}
+}
+
+// postEvent posts count to an event reference, locally when this image owns
+// it, otherwise via a notify AM (without a release fence: the fence, when
+// required, is the responsibility of the operation that initiated this
+// post).
+func (im *Image) postEvent(ev EventRef, count int64) {
+	if ev.ownerWorld == im.ID() {
+		evs, ok := im.events[ev.evsID]
+		if !ok {
+			panic(fmt.Sprintf("core: posting to unknown events object %d", ev.evsID))
+		}
+		evs.post(ev.Slot, count)
+		return
+	}
+	if err := im.sub.AMSend(ev.ownerWorld, amEventNotify, []uint64{ev.evsID, uint64(ev.Slot), uint64(count)}, nil); err != nil {
+		panic(fmt.Sprintf("core: event post AM failed: %v", err))
+	}
+}

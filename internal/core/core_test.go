@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+)
+
+// White-box tests of the runtime's internal bookkeeping. The end-to-end
+// behaviour is exercised through package caf; these pin down the invariants
+// of the pieces that subtle ordering bugs would hit first.
+
+func TestCollStateSignalsAndData(t *testing.T) {
+	c := &collState{
+		sig:     make(map[sigKey]int64),
+		data:    make(map[sigKey][]byte),
+		credits: make(map[int]int64),
+	}
+	if c.consumeSig(3, 1) {
+		t.Error("consumed a signal that never arrived")
+	}
+	c.signal(3, 1)
+	c.signal(3, 1)
+	if !c.consumeSig(3, 1) || !c.consumeSig(3, 1) {
+		t.Error("signals not counted")
+	}
+	if c.consumeSig(3, 1) {
+		t.Error("signal over-consumed")
+	}
+	if len(c.sig) != 0 {
+		t.Error("signal map not cleaned")
+	}
+
+	c.deposit(7, 2, []byte("abc"))
+	if got := c.take(7, 1); got != nil {
+		t.Error("took data from wrong source")
+	}
+	if got := string(c.take(7, 2)); got != "abc" {
+		t.Errorf("took %q", got)
+	}
+	if c.take(7, 2) != nil {
+		t.Error("data not removed after take")
+	}
+}
+
+func TestCollStateCredits(t *testing.T) {
+	c := &collState{
+		sig:     make(map[sigKey]int64),
+		data:    make(map[sigKey][]byte),
+		credits: make(map[int]int64),
+	}
+	// Every peer starts with one implicit credit.
+	if !c.takeCredit(4) {
+		t.Fatal("initial credit missing")
+	}
+	if c.takeCredit(4) {
+		t.Fatal("credit over-granted")
+	}
+	// A credit signal restores it.
+	c.signal(creditKey, 4)
+	if !c.takeCredit(4) {
+		t.Fatal("returned credit not usable")
+	}
+	// Credits are per-peer.
+	if !c.takeCredit(9) {
+		t.Fatal("peer 9's initial credit missing")
+	}
+}
+
+func TestCollStateKeyWindows(t *testing.T) {
+	c := &collState{sig: make(map[sigKey]int64), data: make(map[sigKey][]byte), credits: make(map[int]int64)}
+	k1 := c.nextKey()
+	k2 := c.nextKey()
+	if k2-k1 != keysPerOp {
+		t.Errorf("key windows overlap: %d then %d", k1, k2)
+	}
+	// Signals in different windows are independent.
+	c.signal(k1, 0)
+	if c.consumeSig(k2, 0) {
+		t.Error("cross-window signal consumption")
+	}
+}
+
+func TestOrphanAMBuffering(t *testing.T) {
+	// Team AMs arriving before the team registers must replay at
+	// registration, in order.
+	im := &Image{
+		teams:    make(map[uint64]*Team),
+		coarrays: make(map[uint64]*Coarray),
+		events:   make(map[uint64]*Events),
+		funcs:    make(map[uint64]SpawnFunc),
+	}
+	im.deliver(3, amCollSignal, []uint64{42, 7, 1}, nil)
+	im.deliver(3, amCollData, []uint64{42, 8, 1}, []byte("x"))
+	if len(im.orphanAMs[42]) != 2 {
+		t.Fatalf("buffered %d orphans, want 2", len(im.orphanAMs[42]))
+	}
+	nt := &Team{im: im, id: 42}
+	nt.initColl()
+	im.registerTeam(nt)
+	if len(im.orphanAMs) != 0 {
+		t.Error("orphans not drained at registration")
+	}
+	if !nt.coll.consumeSig(7, 1) {
+		t.Error("replayed signal missing")
+	}
+	if string(nt.coll.take(8, 1)) != "x" {
+		t.Error("replayed data missing")
+	}
+}
+
+func TestOrphanSpawnBuffering(t *testing.T) {
+	im := &Image{
+		teams:    make(map[uint64]*Team),
+		coarrays: make(map[uint64]*Coarray),
+		events:   make(map[uint64]*Events),
+		funcs:    make(map[uint64]SpawnFunc),
+	}
+	im.deliver(1, amSpawn, []uint64{9}, []byte{5})
+	if im.completed != 0 {
+		t.Fatal("unregistered spawn executed")
+	}
+	var got byte
+	if err := im.RegisterFunc(9, func(_ *Image, args []byte) { got = args[0] }); err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 || im.completed != 1 {
+		t.Errorf("orphan spawn not replayed (got=%d completed=%d)", got, im.completed)
+	}
+}
+
+func TestEventRefOwnership(t *testing.T) {
+	e := &Events{id: 11, count: make([]int64, 3)}
+	e.post(1, 2)
+	if e.count[1] != 2 {
+		t.Error("post miscounted")
+	}
+	if e.Slots() != 3 {
+		t.Errorf("Slots() = %d", e.Slots())
+	}
+	if err := e.checkSlot(3, "x"); err == nil {
+		t.Error("slot bound unchecked")
+	}
+}

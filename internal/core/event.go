@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+
+	"cafmpi/internal/trace"
+)
+
+// Events is a set of first-class CAF 2.0 events allocated as a coarray:
+// every team member owns `n` counting-semaphore slots that any member can
+// notify (§2.1). Construction is the event_init operation.
+type Events struct {
+	im    *Image
+	team  *Team
+	id    uint64
+	count []int64 // local slots; touched only on the owner's goroutine
+
+	// backend, when non-nil, is a substrate-native transport (the §3.4
+	// FETCH_AND_OP/COMPARE_AND_SWAP design); otherwise events ride the
+	// runtime's AM path (the shipped ISEND/RECV design).
+	backend EventBackend
+}
+
+// EventRef names one event slot on one image; it is what asynchronous
+// operations carry so the runtime can post completions (§3.3).
+type EventRef struct {
+	evsID      uint64
+	Slot       int
+	ownerWorld int
+}
+
+// NewEvents collectively allocates an event coarray with n slots per image.
+func (im *Image) NewEvents(t *Team, n int) (*Events, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: event count must be positive, got %d", n)
+	}
+	id, err := im.newID(t)
+	if err != nil {
+		return nil, err
+	}
+	e := &Events{im: im, team: t, id: id, count: make([]int64, n)}
+	if be, err := im.sub.AllocEvents(t.ref, n, id); err == nil {
+		e.backend = be
+	} else if err != ErrUnsupported {
+		return nil, err
+	}
+	im.events[id] = e
+	if err := t.Barrier(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Slots returns the number of event slots per image.
+func (e *Events) Slots() int { return len(e.count) }
+
+// Ref returns a reference to this image's own slot (for passing to
+// asynchronous operations as a completion event).
+func (e *Events) Ref(slot int) EventRef {
+	return EventRef{evsID: e.id, Slot: slot, ownerWorld: e.im.ID()}
+}
+
+// RefOn returns a reference to teammate target's slot.
+func (e *Events) RefOn(target, slot int) EventRef {
+	return EventRef{evsID: e.id, Slot: slot, ownerWorld: e.team.WorldRank(target)}
+}
+
+func (e *Events) checkSlot(slot int, what string) error {
+	if slot < 0 || slot >= len(e.count) {
+		return fmt.Errorf("core: %s slot %d out of range [0,%d)", what, slot, len(e.count))
+	}
+	return nil
+}
+
+// post credits a slot (runs on the owner's goroutine, from deliver).
+func (e *Events) post(slot int, n int64) {
+	if e.backend != nil {
+		e.backend.Post(slot, n)
+		return
+	}
+	e.count[slot] += n
+}
+
+// Notify posts the event slot on teammate target. Per §3.4 the notifying
+// image first completes every previously issued operation at its target —
+// the "release barrier": under CAF-MPI this is MPI_WAITALL on outstanding
+// sends plus MPI_WIN_FLUSH_ALL on every touched window (whose MPICH
+// implementation scans all ranks — the Figure 4 bottleneck); under
+// CAF-GASNet it is an O(1) NBI sync. The notification itself is a
+// non-blocking short AM to avoid notify/wait deadlock cycles.
+func (e *Events) Notify(target, slot int) error {
+	if err := e.checkSlot(slot, "Notify"); err != nil {
+		return err
+	}
+	if err := e.team.checkRank(target, "Notify"); err != nil {
+		return err
+	}
+	defer e.im.tr.Span(trace.EventNotify)()
+	if err := e.im.sub.ReleaseFence(); err != nil {
+		return err
+	}
+	if e.backend != nil {
+		return e.backend.Notify(target, slot)
+	}
+	world := e.team.WorldRank(target)
+	if world == e.im.ID() {
+		e.post(slot, 1)
+		return nil
+	}
+	return e.im.sub.AMSend(world, amEventNotify, []uint64{e.id, uint64(slot), 1}, nil)
+}
+
+// Wait blocks until this image's slot is posted, then consumes one post.
+// The blocking poll drives runtime progress (AM handlers, async completion
+// events), mirroring §3.4's blocking network poll.
+func (e *Events) Wait(slot int) error {
+	if err := e.checkSlot(slot, "Wait"); err != nil {
+		return err
+	}
+	defer e.im.tr.Span(trace.EventWait)()
+	if e.backend != nil {
+		return e.backend.Wait(slot)
+	}
+	e.im.pollUntil(func() bool { return e.count[slot] > 0 })
+	e.count[slot]--
+	return nil
+}
+
+// TryWait consumes one post if available, without blocking (event_trywait).
+func (e *Events) TryWait(slot int) (bool, error) {
+	if err := e.checkSlot(slot, "TryWait"); err != nil {
+		return false, err
+	}
+	if e.backend != nil {
+		return e.backend.TryWait(slot)
+	}
+	e.im.Poll()
+	if e.count[slot] > 0 {
+		e.count[slot]--
+		return true, nil
+	}
+	return false, nil
+}
+
+// Free releases the event coarray collectively.
+func (e *Events) Free() error {
+	if err := e.team.Barrier(); err != nil {
+		return err
+	}
+	if e.backend != nil {
+		if err := e.backend.Free(); err != nil {
+			return err
+		}
+	}
+	delete(e.im.events, e.id)
+	return nil
+}
+
+// SyncImages performs pairwise image synchronization with each teammate in
+// list (Fortran 2008's SYNC IMAGES): execution continues only once every
+// listed image has also reached a matching SyncImages naming this image.
+// Unlike a barrier it orders only the named pairs. The runtime reserves an
+// internal event set per team for the handshakes.
+func (t *Team) SyncImages(list []int) error {
+	evs, err := t.syncEvents()
+	if err != nil {
+		return err
+	}
+	for _, target := range list {
+		if err := t.checkRank(target, "SyncImages"); err != nil {
+			return err
+		}
+		if target == t.Rank() {
+			continue
+		}
+		if err := evs.Notify(target, 0); err != nil {
+			return err
+		}
+	}
+	for _, target := range list {
+		if target == t.Rank() {
+			continue
+		}
+		if err := evs.Wait(0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// syncEvents lazily allocates the team's internal SYNC IMAGES event set.
+// The allocation is collective, so the first SyncImages on a team must be
+// reached by every member (as the first use of any collective resource
+// must); subsequent calls synchronize only the named pairs.
+func (t *Team) syncEvents() (*Events, error) {
+	if t.syncEvs != nil {
+		return t.syncEvs, nil
+	}
+	evs, err := t.im.NewEvents(t, 1)
+	if err != nil {
+		return nil, err
+	}
+	t.syncEvs = evs
+	return evs, nil
+}

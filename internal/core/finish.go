@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+
+	"cafmpi/internal/elem"
+	"cafmpi/internal/trace"
+)
+
+// RegisterFunc installs a shippable function under id. Registration must be
+// symmetric: every image registers the same id before any image spawns it
+// (function pointers cannot travel between images; ids can).
+func (im *Image) RegisterFunc(id uint64, fn SpawnFunc) error {
+	if fn == nil {
+		return fmt.Errorf("core: nil spawn function")
+	}
+	if _, dup := im.funcs[id]; dup {
+		return fmt.Errorf("core: spawn function %d already registered", id)
+	}
+	im.funcs[id] = fn
+	if q := im.orphanSpawns[id]; q != nil {
+		delete(im.orphanSpawns, id)
+		for _, o := range q {
+			im.deliver(o.src, o.kind, o.args, o.payload)
+		}
+	}
+	return nil
+}
+
+// Spawn ships function id with argument bytes to teammate target (CAF 2.0
+// function shipping). The function executes on the target's goroutine when
+// the target makes runtime progress; it may communicate, block, and spawn
+// further functions. Termination of the transitive spawn tree is what
+// Finish detects.
+func (im *Image) Spawn(t *Team, target int, id uint64, args []byte) error {
+	if err := t.checkRank(target, "Spawn"); err != nil {
+		return err
+	}
+	if _, ok := im.funcs[id]; !ok {
+		return fmt.Errorf("core: spawning unregistered function %d (registration must be symmetric)", id)
+	}
+	defer im.tr.Span(trace.SpawnOp)()
+	im.shipped++ // counted before injection: an in-flight spawn is visible
+	return im.sub.AMSend(t.WorldRank(target), amSpawn, []uint64{id}, args)
+}
+
+// Finish runs body and then blocks until every asynchronous operation and
+// every transitively shipped function issued within it is globally complete
+// (§3.5). Finish is collective over t: all members must call it.
+//
+// Completion uses Yang's termination-detection algorithm: repeated team
+// reductions of (shipped - completed). A round terminates the finish when
+// the global difference is zero and the global shipped count did not change
+// since the previous round (so no spawn slipped between reduction waves).
+// When no function shipping is used at all, the first reduction observes
+// zeros and the finish degenerates to the fast version: complete local
+// operations, flush remotely (ReleaseFence), and synchronize — the
+// MPI_WIN_FLUSH_ALL + barrier fast path the paper describes.
+func (im *Image) Finish(t *Team, body func() error) error {
+	defer im.tr.Span(trace.FinishOp)()
+	if err := body(); err != nil {
+		return err
+	}
+	prevShipped := int64(-1)
+	for {
+		im.Poll() // execute any spawns already queued locally
+		if err := im.sub.ReleaseFence(); err != nil {
+			return err
+		}
+		in := []int64{im.shipped - im.completed, im.shipped}
+		out := make([]int64, 2)
+		if err := t.Allreduce(elem.I64Bytes(in), elem.I64Bytes(out), elem.Int64, elem.Sum); err != nil {
+			return err
+		}
+		if out[0] == 0 && (out[1] == 0 || out[1] == prevShipped) {
+			return nil
+		}
+		prevShipped = out[1]
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import "cafmpi/internal/elem"
+
+// Fortran 2008-style collective intrinsics (co_sum, co_max, co_min,
+// co_broadcast), provided as typed conveniences over the team collectives.
+// Each is collective over the team and works in place on every image.
+
+// CoSumF64 replaces v on every image with the element-wise team sum.
+func (t *Team) CoSumF64(v []float64) error {
+	out := make([]float64, len(v))
+	if err := t.Allreduce(elem.F64Bytes(v), elem.F64Bytes(out), elem.Float64, elem.Sum); err != nil {
+		return err
+	}
+	copy(v, out)
+	return nil
+}
+
+// CoSumI64 replaces v on every image with the element-wise team sum.
+func (t *Team) CoSumI64(v []int64) error {
+	out := make([]int64, len(v))
+	if err := t.Allreduce(elem.I64Bytes(v), elem.I64Bytes(out), elem.Int64, elem.Sum); err != nil {
+		return err
+	}
+	copy(v, out)
+	return nil
+}
+
+// CoMaxF64 replaces v on every image with the element-wise team maximum.
+func (t *Team) CoMaxF64(v []float64) error {
+	out := make([]float64, len(v))
+	if err := t.Allreduce(elem.F64Bytes(v), elem.F64Bytes(out), elem.Float64, elem.Max); err != nil {
+		return err
+	}
+	copy(v, out)
+	return nil
+}
+
+// CoMinF64 replaces v on every image with the element-wise team minimum.
+func (t *Team) CoMinF64(v []float64) error {
+	out := make([]float64, len(v))
+	if err := t.Allreduce(elem.F64Bytes(v), elem.F64Bytes(out), elem.Float64, elem.Min); err != nil {
+		return err
+	}
+	copy(v, out)
+	return nil
+}
+
+// CoMaxI64 replaces v on every image with the element-wise team maximum.
+func (t *Team) CoMaxI64(v []int64) error {
+	out := make([]int64, len(v))
+	if err := t.Allreduce(elem.I64Bytes(v), elem.I64Bytes(out), elem.Int64, elem.Max); err != nil {
+		return err
+	}
+	copy(v, out)
+	return nil
+}
+
+// CoMinI64 replaces v on every image with the element-wise team minimum.
+func (t *Team) CoMinI64(v []int64) error {
+	out := make([]int64, len(v))
+	if err := t.Allreduce(elem.I64Bytes(v), elem.I64Bytes(out), elem.Int64, elem.Min); err != nil {
+		return err
+	}
+	copy(v, out)
+	return nil
+}
+
+// CoBroadcastF64 replaces v on every image with source's v.
+func (t *Team) CoBroadcastF64(v []float64, source int) error {
+	return t.Bcast(elem.F64Bytes(v), source)
+}
+
+// CoBroadcastI64 replaces v on every image with source's v.
+func (t *Team) CoBroadcastI64(v []int64, source int) error {
+	return t.Bcast(elem.I64Bytes(v), source)
+}

@@ -1,0 +1,334 @@
+package elem
+
+import (
+	"fmt"
+	"math"
+	"unsafe"
+)
+
+// Kind identifies an element type for typed operations (reductions,
+// accumulates). Point-to-point transfers are byte-oriented; the datatype
+// gives element size and arithmetic.
+type Kind int
+
+// Predefined datatypes.
+const (
+	Byte Kind = iota
+	Int32
+	Int64
+	Uint64
+	Float64
+	Complex128
+)
+
+// Size returns the element size in bytes.
+func (d Kind) Size() int {
+	switch d {
+	case Byte:
+		return 1
+	case Int32:
+		return 4
+	case Int64, Uint64, Float64:
+		return 8
+	case Complex128:
+		return 16
+	default:
+		panic(fmt.Sprintf("elem: unknown datatype %d", int(d)))
+	}
+}
+
+func (d Kind) String() string {
+	switch d {
+	case Byte:
+		return "MPI_BYTE"
+	case Int32:
+		return "MPI_INT32_T"
+	case Int64:
+		return "MPI_INT64_T"
+	case Uint64:
+		return "MPI_UINT64_T"
+	case Float64:
+		return "MPI_DOUBLE"
+	case Complex128:
+		return "MPI_C_DOUBLE_COMPLEX"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(d))
+	}
+}
+
+// Op is a reduction operator.
+type Op int
+
+// Predefined reduction operators. Replace is MPI_REPLACE (accumulate only);
+// NoOp is MPI_NO_OP (fetch-only accumulate).
+const (
+	Sum Op = iota
+	Prod
+	Max
+	Min
+	BAnd
+	BOr
+	BXor
+	Replace
+	NoOp
+)
+
+func (o Op) String() string {
+	switch o {
+	case Sum:
+		return "MPI_SUM"
+	case Prod:
+		return "MPI_PROD"
+	case Max:
+		return "MPI_MAX"
+	case Min:
+		return "MPI_MIN"
+	case BAnd:
+		return "MPI_BAND"
+	case BOr:
+		return "MPI_BOR"
+	case BXor:
+		return "MPI_BXOR"
+	case Replace:
+		return "MPI_REPLACE"
+	case NoOp:
+		return "MPI_NO_OP"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Byte-view helpers: reinterpret typed slices as byte slices without
+// copying. The views alias the original memory.
+
+// F64Bytes views a []float64 as bytes.
+func F64Bytes(s []float64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(s))), len(s)*8)
+}
+
+// I64Bytes views a []int64 as bytes.
+func I64Bytes(s []int64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(s))), len(s)*8)
+}
+
+// U64Bytes views a []uint64 as bytes.
+func U64Bytes(s []uint64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(s))), len(s)*8)
+}
+
+// I32Bytes views a []int32 as bytes.
+func I32Bytes(s []int32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(s))), len(s)*4)
+}
+
+// C128Bytes views a []complex128 as bytes.
+func C128Bytes(s []complex128) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(s))), len(s)*16)
+}
+
+// BytesF64 views a byte slice as []float64. len(b) must be a multiple of 8.
+func BytesF64(b []byte) []float64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/8)
+}
+
+// BytesI64 views a byte slice as []int64.
+func BytesI64(b []byte) []int64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/8)
+}
+
+// BytesU64 views a byte slice as []uint64.
+func BytesU64(b []byte) []uint64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/8)
+}
+
+// BytesI32 views a byte slice as []int32.
+func BytesI32(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/4)
+}
+
+// BytesC128 views a byte slice as []complex128.
+func BytesC128(b []byte) []complex128 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*complex128)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/16)
+}
+
+// ReduceInto computes acc = op(acc, in) element-wise. Buffers must have
+// equal length, a multiple of dt.Size().
+func ReduceInto(acc, in []byte, dt Kind, op Op) error {
+	if len(acc) != len(in) {
+		return fmt.Errorf("elem: reduce buffer size mismatch (%d vs %d)", len(acc), len(in))
+	}
+	if len(acc)%dt.Size() != 0 {
+		return fmt.Errorf("elem: reduce buffer size %d not a multiple of %s size %d", len(acc), dt, dt.Size())
+	}
+	if op == NoOp {
+		return nil
+	}
+	if op == Replace {
+		copy(acc, in)
+		return nil
+	}
+	switch dt {
+	case Byte:
+		return reduceOrdered(acc, in, op)
+	case Int32:
+		return reduceNumeric(BytesI32(acc), BytesI32(in), op)
+	case Int64:
+		return reduceNumeric(BytesI64(acc), BytesI64(in), op)
+	case Uint64:
+		return reduceNumeric(BytesU64(acc), BytesU64(in), op)
+	case Float64:
+		a, b := BytesF64(acc), BytesF64(in)
+		switch op {
+		case Sum:
+			for i := range a {
+				a[i] += b[i]
+			}
+		case Prod:
+			for i := range a {
+				a[i] *= b[i]
+			}
+		case Max:
+			for i := range a {
+				a[i] = math.Max(a[i], b[i])
+			}
+		case Min:
+			for i := range a {
+				a[i] = math.Min(a[i], b[i])
+			}
+		default:
+			return fmt.Errorf("elem: op %s invalid for %s", op, dt)
+		}
+		return nil
+	case Complex128:
+		a, b := BytesC128(acc), BytesC128(in)
+		switch op {
+		case Sum:
+			for i := range a {
+				a[i] += b[i]
+			}
+		case Prod:
+			for i := range a {
+				a[i] *= b[i]
+			}
+		default:
+			return fmt.Errorf("elem: op %s invalid for %s", op, dt)
+		}
+		return nil
+	default:
+		return fmt.Errorf("elem: unknown datatype %d", int(dt))
+	}
+}
+
+type integer interface {
+	~int32 | ~int64 | ~uint64
+}
+
+func reduceNumeric[T integer](a, b []T, op Op) error {
+	switch op {
+	case Sum:
+		for i := range a {
+			a[i] += b[i]
+		}
+	case Prod:
+		for i := range a {
+			a[i] *= b[i]
+		}
+	case Max:
+		for i := range a {
+			if b[i] > a[i] {
+				a[i] = b[i]
+			}
+		}
+	case Min:
+		for i := range a {
+			if b[i] < a[i] {
+				a[i] = b[i]
+			}
+		}
+	case BAnd:
+		for i := range a {
+			a[i] &= b[i]
+		}
+	case BOr:
+		for i := range a {
+			a[i] |= b[i]
+		}
+	case BXor:
+		for i := range a {
+			a[i] ^= b[i]
+		}
+	default:
+		return fmt.Errorf("elem: unsupported integer op %s", op)
+	}
+	return nil
+}
+
+func reduceOrdered(a, b []byte, op Op) error {
+	switch op {
+	case Sum:
+		for i := range a {
+			a[i] += b[i]
+		}
+	case Prod:
+		for i := range a {
+			a[i] *= b[i]
+		}
+	case Max:
+		for i := range a {
+			if b[i] > a[i] {
+				a[i] = b[i]
+			}
+		}
+	case Min:
+		for i := range a {
+			if b[i] < a[i] {
+				a[i] = b[i]
+			}
+		}
+	case BAnd:
+		for i := range a {
+			a[i] &= b[i]
+		}
+	case BOr:
+		for i := range a {
+			a[i] |= b[i]
+		}
+	case BXor:
+		for i := range a {
+			a[i] ^= b[i]
+		}
+	default:
+		return fmt.Errorf("elem: unsupported byte op %s", op)
+	}
+	return nil
+}

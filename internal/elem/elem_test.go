@@ -1,0 +1,161 @@
+package elem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindSizes(t *testing.T) {
+	cases := map[Kind]int{Byte: 1, Int32: 4, Int64: 8, Uint64: 8, Float64: 8, Complex128: 16}
+	for k, want := range cases {
+		if k.Size() != want {
+			t.Errorf("%v.Size() = %d, want %d", k, k.Size(), want)
+		}
+	}
+}
+
+func TestKindAndOpStrings(t *testing.T) {
+	if Float64.String() != "MPI_DOUBLE" || Int64.String() != "MPI_INT64_T" {
+		t.Error("kind names drifted")
+	}
+	if Sum.String() != "MPI_SUM" || NoOp.String() != "MPI_NO_OP" {
+		t.Error("op names drifted")
+	}
+}
+
+func TestByteViewsRoundTrip(t *testing.T) {
+	f := []float64{1.5, -2.25, math.Pi}
+	b := F64Bytes(f)
+	if len(b) != 24 {
+		t.Fatalf("F64Bytes len %d", len(b))
+	}
+	back := BytesF64(b)
+	back[1] = 7 // views alias
+	if f[1] != 7 {
+		t.Error("byte view does not alias the original")
+	}
+	if len(F64Bytes(nil)) != 0 || len(BytesI64(nil)) != 0 {
+		t.Error("nil slices should view as empty")
+	}
+	c := []complex128{complex(1, 2)}
+	if got := BytesC128(C128Bytes(c))[0]; got != complex(1, 2) {
+		t.Errorf("complex view %v", got)
+	}
+	u := []uint64{42}
+	if BytesU64(U64Bytes(u))[0] != 42 {
+		t.Error("uint64 view")
+	}
+	i32 := []int32{-1, 2}
+	if BytesI32(I32Bytes(i32))[1] != 2 {
+		t.Error("int32 view")
+	}
+}
+
+func TestReduceIntoOps(t *testing.T) {
+	acc := []int64{10, 20, 30}
+	in := []int64{1, 2, 3}
+	if err := ReduceInto(I64Bytes(acc), I64Bytes(in), Int64, Sum); err != nil {
+		t.Fatal(err)
+	}
+	if acc[0] != 11 || acc[2] != 33 {
+		t.Errorf("sum: %v", acc)
+	}
+	if err := ReduceInto(I64Bytes(acc), I64Bytes([]int64{100, 0, 0}), Int64, Max); err != nil {
+		t.Fatal(err)
+	}
+	if acc[0] != 100 || acc[1] != 22 {
+		t.Errorf("max: %v", acc)
+	}
+	if err := ReduceInto(I64Bytes(acc), I64Bytes([]int64{1, 1, 1}), Int64, Min); err != nil {
+		t.Fatal(err)
+	}
+	if acc[0] != 1 {
+		t.Errorf("min: %v", acc)
+	}
+
+	fa := []float64{2, 3}
+	if err := ReduceInto(F64Bytes(fa), F64Bytes([]float64{4, 5}), Float64, Prod); err != nil {
+		t.Fatal(err)
+	}
+	if fa[0] != 8 || fa[1] != 15 {
+		t.Errorf("float prod: %v", fa)
+	}
+
+	ca := []complex128{complex(1, 1)}
+	if err := ReduceInto(C128Bytes(ca), C128Bytes([]complex128{complex(2, -1)}), Complex128, Sum); err != nil {
+		t.Fatal(err)
+	}
+	if ca[0] != complex(3, 0) {
+		t.Errorf("complex sum: %v", ca)
+	}
+
+	ba := []byte{0b1100}
+	if err := ReduceInto(ba, []byte{0b1010}, Byte, BXor); err != nil {
+		t.Fatal(err)
+	}
+	if ba[0] != 0b0110 {
+		t.Errorf("byte xor: %08b", ba[0])
+	}
+}
+
+func TestReduceReplaceAndNoOp(t *testing.T) {
+	acc := []int64{1, 2}
+	if err := ReduceInto(I64Bytes(acc), I64Bytes([]int64{9, 9}), Int64, NoOp); err != nil {
+		t.Fatal(err)
+	}
+	if acc[0] != 1 {
+		t.Error("NoOp modified the accumulator")
+	}
+	if err := ReduceInto(I64Bytes(acc), I64Bytes([]int64{9, 8}), Int64, Replace); err != nil {
+		t.Fatal(err)
+	}
+	if acc[0] != 9 || acc[1] != 8 {
+		t.Errorf("Replace: %v", acc)
+	}
+}
+
+func TestReduceErrors(t *testing.T) {
+	if err := ReduceInto(make([]byte, 8), make([]byte, 16), Int64, Sum); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := ReduceInto(make([]byte, 7), make([]byte, 7), Int64, Sum); err == nil {
+		t.Error("non-multiple size accepted")
+	}
+	if err := ReduceInto(make([]byte, 8), make([]byte, 8), Float64, BAnd); err == nil {
+		t.Error("bitwise op on float accepted")
+	}
+	if err := ReduceInto(make([]byte, 16), make([]byte, 16), Complex128, Max); err == nil {
+		t.Error("ordering op on complex accepted")
+	}
+}
+
+// Property: Sum reduce is commutative in its effect on independent copies.
+func TestReduceSumCommutativeProperty(t *testing.T) {
+	f := func(a, b []int64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if n == 0 {
+			return true
+		}
+		x := append([]int64(nil), a[:n]...)
+		y := append([]int64(nil), b[:n]...)
+		if err := ReduceInto(I64Bytes(x), I64Bytes(b[:n]), Int64, Sum); err != nil {
+			return false
+		}
+		if err := ReduceInto(I64Bytes(y), I64Bytes(a[:n]), Int64, Sum); err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

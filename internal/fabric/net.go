@@ -1,0 +1,373 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+
+	"cafmpi/internal/sim"
+)
+
+// Message is the unit of transfer between endpoints. The communication
+// layers define the meaning of Class, Tag, Ctx and Args; the fabric only
+// moves the message and stamps virtual times on it.
+type Message struct {
+	Src, Dst int
+	Class    uint8
+	Tag      int
+	Ctx      int
+	Args     []uint64
+	Data     []byte
+
+	// SendT is the sender's clock at injection; ArriveT the eager arrival
+	// time. Rendezvous messages compute their true arrival at match time
+	// (it depends on when the receiver posts).
+	SendT, ArriveT int64
+	Rendezvous     bool
+
+	// Req, when non-nil, is the origin-side handle that learns its
+	// completion time once the receiver matches a rendezvous message.
+	Req Completer
+}
+
+// Completer is implemented by origin-side request objects that need the
+// receiver to report a virtual completion time back (rendezvous sends).
+type Completer interface{ CompleteAt(t int64) }
+
+// Net is the per-world interconnect instance. All layers of all images share
+// one Net so that costs and presets are consistent.
+type Net struct {
+	world  *sim.World
+	params *Params
+
+	// nics[i] models image i's inbound NIC: payloads addressed to an image
+	// — puts, long AM deposits, message bodies — reserve wire time on it,
+	// so unscheduled many-to-one traffic (incast) queues while pairwise-
+	// scheduled exchanges stay clean.
+	nics []nic
+
+	mu     sync.Mutex
+	layers map[string]*Layer
+}
+
+// nic tracks the busy intervals of one image's inbound link. Reservations
+// backfill gaps: images execute at different real-time speeds, so claims
+// arrive out of virtual-time order, and a monotone "free-after" counter
+// would falsely serialize unrelated transfers. Adjacent reservations
+// coalesce, so sustained incast collapses to one growing interval.
+type nic struct {
+	mu   sync.Mutex
+	busy []ivl // sorted by start; bounded, oldest evicted
+}
+
+type ivl struct{ start, end int64 }
+
+const maxNICIntervals = 64
+
+func (n *nic) claim(earliest, occ int64) int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	t := earliest
+	pos := 0
+	for i, iv := range n.busy {
+		if iv.end <= t {
+			pos = i + 1
+			continue
+		}
+		if iv.start >= t+occ {
+			break // a gap large enough before this interval
+		}
+		t = iv.end
+		pos = i + 1
+	}
+	// Insert [t, t+occ) at pos, coalescing with neighbors.
+	nv := ivl{t, t + occ}
+	if pos > 0 && n.busy[pos-1].end == nv.start {
+		n.busy[pos-1].end = nv.end
+		nv = n.busy[pos-1]
+		pos--
+	} else {
+		n.busy = append(n.busy, ivl{})
+		copy(n.busy[pos+1:], n.busy[pos:])
+		n.busy[pos] = nv
+	}
+	if pos+1 < len(n.busy) && n.busy[pos+1].start == nv.end {
+		n.busy[pos].end = n.busy[pos+1].end
+		n.busy = append(n.busy[:pos+1], n.busy[pos+2:]...)
+	}
+	if len(n.busy) > maxNICIntervals {
+		n.busy = n.busy[1:] // forget the oldest history
+	}
+	return t + occ
+}
+
+// AttachNet returns the world's Net, creating it with the given parameters
+// on first call. Later calls ignore params (every image must agree).
+func AttachNet(w *sim.World, params *Params) *Net {
+	return w.Shared("fabric.net", func() any {
+		return &Net{
+			world:  w,
+			params: params,
+			nics:   make([]nic, w.N()),
+			layers: make(map[string]*Layer),
+		}
+	}).(*Net)
+}
+
+// Params returns the platform parameter set in force.
+func (n *Net) Params() *Params { return n.params }
+
+// World returns the hosting simulation world.
+func (n *Net) World() *sim.World { return n.world }
+
+// Layer returns the named layer, creating endpoints for every image on
+// first use. Each communication library (mpi, gasnet, ...) owns one layer so
+// their traffic never mixes.
+func (n *Net) Layer(name string) *Layer {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if l, ok := n.layers[name]; ok {
+		return l
+	}
+	l := &Layer{net: n, name: name, eps: make([]*Endpoint, n.world.N())}
+	for i := range l.eps {
+		ep := &Endpoint{layer: l, rank: i}
+		ep.cond = sync.NewCond(&ep.mu)
+		l.eps[i] = ep
+	}
+	n.layers[name] = l
+	return l
+}
+
+// ClaimNIC reserves occ nanoseconds of image dst's inbound wire starting no
+// earlier than earliest, and returns the completion time. Overlapping
+// reservations from concurrent senders queue, modeling receive-side
+// congestion; reservations in already-free gaps backfill.
+func (n *Net) ClaimNIC(dst int, earliest, occ int64) int64 {
+	if occ <= 0 {
+		// Zero-byte control messages don't occupy the wire.
+		return earliest
+	}
+	return n.nics[dst].claim(earliest, occ)
+}
+
+// Layer is one library's view of the interconnect: an endpoint per image.
+type Layer struct {
+	net  *Net
+	name string
+	eps  []*Endpoint
+}
+
+// Endpoint returns image rank's endpoint in this layer.
+func (l *Layer) Endpoint(rank int) *Endpoint { return l.eps[rank] }
+
+// Net returns the owning interconnect.
+func (l *Layer) Net() *Net { return l.net }
+
+// Send injects m from image p. It charges the sender's clock, stamps the
+// message, decides eager vs. rendezvous from the payload size, and enqueues
+// it at the destination endpoint. The payload slice is copied so the sender
+// may reuse its buffer immediately (matching eager-protocol semantics; for
+// rendezvous the request's CompleteAt callback reports the virtual time at
+// which the sender buffer would really be free).
+func (l *Layer) Send(p *sim.Proc, m *Message) {
+	pr := l.net.params
+	if m.Dst < 0 || m.Dst >= len(l.eps) {
+		panic(fmt.Sprintf("fabric: send to invalid rank %d (world size %d)", m.Dst, len(l.eps)))
+	}
+	m.Src = p.ID()
+	if m.Data != nil {
+		m.Data = append([]byte(nil), m.Data...)
+	}
+	p.Advance(pr.SendOverheadNS)
+	m.SendT = p.Now()
+	size := len(m.Data) + 8*len(m.Args)
+	lat := pr.PathLatency(m.Src, m.Dst)
+	if size > pr.EagerThreshold {
+		m.Rendezvous = true
+		// True arrival computed at match time; ArriveT here is the
+		// ready-to-send notification's arrival.
+		m.ArriveT = m.SendT + lat
+	} else {
+		m.ArriveT = l.net.ClaimNIC(m.Dst, m.SendT+lat, pr.PathWireTime(m.Src, m.Dst, size))
+		if m.Req != nil {
+			m.Req.CompleteAt(m.SendT) // eager: buffer copied out at injection
+		}
+	}
+	l.eps[m.Dst].enqueue(m)
+}
+
+// Absorb advances the receiving image's clock for a matched message: eager
+// messages land at their arrival stamp; rendezvous messages complete a
+// round-trip that starts when both sides are ready. extra is the layer's
+// per-message receive cost (tag matching, handler dispatch, ...).
+func (l *Layer) Absorb(p *sim.Proc, m *Message, extra int64) {
+	pr := l.net.params
+	if m.Rendezvous {
+		start := max64(p.Now(), m.ArriveT)
+		size := len(m.Data) + 8*len(m.Args)
+		lat := pr.PathLatency(m.Src, m.Dst)
+		done := l.net.ClaimNIC(m.Dst, start+2*lat, pr.PathWireTime(m.Src, m.Dst, size))
+		if m.Req != nil {
+			m.Req.CompleteAt(start + lat) // sender free after CTS
+		}
+		p.AdvanceTo(done)
+	} else {
+		p.AdvanceTo(m.ArriveT)
+	}
+	p.Advance(pr.RecvOverheadNS + extra)
+}
+
+// RMAPut charges image p for injecting a one-sided write of size bytes with
+// per-op overhead opNS, claims the target NIC for the payload, and returns
+// the remote completion time.
+func (l *Layer) RMAPut(p *sim.Proc, dst, size int, opNS int64) (remoteDone int64) {
+	pr := l.net.params
+	p.Advance(opNS)
+	return l.net.ClaimNIC(dst, p.Now()+pr.PathLatency(p.ID(), dst), pr.PathWireTime(p.ID(), dst, size))
+}
+
+// RMAGetCost returns the origin-side blocking charge for a one-sided read
+// of size bytes from dst with per-op overhead opNS (full round trip plus
+// payload).
+func (l *Layer) RMAGetCost(p *sim.Proc, dst, size int, opNS int64) int64 {
+	pr := l.net.params
+	return opNS + 2*pr.PathLatency(p.ID(), dst) + pr.PathWireTime(p.ID(), dst, size)
+}
+
+// Endpoint is one image's receive queue within a layer.
+type Endpoint struct {
+	layer *Layer
+	rank  int
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []*Message
+	seq  uint64 // arrivals ever enqueued; lets pollers detect activity
+}
+
+func (e *Endpoint) enqueue(m *Message) {
+	e.mu.Lock()
+	e.q = append(e.q, m)
+	e.seq++
+	e.mu.Unlock()
+	e.cond.Broadcast()
+}
+
+// Recv blocks until a message matching match is queued, removes and returns
+// it. Messages are scanned in arrival order, which preserves the
+// non-overtaking guarantee for any (src, class, tag) stream.
+func (e *Endpoint) Recv(match func(*Message) bool) *Message {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if m := e.takeLocked(match); m != nil {
+			return m
+		}
+		e.cond.Wait()
+	}
+}
+
+// TryRecv is Recv without blocking; it returns nil when nothing matches.
+func (e *Endpoint) TryRecv(match func(*Message) bool) *Message {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.takeLocked(match)
+}
+
+func (e *Endpoint) takeLocked(match func(*Message) bool) *Message {
+	for i, m := range e.q {
+		if match(m) {
+			e.q = append(e.q[:i], e.q[i+1:]...)
+			return m
+		}
+	}
+	return nil
+}
+
+// Pending reports whether any queued message matches.
+func (e *Endpoint) Pending(match func(*Message) bool) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, m := range e.q {
+		if match(m) {
+			return true
+		}
+	}
+	return false
+}
+
+// Seq returns a counter that increases with every enqueued message; pollers
+// use it to detect new arrivals cheaply.
+func (e *Endpoint) Seq() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.seq
+}
+
+// WaitActivity blocks until the endpoint's arrival counter passes since.
+// It returns the new counter value.
+func (e *Endpoint) WaitActivity(since uint64) uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for e.seq <= since {
+		e.cond.Wait()
+	}
+	return e.seq
+}
+
+// EarliestArrival returns the smallest arrival stamp among queued messages
+// matching match. Blocking receivers use it to advance virtual time when
+// every candidate message is still in the virtual future (delivering such a
+// message "early" would drag the receiver's clock to the sender's and let
+// skew compound).
+func (e *Endpoint) EarliestArrival(match func(*Message) bool) (int64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var best int64
+	found := false
+	for _, m := range e.q {
+		if match(m) && (!found || m.ArriveT < best) {
+			best, found = m.ArriveT, true
+		}
+	}
+	return best, found
+}
+
+// Peek returns the first queued matching message without removing it, or
+// nil. Probes use this.
+func (e *Endpoint) Peek(match func(*Message) bool) *Message {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, m := range e.q {
+		if match(m) {
+			return m
+		}
+	}
+	return nil
+}
+
+// Poke wakes everything blocked on this endpoint and bumps the activity
+// counter without enqueuing a message. Request-completion callbacks use it
+// so a single wait loop can cover both message arrival and remote
+// completion events.
+func (e *Endpoint) Poke() {
+	e.mu.Lock()
+	e.seq++
+	e.mu.Unlock()
+	e.cond.Broadcast()
+}
+
+// QueueLen returns the current queue depth (used by tests and the SRQ
+// contention diagnostics).
+func (e *Endpoint) QueueLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.q)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,591 @@
+// Package gasnet implements a GASNet-1 style communication system: the core
+// API (active messages in short/medium/long flavors with request/reply
+// semantics and explicit polling progress), the extended API (one-sided
+// put/get against attached segments, with blocking, non-blocking-explicit
+// and non-blocking-implicit completion), and a split-phase barrier.
+//
+// Deliberately missing — as in the GASNet of the paper's era — are
+// collectives: clients (the CAF-GASNet runtime) hand-craft them from puts,
+// gets and AMs, which is the root of the FFT all-to-all gap in the paper's
+// Figures 6-8.
+//
+// The InfiniBand conduit's Shared Receive Queue behaviour is modeled: when
+// the job is large enough that the SRQ saturates (fabric.SRQModel), every
+// AM receive pays a multiplied cost. RDMA puts and gets bypass the SRQ.
+package gasnet
+
+import (
+	"fmt"
+	"sync"
+
+	"cafmpi/internal/fabric"
+	"cafmpi/internal/sim"
+)
+
+// Limits mirroring gasnet_AMMaxArgs() and gasnet_AMMaxMedium().
+const (
+	MaxArgs   = 16
+	MaxMedium = 8 << 10
+)
+
+// HandlerID indexes the AM handler table. GASNet reserves 0-127 for the
+// system; clients register in [MinHandlerID, MaxHandlerID].
+type HandlerID int
+
+const (
+	MinHandlerID HandlerID = 128
+	MaxHandlerID HandlerID = 255
+)
+
+// Handler is an active-message handler. It runs on the target image's
+// goroutine during a Poll. payload is nil for short AMs, a scratch buffer
+// for medium AMs, and a slice of the target segment for long AMs. The
+// handler may send at most one reply through the token.
+type Handler func(tk *Token, args []uint64, payload []byte)
+
+// Message classes on the gasnet fabric layer.
+const (
+	clsAMRequest uint8 = iota + 1
+	clsAMReply
+	clsBarrier
+)
+
+// AM categories carried in Message.Tag alongside the handler id.
+const (
+	catShort = iota
+	catMedium
+	catLong
+)
+
+// shared is the world-wide registry of attached segments.
+type shared struct {
+	mu   sync.Mutex
+	segs [][]byte
+}
+
+// Ep is one image's GASNet endpoint.
+type Ep struct {
+	p     *sim.Proc
+	net   *fabric.Net
+	layer *fabric.Layer
+	fep   *fabric.Endpoint
+	sh    *shared
+
+	handlers [256]Handler
+	segment  []byte
+
+	// Implicit-handle (NBI) op tracking: the latest remote completion time
+	// of outstanding implicit puts/gets. GASNet tracks these with O(1)
+	// counters, so syncing them does not scale with job size — unlike
+	// MPI_WIN_FLUSH_ALL's per-rank scan.
+	nbiRemote int64
+	nbiCount  int
+
+	barrierGen int
+	footprint  int64
+}
+
+// HandlerEntry binds a handler id to its function for Attach, mirroring
+// the gasnet_handlerentry_t table passed to gasnet_attach.
+type HandlerEntry struct {
+	ID HandlerID
+	Fn Handler
+}
+
+// Attach initializes the endpoint with a segment of segSize bytes and the
+// given AM handler table, registers the segment world-wide, and
+// synchronizes with all other images (every image must call Attach before
+// any returns). As in real GASNet, the handler table is fixed at attach
+// time: the attach barrier itself polls AMs, so handlers must exist before
+// any peer can target them. RegisterHandler can add more afterwards, but
+// only for ids no peer uses before the registration is globally ordered
+// (e.g. by a barrier).
+func Attach(p *sim.Proc, net *fabric.Net, segSize int, handlers ...HandlerEntry) (*Ep, error) {
+	if segSize < 0 {
+		return nil, fmt.Errorf("gasnet: negative segment size %d", segSize)
+	}
+	sh := p.World().Shared("gasnet.segs", func() any {
+		return &shared{segs: make([][]byte, p.N())}
+	}).(*shared)
+	e := &Ep{
+		p:     p,
+		net:   net,
+		layer: net.Layer("gasnet"),
+		sh:    sh,
+	}
+	e.fep = e.layer.Endpoint(p.ID())
+	e.segment = make([]byte, segSize)
+	sh.mu.Lock()
+	sh.segs[p.ID()] = e.segment
+	sh.mu.Unlock()
+
+	for _, h := range handlers {
+		if err := e.RegisterHandler(h.ID, h.Fn); err != nil {
+			return nil, err
+		}
+	}
+
+	c := net.Params().GASNet
+	e.footprint = c.BaseFootprint + int64(p.N()*c.PeerBytes) + int64(segSize)
+
+	// Everyone must see every segment before one-sided traffic starts.
+	e.Barrier()
+	return e, nil
+}
+
+// Proc returns the owning image.
+func (e *Ep) Proc() *sim.Proc { return e.p }
+
+// Segment returns the local attached segment.
+func (e *Ep) Segment() []byte { return e.segment }
+
+// MemoryFootprint returns the bytes held by this GASNet instance: conduit
+// state, per-peer segment registration metadata, and the segment itself.
+// GASNet keeps most metadata in user-space buffers, so this is far smaller
+// than an MPI instance (paper Figure 1).
+func (e *Ep) MemoryFootprint() int64 { return e.footprint }
+
+// RegisterHandler installs fn at id. Handlers must be registered before
+// any image sends to them; ids must be in the client range.
+func (e *Ep) RegisterHandler(id HandlerID, fn Handler) error {
+	if id < MinHandlerID || id > MaxHandlerID {
+		return fmt.Errorf("gasnet: handler id %d outside client range [%d,%d]", id, MinHandlerID, MaxHandlerID)
+	}
+	if e.handlers[id] != nil {
+		return fmt.Errorf("gasnet: handler id %d already registered", id)
+	}
+	e.handlers[id] = fn
+	return nil
+}
+
+func (e *Ep) costs() *fabric.GASNetCosts { return &e.net.Params().GASNet }
+
+func (e *Ep) checkAM(dst int, h HandlerID, args []uint64, payload []byte, cat int) error {
+	if dst < 0 || dst >= e.p.N() {
+		return fmt.Errorf("gasnet: AM destination %d out of range", dst)
+	}
+	if h < MinHandlerID || h > MaxHandlerID {
+		return fmt.Errorf("gasnet: AM handler id %d outside client range", h)
+	}
+	if len(args) > MaxArgs {
+		return fmt.Errorf("gasnet: %d AM arguments exceed MaxArgs=%d", len(args), MaxArgs)
+	}
+	if cat == catMedium && len(payload) > MaxMedium {
+		return fmt.Errorf("gasnet: medium AM payload %d exceeds MaxMedium=%d", len(payload), MaxMedium)
+	}
+	return nil
+}
+
+// AMRequestShort sends a short active message carrying only integer args.
+func (e *Ep) AMRequestShort(dst int, h HandlerID, args ...uint64) error {
+	if err := e.checkAM(dst, h, args, nil, catShort); err != nil {
+		return err
+	}
+	e.layer.Send(e.p, &fabric.Message{Dst: dst, Class: clsAMRequest, Ctx: int(h), Tag: catShort, Args: args})
+	return nil
+}
+
+// AMRequestMedium sends an AM with an opaque payload delivered to a
+// temporary buffer at the target.
+func (e *Ep) AMRequestMedium(dst int, h HandlerID, payload []byte, args ...uint64) error {
+	if err := e.checkAM(dst, h, args, payload, catMedium); err != nil {
+		return err
+	}
+	e.layer.Send(e.p, &fabric.Message{Dst: dst, Class: clsAMRequest, Ctx: int(h), Tag: catMedium, Args: args, Data: payload})
+	return nil
+}
+
+// AMRequestLong sends an AM whose payload is deposited at dstOff in the
+// target's segment before the handler runs.
+func (e *Ep) AMRequestLong(dst int, h HandlerID, payload []byte, dstOff int, args ...uint64) error {
+	if err := e.checkAM(dst, h, args, payload, catLong); err != nil {
+		return err
+	}
+	seg := e.seg(dst)
+	if dstOff < 0 || dstOff+len(payload) > len(seg) {
+		return fmt.Errorf("gasnet: long AM payload [%d,%d) outside target segment of %d bytes", dstOff, dstOff+len(payload), len(seg))
+	}
+	// The payload travels as RDMA alongside the AM header: deposit it now
+	// (claiming the target NIC); the header message, which triggers the
+	// handler, carries the landing location.
+	copy(seg[dstOff:], payload)
+	pr := e.net.Params()
+	e.p.Advance(pr.PathWireTime(e.p.ID(), dst, len(payload)))
+	e.net.ClaimNIC(dst, e.p.Now()+pr.PathLatency(e.p.ID(), dst), pr.PathWireTime(e.p.ID(), dst, len(payload)))
+	e.layer.Send(e.p, &fabric.Message{
+		Dst: dst, Class: clsAMRequest, Ctx: int(h), Tag: catLong,
+		Args: append([]uint64{uint64(dstOff), uint64(len(payload))}, args...),
+	})
+	return nil
+}
+
+// Token is the reply capability passed to AM handlers.
+type Token struct {
+	ep      *Ep
+	src     int
+	replied bool
+}
+
+// Src returns the requesting image.
+func (tk *Token) Src() int { return tk.src }
+
+// ReplyShort sends the (single permitted) short reply to the requester.
+func (tk *Token) ReplyShort(h HandlerID, args ...uint64) error {
+	if tk.replied {
+		return fmt.Errorf("gasnet: handler already replied")
+	}
+	if err := tk.ep.checkAM(tk.src, h, args, nil, catShort); err != nil {
+		return err
+	}
+	tk.replied = true
+	tk.ep.layer.Send(tk.ep.p, &fabric.Message{Dst: tk.src, Class: clsAMReply, Ctx: int(h), Tag: catShort, Args: args})
+	return nil
+}
+
+// ReplyMedium sends the single permitted medium reply.
+func (tk *Token) ReplyMedium(h HandlerID, payload []byte, args ...uint64) error {
+	if tk.replied {
+		return fmt.Errorf("gasnet: handler already replied")
+	}
+	if err := tk.ep.checkAM(tk.src, h, args, payload, catMedium); err != nil {
+		return err
+	}
+	tk.replied = true
+	tk.ep.layer.Send(tk.ep.p, &fabric.Message{Dst: tk.src, Class: clsAMReply, Ctx: int(h), Tag: catMedium, Args: args, Data: payload})
+	return nil
+}
+
+func amMatch(m *fabric.Message) bool {
+	return m.Class == clsAMRequest || m.Class == clsAMReply
+}
+
+// arrived gates delivery on virtual time: a message whose arrival stamp is
+// in this image's future has not physically arrived yet; dispatching it
+// early would advance the local clock to the (possibly far-ahead) sender's
+// time and let skew compound across images.
+func (e *Ep) arrived(match func(*fabric.Message) bool) func(*fabric.Message) bool {
+	now := e.p.Now()
+	return func(m *fabric.Message) bool { return match(m) && m.ArriveT <= now }
+}
+
+// Poll drains and dispatches the queued active messages that have arrived
+// in virtual time, running their handlers on this goroutine. It returns
+// the number of AMs processed. GASNet progress is explicit: no handler
+// runs unless the image polls (or blocks inside a GASNet call that polls).
+func (e *Ep) Poll() int {
+	n := 0
+	for {
+		m := e.fep.TryRecv(e.arrived(amMatch))
+		if m == nil {
+			if n == 0 {
+				e.p.Advance(e.costs().PollNS)
+			}
+			return n
+		}
+		e.dispatch(m)
+		n++
+	}
+}
+
+func (e *Ep) dispatch(m *fabric.Message) {
+	c := e.costs()
+	plen := len(m.Data)
+	if m.Tag == catLong {
+		plen = int(m.Args[1])
+	}
+	// SRQ saturation: once the job exceeds the shared receive queue's
+	// threshold, every AM queues behind other processes' receive traffic —
+	// modeled as an extra delivery delay of (factor-1) x (wire latency +
+	// receive path) per message, which is what halves RandomAccess on
+	// Fusion beyond 128 ranks (Figure 3).
+	extra := c.AMNS
+	if pen := c.SRQ.Penalty(e.p.N()); pen > 1 {
+		extra += int64((pen - 1) * float64(e.net.Params().LatencyNS+e.net.Params().RecvOverheadNS+e.net.Params().WireTime(plen)))
+	}
+	e.layer.Absorb(e.p, m, extra)
+
+	h := e.handlers[m.Ctx]
+	if h == nil {
+		panic(fmt.Sprintf("gasnet: image %d received AM for unregistered handler %d", e.p.ID(), m.Ctx))
+	}
+	tk := &Token{ep: e, src: m.Src}
+	switch m.Tag {
+	case catShort:
+		h(tk, m.Args, nil)
+	case catMedium:
+		h(tk, m.Args, m.Data)
+	case catLong:
+		off, ln := int(m.Args[0]), int(m.Args[1])
+		h(tk, m.Args[2:], e.segment[off:off+ln])
+	}
+}
+
+// PollUntil polls until cond becomes true. While blocked it advances
+// virtual time to the earliest queued arrival (a blocking poll *is* a
+// virtual-time wait) and otherwise parks until real activity.
+func (e *Ep) PollUntil(cond func() bool) {
+	for {
+		seq := e.fep.Seq()
+		e.Poll()
+		if cond() {
+			return
+		}
+		if t, ok := e.fep.EarliestArrival(amMatch); ok {
+			e.p.AdvanceTo(t)
+			continue
+		}
+		e.fep.WaitActivity(seq)
+	}
+}
+
+// seg returns image dst's segment (after Attach's barrier this is stable).
+func (e *Ep) seg(dst int) []byte {
+	e.sh.mu.Lock()
+	defer e.sh.mu.Unlock()
+	return e.sh.segs[dst]
+}
+
+func (e *Ep) checkSeg(dst, off, n int, what string) error {
+	if dst < 0 || dst >= e.p.N() {
+		return fmt.Errorf("gasnet: %s destination %d out of range", what, dst)
+	}
+	if s := e.seg(dst); off < 0 || off+n > len(s) {
+		return fmt.Errorf("gasnet: %s range [%d,%d) outside segment of %d bytes", what, off, off+n, len(s))
+	}
+	return nil
+}
+
+// Handle is an explicit non-blocking operation handle (gasnet_handle_t).
+type Handle struct {
+	localT  int64
+	remoteT int64
+}
+
+// Put writes src into dst's segment at dstOff and blocks until the write is
+// globally complete (gasnet_put semantics).
+func (e *Ep) Put(dst, dstOff int, src []byte) error {
+	h, err := e.PutNB(dst, dstOff, src)
+	if err != nil {
+		return err
+	}
+	e.p.AdvanceTo(h.remoteT)
+	return nil
+}
+
+// PutNB starts a non-blocking put and returns an explicit handle. Syncing
+// the handle waits for *local* completion (source buffer reusable); the
+// handle also records remote completion for quiet-style fences.
+func (e *Ep) PutNB(dst, dstOff int, src []byte) (*Handle, error) {
+	if err := e.checkSeg(dst, dstOff, len(src), "put"); err != nil {
+		return nil, err
+	}
+	done := e.layer.RMAPut(e.p, dst, len(src), e.costs().PutNS)
+	copy(e.seg(dst)[dstOff:], src)
+	return &Handle{localT: e.p.Now(), remoteT: done}, nil
+}
+
+// PutNBI starts an implicitly-handled put; SyncNBIAll fences all of them.
+func (e *Ep) PutNBI(dst, dstOff int, src []byte) error {
+	h, err := e.PutNB(dst, dstOff, src)
+	if err != nil {
+		return err
+	}
+	e.noteNBI(h)
+	return nil
+}
+
+// Get reads from dst's segment at dstOff into into, blocking until the data
+// is valid (gasnet_get semantics).
+func (e *Ep) Get(dst, dstOff int, into []byte) error {
+	h, err := e.GetNB(dst, dstOff, into)
+	if err != nil {
+		return err
+	}
+	e.p.AdvanceTo(h.localT)
+	return nil
+}
+
+// GetNB starts a non-blocking get. The data lands in into; it must not be
+// read until the handle syncs.
+func (e *Ep) GetNB(dst, dstOff int, into []byte) (*Handle, error) {
+	if err := e.checkSeg(dst, dstOff, len(into), "get"); err != nil {
+		return nil, err
+	}
+	e.p.Advance(e.costs().GetNS)
+	copy(into, e.seg(dst)[dstOff:])
+	pr := e.net.Params()
+	done := e.p.Now() + 2*pr.PathLatency(e.p.ID(), dst) + pr.PathWireTime(e.p.ID(), dst, len(into))
+	return &Handle{localT: done, remoteT: done}, nil
+}
+
+// GetNBI is the implicit-handle form of GetNB.
+func (e *Ep) GetNBI(dst, dstOff int, into []byte) error {
+	h, err := e.GetNB(dst, dstOff, into)
+	if err != nil {
+		return err
+	}
+	e.noteNBI(h)
+	return nil
+}
+
+func (e *Ep) noteNBI(h *Handle) {
+	if h.remoteT > e.nbiRemote {
+		e.nbiRemote = h.remoteT
+	}
+	e.nbiCount++
+}
+
+// SyncNB blocks until the explicit handle's operation completes locally.
+func (e *Ep) SyncNB(h *Handle) {
+	e.p.AdvanceTo(h.localT)
+}
+
+// TrySyncNB reports whether the handle has completed without blocking.
+func (e *Ep) TrySyncNB(h *Handle) bool {
+	return e.p.Now() >= h.localT
+}
+
+// SyncNBIAll fences every outstanding implicit operation to *global*
+// completion. The IB conduit tracks these with O(1) completion counters,
+// so the cost does not scale with the number of peers — contrast with
+// MPI_WIN_FLUSH_ALL's per-rank scan (paper §4.1).
+func (e *Ep) SyncNBIAll() {
+	e.p.Advance(e.costs().PollNS)
+	e.p.AdvanceTo(e.nbiRemote)
+	e.nbiCount = 0
+	e.nbiRemote = 0
+}
+
+// NBIOutstanding returns the number of unsynced implicit operations.
+func (e *Ep) NBIOutstanding() int { return e.nbiCount }
+
+// BarrierNotify begins a split-phase barrier (gasnet_barrier_notify).
+func (e *Ep) BarrierNotify() {
+	n := e.p.N()
+	gen := e.barrierGen
+	e.barrierGen++
+	for k, round := 1, 0; k < n; k, round = k<<1, round+1 {
+		dst := (e.p.ID() + k) % n
+		e.layer.Send(e.p, &fabric.Message{Dst: dst, Class: clsBarrier, Tag: gen*64 + round})
+		src := (e.p.ID() - k + n) % n
+		// Wait for this round's message, progressing AMs that have arrived
+		// meanwhile (conduits poll inside blocking calls).
+		want := func(m *fabric.Message) bool {
+			return amMatch(m) || (m.Class == clsBarrier && m.Tag == gen*64+round && m.Src == src)
+		}
+		for {
+			m := e.blockingRecv(want)
+			if m.Class == clsBarrier {
+				e.layer.Absorb(e.p, m, 0)
+				break
+			}
+			e.dispatch(m)
+		}
+	}
+}
+
+// blockingRecv returns the next matching message, preferring ones that
+// have arrived in virtual time and advancing the clock to the earliest
+// matching arrival when only future ones are queued.
+func (e *Ep) blockingRecv(match func(*fabric.Message) bool) *fabric.Message {
+	for {
+		seq := e.fep.Seq()
+		if m := e.fep.TryRecv(e.arrived(match)); m != nil {
+			return m
+		}
+		if t, ok := e.fep.EarliestArrival(match); ok {
+			e.p.AdvanceTo(t)
+			continue
+		}
+		e.fep.WaitActivity(seq)
+	}
+}
+
+// BarrierWait completes the split-phase barrier. The dissemination work is
+// performed in BarrierNotify; Wait is the completion point.
+func (e *Ep) BarrierWait() {}
+
+// Barrier is the blocking composition of notify and wait.
+func (e *Ep) Barrier() {
+	e.BarrierNotify()
+	e.BarrierWait()
+}
+
+// Registered-memory RDMA: real GASNet conduits can target any registered
+// remote memory (firehose), not just the attached segment. The CAF-GASNet
+// runtime uses these to serve coarrays allocated outside the segment. The
+// caller resolves the remote slab; costs are identical to segment puts.
+
+func (e *Ep) checkReg(dst, off, n int, mem []byte, what string) error {
+	if dst < 0 || dst >= e.p.N() {
+		return fmt.Errorf("gasnet: %s destination %d out of range", what, dst)
+	}
+	if off < 0 || off+n > len(mem) {
+		return fmt.Errorf("gasnet: %s range [%d,%d) outside registered region of %d bytes", what, off, off+n, len(mem))
+	}
+	return nil
+}
+
+// PutRegisteredNB starts a non-blocking RDMA write into registered remote
+// memory mem (owned by image dst) at off.
+func (e *Ep) PutRegisteredNB(dst int, mem []byte, off int, src []byte) (*Handle, error) {
+	if err := e.checkReg(dst, off, len(src), mem, "put"); err != nil {
+		return nil, err
+	}
+	done := e.layer.RMAPut(e.p, dst, len(src), e.costs().PutNS)
+	copy(mem[off:], src)
+	return &Handle{localT: e.p.Now(), remoteT: done}, nil
+}
+
+// PutRegistered blocks until the write is globally complete.
+func (e *Ep) PutRegistered(dst int, mem []byte, off int, src []byte) error {
+	h, err := e.PutRegisteredNB(dst, mem, off, src)
+	if err != nil {
+		return err
+	}
+	e.p.AdvanceTo(h.remoteT)
+	return nil
+}
+
+// PutRegisteredNBI is the implicit-handle form; SyncNBIAll fences it.
+func (e *Ep) PutRegisteredNBI(dst int, mem []byte, off int, src []byte) error {
+	h, err := e.PutRegisteredNB(dst, mem, off, src)
+	if err != nil {
+		return err
+	}
+	e.noteNBI(h)
+	return nil
+}
+
+// GetRegisteredNB starts a non-blocking RDMA read from registered remote
+// memory.
+func (e *Ep) GetRegisteredNB(dst int, mem []byte, off int, into []byte) (*Handle, error) {
+	if err := e.checkReg(dst, off, len(into), mem, "get"); err != nil {
+		return nil, err
+	}
+	e.p.Advance(e.costs().GetNS)
+	copy(into, mem[off:])
+	pr := e.net.Params()
+	done := e.p.Now() + 2*pr.PathLatency(e.p.ID(), dst) + pr.PathWireTime(e.p.ID(), dst, len(into))
+	return &Handle{localT: done, remoteT: done}, nil
+}
+
+// GetRegistered blocks until the data is valid.
+func (e *Ep) GetRegistered(dst int, mem []byte, off int, into []byte) error {
+	h, err := e.GetRegisteredNB(dst, mem, off, into)
+	if err != nil {
+		return err
+	}
+	e.p.AdvanceTo(h.localT)
+	return nil
+}
+
+// GetRegisteredNBI is the implicit-handle form.
+func (e *Ep) GetRegisteredNBI(dst int, mem []byte, off int, into []byte) error {
+	h, err := e.GetRegisteredNB(dst, mem, off, into)
+	if err != nil {
+		return err
+	}
+	e.noteNBI(h)
+	return nil
+}

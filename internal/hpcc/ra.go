@@ -1,0 +1,361 @@
+// Package hpcc implements the three HPC Challenge benchmarks the paper
+// evaluates (§4): RandomAccess (GUPS), a distributed radix-2 FFT (GFLOP/s),
+// and High-Performance Linpack (TFLOP/s) — all expressed against the CAF
+// 2.0 API so the same kernel runs over CAF-MPI and CAF-GASNet.
+package hpcc
+
+import (
+	"fmt"
+	"math/bits"
+
+	"cafmpi/caf"
+)
+
+// HPCC RandomAccess pseudo-random stream: a_{i+1} = (a_i << 1) ^ (poly if
+// the high bit was set), the standard GF(2) LCG with POLY = 0x7.
+const raPoly = 0x0000000000000007
+
+func raNext(x uint64) uint64 {
+	v := x << 1
+	if int64(x) < 0 {
+		v ^= raPoly
+	}
+	return v
+}
+
+// raPeriod is the period of the RandomAccess generator.
+const raPeriod = int64(^uint64(0) >> 1)
+
+// raStart returns the n-th element of the update stream — a direct port of
+// HPC Challenge's HPCC_starts: binary exponentiation of the generator over
+// GF(2), using the precomputed doubling table m2.
+func raStart(n int64) uint64 {
+	for n < 0 {
+		n += raPeriod
+	}
+	for n > raPeriod {
+		n -= raPeriod
+	}
+	if n == 0 {
+		return 0x1
+	}
+	var m2 [64]uint64
+	temp := uint64(0x1)
+	for i := 0; i < 64; i++ {
+		m2[i] = temp
+		temp = raNext(raNext(temp))
+	}
+	i := 63 - bits.LeadingZeros64(uint64(n))
+	ran := uint64(0x2)
+	for i > 0 {
+		temp = 0
+		for j := 0; j < 64; j++ {
+			if (ran>>uint(j))&1 != 0 {
+				temp ^= m2[j]
+			}
+		}
+		ran = temp
+		i--
+		if (n>>uint(i))&1 != 0 {
+			ran = raNext(ran)
+		}
+	}
+	return ran
+}
+
+// RAConfig parameterizes the RandomAccess run.
+type RAConfig struct {
+	// TableBits: each image holds 1<<TableBits uint64 entries; the global
+	// table is P times larger. The image count must be a power of two
+	// (hypercube routing).
+	TableBits int
+	// UpdatesPerImage: number of updates each image generates. The HPCC
+	// rule is 4x the table size; benchmarks scale it down.
+	UpdatesPerImage int
+	// BatchSize: updates routed per bulk-exchange round (the CAF 2.0
+	// software-routing bucket size). Default 512.
+	BatchSize int
+	// Verify re-applies the same update stream (XOR is an involution) and
+	// counts table entries that fail to return to their initial value.
+	Verify bool
+}
+
+// RAResult reports the measurement.
+type RAResult struct {
+	GUPS     float64
+	Updates  int64
+	Seconds  float64 // virtual seconds of the update phase
+	Errors   int64   // verification mismatches (Verify only)
+	Verified bool
+}
+
+// RandomAccess runs the HPCC RandomAccess benchmark with the CAF 2.0
+// software-routing algorithm (§4.1): updates are routed to their home image
+// through log2(P) hypercube stages of bulk coarray writes paired with
+// event notify/wait — the pattern whose event_notify cost dominates CAF-MPI
+// in the paper's Figure 4.
+func RandomAccess(im *caf.Image, cfg RAConfig) (RAResult, error) {
+	p := im.N()
+	if p&(p-1) != 0 {
+		return RAResult{}, fmt.Errorf("hpcc: RandomAccess needs a power-of-two image count, got %d", p)
+	}
+	if cfg.TableBits <= 0 {
+		return RAResult{}, fmt.Errorf("hpcc: TableBits must be positive")
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 512
+	}
+	if cfg.UpdatesPerImage <= 0 {
+		cfg.UpdatesPerImage = 4 << cfg.TableBits
+	}
+	local := 1 << cfg.TableBits
+	stages := bits.TrailingZeros(uint(p))
+
+	table := make([]uint64, local)
+	for i := range table {
+		table[i] = uint64(im.ID()*local + i)
+	}
+
+	rt, err := newRARouter(im, cfg.BatchSize, stages)
+	if err != nil {
+		return RAResult{}, err
+	}
+	defer rt.free()
+
+	if err := im.World().Barrier(); err != nil {
+		return RAResult{}, err
+	}
+	t0 := im.Now()
+	if err := rt.run(im, cfg, table); err != nil {
+		return RAResult{}, err
+	}
+	if err := im.World().Barrier(); err != nil {
+		return RAResult{}, err
+	}
+	seconds := im.Now() - t0
+
+	res := RAResult{
+		Updates: int64(cfg.UpdatesPerImage) * int64(p),
+		Seconds: seconds,
+	}
+	if seconds > 0 {
+		res.GUPS = float64(res.Updates) / seconds / 1e9
+	}
+
+	if cfg.Verify {
+		// XOR-applying the identical stream restores the initial table.
+		if err := rt.run(im, cfg, table); err != nil {
+			return res, err
+		}
+		if err := im.World().Barrier(); err != nil {
+			return res, err
+		}
+		for i := range table {
+			if table[i] != uint64(im.ID()*local+i) {
+				res.Errors++
+			}
+		}
+		errs := []int64{res.Errors}
+		total := make([]int64, 1)
+		if err := im.World().Allreduce(caf.I64Bytes(errs), caf.I64Bytes(total), caf.Int64, caf.OpSum); err != nil {
+			return res, err
+		}
+		res.Errors = total[0]
+		res.Verified = true
+	}
+	return res, nil
+}
+
+// raRouter owns the hypercube routing state: one landing coarray and two
+// event sets (data-arrived, buffer-consumed) per stage.
+type raRouter struct {
+	im      *caf.Image
+	land    *caf.Coarray // landing zones: stages x capacity entries (+count)
+	dataEv  *caf.Events
+	readyEv *caf.Events
+	cap     int // entries per landing zone
+	stages  int
+	batch   int
+
+	cur  []uint64 // updates still being routed
+	send []uint64
+}
+
+const raSlot = 8 // bytes per entry; slot 0 of each zone is the count
+
+func newRARouter(im *caf.Image, batch, stages int) (*raRouter, error) {
+	capEntries := 4 * batch
+	zone := (capEntries + 1) * raSlot
+	land, err := im.AllocCoarray(im.World(), max(1, stages)*zone)
+	if err != nil {
+		return nil, err
+	}
+	dataEv, err := im.NewEvents(im.World(), max(1, stages))
+	if err != nil {
+		return nil, err
+	}
+	readyEv, err := im.NewEvents(im.World(), max(1, stages))
+	if err != nil {
+		return nil, err
+	}
+	rt := &raRouter{
+		im: im, land: land, dataEv: dataEv, readyEv: readyEv,
+		cap: capEntries, stages: stages, batch: batch,
+		cur:  make([]uint64, 0, 2*capEntries),
+		send: make([]uint64, 0, capEntries+1),
+	}
+	// Seed one flow-control credit per stage: every landing zone starts
+	// free. From here on, credits exactly track zone availability, so a
+	// writer can never overwrite a bucket its partner has not consumed.
+	for s := 0; s < stages; s++ {
+		partner := im.ID() ^ (1 << uint(s))
+		if err := readyEv.Notify(partner, s); err != nil {
+			return nil, err
+		}
+	}
+	return rt, nil
+}
+
+func (rt *raRouter) free() {
+	_ = rt.readyEv.Free()
+	_ = rt.dataEv.Free()
+	_ = rt.land.Free()
+}
+
+// run generates and routes the image's whole update stream, applying every
+// update that lands here to table.
+func (rt *raRouter) run(im *caf.Image, cfg RAConfig, table []uint64) error {
+	p := im.N()
+	me := im.ID()
+	localBits := uint(cfg.TableBits)
+	globalMask := uint64(p)<<localBits - 1
+
+	x := raStart(int64(me) * int64(cfg.UpdatesPerImage))
+	remaining := cfg.UpdatesPerImage
+	for remaining > 0 {
+		n := rt.batch
+		if n > remaining {
+			n = remaining
+		}
+		remaining -= n
+		rt.cur = rt.cur[:0]
+		for i := 0; i < n; i++ {
+			x = raNext(x)
+			rt.cur = append(rt.cur, x)
+		}
+		im.MemWork(int64(n) * 8) // generation + bucket scan
+
+		for s := 0; s < rt.stages; s++ {
+			partner := me ^ (1 << uint(s))
+			// Partition: keep updates whose home shares my bit s.
+			keep := rt.cur[:0]
+			rt.send = rt.send[:0]
+			for _, u := range rt.cur {
+				home := int((u & globalMask) >> localBits)
+				if (home^me)&(1<<uint(s)) != 0 {
+					rt.send = append(rt.send, u)
+				} else {
+					keep = append(keep, u)
+				}
+			}
+			rt.cur = keep
+			im.MemWork(int64(len(rt.send)+len(rt.cur)) * 8)
+			if err := rt.exchange(im, s, partner); err != nil {
+				return err
+			}
+		}
+
+		// Everything left is homed here: apply.
+		for _, u := range rt.cur {
+			gi := u & globalMask
+			if home := int(gi >> localBits); home != me {
+				return fmt.Errorf("hpcc: update for image %d leaked through routing to image %d", home, me)
+			}
+			table[gi&uint64(len(table)-1)] ^= u
+		}
+		im.MemWork(int64(len(rt.cur)) * 16)
+	}
+
+	// Drain: partners may still be routing; keep serving their buckets
+	// until every image is done. A final barrier would strand their
+	// notifies, so run the stages with empty buckets until global count
+	// settles. Simplest correct scheme: a termination allreduce loop.
+	return rt.drain(im)
+}
+
+// exchange swaps this stage's bucket with the partner. Buckets have no a
+// priori size bound (the HPCC stream's low bits are serially correlated,
+// so routing splits burst), so each side ships its bucket in as many
+// landing-zone rounds as needed. A round's count word carries a more-flag;
+// the zone-free credit (readyEv) gates every overwrite, and both sides
+// interleave sending and receiving so no round can block its peer's
+// progress.
+func (rt *raRouter) exchange(im *caf.Image, s, partner int) error {
+	zone := s * (rt.cap + 1) * raSlot
+	const moreFlag = uint64(1) << 63
+
+	// Split the outgoing bucket into rounds (at least one, possibly empty).
+	rounds := (len(rt.send) + rt.cap - 1) / rt.cap
+	if rounds == 0 {
+		rounds = 1
+	}
+	si := 0
+	recvDone := false
+	for si < rounds || !recvDone {
+		if si < rounds {
+			lo := si * rt.cap
+			hi := lo + rt.cap
+			if hi > len(rt.send) {
+				hi = len(rt.send)
+			}
+			cnt := uint64(hi - lo)
+			if si+1 < rounds {
+				cnt |= moreFlag
+			}
+			// Flow control: wait for the zone-free credit before writing.
+			if err := rt.readyEv.Wait(s); err != nil {
+				return err
+			}
+			msg := append([]uint64{cnt}, rt.send[lo:hi]...)
+			if err := rt.land.PutDeferred(partner, zone, caf.U64Bytes(msg)); err != nil {
+				return err
+			}
+			if err := rt.dataEv.Notify(partner, s); err != nil {
+				return err
+			}
+			si++
+		}
+		if !recvDone {
+			if err := rt.dataEv.Wait(s); err != nil {
+				return err
+			}
+			lz := caf.BytesU64(rt.land.Local()[zone : zone+(rt.cap+1)*raSlot])
+			cnt := int(lz[0] &^ moreFlag)
+			if cnt > rt.cap {
+				return fmt.Errorf("hpcc: corrupt landing count %d", cnt)
+			}
+			rt.cur = append(rt.cur, lz[1:1+cnt]...)
+			im.MemWork(int64(cnt) * 8)
+			recvDone = lz[0]&moreFlag == 0
+			// Tell the partner the zone is reusable.
+			if err := rt.readyEv.Notify(partner, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// drain completes the run: every image executes the same number of batches
+// (the configuration is symmetric), every stage exchange pairs up exactly,
+// and the per-round handshakes are self-contained — a barrier suffices.
+func (rt *raRouter) drain(im *caf.Image) error {
+	return im.World().Barrier()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

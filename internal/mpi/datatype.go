@@ -1,0 +1,54 @@
+package mpi
+
+import "cafmpi/internal/elem"
+
+// Datatype identifies an element type for typed operations; it aliases
+// elem.Kind so the MPI layer, the CAF runtime and the kernels share one set
+// of element semantics.
+type Datatype = elem.Kind
+
+// Predefined datatypes.
+const (
+	Byte       = elem.Byte
+	Int32      = elem.Int32
+	Int64      = elem.Int64
+	Uint64     = elem.Uint64
+	Float64    = elem.Float64
+	Complex128 = elem.Complex128
+)
+
+// Op is a reduction operator (alias of elem.Op).
+type Op = elem.Op
+
+// Predefined reduction operators. OpReplace is MPI_REPLACE (accumulate
+// only); OpNoOp is MPI_NO_OP (fetch-only accumulate).
+const (
+	OpSum     = elem.Sum
+	OpProd    = elem.Prod
+	OpMax     = elem.Max
+	OpMin     = elem.Min
+	OpBAnd    = elem.BAnd
+	OpBOr     = elem.BOr
+	OpBXor    = elem.BXor
+	OpReplace = elem.Replace
+	OpNoOp    = elem.NoOp
+)
+
+// Byte-view helpers re-exported from elem for callers building MPI buffers.
+var (
+	F64Bytes  = elem.F64Bytes
+	I64Bytes  = elem.I64Bytes
+	U64Bytes  = elem.U64Bytes
+	I32Bytes  = elem.I32Bytes
+	C128Bytes = elem.C128Bytes
+	BytesF64  = elem.BytesF64
+	BytesI64  = elem.BytesI64
+	BytesU64  = elem.BytesU64
+	BytesI32  = elem.BytesI32
+	BytesC128 = elem.BytesC128
+)
+
+// reduceInto forwards to elem.ReduceInto.
+func reduceInto(acc, in []byte, dt Datatype, op Op) error {
+	return elem.ReduceInto(acc, in, dt, op)
+}

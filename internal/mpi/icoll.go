@@ -1,0 +1,298 @@
+package mpi
+
+import "fmt"
+
+// Nonblocking collectives (MPI-3 §5.12): each call builds a per-rank
+// schedule of communication rounds that advances whenever the returned
+// handle is tested or waited on. Every rank of the communicator must issue
+// the same nonblocking collectives in the same order; each operation draws
+// a fresh tag window so overlapping operations never cross-match.
+
+// tagIColl is the base of the nonblocking-collective tag space (above the
+// blocking collectives' tags).
+const tagIColl = TagUB + 4096
+
+// icollStep is one round: issue starts the round's sends/receives and
+// returns their requests; finish runs after they complete (e.g. folding a
+// received buffer into the accumulator).
+type icollStep struct {
+	issue  func() ([]*Request, error)
+	finish func() error
+}
+
+// CollRequest is the handle of an in-flight nonblocking collective.
+type CollRequest struct {
+	env   *Env
+	steps []icollStep
+	cur   int
+	reqs  []*Request // outstanding requests of the current step
+	state int        // 0: before issue, 1: issued, 2: done
+	err   error
+}
+
+// Done reports completion without making progress.
+func (r *CollRequest) Done() bool { return r.state == 2 && r.cur >= len(r.steps) }
+
+// Test advances the schedule without blocking and reports completion.
+func (r *CollRequest) Test() (bool, error) {
+	for {
+		if r.err != nil {
+			return true, r.err
+		}
+		if r.cur >= len(r.steps) {
+			return true, nil
+		}
+		step := &r.steps[r.cur]
+		if r.state == 0 {
+			reqs, err := step.issue()
+			if err != nil {
+				r.err = err
+				return true, err
+			}
+			r.reqs = reqs
+			r.state = 1
+		}
+		// Test every outstanding request of the round.
+		for _, q := range r.reqs {
+			if q == nil {
+				continue
+			}
+			done, _, err := q.Test()
+			if err != nil {
+				r.err = err
+				return true, err
+			}
+			if !done {
+				return false, nil
+			}
+		}
+		if step.finish != nil {
+			if err := step.finish(); err != nil {
+				r.err = err
+				return true, err
+			}
+		}
+		r.cur++
+		r.state = 0
+		r.reqs = nil
+	}
+}
+
+// Wait blocks until the collective completes, driving MPI progress.
+func (r *CollRequest) Wait() error {
+	for {
+		done, err := r.Test()
+		if done {
+			return err
+		}
+		// Block until something changes: either new arrivals or a queued
+		// virtual-future arrival we can advance to.
+		seq := r.env.ep.Seq()
+		if r.env.advanceToPending() {
+			continue
+		}
+		r.env.ep.WaitActivity(seq)
+	}
+}
+
+// icollTags reserves a tag window for one nonblocking collective.
+func (c *Comm) icollTags() int {
+	base := tagIColl + c.icollSeq*128
+	c.icollSeq++
+	return base
+}
+
+// isendI/irecvI are the schedule building blocks on the collective context.
+func (c *Comm) isendI(buf []byte, dest, tag int) *Request {
+	return c.isendCtx(buf, dest, tag, c.ctx+1)
+}
+
+func (c *Comm) irecvI(buf []byte, src, tag int) *Request {
+	return c.irecvCtx(buf, src, tag, c.ctx+1)
+}
+
+// kick eagerly issues the schedule's first round so communication starts
+// at the I* call, not at the first Test/Wait — this is what buys the
+// overlap. It must run only on fully composed schedules.
+func (r *CollRequest) kick() *CollRequest {
+	_, _ = r.Test()
+	return r
+}
+
+// Ibarrier starts a nonblocking dissemination barrier.
+func (c *Comm) Ibarrier() (*CollRequest, error) {
+	r, err := c.buildIbarrier()
+	if err != nil {
+		return nil, err
+	}
+	return r.kick(), nil
+}
+
+func (c *Comm) buildIbarrier() (*CollRequest, error) {
+	c.env.checkLive()
+	n := c.Size()
+	base := c.icollTags()
+	r := &CollRequest{env: c.env}
+	for k, round := 1, 0; k < n; k, round = k<<1, round+1 {
+		dst := (c.myRank + k) % n
+		src := (c.myRank - k + n) % n
+		tag := base + round
+		r.steps = append(r.steps, icollStep{
+			issue: func() ([]*Request, error) {
+				return []*Request{
+					c.isendI(nil, dst, tag),
+					c.irecvI(nil, src, tag),
+				}, nil
+			},
+		})
+	}
+	return r, nil
+}
+
+// Ibcast starts a nonblocking binomial broadcast of buf from root.
+func (c *Comm) Ibcast(buf []byte, dt Datatype, root int) (*CollRequest, error) {
+	r, err := c.buildIbcast(buf, dt, root)
+	if err != nil {
+		return nil, err
+	}
+	return r.kick(), nil
+}
+
+func (c *Comm) buildIbcast(buf []byte, dt Datatype, root int) (*CollRequest, error) {
+	c.env.checkLive()
+	if err := c.checkRank(root, "Ibcast root"); err != nil {
+		return nil, err
+	}
+	n := c.Size()
+	base := c.icollTags()
+	r := &CollRequest{env: c.env}
+	vr := (c.myRank - root + n) % n
+	mask := 1
+	for mask < n {
+		if vr&mask != 0 {
+			src := (c.myRank - mask + n) % n
+			r.steps = append(r.steps, icollStep{
+				issue: func() ([]*Request, error) {
+					return []*Request{c.irecvI(buf, src, base)}, nil
+				},
+			})
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if vr+mask < n {
+			dst := (c.myRank + mask) % n
+			r.steps = append(r.steps, icollStep{
+				issue: func() ([]*Request, error) {
+					return []*Request{c.isendI(buf, dst, base)}, nil
+				},
+			})
+		}
+	}
+	return r, nil
+}
+
+// Ireduce starts a nonblocking binomial reduction into recvBuf at root.
+func (c *Comm) Ireduce(sendBuf, recvBuf []byte, dt Datatype, op Op, root int) (*CollRequest, error) {
+	r, err := c.buildIreduce(sendBuf, recvBuf, dt, op, root)
+	if err != nil {
+		return nil, err
+	}
+	return r.kick(), nil
+}
+
+func (c *Comm) buildIreduce(sendBuf, recvBuf []byte, dt Datatype, op Op, root int) (*CollRequest, error) {
+	c.env.checkLive()
+	if err := c.checkRank(root, "Ireduce root"); err != nil {
+		return nil, err
+	}
+	if len(sendBuf)%dt.Size() != 0 {
+		return nil, fmt.Errorf("mpi: Ireduce buffer size %d not a multiple of %s size %d", len(sendBuf), dt, dt.Size())
+	}
+	n := c.Size()
+	base := c.icollTags()
+	r := &CollRequest{env: c.env}
+	acc := append([]byte(nil), sendBuf...)
+	tmp := make([]byte, len(sendBuf))
+	vr := (c.myRank - root + n) % n
+	for mask := 1; mask < n; mask <<= 1 {
+		if vr&mask != 0 {
+			dst := (c.myRank - mask + n) % n
+			r.steps = append(r.steps, icollStep{
+				issue: func() ([]*Request, error) {
+					return []*Request{c.isendI(acc, dst, base)}, nil
+				},
+			})
+			break
+		}
+		if vr+mask < n {
+			src := (c.myRank + mask) % n
+			r.steps = append(r.steps, icollStep{
+				issue: func() ([]*Request, error) {
+					return []*Request{c.irecvI(tmp, src, base)}, nil
+				},
+				finish: func() error { return reduceInto(acc, tmp, dt, op) },
+			})
+		}
+	}
+	if c.myRank == root {
+		r.steps = append(r.steps, icollStep{
+			issue: func() ([]*Request, error) { return nil, nil },
+			finish: func() error {
+				if len(recvBuf) < len(acc) {
+					return fmt.Errorf("mpi: Ireduce recv buffer too small (%d < %d)", len(recvBuf), len(acc))
+				}
+				copy(recvBuf, acc)
+				return nil
+			},
+		})
+	}
+	return r, nil
+}
+
+// Iallreduce starts a nonblocking reduce-to-0 + broadcast; every rank
+// receives the result in recvBuf.
+func (c *Comm) Iallreduce(sendBuf, recvBuf []byte, dt Datatype, op Op) (*CollRequest, error) {
+	if len(recvBuf) < len(sendBuf) {
+		return nil, fmt.Errorf("mpi: Iallreduce recv buffer too small (%d < %d)", len(recvBuf), len(sendBuf))
+	}
+	red, err := c.buildIreduce(sendBuf, recvBuf, dt, op, 0)
+	if err != nil {
+		return nil, err
+	}
+	bc, err := c.buildIbcast(recvBuf[:len(sendBuf)], dt, 0)
+	if err != nil {
+		return nil, err
+	}
+	red.steps = append(red.steps, bc.steps...)
+	return red.kick(), nil
+}
+
+// Ialltoall starts a nonblocking all-to-all of equal blocks: all sends and
+// receives are issued at once (the schedule has a single round).
+func (c *Comm) Ialltoall(sendBuf, recvBuf []byte, dt Datatype) (*CollRequest, error) {
+	c.env.checkLive()
+	n := c.Size()
+	if len(sendBuf)%n != 0 || len(recvBuf) < len(sendBuf) {
+		return nil, fmt.Errorf("mpi: Ialltoall buffer sizes invalid (%d send, %d recv, %d ranks)", len(sendBuf), len(recvBuf), n)
+	}
+	blk := len(sendBuf) / n
+	base := c.icollTags()
+	r := &CollRequest{env: c.env}
+	r.steps = append(r.steps, icollStep{
+		issue: func() ([]*Request, error) {
+			var reqs []*Request
+			copy(recvBuf[c.myRank*blk:(c.myRank+1)*blk], sendBuf[c.myRank*blk:])
+			for i := 1; i < n; i++ {
+				dst := (c.myRank + i) % n
+				src := (c.myRank - i + n) % n
+				reqs = append(reqs,
+					c.isendI(sendBuf[dst*blk:(dst+1)*blk], dst, base),
+					c.irecvI(recvBuf[src*blk:(src+1)*blk], src, base))
+			}
+			return reqs, nil
+		},
+	})
+	return r.kick(), nil
+}

@@ -1,0 +1,263 @@
+// Package mpi is an MPI-3 implementation for simulated images. It provides
+// the subset of the standard that the paper's CAF-MPI runtime is built on:
+// communicators and groups, tagged two-sided messaging with wildcards and
+// request objects, the classic collective algorithms, and the MPI-3 RMA
+// interface (allocated windows, passive-target lock_all epochs, put/get/
+// accumulate/fetch-and-op/compare-and-swap, request-generating Rput/Rget,
+// flush/flush_local/flush_all) plus the MPI_WIN_RFLUSH extension the paper
+// proposes in §5.
+//
+// Each image calls Init once; all communication charges virtual time
+// through the fabric cost model. Data movement is real: payloads and window
+// memory are actual bytes, so programs are validated for correctness while
+// the clocks reproduce scaling behaviour.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cafmpi/internal/fabric"
+	"cafmpi/internal/sim"
+)
+
+// Wildcards and limits.
+const (
+	AnySource = -1
+	AnyTag    = -1
+	// ProcNull is a no-op peer: sends to it vanish, receives from it error.
+	ProcNull = -2
+	// TagUB is the largest user tag; internal traffic uses tags above it.
+	TagUB = 1 << 24
+)
+
+// Message classes on the fabric layer.
+const (
+	clsP2P uint8 = iota + 1
+	clsColl
+)
+
+// worldState is shared by every image's Env: context-id allocation and the
+// window directory.
+type worldState struct {
+	nextCtx atomic.Int64
+	winsMu  sync.Mutex
+	wins    map[string]*winShared
+	dynWins map[string]*dynShared
+}
+
+// Env is one image's MPI library instance (the result of MPI_Init).
+type Env struct {
+	p     *sim.Proc
+	net   *fabric.Net
+	layer *fabric.Layer
+	ep    *fabric.Endpoint
+	ws    *worldState
+
+	world *Comm
+
+	mu     sync.Mutex // guards posted (CompleteAt may come from peers)
+	posted []*Request // posted receives, in post order
+
+	footprint int64
+	finalized bool
+}
+
+// Init initializes MPI on image p. The returned Env is private to the
+// image's goroutine. Calling Init twice on one image is an error in MPI;
+// here each call returns a fresh independent Env, which tests exploit.
+func Init(p *sim.Proc, net *fabric.Net) *Env {
+	ws := p.World().Shared("mpi.world", func() any {
+		w := &worldState{wins: make(map[string]*winShared), dynWins: make(map[string]*dynShared)}
+		w.nextCtx.Store(2) // 0,1 reserved for COMM_WORLD
+		return w
+	}).(*worldState)
+
+	env := &Env{
+		p:     p,
+		net:   net,
+		layer: net.Layer("mpi"),
+		ws:    ws,
+	}
+	env.ep = env.layer.Endpoint(p.ID())
+
+	ranks := make([]int, p.N())
+	for i := range ranks {
+		ranks[i] = i
+	}
+	env.world = &Comm{env: env, ranks: ranks, myRank: p.ID(), ctx: 0}
+
+	// Connection state and per-peer eager buffer pools: MPICH derivatives
+	// preallocate these, which is what makes the MPI runtime's memory
+	// footprint grow with job size (Figure 1).
+	c := net.Params().MPI
+	env.footprint = c.BaseFootprint +
+		int64(p.N())*int64(c.EagerSlotsPerPeer*c.EagerSlotBytes+c.PeerStateBytes)
+	return env
+}
+
+// Proc returns the owning simulated image.
+func (e *Env) Proc() *sim.Proc { return e.p }
+
+// CommWorld returns MPI_COMM_WORLD.
+func (e *Env) CommWorld() *Comm { return e.world }
+
+// Wtime returns the image's virtual clock in seconds, like MPI_Wtime.
+func (e *Env) Wtime() float64 { return float64(e.p.Now()) * 1e-9 }
+
+// MemoryFootprint returns the bytes of memory this MPI instance holds:
+// the modeled base runtime plus per-peer eager pools plus window memory.
+func (e *Env) MemoryFootprint() int64 { return atomic.LoadInt64(&e.footprint) }
+
+// Finalize marks the environment finalized. Communication after Finalize
+// panics, mirroring MPI semantics closely enough for tests.
+func (e *Env) Finalize() { e.finalized = true }
+
+func (e *Env) checkLive() {
+	if e.finalized {
+		panic("mpi: communication after Finalize")
+	}
+}
+
+// costs returns the platform's MPI layer costs.
+func (e *Env) costs() *fabric.MPICosts { return &e.net.Params().MPI }
+
+// Comm is an MPI communicator: an ordered group of world ranks plus an
+// isolated matching context.
+type Comm struct {
+	env    *Env
+	ranks  []int // comm rank -> world rank
+	myRank int   // this image's rank within the comm
+	ctx    int   // base context id; ctx is p2p, ctx+1 collectives
+
+	winSeq   int // windows created on this comm so far (collective order)
+	icollSeq int // nonblocking collectives issued so far (collective order)
+}
+
+// Rank returns the calling image's rank in the communicator.
+func (c *Comm) Rank() int { return c.myRank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// WorldRank translates a comm rank to a world rank.
+func (c *Comm) WorldRank(r int) int { return c.ranks[r] }
+
+// Env returns the owning MPI environment.
+func (c *Comm) Env() *Env { return c.env }
+
+// Dup returns a duplicate communicator with a fresh context (collective).
+func (c *Comm) Dup() (*Comm, error) {
+	ctx, err := c.allocCtx()
+	if err != nil {
+		return nil, err
+	}
+	return &Comm{env: c.env, ranks: append([]int(nil), c.ranks...), myRank: c.myRank, ctx: ctx}, nil
+}
+
+// Split partitions the communicator by color, ordering each new group by
+// (key, old rank), like MPI_Comm_split. A negative color returns nil
+// (MPI_UNDEFINED): the image belongs to no new communicator but still
+// participates in the collective.
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	pairs := make([]int32, 2*c.Size())
+	me := []int32{int32(color), int32(key)}
+	if err := c.Allgather(I32Bytes(me), I32Bytes(pairs), Int32); err != nil {
+		return nil, err
+	}
+	ctx, err := c.allocCtx()
+	if err != nil {
+		return nil, err
+	}
+	if color < 0 {
+		return nil, nil
+	}
+	type member struct{ key, oldRank int }
+	var group []member
+	for r := 0; r < c.Size(); r++ {
+		if int(pairs[2*r]) == color {
+			group = append(group, member{int(pairs[2*r+1]), r})
+		}
+	}
+	// Stable order by (key, old rank): insertion sort keeps it dependency-free.
+	for i := 1; i < len(group); i++ {
+		for j := i; j > 0 && (group[j].key < group[j-1].key ||
+			(group[j].key == group[j-1].key && group[j].oldRank < group[j-1].oldRank)); j-- {
+			group[j], group[j-1] = group[j-1], group[j]
+		}
+	}
+	nc := &Comm{env: c.env, ctx: ctx}
+	for i, m := range group {
+		nc.ranks = append(nc.ranks, c.ranks[m.oldRank])
+		if m.oldRank == c.myRank {
+			nc.myRank = i
+		}
+	}
+	return nc, nil
+}
+
+// allocCtx performs the collective context-id agreement: the group's rank 0
+// draws from the world allocator and broadcasts within the parent. Each
+// split/dup consumes two context ids (p2p + collectives).
+func (c *Comm) allocCtx() (int, error) {
+	var ctx int64
+	if c.myRank == 0 {
+		ctx = c.env.ws.nextCtx.Add(2) - 2
+	}
+	buf := []int64{ctx}
+	if err := c.Bcast(I64Bytes(buf), Int64, 0); err != nil {
+		return 0, err
+	}
+	return int(buf[0]), nil
+}
+
+// Translate a possibly wildcard comm-source to a matcher over world ranks.
+func (c *Comm) srcMatcher(src int) func(worldSrc int) bool {
+	if src == AnySource {
+		in := make(map[int]bool, len(c.ranks))
+		for _, wr := range c.ranks {
+			in[wr] = true
+		}
+		return func(ws int) bool { return in[ws] }
+	}
+	want := c.ranks[src]
+	return func(ws int) bool { return ws == want }
+}
+
+// commRankOfWorld maps a world rank back into this communicator.
+func (c *Comm) commRankOfWorld(world int) int {
+	for r, wr := range c.ranks {
+		if wr == world {
+			return r
+		}
+	}
+	return -1
+}
+
+// EarliestMessage returns the smallest virtual arrival stamp among queued
+// point-to-point messages addressed to this communicator (any source, any
+// tag), for blocking pollers that must advance virtual time.
+func (c *Comm) EarliestMessage() (int64, bool) {
+	return c.env.ep.EarliestArrival(func(m *fabric.Message) bool {
+		return m.Class == clsP2P && m.Ctx == c.ctx
+	})
+}
+
+func (c *Comm) checkRank(r int, what string) error {
+	if r < 0 || r >= len(c.ranks) {
+		return fmt.Errorf("mpi: %s rank %d out of range [0,%d)", what, r, len(c.ranks))
+	}
+	return nil
+}
+
+// ActivitySeq returns a counter that increases with every message arrival
+// or completion event on this image's endpoint. Blocking pollers sample it
+// before making progress and pass it to WaitActivity.
+func (e *Env) ActivitySeq() uint64 { return e.ep.Seq() }
+
+// WaitActivity blocks until the activity counter passes since, then returns
+// the new value. It is the blocking network poll that CAF-MPI's event_wait
+// is built on (§3.4): the wait parks on the endpoint, so arrivals of any
+// kind wake it.
+func (e *Env) WaitActivity(since uint64) uint64 { return e.ep.WaitActivity(since) }

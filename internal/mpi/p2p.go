@@ -1,0 +1,373 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"cafmpi/internal/fabric"
+)
+
+// Status describes a completed receive.
+type Status struct {
+	Source int // comm rank of the sender
+	Tag    int
+	Count  int // bytes received
+}
+
+// Request kinds.
+const (
+	reqSend = iota
+	reqRecv
+	reqRMA
+)
+
+// Request is a handle to an in-flight operation (MPI_Request).
+type Request struct {
+	env  *Env
+	kind int
+	comm *Comm
+
+	// Receive matching state (reqRecv).
+	buf      []byte
+	src, tag int
+	ctx      int
+
+	mu        sync.Mutex
+	done      bool
+	completeT int64
+	status    Status
+	err       error
+}
+
+// CompleteAt marks the operation complete at virtual time t. It is invoked
+// by the fabric (eager injection) or by the matching receiver (rendezvous),
+// possibly from another goroutine.
+func (r *Request) CompleteAt(t int64) {
+	r.mu.Lock()
+	r.done = true
+	if t > r.completeT {
+		r.completeT = t
+	}
+	r.mu.Unlock()
+	if r.env != nil {
+		r.env.ep.Poke()
+	}
+}
+
+func (r *Request) snapshot() (done bool, t int64, st Status, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.done, r.completeT, r.status, r.err
+}
+
+// Test returns the request's completion state without blocking, making
+// progress first. On completion the caller's clock absorbs the completion
+// timestamp.
+func (r *Request) Test() (bool, Status, error) {
+	r.env.progress()
+	done, t, st, err := r.snapshot()
+	if done {
+		r.env.p.AdvanceTo(t)
+	}
+	return done, st, err
+}
+
+// Wait blocks until the request completes, driving progress for all other
+// traffic meanwhile (an MPI implementation must progress everything inside
+// any blocking call).
+func (r *Request) Wait() (Status, error) {
+	e := r.env
+	for {
+		seq := e.ep.Seq()
+		e.progress()
+		if done, t, st, err := r.snapshot(); done {
+			e.p.AdvanceTo(t)
+			return st, err
+		}
+		if e.advanceToPending() {
+			continue
+		}
+		e.ep.WaitActivity(seq)
+	}
+}
+
+// Waitall waits for every request in order and returns the first error.
+func Waitall(reqs []*Request) error {
+	var first error
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		if _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Waitany blocks until at least one request completes and returns its index.
+// Completed (already-waited) requests passed again return immediately.
+func Waitany(reqs []*Request) (int, Status, error) {
+	var e *Env
+	for _, r := range reqs {
+		if r != nil {
+			e = r.env
+			break
+		}
+	}
+	if e == nil {
+		return -1, Status{}, fmt.Errorf("mpi: Waitany with no active requests")
+	}
+	for {
+		seq := e.ep.Seq()
+		e.progress()
+		for i, r := range reqs {
+			if r == nil {
+				continue
+			}
+			if done, t, st, err := r.snapshot(); done {
+				e.p.AdvanceTo(t)
+				return i, st, err
+			}
+		}
+		if e.advanceToPending() {
+			continue
+		}
+		e.ep.WaitActivity(seq)
+	}
+}
+
+// Isend starts a non-blocking tagged send of buf to dest.
+func (c *Comm) Isend(buf []byte, dest, tag int) (*Request, error) {
+	c.env.checkLive()
+	if dest == ProcNull {
+		r := &Request{env: c.env, kind: reqSend, comm: c, done: true}
+		return r, nil
+	}
+	if err := c.checkRank(dest, "send"); err != nil {
+		return nil, err
+	}
+	if tag < 0 || tag > TagUB {
+		return nil, fmt.Errorf("mpi: tag %d out of range [0,%d]", tag, TagUB)
+	}
+	return c.isendCtx(buf, dest, tag, c.ctx), nil
+}
+
+func (c *Comm) isendCtx(buf []byte, dest, tag, ctx int) *Request {
+	r := &Request{env: c.env, kind: reqSend, comm: c}
+	c.env.layer.Send(c.env.p, &fabric.Message{
+		Dst:   c.ranks[dest],
+		Class: clsP2P,
+		Tag:   tag,
+		Ctx:   ctx,
+		Data:  buf,
+		Req:   r,
+	})
+	return r
+}
+
+// Send is the blocking tagged send: it returns when buf is reusable.
+func (c *Comm) Send(buf []byte, dest, tag int) error {
+	r, err := c.Isend(buf, dest, tag)
+	if err != nil {
+		return err
+	}
+	_, err = r.Wait()
+	return err
+}
+
+// Irecv posts a non-blocking tagged receive into buf. src may be AnySource
+// and tag may be AnyTag.
+func (c *Comm) Irecv(buf []byte, src, tag int) (*Request, error) {
+	c.env.checkLive()
+	if src == ProcNull {
+		return nil, fmt.Errorf("mpi: receive from MPI_PROC_NULL")
+	}
+	if src != AnySource {
+		if err := c.checkRank(src, "recv source"); err != nil {
+			return nil, err
+		}
+	}
+	return c.irecvCtx(buf, src, tag, c.ctx), nil
+}
+
+func (c *Comm) irecvCtx(buf []byte, src, tag, ctx int) *Request {
+	r := &Request{env: c.env, kind: reqRecv, comm: c, buf: buf, src: src, tag: tag, ctx: ctx}
+	e := c.env
+	e.mu.Lock()
+	e.posted = append(e.posted, r)
+	e.mu.Unlock()
+	return r
+}
+
+// Recv is the blocking tagged receive.
+func (c *Comm) Recv(buf []byte, src, tag int) (Status, error) {
+	r, err := c.Irecv(buf, src, tag)
+	if err != nil {
+		return Status{}, err
+	}
+	return r.Wait()
+}
+
+// Sendrecv exchanges messages with (possibly distinct) peers in one call,
+// avoiding the deadlock of two blocking sends.
+func (c *Comm) Sendrecv(sendBuf []byte, dest, sendTag int, recvBuf []byte, src, recvTag int) (Status, error) {
+	rr, err := c.Irecv(recvBuf, src, recvTag)
+	if err != nil {
+		return Status{}, err
+	}
+	if err := c.Send(sendBuf, dest, sendTag); err != nil {
+		return Status{}, err
+	}
+	return rr.Wait()
+}
+
+// SendrecvReplace sends buf to dest and receives into the same buffer from
+// src (MPI_SENDRECV_REPLACE): the incoming message replaces the contents.
+func (c *Comm) SendrecvReplace(buf []byte, dest, sendTag, src, recvTag int) (Status, error) {
+	tmp := make([]byte, len(buf))
+	st, err := c.Sendrecv(buf, dest, sendTag, tmp, src, recvTag)
+	if err != nil {
+		return st, err
+	}
+	copy(buf, tmp[:st.Count])
+	return st, nil
+}
+
+// Iprobe checks for a matching incoming message without receiving it.
+func (c *Comm) Iprobe(src, tag int) (bool, Status, error) {
+	c.env.checkLive()
+	c.env.progress()
+	now := c.env.p.Now()
+	match := c.probeMatcher(src, tag)
+	m := c.env.ep.Peek(func(m *fabric.Message) bool { return match(m) && m.ArriveT <= now })
+	if m == nil {
+		return false, Status{}, nil
+	}
+	return true, Status{Source: c.commRankOfWorld(m.Src), Tag: m.Tag, Count: len(m.Data)}, nil
+}
+
+// Probe blocks until a matching message is available, advancing virtual
+// time to a queued matching arrival if one is still in flight.
+func (c *Comm) Probe(src, tag int) (Status, error) {
+	for {
+		seq := c.env.ep.Seq()
+		ok, st, err := c.Iprobe(src, tag)
+		if ok || err != nil {
+			return st, err
+		}
+		if t, ok := c.env.ep.EarliestArrival(c.probeMatcher(src, tag)); ok {
+			c.env.p.AdvanceTo(t)
+			continue
+		}
+		c.env.ep.WaitActivity(seq)
+	}
+}
+
+func (c *Comm) probeMatcher(src, tag int) func(*fabric.Message) bool {
+	srcOK := c.srcMatcher(src)
+	return func(m *fabric.Message) bool {
+		return m.Class == clsP2P && m.Ctx == c.ctx &&
+			(tag == AnyTag || m.Tag == tag) && srcOK(m.Src)
+	}
+}
+
+// matchReq reports whether message m satisfies posted receive r.
+func matchReq(r *Request, m *fabric.Message) bool {
+	if m.Class != clsP2P || m.Ctx != r.ctx {
+		return false
+	}
+	if r.tag != AnyTag && m.Tag != r.tag {
+		return false
+	}
+	if r.src == AnySource {
+		return r.comm.commRankOfWorld(m.Src) >= 0
+	}
+	return m.Src == r.comm.ranks[r.src]
+}
+
+// progress delivers queued arrivals to posted receives, in arrival order,
+// each to the earliest-posted matching request. Only messages whose virtual
+// arrival stamp has passed are delivered: matching a message "from the
+// future" would advance this image's clock to the sender's and let skew
+// compound. It returns whether anything was delivered. progress runs only
+// on the owning image's goroutine.
+func (e *Env) progress() bool {
+	delivered := false
+	for {
+		now := e.p.Now()
+		e.mu.Lock()
+		var hit *Request
+		m := e.ep.TryRecv(func(m *fabric.Message) bool {
+			if m.ArriveT > now {
+				return false
+			}
+			for _, r := range e.posted {
+				if matchReq(r, m) {
+					hit = r
+					return true
+				}
+			}
+			return false
+		})
+		if m == nil {
+			e.mu.Unlock()
+			if !delivered {
+				// An unsuccessful poll still costs a queue scan; this also
+				// lets pure test/probe spin loops advance virtual time
+				// toward in-flight arrivals.
+				e.p.Advance(e.costs().MatchNS)
+			}
+			return delivered
+		}
+		// Unpost before releasing the lock so no other matcher sees it.
+		for i, r := range e.posted {
+			if r == hit {
+				e.posted = append(e.posted[:i], e.posted[i+1:]...)
+				break
+			}
+		}
+		e.mu.Unlock()
+		e.deliver(hit, m)
+		delivered = true
+	}
+}
+
+// advanceToPending advances the clock to the earliest queued arrival that
+// matches a posted receive, returning whether it did. Blocking waits call
+// it when progress finds nothing eligible: waiting for a message that is
+// already queued but virtually in flight is a virtual-time wait.
+func (e *Env) advanceToPending() bool {
+	e.mu.Lock()
+	t, ok := e.ep.EarliestArrival(func(m *fabric.Message) bool {
+		for _, r := range e.posted {
+			if matchReq(r, m) {
+				return true
+			}
+		}
+		return false
+	})
+	e.mu.Unlock()
+	if ok {
+		e.p.AdvanceTo(t)
+	}
+	return ok
+}
+
+func (e *Env) deliver(r *Request, m *fabric.Message) {
+	e.layer.Absorb(e.p, m, e.costs().MatchNS)
+	st := Status{Source: r.comm.commRankOfWorld(m.Src), Tag: m.Tag, Count: len(m.Data)}
+	var err error
+	if len(m.Data) > len(r.buf) {
+		err = fmt.Errorf("mpi: message truncated (%d bytes into %d-byte buffer)", len(m.Data), len(r.buf))
+		st.Count = len(r.buf)
+	}
+	copy(r.buf, m.Data)
+	r.mu.Lock()
+	r.done = true
+	r.completeT = e.p.Now()
+	r.status = st
+	r.err = err
+	r.mu.Unlock()
+	e.ep.Poke()
+}

@@ -1,0 +1,496 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// winShared is the cross-image state of one window: every rank's memory and
+// the per-rank locks that serialize atomic accumulates.
+type winShared struct {
+	key    string
+	bases  [][]byte // indexed by comm rank
+	atomMu []sync.Mutex
+}
+
+// Win is an MPI-3 window as seen by one image. RMA operations require an
+// access epoch (Lock/LockAll); CAF-MPI lock_alls every window at coarray
+// allocation and keeps the epoch open for the window's lifetime (§3.1).
+type Win struct {
+	env  *Env
+	comm *Comm
+	sh   *winShared
+	size int
+
+	lockedAll bool
+	locked    []bool
+
+	// Origin-side completion tracking per target (comm rank): the latest
+	// remote-completion timestamp of issued operations, and whether any
+	// operation is unflushed. FlushAll's linear scan over these is the
+	// MPICH behaviour that dominates the paper's Figure 4.
+	pendingT   []int64
+	hasPending []bool
+
+	shared bool // created by WinAllocateShared
+	freed  bool
+}
+
+// WinAllocate collectively creates a window of size bytes on every rank of
+// comm, like MPI_WIN_ALLOCATE (the implementation allocates the memory,
+// giving it freedom to use special regions — here the benefit is modeled in
+// the setup cost only).
+func WinAllocate(c *Comm, size int) (*Win, error) {
+	c.env.checkLive()
+	if size < 0 {
+		return nil, fmt.Errorf("mpi: negative window size %d", size)
+	}
+	// Disjoint communicators born of one Split share a context id, so the
+	// registry key also carries the group identity (rank 0's world rank).
+	key := fmt.Sprintf("win/%d/%d/%d", c.ctx, c.winSeq, c.ranks[0])
+	c.winSeq++
+	ws := c.env.ws
+	ws.winsMu.Lock()
+	sh, ok := ws.wins[key]
+	if !ok {
+		sh = &winShared{key: key, bases: make([][]byte, c.Size()), atomMu: make([]sync.Mutex, c.Size())}
+		ws.wins[key] = sh
+	}
+	sh.bases[c.myRank] = make([]byte, size)
+	ws.winsMu.Unlock()
+
+	w := &Win{
+		env:        c.env,
+		comm:       c,
+		sh:         sh,
+		size:       size,
+		locked:     make([]bool, c.Size()),
+		pendingT:   make([]int64, c.Size()),
+		hasPending: make([]bool, c.Size()),
+	}
+	c.env.p.Advance(c.env.costs().WinSetupNS * int64(c.Size()))
+	atomic.AddInt64(&c.env.footprint, int64(size))
+	// The barrier both orders window-memory publication (every base set
+	// before any rank returns) and models the collective synchronization
+	// of window creation.
+	if err := c.Barrier(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Base returns the local window memory.
+func (w *Win) Base() []byte { return w.sh.bases[w.comm.myRank] }
+
+// Size returns the local window size in bytes.
+func (w *Win) Size() int { return w.size }
+
+// Comm returns the communicator the window was created on.
+func (w *Win) Comm() *Comm { return w.comm }
+
+// Free releases the window collectively.
+func (w *Win) Free() error {
+	if w.freed {
+		return fmt.Errorf("mpi: window already freed")
+	}
+	if err := w.comm.Barrier(); err != nil {
+		return err
+	}
+	w.freed = true
+	atomic.AddInt64(&w.env.footprint, -int64(w.size))
+	w.env.ws.winsMu.Lock()
+	delete(w.env.ws.wins, w.sh.key)
+	w.env.ws.winsMu.Unlock()
+	return nil
+}
+
+// LockAll opens a shared access epoch to every target (MPI_WIN_LOCK_ALL
+// with MPI_MODE_NOCHECK semantics: acquisition is lazy and cheap).
+func (w *Win) LockAll() error {
+	if w.lockedAll {
+		return fmt.Errorf("mpi: LockAll inside an existing lock-all epoch")
+	}
+	w.lockedAll = true
+	w.env.p.Advance(w.env.costs().FlushScanNS * int64(w.comm.Size()))
+	return nil
+}
+
+// UnlockAll flushes and closes the lock-all epoch.
+func (w *Win) UnlockAll() error {
+	if !w.lockedAll {
+		return fmt.Errorf("mpi: UnlockAll without LockAll")
+	}
+	if err := w.FlushAll(); err != nil {
+		return err
+	}
+	w.lockedAll = false
+	return nil
+}
+
+// Lock opens an access epoch to a single target.
+func (w *Win) Lock(target int) error {
+	if err := w.comm.checkRank(target, "lock"); err != nil {
+		return err
+	}
+	if w.locked[target] || w.lockedAll {
+		return fmt.Errorf("mpi: Lock(%d) inside an existing epoch", target)
+	}
+	w.locked[target] = true
+	w.env.p.Advance(w.env.net.Params().LatencyNS) // lock request one-way; grant piggybacked
+	return nil
+}
+
+// Unlock flushes and closes the single-target epoch.
+func (w *Win) Unlock(target int) error {
+	if err := w.comm.checkRank(target, "unlock"); err != nil {
+		return err
+	}
+	if !w.locked[target] {
+		return fmt.Errorf("mpi: Unlock(%d) without Lock", target)
+	}
+	if err := w.Flush(target); err != nil {
+		return err
+	}
+	w.locked[target] = false
+	return nil
+}
+
+func (w *Win) checkAccess(target int, what string) error {
+	if w.freed {
+		return fmt.Errorf("mpi: %s on freed window", what)
+	}
+	if err := w.comm.checkRank(target, what); err != nil {
+		return err
+	}
+	if !w.lockedAll && !w.locked[target] {
+		return fmt.Errorf("mpi: %s to target %d outside an access epoch (call Lock or LockAll first)", what, target)
+	}
+	return nil
+}
+
+func (w *Win) checkRange(target, disp, n int, what string) error {
+	if disp < 0 || disp+n > len(w.sh.bases[target]) {
+		return fmt.Errorf("mpi: %s range [%d,%d) outside window of size %d", what, disp, disp+n, len(w.sh.bases[target]))
+	}
+	return nil
+}
+
+// notePending records a remote completion timestamp for target.
+func (w *Win) notePending(target int, t int64) {
+	if t > w.pendingT[target] {
+		w.pendingT[target] = t
+	}
+	w.hasPending[target] = true
+}
+
+// Put copies buf into the target's window at byte displacement disp
+// (MPI_PUT: completes remotely only after a flush or epoch close).
+func (w *Win) Put(buf []byte, target, disp int) error {
+	if err := w.checkAccess(target, "Put"); err != nil {
+		return err
+	}
+	if err := w.checkRange(target, disp, len(buf), "Put"); err != nil {
+		return err
+	}
+	worldDst := w.comm.ranks[target]
+	done := w.env.layer.RMAPut(w.env.p, worldDst, len(buf), w.env.costs().PutNS)
+	copy(w.sh.bases[target][disp:], buf)
+	w.notePending(target, done)
+	return nil
+}
+
+// Get copies from the target's window at disp into buf (MPI_GET: the buffer
+// must not be read until a flush; the virtual completion time is charged at
+// the flush).
+func (w *Win) Get(buf []byte, target, disp int) error {
+	if err := w.checkAccess(target, "Get"); err != nil {
+		return err
+	}
+	if err := w.checkRange(target, disp, len(buf), "Get"); err != nil {
+		return err
+	}
+	pr := w.env.net.Params()
+	worldDst := w.comm.ranks[target]
+	w.env.p.Advance(w.env.costs().GetNS)
+	copy(buf, w.sh.bases[target][disp:])
+	w.notePending(target, w.env.p.Now()+2*pr.PathLatency(w.env.p.ID(), worldDst)+pr.PathWireTime(w.env.p.ID(), worldDst, len(buf)))
+	return nil
+}
+
+// Rput is Put returning a request that completes at *local* completion
+// (MPI-3 semantics: remote completion still requires a flush).
+func (w *Win) Rput(buf []byte, target, disp int) (*Request, error) {
+	if err := w.Put(buf, target, disp); err != nil {
+		return nil, err
+	}
+	r := &Request{env: w.env, kind: reqRMA, done: true, completeT: w.env.p.Now()}
+	return r, nil
+}
+
+// Rget is Get returning a request; its completion covers both local and
+// remote completion (MPI-3 §11.3.5), so waiting on it makes buf readable.
+func (w *Win) Rget(buf []byte, target, disp int) (*Request, error) {
+	if err := w.checkAccess(target, "Rget"); err != nil {
+		return nil, err
+	}
+	if err := w.checkRange(target, disp, len(buf), "Rget"); err != nil {
+		return nil, err
+	}
+	pr := w.env.net.Params()
+	worldDst := w.comm.ranks[target]
+	w.env.p.Advance(w.env.costs().GetNS)
+	copy(buf, w.sh.bases[target][disp:])
+	done := w.env.p.Now() + 2*pr.PathLatency(w.env.p.ID(), worldDst) + pr.PathWireTime(w.env.p.ID(), worldDst, len(buf))
+	r := &Request{env: w.env, kind: reqRMA, done: true, completeT: done}
+	return r, nil
+}
+
+// Accumulate atomically combines buf into the target window with op
+// (MPI_ACCUMULATE; atomic per element with respect to other accumulates).
+func (w *Win) Accumulate(buf []byte, target, disp int, dt Datatype, op Op) error {
+	if err := w.checkAccess(target, "Accumulate"); err != nil {
+		return err
+	}
+	if err := w.checkRange(target, disp, len(buf), "Accumulate"); err != nil {
+		return err
+	}
+	worldDst := w.comm.ranks[target]
+	done := w.env.layer.RMAPut(w.env.p, worldDst, len(buf), w.env.costs().AtomicNS)
+	w.sh.atomMu[target].Lock()
+	err := reduceInto(w.sh.bases[target][disp:disp+len(buf)], buf, dt, op)
+	w.sh.atomMu[target].Unlock()
+	if err != nil {
+		return err
+	}
+	w.notePending(target, done)
+	// Wake a target parked in a busy-wait re-probe loop (the atomic landed).
+	w.env.layer.Endpoint(worldDst).Poke()
+	return nil
+}
+
+// GetAccumulate fetches the prior target contents into result and combines
+// buf into the target with op, atomically. result may be nil with OpNoOp
+// ... but then use Get; with op OpNoOp the fetch is pure (MPI_NO_OP).
+func (w *Win) GetAccumulate(buf, result []byte, target, disp int, dt Datatype, op Op) error {
+	if err := w.checkAccess(target, "GetAccumulate"); err != nil {
+		return err
+	}
+	n := len(result)
+	if op != OpNoOp && len(buf) != n {
+		return fmt.Errorf("mpi: GetAccumulate origin (%d) and result (%d) sizes differ", len(buf), n)
+	}
+	if err := w.checkRange(target, disp, n, "GetAccumulate"); err != nil {
+		return err
+	}
+	pr := w.env.net.Params()
+	worldDst := w.comm.ranks[target]
+	w.env.p.Advance(w.env.costs().AtomicNS + 2*pr.PathLatency(w.env.p.ID(), worldDst) + pr.PathWireTime(w.env.p.ID(), worldDst, n))
+	w.sh.atomMu[target].Lock()
+	copy(result, w.sh.bases[target][disp:disp+n])
+	var err error
+	if op != OpNoOp {
+		err = reduceInto(w.sh.bases[target][disp:disp+n], buf, dt, op)
+	}
+	w.sh.atomMu[target].Unlock()
+	if err != nil {
+		return err
+	}
+	w.notePending(target, w.env.p.Now())
+	return nil
+}
+
+// FetchAndOp is the single-element fast path of GetAccumulate
+// (MPI_FETCH_AND_OP).
+func (w *Win) FetchAndOp(buf, result []byte, target, disp int, dt Datatype, op Op) error {
+	if len(result) != dt.Size() || (op != OpNoOp && len(buf) != dt.Size()) {
+		return fmt.Errorf("mpi: FetchAndOp operates on exactly one %s element", dt)
+	}
+	return w.GetAccumulate(buf, result, target, disp, dt, op)
+}
+
+// CompareAndSwap atomically replaces the target element with origin if it
+// equals compare, returning the prior value in result (MPI_COMPARE_AND_SWAP).
+func (w *Win) CompareAndSwap(origin, compare, result []byte, target, disp int, dt Datatype) error {
+	if err := w.checkAccess(target, "CompareAndSwap"); err != nil {
+		return err
+	}
+	n := dt.Size()
+	if len(origin) != n || len(compare) != n || len(result) != n {
+		return fmt.Errorf("mpi: CompareAndSwap buffers must be exactly one %s element", dt)
+	}
+	if err := w.checkRange(target, disp, n, "CompareAndSwap"); err != nil {
+		return err
+	}
+	pr := w.env.net.Params()
+	worldDst := w.comm.ranks[target]
+	w.env.p.Advance(w.env.costs().AtomicNS + 2*pr.PathLatency(w.env.p.ID(), worldDst) + pr.PathWireTime(w.env.p.ID(), worldDst, n))
+	w.sh.atomMu[target].Lock()
+	tgt := w.sh.bases[target][disp : disp+n]
+	copy(result, tgt)
+	if string(tgt) == string(compare) {
+		copy(tgt, origin)
+	}
+	w.sh.atomMu[target].Unlock()
+	w.notePending(target, w.env.p.Now())
+	return nil
+}
+
+// Flush completes all outstanding operations to target at the target
+// (MPI_WIN_FLUSH). It blocks the caller until remote completion.
+func (w *Win) Flush(target int) error {
+	if err := w.checkAccess(target, "Flush"); err != nil {
+		return err
+	}
+	c := w.env.costs()
+	if w.hasPending[target] {
+		w.env.p.AdvanceTo(w.pendingT[target])
+		w.env.p.Advance(c.FlushNS)
+		w.hasPending[target] = false
+	} else {
+		w.env.p.Advance(c.FlushScanNS)
+	}
+	return nil
+}
+
+// FlushLocal ensures local completion only (MPI_WIN_FLUSH_LOCAL); origin
+// buffers of puts are immediately reusable in this implementation, so the
+// charge is the bookkeeping scan.
+func (w *Win) FlushLocal(target int) error {
+	if err := w.checkAccess(target, "FlushLocal"); err != nil {
+		return err
+	}
+	w.env.p.Advance(w.env.costs().FlushScanNS)
+	return nil
+}
+
+// FlushAll completes outstanding operations to every target. MPICH
+// derivatives (MVAPICH, Cray MPI) implement this as a flush of each rank in
+// the window's group, so the cost grows linearly with the communicator size
+// — the scalability issue the paper analyzes in §4.1 and proposes
+// MPI_WIN_RFLUSH to mitigate.
+func (w *Win) FlushAll() error {
+	if w.freed {
+		return fmt.Errorf("mpi: FlushAll on freed window")
+	}
+	if !w.lockedAll {
+		all := true
+		for _, l := range w.locked {
+			if !l {
+				all = false
+				break
+			}
+		}
+		if !all {
+			return fmt.Errorf("mpi: FlushAll outside a lock-all epoch")
+		}
+	}
+	c := w.env.costs()
+	for t := 0; t < w.comm.Size(); t++ {
+		w.env.p.Advance(c.FlushScanNS)
+		if w.hasPending[t] {
+			w.env.p.AdvanceTo(w.pendingT[t])
+			w.env.p.Advance(c.FlushNS)
+			w.hasPending[t] = false
+		}
+	}
+	return nil
+}
+
+// Rflush is the MPI_WIN_RFLUSH extension the paper proposes in §5: it
+// starts a flush to target and returns a request, letting the caller
+// overlap the completion latency instead of blocking. Waiting on the
+// request establishes remote completion of all prior operations to target.
+func (w *Win) Rflush(target int) (*Request, error) {
+	if err := w.checkAccess(target, "Rflush"); err != nil {
+		return nil, err
+	}
+	done := w.env.p.Now()
+	if w.hasPending[target] {
+		done += w.env.net.Params().LatencyNS
+		if w.pendingT[target]+w.env.costs().FlushNS > done {
+			done = w.pendingT[target] + w.env.costs().FlushNS
+		}
+		w.hasPending[target] = false
+	}
+	r := &Request{env: w.env, kind: reqRMA, done: true, completeT: done}
+	return r, nil
+}
+
+// RflushAll starts a flush to every target and returns one request that
+// completes when all of them do. Unlike FlushAll, the linear scan is the
+// only blocking part; completion latency is overlappable.
+func (w *Win) RflushAll() (*Request, error) {
+	if w.freed {
+		return nil, fmt.Errorf("mpi: RflushAll on freed window")
+	}
+	c := w.env.costs()
+	done := w.env.p.Now()
+	// Unlike the blocking FlushAll, the request-generating form lets the
+	// implementation complete only the targets with outstanding operations
+	// (it hands back a handle instead of scanning the communicator), which
+	// is precisely the scalability fix the paper argues for in §5.
+	any := false
+	for t := 0; t < w.comm.Size(); t++ {
+		if w.hasPending[t] {
+			any = true
+			w.env.p.Advance(c.FlushScanNS)
+			if tt := w.pendingT[t] + c.FlushNS; tt > done {
+				done = tt
+			}
+			w.hasPending[t] = false
+		}
+	}
+	if any {
+		if lat := w.env.p.Now() + w.env.net.Params().LatencyNS; lat > done {
+			done = lat
+		}
+	}
+	r := &Request{env: w.env, kind: reqRMA, done: true, completeT: done}
+	return r, nil
+}
+
+// SplitShared partitions the communicator into per-node groups, like
+// MPI_COMM_SPLIT_TYPE with MPI_COMM_TYPE_SHARED.
+func (c *Comm) SplitShared() (*Comm, error) {
+	pr := c.env.net.Params()
+	node := 0
+	if pr.CoresPerNode > 0 {
+		node = c.env.p.ID() / pr.CoresPerNode
+	}
+	return c.Split(node, c.myRank)
+}
+
+// WinAllocateShared collectively creates a window whose memory is directly
+// load/store accessible by every rank of the communicator
+// (MPI_WIN_ALLOCATE_SHARED, §2.2). All ranks must reside on one node;
+// SharedQuery exposes each rank's portion for direct access.
+func WinAllocateShared(c *Comm, size int) (*Win, error) {
+	pr := c.env.net.Params()
+	first := c.ranks[0]
+	for _, wr := range c.ranks {
+		if !pr.SameNode(first, wr) {
+			return nil, fmt.Errorf("mpi: WinAllocateShared requires all ranks on one node (ranks %d and %d differ)", first, wr)
+		}
+	}
+	w, err := WinAllocate(c, size)
+	if err != nil {
+		return nil, err
+	}
+	w.shared = true
+	return w, nil
+}
+
+// SharedQuery returns rank's window memory for direct load/store access
+// (MPI_WIN_SHARED_QUERY). Only valid on shared windows; the caller is
+// responsible for synchronizing concurrent access (e.g. with Win.Fence
+// semantics via Barrier, or atomics).
+func (w *Win) SharedQuery(rank int) ([]byte, error) {
+	if !w.shared {
+		return nil, fmt.Errorf("mpi: SharedQuery on a non-shared window")
+	}
+	if err := w.comm.checkRank(rank, "SharedQuery"); err != nil {
+		return nil, err
+	}
+	return w.sh.bases[rank], nil
+}

@@ -1,0 +1,250 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Dynamic windows (MPI_WIN_CREATE_DYNAMIC / MPI_WIN_ATTACH / MPI_WIN_DETACH,
+// §2.2 of the paper): a window created without memory, to which each rank
+// attaches regions later. Remote accesses address attached memory by the
+// region handle plus a byte displacement — the analogue of MPI's absolute
+// remote addresses (which MPI_Get_address would expose).
+
+// DynRegion names one attached region on one rank. Exchange it with peers
+// (e.g. via Allgather) the way real MPI programs exchange base addresses.
+type DynRegion struct {
+	Rank int   // owner (comm rank)
+	Key  int64 // region identifier, unique per owner
+}
+
+// dynShared is the cross-image state of one dynamic window.
+type dynShared struct {
+	mu      sync.Mutex
+	regions map[DynRegion][]byte
+	atomMu  []sync.Mutex
+}
+
+// DynWin is a dynamic window as seen by one image.
+type DynWin struct {
+	env  *Env
+	comm *Comm
+	sh   *dynShared
+
+	lockedAll bool
+	nextKey   int64
+	attached  map[int64][]byte
+
+	pendingT   []int64
+	hasPending []bool
+
+	footprint int64
+}
+
+// WinCreateDynamic collectively creates a window with no memory attached.
+func WinCreateDynamic(c *Comm) (*DynWin, error) {
+	c.env.checkLive()
+	key := fmt.Sprintf("dynwin/%d/%d/%d", c.ctx, c.winSeq, c.ranks[0])
+	c.winSeq++
+	ws := c.env.ws
+	ws.winsMu.Lock()
+	shAny, ok := ws.dynWins[key]
+	if !ok {
+		shAny = &dynShared{regions: make(map[DynRegion][]byte), atomMu: make([]sync.Mutex, c.Size())}
+		ws.dynWins[key] = shAny
+	}
+	ws.winsMu.Unlock()
+
+	w := &DynWin{
+		env:        c.env,
+		comm:       c,
+		sh:         shAny,
+		attached:   make(map[int64][]byte),
+		pendingT:   make([]int64, c.Size()),
+		hasPending: make([]bool, c.Size()),
+	}
+	c.env.p.Advance(c.env.costs().WinSetupNS) // no per-rank memory exchange
+	if err := c.Barrier(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Attach exposes mem for remote access through the window and returns its
+// region handle (MPI_WIN_ATTACH). Local, not collective.
+func (w *DynWin) Attach(mem []byte) (DynRegion, error) {
+	if mem == nil {
+		return DynRegion{}, fmt.Errorf("mpi: attaching nil memory")
+	}
+	w.nextKey++
+	reg := DynRegion{Rank: w.comm.myRank, Key: w.nextKey}
+	w.attached[reg.Key] = mem
+	w.sh.mu.Lock()
+	w.sh.regions[reg] = mem
+	w.sh.mu.Unlock()
+	w.env.p.Advance(w.env.costs().WinSetupNS) // registration cost
+	w.footprint += int64(len(mem))
+	return reg, nil
+}
+
+// Detach withdraws a region (MPI_WIN_DETACH).
+func (w *DynWin) Detach(reg DynRegion) error {
+	if reg.Rank != w.comm.myRank {
+		return fmt.Errorf("mpi: detaching a region owned by rank %d", reg.Rank)
+	}
+	mem, ok := w.attached[reg.Key]
+	if !ok {
+		return fmt.Errorf("mpi: region %v not attached", reg)
+	}
+	delete(w.attached, reg.Key)
+	w.footprint -= int64(len(mem))
+	w.sh.mu.Lock()
+	delete(w.sh.regions, reg)
+	w.sh.mu.Unlock()
+	return nil
+}
+
+// LockAll opens the passive-target epoch.
+func (w *DynWin) LockAll() error {
+	if w.lockedAll {
+		return fmt.Errorf("mpi: LockAll inside an existing epoch")
+	}
+	w.lockedAll = true
+	w.env.p.Advance(w.env.costs().FlushScanNS * int64(w.comm.Size()))
+	return nil
+}
+
+// UnlockAll flushes and closes the epoch.
+func (w *DynWin) UnlockAll() error {
+	if !w.lockedAll {
+		return fmt.Errorf("mpi: UnlockAll without LockAll")
+	}
+	if err := w.FlushAll(); err != nil {
+		return err
+	}
+	w.lockedAll = false
+	return nil
+}
+
+func (w *DynWin) resolve(reg DynRegion, disp, n int, what string) ([]byte, error) {
+	if !w.lockedAll {
+		return nil, fmt.Errorf("mpi: %s outside an access epoch", what)
+	}
+	if err := w.comm.checkRank(reg.Rank, what); err != nil {
+		return nil, err
+	}
+	w.sh.mu.Lock()
+	mem, ok := w.sh.regions[reg]
+	w.sh.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("mpi: %s to unattached region %v", what, reg)
+	}
+	if disp < 0 || disp+n > len(mem) {
+		return nil, fmt.Errorf("mpi: %s range [%d,%d) outside region of %d bytes", what, disp, disp+n, len(mem))
+	}
+	return mem, nil
+}
+
+func (w *DynWin) notePending(target int, t int64) {
+	if t > w.pendingT[target] {
+		w.pendingT[target] = t
+	}
+	w.hasPending[target] = true
+}
+
+// Put writes buf into the target's attached region at disp.
+func (w *DynWin) Put(buf []byte, reg DynRegion, disp int) error {
+	mem, err := w.resolve(reg, disp, len(buf), "Put")
+	if err != nil {
+		return err
+	}
+	worldDst := w.comm.ranks[reg.Rank]
+	done := w.env.layer.RMAPut(w.env.p, worldDst, len(buf), w.env.costs().PutNS)
+	copy(mem[disp:], buf)
+	w.notePending(reg.Rank, done)
+	return nil
+}
+
+// Get reads from the target's attached region at disp into buf.
+func (w *DynWin) Get(buf []byte, reg DynRegion, disp int) error {
+	mem, err := w.resolve(reg, disp, len(buf), "Get")
+	if err != nil {
+		return err
+	}
+	pr := w.env.net.Params()
+	worldDst := w.comm.ranks[reg.Rank]
+	w.env.p.Advance(w.env.costs().GetNS)
+	copy(buf, mem[disp:])
+	w.notePending(reg.Rank, w.env.p.Now()+2*pr.PathLatency(w.env.p.ID(), worldDst)+pr.PathWireTime(w.env.p.ID(), worldDst, len(buf)))
+	return nil
+}
+
+// Accumulate atomically combines buf into the target region with op.
+func (w *DynWin) Accumulate(buf []byte, reg DynRegion, disp int, dt Datatype, op Op) error {
+	mem, err := w.resolve(reg, disp, len(buf), "Accumulate")
+	if err != nil {
+		return err
+	}
+	worldDst := w.comm.ranks[reg.Rank]
+	done := w.env.layer.RMAPut(w.env.p, worldDst, len(buf), w.env.costs().AtomicNS)
+	w.sh.atomMu[reg.Rank].Lock()
+	rerr := reduceInto(mem[disp:disp+len(buf)], buf, dt, op)
+	w.sh.atomMu[reg.Rank].Unlock()
+	if rerr != nil {
+		return rerr
+	}
+	w.notePending(reg.Rank, done)
+	return nil
+}
+
+// Flush completes outstanding operations to target.
+func (w *DynWin) Flush(target int) error {
+	if !w.lockedAll {
+		return fmt.Errorf("mpi: Flush outside an access epoch")
+	}
+	if err := w.comm.checkRank(target, "Flush"); err != nil {
+		return err
+	}
+	c := w.env.costs()
+	if w.hasPending[target] {
+		w.env.p.AdvanceTo(w.pendingT[target])
+		w.env.p.Advance(c.FlushNS)
+		w.hasPending[target] = false
+	} else {
+		w.env.p.Advance(c.FlushScanNS)
+	}
+	return nil
+}
+
+// FlushAll completes outstanding operations to every target (the same
+// per-rank MPICH scan as fixed windows).
+func (w *DynWin) FlushAll() error {
+	if !w.lockedAll {
+		return fmt.Errorf("mpi: FlushAll outside an access epoch")
+	}
+	c := w.env.costs()
+	for t := 0; t < w.comm.Size(); t++ {
+		w.env.p.Advance(c.FlushScanNS)
+		if w.hasPending[t] {
+			w.env.p.AdvanceTo(w.pendingT[t])
+			w.env.p.Advance(c.FlushNS)
+			w.hasPending[t] = false
+		}
+	}
+	return nil
+}
+
+// Free releases the window collectively; attached regions are detached.
+func (w *DynWin) Free() error {
+	if err := w.comm.Barrier(); err != nil {
+		return err
+	}
+	w.sh.mu.Lock()
+	for key := range w.attached {
+		delete(w.sh.regions, DynRegion{Rank: w.comm.myRank, Key: key})
+	}
+	w.sh.mu.Unlock()
+	w.attached = map[int64][]byte{}
+	w.footprint = 0
+	return nil
+}

@@ -1,0 +1,171 @@
+// Package sim provides the virtual-time execution engine on which the whole
+// stack runs. A World hosts N process images, each executing the user's
+// program on its own goroutine. Every image owns a virtual clock (int64
+// nanoseconds); communication layers charge costs against these clocks and
+// carry timestamps on messages, so aggregate timings reproduce the scaling
+// behaviour of a real machine while the program itself executes real code on
+// real data.
+//
+// Clock discipline: an image's clock is read and advanced only from the
+// image's own goroutine. Cross-image time flows exclusively through message
+// timestamps (the receiver advances to max(local, arrival)), which keeps the
+// simulation race-free without global coordination.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// World hosts a set of process images and the shared registries that
+// communication layers use to reach each other's state.
+type World struct {
+	n     int
+	procs []*Proc
+
+	sharedMu sync.Mutex
+	shared   map[string]any
+}
+
+// NewWorld creates a world with n images. n must be positive.
+func NewWorld(n int) *World {
+	if n <= 0 {
+		panic(fmt.Sprintf("sim: world size must be positive, got %d", n))
+	}
+	w := &World{n: n, shared: make(map[string]any)}
+	w.procs = make([]*Proc, n)
+	for i := range w.procs {
+		w.procs[i] = &Proc{
+			id:    i,
+			n:     n,
+			world: w,
+			rng:   rand.New(rand.NewSource(int64(i)*0x9E3779B9 + 1)),
+		}
+	}
+	return w
+}
+
+// N returns the number of images in the world.
+func (w *World) N() int { return w.n }
+
+// Proc returns image i.
+func (w *World) Proc(i int) *Proc { return w.procs[i] }
+
+// Shared returns the world-wide object stored under key, creating it with mk
+// on first use. Layers use this for cross-image registries (endpoint tables,
+// window directories). mk runs at most once per key.
+func (w *World) Shared(key string, mk func() any) any {
+	w.sharedMu.Lock()
+	defer w.sharedMu.Unlock()
+	if v, ok := w.shared[key]; ok {
+		return v
+	}
+	v := mk()
+	w.shared[key] = v
+	return v
+}
+
+// PanicError wraps a panic that escaped an image's program.
+type PanicError struct {
+	Image int
+	Value any
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sim: image %d panicked: %v\n%s", e.Image, e.Value, e.Stack)
+}
+
+// Run executes fn once per image, each on its own goroutine, and waits for
+// all of them. It returns the first non-nil error (by image rank); panics in
+// an image are converted to *PanicError rather than crashing the process.
+func (w *World) Run(fn func(*Proc) error) error {
+	errs := make([]error, w.n)
+	var wg sync.WaitGroup
+	wg.Add(w.n)
+	for i := 0; i < w.n; i++ {
+		go func(p *Proc) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					pe := &PanicError{Image: p.id, Value: r, Stack: string(debug.Stack())}
+					if os.Getenv("SIM_DEBUG") != "" {
+						fmt.Fprintf(os.Stderr, "SIM_DEBUG: %v\n", pe)
+					}
+					errs[p.id] = pe
+				}
+			}()
+			errs[p.id] = fn(p)
+		}(w.procs[i])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ErrTimeout is returned by RunTimeout when the program does not finish in
+// time. The images keep running (goroutines cannot be killed); callers use
+// this only in tests and demos that deliberately deadlock.
+var ErrTimeout = fmt.Errorf("sim: run timed out")
+
+// RunTimeout is Run with a wall-clock deadline, used to demonstrate and test
+// deadlock scenarios (paper Figure 2). On timeout the abandoned goroutines
+// keep running; the caller must not reuse the world.
+func (w *World) RunTimeout(d time.Duration, fn func(*Proc) error) error {
+	done := make(chan error, 1)
+	go func() { done <- w.Run(fn) }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(d):
+		return ErrTimeout
+	}
+}
+
+// Proc is a single process image.
+type Proc struct {
+	id    int
+	n     int
+	world *World
+	clock int64
+	rng   *rand.Rand
+}
+
+// ID returns the image's world rank in [0, N).
+func (p *Proc) ID() int { return p.id }
+
+// N returns the world size.
+func (p *Proc) N() int { return p.n }
+
+// World returns the hosting world.
+func (p *Proc) World() *World { return p.world }
+
+// Now returns the image's virtual clock in nanoseconds.
+func (p *Proc) Now() int64 { return p.clock }
+
+// Advance charges d nanoseconds of virtual time. Negative charges are
+// ignored so cost models may return zero-clamped values freely.
+func (p *Proc) Advance(d int64) {
+	if d > 0 {
+		p.clock += d
+	}
+}
+
+// AdvanceTo moves the clock forward to t if t is in the future. It is the
+// receive-side primitive: arrival timestamps enter the local clock here.
+func (p *Proc) AdvanceTo(t int64) {
+	if t > p.clock {
+		p.clock = t
+	}
+}
+
+// Rng returns the image's deterministic private random source.
+func (p *Proc) Rng() *rand.Rand { return p.rng }

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorldRunsEveryImage(t *testing.T) {
+	w := NewWorld(8)
+	var count int64
+	seen := make([]int32, 8)
+	err := w.Run(func(p *Proc) error {
+		atomic.AddInt64(&count, 1)
+		atomic.AddInt32(&seen[p.ID()], 1)
+		if p.N() != 8 {
+			t.Errorf("image %d saw world size %d, want 8", p.ID(), p.N())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 8 {
+		t.Fatalf("ran %d images, want 8", count)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Errorf("image %d ran %d times, want 1", i, c)
+		}
+	}
+}
+
+func TestWorldSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWorld(0) did not panic")
+		}
+	}()
+	NewWorld(0)
+}
+
+func TestRunReturnsFirstErrorByRank(t *testing.T) {
+	w := NewWorld(4)
+	e2 := errors.New("boom-2")
+	e1 := errors.New("boom-1")
+	err := w.Run(func(p *Proc) error {
+		switch p.ID() {
+		case 1:
+			return e1
+		case 2:
+			return e2
+		}
+		return nil
+	})
+	if err != e1 {
+		t.Fatalf("got %v, want error from lowest failing rank (%v)", err, e1)
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	w := NewWorld(3)
+	err := w.Run(func(p *Proc) error {
+		if p.ID() == 1 {
+			panic("deliberate")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want *PanicError", err)
+	}
+	if pe.Image != 1 || !strings.Contains(pe.Error(), "deliberate") {
+		t.Fatalf("unexpected panic error: %v", pe)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	w := NewWorld(1)
+	err := w.Run(func(p *Proc) error {
+		if p.Now() != 0 {
+			t.Errorf("initial clock %d, want 0", p.Now())
+		}
+		p.Advance(100)
+		p.Advance(-50) // negative charges are ignored
+		if p.Now() != 100 {
+			t.Errorf("clock %d after charges, want 100", p.Now())
+		}
+		p.AdvanceTo(80) // past timestamps do not rewind
+		if p.Now() != 100 {
+			t.Errorf("clock %d after stale AdvanceTo, want 100", p.Now())
+		}
+		p.AdvanceTo(250)
+		if p.Now() != 250 {
+			t.Errorf("clock %d after AdvanceTo, want 250", p.Now())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedCreatesOnce(t *testing.T) {
+	w := NewWorld(16)
+	var made int64
+	err := w.Run(func(p *Proc) error {
+		v := p.World().Shared("k", func() any {
+			atomic.AddInt64(&made, 1)
+			return new(int)
+		})
+		if v == nil {
+			t.Error("Shared returned nil")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if made != 1 {
+		t.Fatalf("constructor ran %d times, want 1", made)
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	w := NewWorld(2)
+	block := make(chan struct{})
+	err := w.RunTimeout(30*time.Millisecond, func(p *Proc) error {
+		if p.ID() == 0 {
+			<-block // never closed: deliberate deadlock
+		}
+		return nil
+	})
+	if err != ErrTimeout {
+		t.Fatalf("got %v, want ErrTimeout", err)
+	}
+	close(block)
+}
+
+func TestRngDeterministicPerImage(t *testing.T) {
+	draw := func() []int64 {
+		w := NewWorld(4)
+		out := make([]int64, 4)
+		if err := w.Run(func(p *Proc) error {
+			out[p.ID()] = p.Rng().Int63()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("image %d rng not reproducible: %d vs %d", i, a[i], b[i])
+		}
+	}
+	if a[0] == a[1] {
+		t.Error("images 0 and 1 drew identical values; seeds not distinct")
+	}
+}

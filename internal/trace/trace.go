@@ -1,0 +1,178 @@
+// Package trace accumulates per-image virtual time by operation category.
+// It regenerates the paper's HPCToolkit-style time decompositions (Figure 4
+// for RandomAccess, Figure 8 for FFT) from first-class measurements instead
+// of sampling.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cafmpi/internal/sim"
+)
+
+// Category labels one kind of runtime activity. The set mirrors the
+// decomposition categories the paper reports.
+type Category int
+
+// Categories.
+const (
+	Computation Category = iota
+	CoarrayWrite
+	CoarrayRead
+	EventWait
+	EventNotify
+	Alltoall
+	Collective
+	FinishOp
+	SpawnOp
+	Other
+	numCategories
+)
+
+var categoryNames = [...]string{
+	"computation",
+	"coarray_write",
+	"coarray_read",
+	"event_wait",
+	"event_notify",
+	"alltoall",
+	"collective",
+	"finish",
+	"spawn",
+	"other",
+}
+
+func (c Category) String() string {
+	if c < 0 || int(c) >= len(categoryNames) {
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+	return categoryNames[c]
+}
+
+// Categories returns all categories in declaration order.
+func Categories() []Category {
+	out := make([]Category, numCategories)
+	for i := range out {
+		out[i] = Category(i)
+	}
+	return out
+}
+
+// Tracer accumulates virtual time per category for one image. A nil Tracer
+// is valid and records nothing, so tracing can be disabled without branches
+// at call sites.
+type Tracer struct {
+	p      *sim.Proc
+	totals [numCategories]int64
+	counts [numCategories]int64
+}
+
+// New creates a tracer bound to image p's virtual clock.
+func New(p *sim.Proc) *Tracer { return &Tracer{p: p} }
+
+// Span opens a measurement in category c and returns the closer. Usage:
+//
+//	defer tr.Span(trace.EventWait)()
+func (t *Tracer) Span(c Category) func() {
+	if t == nil {
+		return func() {}
+	}
+	t0 := t.p.Now()
+	return func() {
+		t.totals[c] += t.p.Now() - t0
+		t.counts[c]++
+	}
+}
+
+// Add records dt nanoseconds in category c directly.
+func (t *Tracer) Add(c Category, dt int64) {
+	if t == nil {
+		return
+	}
+	t.totals[c] += dt
+	t.counts[c]++
+}
+
+// Total returns the accumulated nanoseconds in category c.
+func (t *Tracer) Total(c Category) int64 {
+	if t == nil {
+		return 0
+	}
+	return t.totals[c]
+}
+
+// Count returns how many spans/additions category c received.
+func (t *Tracer) Count(c Category) int64 {
+	if t == nil {
+		return 0
+	}
+	return t.counts[c]
+}
+
+// Reset zeroes all accumulators.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.totals = [numCategories]int64{}
+	t.counts = [numCategories]int64{}
+}
+
+// Merge adds other's accumulators into t (for cross-image aggregation).
+func (t *Tracer) Merge(other *Tracer) {
+	if t == nil || other == nil {
+		return
+	}
+	for i := range t.totals {
+		t.totals[i] += other.totals[i]
+		t.counts[i] += other.counts[i]
+	}
+}
+
+// Line is one row of a decomposition report.
+type Line struct {
+	Category Category
+	Seconds  float64
+	Count    int64
+	Percent  float64
+}
+
+// Report summarizes non-empty categories, largest first.
+func (t *Tracer) Report() []Line {
+	if t == nil {
+		return nil
+	}
+	var total int64
+	for _, v := range t.totals {
+		total += v
+	}
+	var out []Line
+	for c, v := range t.totals {
+		if v == 0 && t.counts[c] == 0 {
+			continue
+		}
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(v) / float64(total)
+		}
+		out = append(out, Line{Category: Category(c), Seconds: float64(v) * 1e-9, Count: t.counts[c], Percent: pct})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seconds > out[j].Seconds })
+	return out
+}
+
+// Format renders the report as an aligned text table.
+func (t *Tracer) Format() string {
+	lines := t.Report()
+	if len(lines) == 0 {
+		return "(no trace data)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %12s %10s %8s\n", "category", "seconds", "count", "percent")
+	for _, l := range lines {
+		fmt.Fprintf(&b, "%-16s %12.6f %10d %7.2f%%\n", l.Category, l.Seconds, l.Count, l.Percent)
+	}
+	return b.String()
+}

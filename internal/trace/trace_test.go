@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"cafmpi/internal/sim"
+)
+
+func one(t *testing.T, fn func(p *sim.Proc)) {
+	t.Helper()
+	w := sim.NewWorld(1)
+	if err := w.Run(func(p *sim.Proc) error { fn(p); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpanAccumulates(t *testing.T) {
+	one(t, func(p *sim.Proc) {
+		tr := New(p)
+		end := tr.Span(EventWait)
+		p.Advance(500)
+		end()
+		end2 := tr.Span(EventWait)
+		p.Advance(250)
+		end2()
+		if got := tr.Total(EventWait); got != 750 {
+			t.Errorf("Total = %d, want 750", got)
+		}
+		if got := tr.Count(EventWait); got != 2 {
+			t.Errorf("Count = %d, want 2", got)
+		}
+		if tr.Total(EventNotify) != 0 {
+			t.Error("unrelated category accumulated time")
+		}
+	})
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Span(Computation)()
+	tr.Add(Alltoall, 100)
+	tr.Reset()
+	tr.Merge(nil)
+	if tr.Total(Alltoall) != 0 || tr.Count(Alltoall) != 0 {
+		t.Error("nil tracer returned nonzero")
+	}
+	if tr.Report() != nil {
+		t.Error("nil tracer produced a report")
+	}
+	if !strings.Contains(tr.Format(), "no trace data") {
+		t.Error("nil tracer Format missing placeholder")
+	}
+}
+
+func TestReportSortedAndPercented(t *testing.T) {
+	one(t, func(p *sim.Proc) {
+		tr := New(p)
+		tr.Add(Computation, 300)
+		tr.Add(Alltoall, 700)
+		lines := tr.Report()
+		if len(lines) != 2 {
+			t.Fatalf("report has %d lines, want 2", len(lines))
+		}
+		if lines[0].Category != Alltoall || lines[1].Category != Computation {
+			t.Errorf("report not sorted by time: %+v", lines)
+		}
+		if lines[0].Percent != 70 || lines[1].Percent != 30 {
+			t.Errorf("percentages %v/%v, want 70/30", lines[0].Percent, lines[1].Percent)
+		}
+	})
+}
+
+func TestMergeAndReset(t *testing.T) {
+	one(t, func(p *sim.Proc) {
+		a, b := New(p), New(p)
+		a.Add(FinishOp, 100)
+		b.Add(FinishOp, 50)
+		b.Add(SpawnOp, 25)
+		a.Merge(b)
+		if a.Total(FinishOp) != 150 || a.Total(SpawnOp) != 25 {
+			t.Errorf("merge wrong: %d/%d", a.Total(FinishOp), a.Total(SpawnOp))
+		}
+		a.Reset()
+		if a.Total(FinishOp) != 0 || a.Count(SpawnOp) != 0 {
+			t.Error("reset incomplete")
+		}
+	})
+}
+
+func TestCategoryNames(t *testing.T) {
+	want := map[Category]string{
+		Computation:  "computation",
+		CoarrayWrite: "coarray_write",
+		EventWait:    "event_wait",
+		EventNotify:  "event_notify",
+		Alltoall:     "alltoall",
+	}
+	for c, name := range want {
+		if c.String() != name {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), name)
+		}
+	}
+	if len(Categories()) != int(numCategories) {
+		t.Errorf("Categories() returned %d entries", len(Categories()))
+	}
+	if !strings.Contains(Category(99).String(), "Category(99)") {
+		t.Error("out-of-range category String not defensive")
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	one(t, func(p *sim.Proc) {
+		tr := New(p)
+		tr.Add(EventNotify, 1_500_000_000) // 1.5 virtual seconds
+		s := tr.Format()
+		if !strings.Contains(s, "event_notify") || !strings.Contains(s, "1.500000") {
+			t.Errorf("Format output unexpected:\n%s", s)
+		}
+	})
+}
