@@ -47,6 +47,14 @@ type Config struct {
 	Platform *fabric.Params
 	// Trace enables per-image time decomposition (Figures 4 and 8).
 	Trace bool
+	// Observe enables the obs subsystem: per-image event timelines,
+	// counters, and the communication matrix across every stack layer. Read
+	// the results after the run with obs.Enabled(world) on the world
+	// returned by RunWorld.
+	Observe bool
+	// ObsRingCap overrides the per-image event ring capacity
+	// (obs.DefaultRingCap when zero).
+	ObsRingCap int
 	// MPIOptions tunes the CAF-MPI binding (e.g. the §5 MPI_WIN_RFLUSH
 	// ablation).
 	MPIOptions rtmpi.Options
@@ -127,7 +135,7 @@ func (c *Config) coreConfig() (core.Config, error) {
 	if err := c.normalize(); err != nil {
 		return core.Config{}, err
 	}
-	cc := core.Config{Trace: c.Trace}
+	cc := core.Config{Trace: c.Trace, Observe: c.Observe, ObsRingCap: c.ObsRingCap}
 	switch c.Substrate {
 	case MPI:
 		opt := c.MPIOptions
@@ -152,6 +160,16 @@ func Run(n int, cfg Config, fn func(*Image) error) error {
 		return err
 	}
 	return core.Run(n, cc, fn)
+}
+
+// RunWorld is Run returning the simulation world as well, for post-run
+// inspection (the obs registry, per-image clocks).
+func RunWorld(n int, cfg Config, fn func(*Image) error) (*sim.World, error) {
+	cc, err := cfg.coreConfig()
+	if err != nil {
+		return nil, err
+	}
+	return core.RunWorld(n, cc, fn)
 }
 
 // Boot initializes the CAF runtime on an existing simulated image (for

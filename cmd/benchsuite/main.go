@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,7 @@ import (
 
 	"cafmpi/internal/bench"
 	"cafmpi/internal/fabric"
+	"cafmpi/internal/obs"
 )
 
 func main() {
@@ -30,6 +32,7 @@ func main() {
 		paper    = flag.Bool("paper", false, "also print the paper's original series for comparison")
 		out      = flag.String("out", "", "also append formatted results to this file")
 		csvOut   = flag.String("csv", "", "also append CSV rows to this file")
+		statsOut = flag.String("stats-out", "", "append one JSON line of runtime counters per job to this file")
 		list     = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -76,6 +79,16 @@ func main() {
 		defer f.Close()
 		sink = f
 	}
+	var statsSink *os.File
+	if *statsOut != "" {
+		f, err := os.OpenFile(*statsOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		statsSink = f
+	}
 
 	failed := 0
 	for _, id := range ids {
@@ -85,8 +98,23 @@ func main() {
 			failed++
 			continue
 		}
+		runOpts := opts
+		if statsSink != nil {
+			expID := e.ID
+			enc := json.NewEncoder(statsSink)
+			runOpts.Stats = func(label string, snap *obs.Snapshot) {
+				line := struct {
+					Experiment string        `json:"experiment"`
+					Label      string        `json:"label"`
+					Stats      *obs.Snapshot `json:"stats"`
+				}{expID, label, snap}
+				if err := enc.Encode(&line); err != nil {
+					fmt.Fprintf(os.Stderr, "benchsuite: stats-out: %v\n", err)
+				}
+			}
+		}
 		start := time.Now()
-		tab, err := e.Run(opts)
+		tab, err := e.Run(runOpts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchsuite: %s failed: %v\n", e.ID, err)
 			failed++

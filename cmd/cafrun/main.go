@@ -22,6 +22,7 @@ import (
 	"cafmpi/internal/cgpop"
 	"cafmpi/internal/fabric"
 	"cafmpi/internal/hpcc"
+	"cafmpi/internal/obs"
 	"cafmpi/internal/rtmpi"
 	"cafmpi/internal/trace"
 )
@@ -37,6 +38,11 @@ func main() {
 		rflush   = flag.Bool("rflush", false, "CAF-MPI: use the proposed MPI_WIN_RFLUSH in the notify fence (§5)")
 		atomicEv = flag.Bool("atomic-events", false, "CAF-MPI: use the §3.4 FETCH_AND_OP/CAS event design")
 		noSRQ    = flag.Bool("nosrq", false, "disable the GASNet SRQ model (CAF-GASNet-NOSRQ)")
+
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON timeline (load in Perfetto) to this file")
+		stats      = flag.Bool("stats", false, "print the aggregated runtime counter snapshot after the run")
+		commMatrix = flag.Bool("comm-matrix", false, "print the N x N communication matrix after the run")
+		obsRing    = flag.Int("obs-ring", 0, "per-image event ring capacity (default obs.DefaultRingCap)")
 
 		raBits    = flag.Int("ra-bits", 10, "ra: log2 of per-image table entries")
 		raUpdates = flag.Int("ra-updates", 4096, "ra: updates per image")
@@ -59,10 +65,12 @@ func main() {
 		cp.GASNet.SRQ.Enabled = false
 		pf = &cp
 	}
+	observe := *traceOut != "" || *stats || *commMatrix
 	cfg := caf.Config{Substrate: caf.Substrate(*sub), Platform: pf, Trace: *trc,
+		Observe: observe, ObsRingCap: *obsRing,
 		MPIOptions: rtmpi.Options{UseRflush: *rflush, AtomicEvents: *atomicEv}}
 
-	err := caf.Run(*np, cfg, func(im *caf.Image) error {
+	w, err := caf.RunWorld(*np, cfg, func(im *caf.Image) error {
 		var summary string
 		switch *app {
 		case "ra":
@@ -136,6 +144,32 @@ func main() {
 	})
 	if err != nil {
 		fail("%v", err)
+	}
+
+	if ow := obs.Enabled(w); ow != nil {
+		snap := ow.Snapshot()
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fail("%v", err)
+			}
+			if err := ow.WriteChromeTrace(f); err != nil {
+				f.Close()
+				fail("writing %s: %v", *traceOut, err)
+			}
+			if err := f.Close(); err != nil {
+				fail("writing %s: %v", *traceOut, err)
+			}
+			retained := snap.EventsRecorded - snap.EventsDropped
+			fmt.Printf("wrote %d events to %s (%d recorded, %d dropped; load in Perfetto / chrome://tracing)\n",
+				retained, *traceOut, snap.EventsRecorded, snap.EventsDropped)
+		}
+		if *stats {
+			fmt.Print(snap.Text())
+		}
+		if *commMatrix {
+			fmt.Print(snap.CommMatrixText())
+		}
 	}
 }
 

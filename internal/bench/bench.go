@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"cafmpi/internal/fabric"
+	"cafmpi/internal/obs"
 )
 
 // Row is one measurement: a named series, an x position (typically the
@@ -41,6 +42,10 @@ type Options struct {
 	MaxP int
 	// Quick shrinks workloads for smoke tests and testing.B wrappers.
 	Quick bool
+	// Stats, when non-nil, enables the obs subsystem for every job the
+	// experiment runs and receives the merged counter snapshot of each,
+	// labeled "<substrate>/np=<n>".
+	Stats func(label string, snap *obs.Snapshot)
 }
 
 func (o Options) withDefaults() Options {

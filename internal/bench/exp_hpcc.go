@@ -7,14 +7,26 @@ import (
 	"cafmpi/caf"
 	"cafmpi/internal/fabric"
 	"cafmpi/internal/hpcc"
+	"cafmpi/internal/obs"
 	"cafmpi/internal/rtmpi"
 	"cafmpi/internal/trace"
 )
 
-// job runs fn as a CAF program and returns image 0's error.
-func job(platform *fabric.Params, sub caf.Substrate, n int, trc bool, fn func(*caf.Image) error) error {
-	cfg := caf.Config{Substrate: sub, Platform: platform, Trace: trc}
-	return caf.Run(n, cfg, fn)
+// job runs fn as a CAF program and returns image 0's error. When the
+// harness carries a Stats sink, the job runs with the obs subsystem on and
+// delivers its merged snapshot, labeled by substrate and image count.
+func job(o Options, platform *fabric.Params, sub caf.Substrate, n int, trc bool, fn func(*caf.Image) error) error {
+	cfg := caf.Config{Substrate: sub, Platform: platform, Trace: trc, Observe: o.Stats != nil}
+	w, err := caf.RunWorld(n, cfg, fn)
+	if err != nil {
+		return err
+	}
+	if o.Stats != nil {
+		if ow := obs.Enabled(w); ow != nil {
+			o.Stats(fmt.Sprintf("%s/np=%d", sub, n), ow.Snapshot())
+		}
+	}
+	return nil
 }
 
 // noSRQ returns a copy of the platform with the GASNet SRQ disabled (the
@@ -40,7 +52,7 @@ func raSweep(o Options, series string, platform *fabric.Params, sub caf.Substrat
 	var rows []Row
 	for _, p := range ps {
 		var gups float64
-		err := job(platform, sub, p, false, func(im *caf.Image) error {
+		err := job(o, platform, sub, p, false, func(im *caf.Image) error {
 			res, err := hpcc.RandomAccess(im, raWorkload(o))
 			if err != nil {
 				return err
@@ -112,7 +124,7 @@ func fftSweep(o Options, series string, platform *fabric.Params, sub caf.Substra
 	var rows []Row
 	for _, p := range ps {
 		var gf float64
-		err := job(platform, sub, p, false, func(im *caf.Image) error {
+		err := job(o, platform, sub, p, false, func(im *caf.Image) error {
 			res, err := hpcc.FFT(im, fftWorkload(o, p))
 			if err != nil {
 				return err
@@ -191,7 +203,7 @@ func hplFigure(id, title string, platform func(Options) *fabric.Params) Experime
 			}{{"CAF-MPI", caf.MPI}, {"CAF-GASNet", caf.GASNet}} {
 				for _, p := range ps {
 					var tf float64
-					err := job(pf, series.sub, p, false, func(im *caf.Image) error {
+					err := job(o, pf, series.sub, p, false, func(im *caf.Image) error {
 						res, err := hpcc.HPL(im, w)
 						if err != nil {
 							return err
@@ -213,11 +225,14 @@ func hplFigure(id, title string, platform func(Options) *fabric.Params) Experime
 	}
 }
 
-// decomposition gathers world-summed per-category virtual time.
+// decomposition gathers world-summed per-category virtual time. It uses
+// the inclusive view so a category's figure covers everything spent under
+// it, even when substrate-level spans nest inside (the paper's Figures 4
+// and 8 attribute whole phases, not exclusive slices).
 func decomposition(im *caf.Image, cats []trace.Category) ([]float64, error) {
 	in := make([]float64, len(cats))
 	for i, c := range cats {
-		in[i] = float64(im.Tracer().Total(c)) * 1e-9
+		in[i] = float64(im.Tracer().Inclusive(c)) * 1e-9
 	}
 	out := make([]float64, len(cats))
 	if err := im.World().Allreduce(caf.F64Bytes(in), caf.F64Bytes(out), caf.Float64, caf.OpSum); err != nil {
@@ -249,7 +264,7 @@ func init() {
 				sub  caf.Substrate
 			}{{"CAF-GASNet", caf.GASNet}, {"CAF-MPI", caf.MPI}} {
 				var vals []float64
-				err := job(fabric.Platform("fusion"), s.sub, p, true, func(im *caf.Image) error {
+				err := job(o, fabric.Platform("fusion"), s.sub, p, true, func(im *caf.Image) error {
 					if _, err := hpcc.RandomAccess(im, raWorkload(o)); err != nil {
 						return err
 					}
@@ -296,7 +311,7 @@ func init() {
 				sub  caf.Substrate
 			}{{"CAF-GASNet", caf.GASNet}, {"CAF-MPI", caf.MPI}} {
 				var vals []float64
-				err := job(fabric.Platform("fusion"), s.sub, p, true, func(im *caf.Image) error {
+				err := job(o, fabric.Platform("fusion"), s.sub, p, true, func(im *caf.Image) error {
 					if _, err := hpcc.FFT(im, fftWorkload(o, p)); err != nil {
 						return err
 					}
@@ -334,7 +349,7 @@ func init() {
 				Notes: fmt.Sprintf("platform=fusion N=%d NB=%d", w.N, w.NB)}
 			for _, p := range ps {
 				var tf1, tf2 float64
-				err := job(fabric.Platform("fusion"), caf.MPI, p, false, func(im *caf.Image) error {
+				err := job(o, fabric.Platform("fusion"), caf.MPI, p, false, func(im *caf.Image) error {
 					r1, err := hpcc.HPL(im, w)
 					if err != nil {
 						return err

@@ -14,9 +14,9 @@ type microResult struct {
 
 // micro measures the paper's microbenchmark suite: blocking coarray read
 // and write rates, event-notify rate, and team all-to-all rate.
-func micro(platform *fabric.Params, sub caf.Substrate, p, k, ka int) (microResult, error) {
+func micro(o Options, platform *fabric.Params, sub caf.Substrate, p, k, ka int) (microResult, error) {
 	var out microResult
-	err := job(platform, sub, p, false, func(im *caf.Image) error {
+	err := job(o, platform, sub, p, false, func(im *caf.Image) error {
 		var mine microResult
 		co, err := im.AllocCoarray(im.World(), 4096)
 		if err != nil {
@@ -137,7 +137,7 @@ func microFigure(id, title, platform string) Experiment {
 				sub  caf.Substrate
 			}{{"CAF-GASNet", caf.GASNet}, {"CAF-MPI", caf.MPI}} {
 				for _, p := range ps {
-					r, err := micro(pf, s.sub, p, k, ka)
+					r, err := micro(o, pf, s.sub, p, k, ka)
 					if err != nil {
 						return nil, fmt.Errorf("%s P=%d: %w", s.name, p, err)
 					}

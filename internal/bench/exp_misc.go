@@ -190,7 +190,7 @@ func cgpopFigure(id, title, platform string) Experiment {
 						continue
 					}
 					var secs float64
-					err := job(pf, v.sub, p, false, func(im *caf.Image) error {
+					err := job(o, pf, v.sub, p, false, func(im *caf.Image) error {
 						res, err := cgpop.Run(im, cgpop.Config{NX: nx, NY: ny, Iters: iters, Pull: v.pull})
 						if err != nil {
 							return err

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"cafmpi/internal/fabric"
+	"cafmpi/internal/obs"
 	"cafmpi/internal/sim"
 	"cafmpi/internal/trace"
 )
@@ -33,6 +34,13 @@ type Config struct {
 	Factory SubstrateFactory
 	// Trace enables per-image category timing (Figures 4 and 8).
 	Trace bool
+	// Observe enables the obs subsystem: per-image event rings, counters,
+	// and the communication matrix. Read the results after the run via
+	// obs.Enabled(world).
+	Observe bool
+	// ObsRingCap overrides the per-image event ring capacity
+	// (obs.DefaultRingCap when zero).
+	ObsRingCap int
 }
 
 // SpawnFunc is a shippable function (CAF 2.0 function shipping). It runs on
@@ -116,6 +124,11 @@ func Boot(p *sim.Proc, cfg Config) (*Image, error) {
 	if cfg.Trace {
 		im.tr = trace.New(p)
 	}
+	if cfg.Observe {
+		// Must precede the Factory call: fabric/mpi/gasnet cache their shard
+		// handles at attach time.
+		obs.Enable(p.World(), cfg.ObsRingCap)
+	}
 	// TEAM_WORLD must be addressable by AMs before the substrate's first
 	// poll: a faster image can finish booting and send world-team
 	// collective AMs while this image is still inside the substrate's
@@ -128,6 +141,11 @@ func Boot(p *sim.Proc, cfg Config) (*Image, error) {
 		return nil, err
 	}
 	im.sub = sub
+	if im.tr != nil {
+		if st, ok := sub.(interface{ SetTracer(*trace.Tracer) }); ok {
+			st.SetTracer(im.tr)
+		}
+	}
 	im.world.ref = sub.WorldTeam()
 	im.world.buildIndex()
 	return im, nil
@@ -135,14 +153,22 @@ func Boot(p *sim.Proc, cfg Config) (*Image, error) {
 
 // Run boots an n-image world and executes fn on every image.
 func Run(n int, cfg Config, fn func(*Image) error) error {
+	_, err := RunWorld(n, cfg, fn)
+	return err
+}
+
+// RunWorld is Run returning the world as well, so callers can read post-run
+// state — the obs registry, per-image clocks — after all images finish.
+func RunWorld(n int, cfg Config, fn func(*Image) error) (*sim.World, error) {
 	w := sim.NewWorld(n)
-	return w.Run(func(p *sim.Proc) error {
+	err := w.Run(func(p *sim.Proc) error {
 		im, err := Boot(p, cfg)
 		if err != nil {
 			return err
 		}
 		return fn(im)
 	})
+	return w, err
 }
 
 // ID returns this image's world rank (its index in TEAM_WORLD).

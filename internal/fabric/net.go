@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"cafmpi/internal/obs"
 	"cafmpi/internal/sim"
 )
 
@@ -44,6 +45,11 @@ type Net struct {
 	// so unscheduled many-to-one traffic (incast) queues while pairwise-
 	// scheduled exchanges stay clean.
 	nics []nic
+
+	// ow is the world's observability registry, nil when off. Captured at
+	// attach time (obs.Enable runs before any layer attaches) so per-message
+	// paths pay a nil check, not a registry lookup.
+	ow *obs.World
 
 	mu     sync.Mutex
 	layers map[string]*Layer
@@ -103,12 +109,16 @@ func (n *nic) claim(earliest, occ int64) int64 {
 // AttachNet returns the world's Net, creating it with the given parameters
 // on first call. Later calls ignore params (every image must agree).
 func AttachNet(w *sim.World, params *Params) *Net {
+	// Resolved outside the Shared callback: Peek and Shared share a
+	// non-reentrant mutex.
+	ow := obs.Enabled(w)
 	return w.Shared("fabric.net", func() any {
 		return &Net{
 			world:  w,
 			params: params,
 			nics:   make([]nic, w.N()),
 			layers: make(map[string]*Layer),
+			ow:     ow,
 		}
 	}).(*Net)
 }
@@ -136,6 +146,14 @@ func (n *Net) Layer(name string) *Layer {
 	}
 	n.layers[name] = l
 	return l
+}
+
+// shard returns image p's observability shard, or nil when off.
+func (n *Net) shard(p *sim.Proc) *obs.Shard {
+	if n.ow == nil {
+		return nil
+	}
+	return n.ow.Shard(p.ID())
 }
 
 // ClaimNIC reserves occ nanoseconds of image dst's inbound wire starting no
@@ -178,6 +196,7 @@ func (l *Layer) Send(p *sim.Proc, m *Message) {
 	if m.Data != nil {
 		m.Data = append([]byte(nil), m.Data...)
 	}
+	t0 := p.Now()
 	p.Advance(pr.SendOverheadNS)
 	m.SendT = p.Now()
 	size := len(m.Data) + 8*len(m.Args)
@@ -194,6 +213,17 @@ func (l *Layer) Send(p *sim.Proc, m *Message) {
 		}
 	}
 	l.eps[m.Dst].enqueue(m)
+	if sh := l.net.shard(p); sh != nil {
+		sh.Record(obs.LayerFabric, obs.OpInject, m.Dst, size, m.Tag, t0, p.Now())
+		sh.Add(obs.CtrMsgsSent, 1)
+		sh.Add(obs.CtrBytesSent, int64(size))
+		if m.Rendezvous {
+			sh.Add(obs.CtrRendezvousMsgs, 1)
+		} else {
+			sh.Add(obs.CtrEagerMsgs, 1)
+		}
+		sh.CommAdd(m.Dst, int64(size))
+	}
 }
 
 // Absorb advances the receiving image's clock for a matched message: eager
@@ -202,6 +232,7 @@ func (l *Layer) Send(p *sim.Proc, m *Message) {
 // per-message receive cost (tag matching, handler dispatch, ...).
 func (l *Layer) Absorb(p *sim.Proc, m *Message, extra int64) {
 	pr := l.net.params
+	t0 := p.Now()
 	if m.Rendezvous {
 		start := max64(p.Now(), m.ArriveT)
 		size := len(m.Data) + 8*len(m.Args)
@@ -215,6 +246,16 @@ func (l *Layer) Absorb(p *sim.Proc, m *Message, extra int64) {
 		p.AdvanceTo(m.ArriveT)
 	}
 	p.Advance(pr.RecvOverheadNS + extra)
+	if sh := l.net.shard(p); sh != nil {
+		size := len(m.Data) + 8*len(m.Args)
+		op := obs.OpDeliver
+		if m.Rendezvous {
+			op = obs.OpRendezvousMatch
+		}
+		sh.Record(obs.LayerFabric, op, m.Src, size, m.Tag, t0, p.Now())
+		sh.Add(obs.CtrMsgsRecv, 1)
+		sh.Add(obs.CtrBytesRecv, int64(size))
+	}
 }
 
 // RMAPut charges image p for injecting a one-sided write of size bytes with
@@ -222,8 +263,14 @@ func (l *Layer) Absorb(p *sim.Proc, m *Message, extra int64) {
 // the remote completion time.
 func (l *Layer) RMAPut(p *sim.Proc, dst, size int, opNS int64) (remoteDone int64) {
 	pr := l.net.params
+	t0 := p.Now()
 	p.Advance(opNS)
-	return l.net.ClaimNIC(dst, p.Now()+pr.PathLatency(p.ID(), dst), pr.PathWireTime(p.ID(), dst, size))
+	done := l.net.ClaimNIC(dst, p.Now()+pr.PathLatency(p.ID(), dst), pr.PathWireTime(p.ID(), dst, size))
+	if sh := l.net.shard(p); sh != nil {
+		sh.Record(obs.LayerFabric, obs.OpRMAPut, dst, size, 0, t0, done)
+		sh.CommAdd(dst, int64(size))
+	}
+	return done
 }
 
 // RMAGetCost returns the origin-side blocking charge for a one-sided read

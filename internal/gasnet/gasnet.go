@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"cafmpi/internal/fabric"
+	"cafmpi/internal/obs"
 	"cafmpi/internal/sim"
 )
 
@@ -83,6 +84,10 @@ type Ep struct {
 
 	barrierGen int
 	footprint  int64
+
+	// osh is this image's observability shard, nil when off; cached at
+	// Attach so AM and RDMA hot paths pay a nil check only.
+	osh *obs.Shard
 }
 
 // HandlerEntry binds a handler id to its function for Attach, mirroring
@@ -114,6 +119,7 @@ func Attach(p *sim.Proc, net *fabric.Net, segSize int, handlers ...HandlerEntry)
 		sh:    sh,
 	}
 	e.fep = e.layer.Endpoint(p.ID())
+	e.osh = obs.For(p)
 	e.segment = make([]byte, segSize)
 	sh.mu.Lock()
 	sh.segs[p.ID()] = e.segment
@@ -181,7 +187,9 @@ func (e *Ep) AMRequestShort(dst int, h HandlerID, args ...uint64) error {
 	if err := e.checkAM(dst, h, args, nil, catShort); err != nil {
 		return err
 	}
+	t0 := e.p.Now()
 	e.layer.Send(e.p, &fabric.Message{Dst: dst, Class: clsAMRequest, Ctx: int(h), Tag: catShort, Args: args})
+	e.noteAMSent(dst, 0, h, t0)
 	return nil
 }
 
@@ -191,7 +199,9 @@ func (e *Ep) AMRequestMedium(dst int, h HandlerID, payload []byte, args ...uint6
 	if err := e.checkAM(dst, h, args, payload, catMedium); err != nil {
 		return err
 	}
+	t0 := e.p.Now()
 	e.layer.Send(e.p, &fabric.Message{Dst: dst, Class: clsAMRequest, Ctx: int(h), Tag: catMedium, Args: args, Data: payload})
+	e.noteAMSent(dst, len(payload), h, t0)
 	return nil
 }
 
@@ -210,13 +220,24 @@ func (e *Ep) AMRequestLong(dst int, h HandlerID, payload []byte, dstOff int, arg
 	// handler, carries the landing location.
 	copy(seg[dstOff:], payload)
 	pr := e.net.Params()
+	t0 := e.p.Now()
 	e.p.Advance(pr.PathWireTime(e.p.ID(), dst, len(payload)))
 	e.net.ClaimNIC(dst, e.p.Now()+pr.PathLatency(e.p.ID(), dst), pr.PathWireTime(e.p.ID(), dst, len(payload)))
 	e.layer.Send(e.p, &fabric.Message{
 		Dst: dst, Class: clsAMRequest, Ctx: int(h), Tag: catLong,
 		Args: append([]uint64{uint64(dstOff), uint64(len(payload))}, args...),
 	})
+	e.noteAMSent(dst, len(payload), h, t0)
 	return nil
+}
+
+// noteAMSent records an AM-send event and counter.
+func (e *Ep) noteAMSent(dst, plen int, h HandlerID, t0 int64) {
+	if e.osh == nil {
+		return
+	}
+	e.osh.Record(obs.LayerGASNet, obs.OpAMSend, dst, plen, int(h), t0, e.p.Now())
+	e.osh.Add(obs.CtrAMsSent, 1)
 }
 
 // Token is the reply capability passed to AM handlers.
@@ -238,7 +259,9 @@ func (tk *Token) ReplyShort(h HandlerID, args ...uint64) error {
 		return err
 	}
 	tk.replied = true
+	t0 := tk.ep.p.Now()
 	tk.ep.layer.Send(tk.ep.p, &fabric.Message{Dst: tk.src, Class: clsAMReply, Ctx: int(h), Tag: catShort, Args: args})
+	tk.ep.noteAMSent(tk.src, 0, h, t0)
 	return nil
 }
 
@@ -251,7 +274,9 @@ func (tk *Token) ReplyMedium(h HandlerID, payload []byte, args ...uint64) error 
 		return err
 	}
 	tk.replied = true
+	t0 := tk.ep.p.Now()
 	tk.ep.layer.Send(tk.ep.p, &fabric.Message{Dst: tk.src, Class: clsAMReply, Ctx: int(h), Tag: catMedium, Args: args, Data: payload})
+	tk.ep.noteAMSent(tk.src, len(payload), h, t0)
 	return nil
 }
 
@@ -273,6 +298,7 @@ func (e *Ep) arrived(match func(*fabric.Message) bool) func(*fabric.Message) boo
 // the number of AMs processed. GASNet progress is explicit: no handler
 // runs unless the image polls (or blocks inside a GASNet call that polls).
 func (e *Ep) Poll() int {
+	e.osh.Add(obs.CtrPolls, 1)
 	n := 0
 	for {
 		m := e.fep.TryRecv(e.arrived(amMatch))
@@ -302,7 +328,14 @@ func (e *Ep) dispatch(m *fabric.Message) {
 	if pen := c.SRQ.Penalty(e.p.N()); pen > 1 {
 		extra += int64((pen - 1) * float64(e.net.Params().LatencyNS+e.net.Params().RecvOverheadNS+e.net.Params().WireTime(plen)))
 	}
+	t0 := e.p.Now()
 	e.layer.Absorb(e.p, m, extra)
+	if e.osh != nil {
+		e.osh.Record(obs.LayerGASNet, obs.OpAMDeliver, m.Src, plen, m.Ctx, t0, e.p.Now())
+		e.osh.Add(obs.CtrAMsDelivered, 1)
+		// The SRQ stall is the delivery cost beyond the base AM overhead.
+		e.osh.Add(obs.CtrSRQStallNS, extra-c.AMNS)
+	}
 
 	h := e.handlers[m.Ctx]
 	if h == nil {
@@ -379,8 +412,14 @@ func (e *Ep) PutNB(dst, dstOff int, src []byte) (*Handle, error) {
 	if err := e.checkSeg(dst, dstOff, len(src), "put"); err != nil {
 		return nil, err
 	}
+	t0 := e.p.Now()
 	done := e.layer.RMAPut(e.p, dst, len(src), e.costs().PutNS)
 	copy(e.seg(dst)[dstOff:], src)
+	if e.osh != nil {
+		e.osh.Record(obs.LayerGASNet, obs.OpPut, dst, len(src), 0, t0, e.p.Now())
+		e.osh.Add(obs.CtrRDMAPuts, 1)
+		e.osh.Add(obs.CtrRDMABytes, int64(len(src)))
+	}
 	return &Handle{localT: e.p.Now(), remoteT: done}, nil
 }
 
@@ -411,11 +450,24 @@ func (e *Ep) GetNB(dst, dstOff int, into []byte) (*Handle, error) {
 	if err := e.checkSeg(dst, dstOff, len(into), "get"); err != nil {
 		return nil, err
 	}
+	t0 := e.p.Now()
 	e.p.Advance(e.costs().GetNS)
 	copy(into, e.seg(dst)[dstOff:])
 	pr := e.net.Params()
 	done := e.p.Now() + 2*pr.PathLatency(e.p.ID(), dst) + pr.PathWireTime(e.p.ID(), dst, len(into))
+	e.noteGet(dst, len(into), t0)
 	return &Handle{localT: done, remoteT: done}, nil
+}
+
+// noteGet records a one-sided read's event, counters, and comm-matrix entry.
+func (e *Ep) noteGet(dst, n int, t0 int64) {
+	if e.osh == nil {
+		return
+	}
+	e.osh.Record(obs.LayerGASNet, obs.OpGet, dst, n, 0, t0, e.p.Now())
+	e.osh.Add(obs.CtrRDMAGets, 1)
+	e.osh.Add(obs.CtrRDMABytes, int64(n))
+	e.osh.CommAdd(dst, int64(n))
 }
 
 // GetNBI is the implicit-handle form of GetNB.
@@ -450,10 +502,16 @@ func (e *Ep) TrySyncNB(h *Handle) bool {
 // so the cost does not scale with the number of peers — contrast with
 // MPI_WIN_FLUSH_ALL's per-rank scan (paper §4.1).
 func (e *Ep) SyncNBIAll() {
+	t0 := e.p.Now()
+	synced := e.nbiCount
 	e.p.Advance(e.costs().PollNS)
 	e.p.AdvanceTo(e.nbiRemote)
 	e.nbiCount = 0
 	e.nbiRemote = 0
+	if e.osh != nil {
+		e.osh.Record(obs.LayerGASNet, obs.OpNBISync, -1, 0, synced, t0, e.p.Now())
+		e.osh.Add(obs.CtrNBISyncs, 1)
+	}
 }
 
 // NBIOutstanding returns the number of unsynced implicit operations.
@@ -532,8 +590,14 @@ func (e *Ep) PutRegisteredNB(dst int, mem []byte, off int, src []byte) (*Handle,
 	if err := e.checkReg(dst, off, len(src), mem, "put"); err != nil {
 		return nil, err
 	}
+	t0 := e.p.Now()
 	done := e.layer.RMAPut(e.p, dst, len(src), e.costs().PutNS)
 	copy(mem[off:], src)
+	if e.osh != nil {
+		e.osh.Record(obs.LayerGASNet, obs.OpPut, dst, len(src), 0, t0, e.p.Now())
+		e.osh.Add(obs.CtrRDMAPuts, 1)
+		e.osh.Add(obs.CtrRDMABytes, int64(len(src)))
+	}
 	return &Handle{localT: e.p.Now(), remoteT: done}, nil
 }
 
@@ -563,10 +627,12 @@ func (e *Ep) GetRegisteredNB(dst int, mem []byte, off int, into []byte) (*Handle
 	if err := e.checkReg(dst, off, len(into), mem, "get"); err != nil {
 		return nil, err
 	}
+	t0 := e.p.Now()
 	e.p.Advance(e.costs().GetNS)
 	copy(into, mem[off:])
 	pr := e.net.Params()
 	done := e.p.Now() + 2*pr.PathLatency(e.p.ID(), dst) + pr.PathWireTime(e.p.ID(), dst, len(into))
+	e.noteGet(dst, len(into), t0)
 	return &Handle{localT: done, remoteT: done}, nil
 }
 

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 
 	"cafmpi/internal/fabric"
+	"cafmpi/internal/obs"
 	"cafmpi/internal/sim"
 )
 
@@ -60,6 +61,10 @@ type Env struct {
 	mu     sync.Mutex // guards posted (CompleteAt may come from peers)
 	posted []*Request // posted receives, in post order
 
+	// sh is this image's observability shard, nil when off; cached at Init
+	// so RMA/p2p hot paths pay a nil check only.
+	sh *obs.Shard
+
 	footprint int64
 	finalized bool
 }
@@ -81,6 +86,7 @@ func Init(p *sim.Proc, net *fabric.Net) *Env {
 		ws:    ws,
 	}
 	env.ep = env.layer.Endpoint(p.ID())
+	env.sh = obs.For(p)
 
 	ranks := make([]int, p.N())
 	for i := range ranks {

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"cafmpi/internal/fabric"
+	"cafmpi/internal/obs"
 )
 
 // Status describes a completed receive.
@@ -155,6 +156,7 @@ func (c *Comm) Isend(buf []byte, dest, tag int) (*Request, error) {
 
 func (c *Comm) isendCtx(buf []byte, dest, tag, ctx int) *Request {
 	r := &Request{env: c.env, kind: reqSend, comm: c}
+	t0 := c.env.p.Now()
 	c.env.layer.Send(c.env.p, &fabric.Message{
 		Dst:   c.ranks[dest],
 		Class: clsP2P,
@@ -163,6 +165,9 @@ func (c *Comm) isendCtx(buf []byte, dest, tag, ctx int) *Request {
 		Data:  buf,
 		Req:   r,
 	})
+	if sh := c.env.sh; sh != nil {
+		sh.Record(obs.LayerMPI, obs.OpSend, c.ranks[dest], len(buf), tag, t0, c.env.p.Now())
+	}
 	return r
 }
 
@@ -294,6 +299,10 @@ func matchReq(r *Request, m *fabric.Message) bool {
 // on the owning image's goroutine.
 func (e *Env) progress() bool {
 	delivered := false
+	if e.sh != nil {
+		// Queue depth before matching = unexpected-message backlog.
+		e.sh.Max(obs.CtrUnexpectedDepthMax, int64(e.ep.QueueLen()))
+	}
 	for {
 		now := e.p.Now()
 		e.mu.Lock()
@@ -355,7 +364,11 @@ func (e *Env) advanceToPending() bool {
 }
 
 func (e *Env) deliver(r *Request, m *fabric.Message) {
+	t0 := e.p.Now()
 	e.layer.Absorb(e.p, m, e.costs().MatchNS)
+	if sh := e.sh; sh != nil {
+		sh.Record(obs.LayerMPI, obs.OpRecv, m.Src, len(m.Data), m.Tag, t0, e.p.Now())
+	}
 	st := Status{Source: r.comm.commRankOfWorld(m.Src), Tag: m.Tag, Count: len(m.Data)}
 	var err error
 	if len(m.Data) > len(r.buf) {

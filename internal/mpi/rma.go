@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"cafmpi/internal/obs"
 )
 
 // winShared is the cross-image state of one window: every rank's memory and
@@ -32,6 +34,11 @@ type Win struct {
 	// MPICH behaviour that dominates the paper's Figure 4.
 	pendingT   []int64
 	hasPending []bool
+
+	// pendingOps counts unflushed operations per target; pendingTotal is
+	// their sum, feeding the pending_rma_max high-water gauge.
+	pendingOps   []int64
+	pendingTotal int64
 
 	shared bool // created by WinAllocateShared
 	freed  bool
@@ -68,6 +75,7 @@ func WinAllocate(c *Comm, size int) (*Win, error) {
 		locked:     make([]bool, c.Size()),
 		pendingT:   make([]int64, c.Size()),
 		hasPending: make([]bool, c.Size()),
+		pendingOps: make([]int64, c.Size()),
 	}
 	c.env.p.Advance(c.env.costs().WinSetupNS * int64(c.Size()))
 	atomic.AddInt64(&c.env.footprint, int64(size))
@@ -112,7 +120,12 @@ func (w *Win) LockAll() error {
 		return fmt.Errorf("mpi: LockAll inside an existing lock-all epoch")
 	}
 	w.lockedAll = true
+	t0 := w.env.p.Now()
 	w.env.p.Advance(w.env.costs().FlushScanNS * int64(w.comm.Size()))
+	if sh := w.env.sh; sh != nil {
+		sh.Record(obs.LayerMPI, obs.OpLockAll, -1, 0, w.comm.Size(), t0, w.env.p.Now())
+		sh.Add(obs.CtrLockAllCalls, 1)
+	}
 	return nil
 }
 
@@ -182,6 +195,16 @@ func (w *Win) notePending(target int, t int64) {
 		w.pendingT[target] = t
 	}
 	w.hasPending[target] = true
+	w.pendingOps[target]++
+	w.pendingTotal++
+	w.env.sh.Max(obs.CtrPendingRMAMax, w.pendingTotal)
+}
+
+// clearPending marks target flushed, releasing its outstanding-op count.
+func (w *Win) clearPending(target int) {
+	w.hasPending[target] = false
+	w.pendingTotal -= w.pendingOps[target]
+	w.pendingOps[target] = 0
 }
 
 // Put copies buf into the target's window at byte displacement disp
@@ -194,9 +217,15 @@ func (w *Win) Put(buf []byte, target, disp int) error {
 		return err
 	}
 	worldDst := w.comm.ranks[target]
+	t0 := w.env.p.Now()
 	done := w.env.layer.RMAPut(w.env.p, worldDst, len(buf), w.env.costs().PutNS)
 	copy(w.sh.bases[target][disp:], buf)
 	w.notePending(target, done)
+	if sh := w.env.sh; sh != nil {
+		sh.Record(obs.LayerMPI, obs.OpPut, worldDst, len(buf), 0, t0, w.env.p.Now())
+		sh.Add(obs.CtrRDMAPuts, 1)
+		sh.Add(obs.CtrRDMABytes, int64(len(buf)))
+	}
 	return nil
 }
 
@@ -212,9 +241,16 @@ func (w *Win) Get(buf []byte, target, disp int) error {
 	}
 	pr := w.env.net.Params()
 	worldDst := w.comm.ranks[target]
+	t0 := w.env.p.Now()
 	w.env.p.Advance(w.env.costs().GetNS)
 	copy(buf, w.sh.bases[target][disp:])
 	w.notePending(target, w.env.p.Now()+2*pr.PathLatency(w.env.p.ID(), worldDst)+pr.PathWireTime(w.env.p.ID(), worldDst, len(buf)))
+	if sh := w.env.sh; sh != nil {
+		sh.Record(obs.LayerMPI, obs.OpGet, worldDst, len(buf), 0, t0, w.env.p.Now())
+		sh.Add(obs.CtrRDMAGets, 1)
+		sh.Add(obs.CtrRDMABytes, int64(len(buf)))
+		sh.CommAdd(worldDst, int64(len(buf)))
+	}
 	return nil
 }
 
@@ -239,9 +275,16 @@ func (w *Win) Rget(buf []byte, target, disp int) (*Request, error) {
 	}
 	pr := w.env.net.Params()
 	worldDst := w.comm.ranks[target]
+	t0 := w.env.p.Now()
 	w.env.p.Advance(w.env.costs().GetNS)
 	copy(buf, w.sh.bases[target][disp:])
 	done := w.env.p.Now() + 2*pr.PathLatency(w.env.p.ID(), worldDst) + pr.PathWireTime(w.env.p.ID(), worldDst, len(buf))
+	if sh := w.env.sh; sh != nil {
+		sh.Record(obs.LayerMPI, obs.OpGet, worldDst, len(buf), 0, t0, w.env.p.Now())
+		sh.Add(obs.CtrRDMAGets, 1)
+		sh.Add(obs.CtrRDMABytes, int64(len(buf)))
+		sh.CommAdd(worldDst, int64(len(buf)))
+	}
 	r := &Request{env: w.env, kind: reqRMA, done: true, completeT: done}
 	return r, nil
 }
@@ -256,6 +299,7 @@ func (w *Win) Accumulate(buf []byte, target, disp int, dt Datatype, op Op) error
 		return err
 	}
 	worldDst := w.comm.ranks[target]
+	t0 := w.env.p.Now()
 	done := w.env.layer.RMAPut(w.env.p, worldDst, len(buf), w.env.costs().AtomicNS)
 	w.sh.atomMu[target].Lock()
 	err := reduceInto(w.sh.bases[target][disp:disp+len(buf)], buf, dt, op)
@@ -264,6 +308,11 @@ func (w *Win) Accumulate(buf []byte, target, disp int, dt Datatype, op Op) error
 		return err
 	}
 	w.notePending(target, done)
+	if sh := w.env.sh; sh != nil {
+		sh.Record(obs.LayerMPI, obs.OpAccumulate, worldDst, len(buf), int(op), t0, w.env.p.Now())
+		sh.Add(obs.CtrRDMAAtomics, 1)
+		sh.Add(obs.CtrRDMABytes, int64(len(buf)))
+	}
 	// Wake a target parked in a busy-wait re-probe loop (the atomic landed).
 	w.env.layer.Endpoint(worldDst).Poke()
 	return nil
@@ -285,6 +334,7 @@ func (w *Win) GetAccumulate(buf, result []byte, target, disp int, dt Datatype, o
 	}
 	pr := w.env.net.Params()
 	worldDst := w.comm.ranks[target]
+	t0 := w.env.p.Now()
 	w.env.p.Advance(w.env.costs().AtomicNS + 2*pr.PathLatency(w.env.p.ID(), worldDst) + pr.PathWireTime(w.env.p.ID(), worldDst, n))
 	w.sh.atomMu[target].Lock()
 	copy(result, w.sh.bases[target][disp:disp+n])
@@ -297,6 +347,12 @@ func (w *Win) GetAccumulate(buf, result []byte, target, disp int, dt Datatype, o
 		return err
 	}
 	w.notePending(target, w.env.p.Now())
+	if sh := w.env.sh; sh != nil {
+		sh.Record(obs.LayerMPI, obs.OpAccumulate, worldDst, n, int(op), t0, w.env.p.Now())
+		sh.Add(obs.CtrRDMAAtomics, 1)
+		sh.Add(obs.CtrRDMABytes, int64(n))
+		sh.CommAdd(worldDst, int64(n))
+	}
 	return nil
 }
 
@@ -324,6 +380,7 @@ func (w *Win) CompareAndSwap(origin, compare, result []byte, target, disp int, d
 	}
 	pr := w.env.net.Params()
 	worldDst := w.comm.ranks[target]
+	t0 := w.env.p.Now()
 	w.env.p.Advance(w.env.costs().AtomicNS + 2*pr.PathLatency(w.env.p.ID(), worldDst) + pr.PathWireTime(w.env.p.ID(), worldDst, n))
 	w.sh.atomMu[target].Lock()
 	tgt := w.sh.bases[target][disp : disp+n]
@@ -333,6 +390,12 @@ func (w *Win) CompareAndSwap(origin, compare, result []byte, target, disp int, d
 	}
 	w.sh.atomMu[target].Unlock()
 	w.notePending(target, w.env.p.Now())
+	if sh := w.env.sh; sh != nil {
+		sh.Record(obs.LayerMPI, obs.OpAccumulate, worldDst, n, 0, t0, w.env.p.Now())
+		sh.Add(obs.CtrRDMAAtomics, 1)
+		sh.Add(obs.CtrRDMABytes, int64(n))
+		sh.CommAdd(worldDst, int64(n))
+	}
 	return nil
 }
 
@@ -343,12 +406,17 @@ func (w *Win) Flush(target int) error {
 		return err
 	}
 	c := w.env.costs()
+	t0 := w.env.p.Now()
 	if w.hasPending[target] {
 		w.env.p.AdvanceTo(w.pendingT[target])
 		w.env.p.Advance(c.FlushNS)
-		w.hasPending[target] = false
+		w.clearPending(target)
 	} else {
 		w.env.p.Advance(c.FlushScanNS)
+	}
+	if sh := w.env.sh; sh != nil {
+		sh.Record(obs.LayerMPI, obs.OpFlush, w.comm.ranks[target], 0, 0, t0, w.env.p.Now())
+		sh.Add(obs.CtrFlushCalls, 1)
 	}
 	return nil
 }
@@ -386,13 +454,19 @@ func (w *Win) FlushAll() error {
 		}
 	}
 	c := w.env.costs()
+	t0 := w.env.p.Now()
 	for t := 0; t < w.comm.Size(); t++ {
 		w.env.p.Advance(c.FlushScanNS)
 		if w.hasPending[t] {
 			w.env.p.AdvanceTo(w.pendingT[t])
 			w.env.p.Advance(c.FlushNS)
-			w.hasPending[t] = false
+			w.clearPending(t)
 		}
+	}
+	if sh := w.env.sh; sh != nil {
+		sh.Record(obs.LayerMPI, obs.OpFlushAll, -1, 0, w.comm.Size(), t0, w.env.p.Now())
+		sh.Add(obs.CtrFlushAllCalls, 1)
+		sh.Add(obs.CtrFlushAllScannedOps, int64(w.comm.Size()))
 	}
 	return nil
 }
@@ -411,8 +485,9 @@ func (w *Win) Rflush(target int) (*Request, error) {
 		if w.pendingT[target]+w.env.costs().FlushNS > done {
 			done = w.pendingT[target] + w.env.costs().FlushNS
 		}
-		w.hasPending[target] = false
+		w.clearPending(target)
 	}
+	w.env.sh.Add(obs.CtrFlushCalls, 1)
 	r := &Request{env: w.env, kind: reqRMA, done: true, completeT: done}
 	return r, nil
 }
@@ -430,21 +505,29 @@ func (w *Win) RflushAll() (*Request, error) {
 	// implementation complete only the targets with outstanding operations
 	// (it hands back a handle instead of scanning the communicator), which
 	// is precisely the scalability fix the paper argues for in §5.
+	t0 := w.env.p.Now()
 	any := false
+	scanned := 0
 	for t := 0; t < w.comm.Size(); t++ {
 		if w.hasPending[t] {
 			any = true
+			scanned++
 			w.env.p.Advance(c.FlushScanNS)
 			if tt := w.pendingT[t] + c.FlushNS; tt > done {
 				done = tt
 			}
-			w.hasPending[t] = false
+			w.clearPending(t)
 		}
 	}
 	if any {
 		if lat := w.env.p.Now() + w.env.net.Params().LatencyNS; lat > done {
 			done = lat
 		}
+	}
+	if sh := w.env.sh; sh != nil {
+		sh.Record(obs.LayerMPI, obs.OpFlushAll, -1, 0, scanned, t0, w.env.p.Now())
+		sh.Add(obs.CtrRflushAllCalls, 1)
+		sh.Add(obs.CtrFlushAllScannedOps, int64(scanned))
 	}
 	r := &Request{env: w.env, kind: reqRMA, done: true, completeT: done}
 	return r, nil

@@ -1,0 +1,182 @@
+// Exporters: the merged stats snapshot (aligned text + JSON) and the Chrome
+// trace-event / Perfetto timeline keyed by virtual time.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Snapshot is the merged, read-only view of a World's shards, taken after
+// sim.World.Run has returned. Counters are summed across images; gauges keep
+// the maximum. The communication matrix is indexed [src][dst].
+type Snapshot struct {
+	Images         int                `json:"images"`
+	EventsRecorded uint64             `json:"events_recorded"`
+	EventsDropped  uint64             `json:"events_dropped"`
+	Counters       map[string]int64   `json:"counters"`
+	CommCount      [][]int64          `json:"comm_count"`
+	CommBytes      [][]int64          `json:"comm_bytes"`
+	PerImage       []map[string]int64 `json:"per_image,omitempty"`
+}
+
+// Snapshot merges all shards into a Snapshot. Call only after the world's
+// Run has returned (the run's WaitGroup provides the happens-before edge).
+func (w *World) Snapshot() *Snapshot {
+	if w == nil {
+		return nil
+	}
+	s := &Snapshot{
+		Images:    w.n,
+		Counters:  make(map[string]int64, int(numCounters)),
+		CommCount: make([][]int64, w.n),
+		CommBytes: make([][]int64, w.n),
+	}
+	for _, c := range Counters() {
+		s.Counters[c.String()] = 0
+	}
+	for i, sh := range w.shards {
+		s.EventsRecorded += sh.Recorded()
+		s.EventsDropped += sh.Dropped()
+		s.CommCount[i] = append([]int64(nil), sh.matCount...)
+		s.CommBytes[i] = append([]int64(nil), sh.matBytes...)
+		for _, c := range Counters() {
+			v := sh.counters[c]
+			if c.IsGauge() {
+				if v > s.Counters[c.String()] {
+					s.Counters[c.String()] = v
+				}
+			} else {
+				s.Counters[c.String()] += v
+			}
+		}
+	}
+	return s
+}
+
+// Text renders the counter registry as an aligned table, nonzero entries
+// first in declaration order, zero entries summarized.
+func (s *Snapshot) Text() string {
+	if s == nil {
+		return "(observability disabled)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "images: %d   events: %d recorded, %d dropped\n",
+		s.Images, s.EventsRecorded, s.EventsDropped)
+	fmt.Fprintf(&b, "%-24s %14s\n", "counter", "value")
+	zeros := 0
+	for _, c := range Counters() {
+		v := s.Counters[c.String()]
+		if v == 0 {
+			zeros++
+			continue
+		}
+		kind := ""
+		if c.IsGauge() {
+			kind = "  (max)"
+		}
+		fmt.Fprintf(&b, "%-24s %14d%s\n", c.String(), v, kind)
+	}
+	if zeros > 0 {
+		fmt.Fprintf(&b, "(%d counters at zero omitted)\n", zeros)
+	}
+	return b.String()
+}
+
+// CommMatrixText renders the N×N communication matrix (operation counts,
+// with a bytes matrix below) as aligned text. Rows are sources, columns
+// destinations.
+func (s *Snapshot) CommMatrixText() string {
+	if s == nil {
+		return "(observability disabled)\n"
+	}
+	var b strings.Builder
+	render := func(title string, m [][]int64) {
+		fmt.Fprintf(&b, "%s (rows: src, cols: dst)\n", title)
+		fmt.Fprintf(&b, "%6s", "")
+		for d := 0; d < s.Images; d++ {
+			fmt.Fprintf(&b, " %10d", d)
+		}
+		b.WriteByte('\n')
+		for src, row := range m {
+			fmt.Fprintf(&b, "%6d", src)
+			for _, v := range row {
+				fmt.Fprintf(&b, " %10d", v)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	render("comm matrix: ops", s.CommCount)
+	render("comm matrix: bytes", s.CommBytes)
+	return b.String()
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s *Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" complete
+// events; ts/dur in microseconds). Perfetto and chrome://tracing both load
+// the {"traceEvents": [...]} object form.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the retained events of every image as Chrome
+// trace-event JSON keyed by virtual time: one pid for the simulated job, one
+// tid ("image N" thread) per image. Open the file in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing.
+func (w *World) WriteChromeTrace(out io.Writer) error {
+	if w == nil {
+		return fmt.Errorf("obs: observability not enabled")
+	}
+	evs := make([]chromeEvent, 0, 64)
+	for i := 0; i < w.n; i++ {
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: i,
+			Args: map[string]any{"name": fmt.Sprintf("image %d", i)},
+		})
+	}
+	for i, sh := range w.shards {
+		for _, e := range sh.Events() {
+			args := map[string]any{"bytes": e.Bytes, "tag": e.Tag}
+			if e.Peer >= 0 {
+				args["peer"] = e.Peer
+			}
+			evs = append(evs, chromeEvent{
+				Name: e.Op.String(),
+				Cat:  e.Layer.String(),
+				Ph:   "X",
+				Ts:   float64(e.Start) / 1e3, // virtual ns → µs
+				Dur:  float64(e.End-e.Start) / 1e3,
+				Pid:  1,
+				Tid:  i,
+				Args: args,
+			})
+		}
+	}
+	// Stable ordering (by timestamp, then tid) keeps the export deterministic
+	// for tests and diffs; viewers do not require it.
+	sort.SliceStable(evs, func(a, b int) bool {
+		if evs[a].Ts != evs[b].Ts {
+			return evs[a].Ts < evs[b].Ts
+		}
+		return evs[a].Tid < evs[b].Tid
+	})
+	enc := json.NewEncoder(out)
+	return enc.Encode(map[string]any{
+		"traceEvents":     evs,
+		"displayTimeUnit": "ns",
+	})
+}

@@ -1,0 +1,346 @@
+// Package obs is the runtime observability subsystem: structured per-image
+// event timelines, counters/gauges, and an N×N communication matrix, all
+// keyed by virtual time. It is the per-operation, per-peer visibility layer
+// beneath internal/trace's coarse category accumulators — the difference
+// between knowing "event_notify took 200s" and seeing *which* FlushAll scans
+// and SRQ stalls produced it.
+//
+// Design, mirroring trace.Tracer's nil-safety contract:
+//
+//   - The world-wide registry (*World) is created once per sim.World by
+//     Enable and found again — without creating it — by Enabled. When
+//     observability is off, every handle is nil and every method on a nil
+//     receiver returns immediately with no allocation, so instrumented hot
+//     paths cost a pointer compare.
+//   - Each image records into its own *Shard, written only from the image's
+//     goroutine — lock-free by the same ownership discipline as the virtual
+//     clock. Shards are merged (read) only after sim.World.Run returns,
+//     which the run's WaitGroup orders.
+//   - Events land in a fixed-capacity ring per image: a long run keeps the
+//     most recent window instead of growing without bound; the drop count
+//     is reported so truncation is never silent.
+package obs
+
+import (
+	"fmt"
+
+	"cafmpi/internal/sim"
+)
+
+// Layer identifies the stack layer that recorded an event.
+type Layer uint8
+
+// Layers.
+const (
+	LayerFabric Layer = iota
+	LayerMPI
+	LayerGASNet
+	LayerSubstrate
+	numLayers
+)
+
+var layerNames = [...]string{"fabric", "mpi", "gasnet", "substrate"}
+
+func (l Layer) String() string {
+	if int(l) >= len(layerNames) {
+		return fmt.Sprintf("Layer(%d)", int(l))
+	}
+	return layerNames[l]
+}
+
+// Op identifies the kind of operation an event records.
+type Op uint8
+
+// Ops.
+const (
+	OpInject          Op = iota // fabric: message injection (eager or rendezvous)
+	OpDeliver                   // fabric: eager message matched/absorbed
+	OpRendezvousMatch           // fabric: rendezvous message matched (round trip)
+	OpRMAPut                    // fabric: one-sided write wire transfer
+	OpPut                       // mpi/gasnet/substrate: one-sided write issue
+	OpGet                       // mpi/gasnet/substrate: one-sided read
+	OpAccumulate                // mpi: atomic accumulate / fetch-op / CAS
+	OpFlush                     // mpi: MPI_WIN_FLUSH
+	OpFlushAll                  // mpi: MPI_WIN_FLUSH_ALL (tag = ranks scanned)
+	OpLockAll                   // mpi: MPI_WIN_LOCK_ALL
+	OpSend                      // mpi: two-sided send issue
+	OpRecv                      // mpi: two-sided receive delivery
+	OpAMSend                    // gasnet/substrate: active-message send
+	OpAMDeliver                 // gasnet: active-message delivery (incl. SRQ stall)
+	OpBarrier                   // gasnet: dissemination barrier
+	OpNBISync                   // gasnet: implicit-handle sync (tag = ops synced)
+	OpFence                     // substrate: release/local fence
+	numOps
+)
+
+var opNames = [...]string{
+	"inject", "deliver", "rdv_match", "rma_put",
+	"put", "get", "accumulate", "flush", "flush_all", "lock_all",
+	"send", "recv", "am_send", "am_deliver", "barrier", "nbi_sync", "fence",
+}
+
+func (o Op) String() string {
+	if int(o) >= len(opNames) {
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+	return opNames[o]
+}
+
+// Counter indexes the counter/gauge registry. Most entries are monotone
+// counters (merged across images by summation); entries for which IsGauge
+// reports true are high-water marks (merged by max).
+type Counter int
+
+// Counters and gauges.
+const (
+	CtrMsgsSent Counter = iota
+	CtrMsgsRecv
+	CtrBytesSent
+	CtrBytesRecv
+	CtrEagerMsgs
+	CtrRendezvousMsgs
+	CtrRDMAPuts
+	CtrRDMAGets
+	CtrRDMAAtomics
+	CtrRDMABytes
+	CtrAMsSent
+	CtrAMsDelivered
+	CtrSRQStallNS
+	CtrFlushCalls
+	CtrFlushAllCalls
+	CtrFlushAllScannedOps
+	CtrRflushAllCalls
+	CtrLockAllCalls
+	CtrNBISyncs
+	CtrPolls
+	CtrUnexpectedDepthMax // gauge: deepest unexpected-message queue seen
+	CtrPendingRMAMax      // gauge: most unflushed RMA ops outstanding at once
+	numCounters
+)
+
+var counterNames = [...]string{
+	"msgs_sent",
+	"msgs_recv",
+	"bytes_sent",
+	"bytes_recv",
+	"eager_msgs",
+	"rendezvous_msgs",
+	"rdma_puts",
+	"rdma_gets",
+	"rdma_atomics",
+	"rdma_bytes",
+	"ams_sent",
+	"ams_delivered",
+	"srq_stall_ns",
+	"flush_calls",
+	"flushall_calls",
+	"flushall_scanned_ops",
+	"rflushall_calls",
+	"lockall_calls",
+	"nbi_syncs",
+	"polls",
+	"unexpected_queue_max",
+	"pending_rma_max",
+}
+
+func (c Counter) String() string {
+	if c < 0 || int(c) >= len(counterNames) {
+		return fmt.Sprintf("Counter(%d)", int(c))
+	}
+	return counterNames[c]
+}
+
+// IsGauge reports whether c is a high-water gauge (merged by max) rather
+// than a monotone counter (merged by sum).
+func (c Counter) IsGauge() bool {
+	return c == CtrUnexpectedDepthMax || c == CtrPendingRMAMax
+}
+
+// Counters returns all counters in declaration order.
+func Counters() []Counter {
+	out := make([]Counter, numCounters)
+	for i := range out {
+		out[i] = Counter(i)
+	}
+	return out
+}
+
+// Event is one structured timeline entry, stamped with virtual nanoseconds.
+type Event struct {
+	Layer Layer
+	Op    Op
+	Peer  int32 // remote image (world rank), -1 when not peer-directed
+	Tag   int32 // op-specific detail: MPI tag, handler id, scan length, ...
+	Bytes int64
+	Start int64 // virtual ns
+	End   int64 // virtual ns
+}
+
+// DefaultRingCap is the per-image event ring capacity when Enable is called
+// with cap <= 0.
+const DefaultRingCap = 4096
+
+const worldKey = "obs.world"
+
+// World is the per-sim.World observability registry: one shard per image.
+type World struct {
+	n       int
+	ringCap int
+	shards  []*Shard
+}
+
+// Enable returns the world's observability registry, creating it (with the
+// given per-image ring capacity) on first call. Later calls — from the other
+// images booting — return the same registry and ignore ringCap. It must be
+// called before the instrumented layers attach (core.Boot enables it before
+// constructing the substrate), so layers can cache their shard once.
+func Enable(w *sim.World, ringCap int) *World {
+	if ringCap <= 0 {
+		ringCap = DefaultRingCap
+	}
+	return w.Shared(worldKey, func() any {
+		ow := &World{n: w.N(), ringCap: ringCap, shards: make([]*Shard, w.N())}
+		for i := range ow.shards {
+			ow.shards[i] = &Shard{
+				ring:     make([]Event, ringCap),
+				matCount: make([]int64, w.N()),
+				matBytes: make([]int64, w.N()),
+			}
+		}
+		return ow
+	}).(*World)
+}
+
+// Enabled returns the world's registry if Enable was ever called on it, and
+// nil otherwise — without creating anything. Layers call this at attach time
+// and cache the (possibly nil) result.
+func Enabled(w *sim.World) *World {
+	if w == nil {
+		return nil
+	}
+	if v, ok := w.Peek(worldKey); ok {
+		return v.(*World)
+	}
+	return nil
+}
+
+// For returns image p's shard, or nil when observability is off. The result
+// must only be written from p's goroutine.
+func For(p *sim.Proc) *Shard {
+	return Enabled(p.World()).Shard(p.ID())
+}
+
+// N returns the world size (0 on a nil registry).
+func (w *World) N() int {
+	if w == nil {
+		return 0
+	}
+	return w.n
+}
+
+// Shard returns image i's shard (nil on a nil registry).
+func (w *World) Shard(i int) *Shard {
+	if w == nil {
+		return nil
+	}
+	return w.shards[i]
+}
+
+// Shard is one image's lock-free recording surface. All mutating methods are
+// nil-safe no-ops and must otherwise be called only from the owning image's
+// goroutine.
+type Shard struct {
+	ring     []Event
+	total    uint64 // events ever recorded (ring wraps at len(ring))
+	counters [numCounters]int64
+	matCount []int64 // per-destination message/op count
+	matBytes []int64 // per-destination bytes
+}
+
+// Record appends a structured event to the ring, evicting the oldest entry
+// once the ring is full.
+func (s *Shard) Record(layer Layer, op Op, peer, bytes, tag int, start, end int64) {
+	if s == nil {
+		return
+	}
+	s.ring[s.total%uint64(len(s.ring))] = Event{
+		Layer: layer, Op: op,
+		Peer: int32(peer), Tag: int32(tag), Bytes: int64(bytes),
+		Start: start, End: end,
+	}
+	s.total++
+}
+
+// Add increments counter c by d.
+func (s *Shard) Add(c Counter, d int64) {
+	if s == nil {
+		return
+	}
+	s.counters[c] += d
+}
+
+// Max raises gauge c to v if v exceeds the current high-water mark.
+func (s *Shard) Max(c Counter, v int64) {
+	if s == nil {
+		return
+	}
+	if v > s.counters[c] {
+		s.counters[c] = v
+	}
+}
+
+// CommAdd charges one operation of the given size to the dst column of this
+// image's communication-matrix row.
+func (s *Shard) CommAdd(dst int, bytes int64) {
+	if s == nil {
+		return
+	}
+	s.matCount[dst]++
+	s.matBytes[dst] += bytes
+}
+
+// Counter returns the current value of c (0 on a nil shard).
+func (s *Shard) Counter(c Counter) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.counters[c]
+}
+
+// Recorded returns how many events were ever recorded, including dropped
+// ones.
+func (s *Shard) Recorded() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.total
+}
+
+// Dropped returns how many events were evicted by ring wrap-around.
+func (s *Shard) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	if s.total <= uint64(len(s.ring)) {
+		return 0
+	}
+	return s.total - uint64(len(s.ring))
+}
+
+// Events returns the retained events, oldest first. The slice is freshly
+// allocated; it is safe to call after the world's Run has returned.
+func (s *Shard) Events() []Event {
+	if s == nil {
+		return nil
+	}
+	n := s.total
+	capU := uint64(len(s.ring))
+	if n <= capU {
+		return append([]Event(nil), s.ring[:n]...)
+	}
+	out := make([]Event, 0, capU)
+	start := n % capU // oldest retained entry
+	out = append(out, s.ring[start:]...)
+	out = append(out, s.ring[:start]...)
+	return out
+}

@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"cafmpi/internal/sim"
+)
+
+func TestNilSafety(t *testing.T) {
+	var w *World
+	var s *Shard
+	s.Record(LayerFabric, OpInject, 1, 64, 0, 0, 10)
+	s.Add(CtrMsgsSent, 1)
+	s.Max(CtrPendingRMAMax, 5)
+	s.CommAdd(0, 64)
+	if s.Counter(CtrMsgsSent) != 0 || s.Recorded() != 0 || s.Dropped() != 0 || s.Events() != nil {
+		t.Error("nil shard returned nonzero state")
+	}
+	if w.N() != 0 || w.Shard(3) != nil || w.Snapshot() != nil {
+		t.Error("nil world returned nonzero state")
+	}
+	if err := w.WriteChromeTrace(&bytes.Buffer{}); err == nil {
+		t.Error("nil world WriteChromeTrace did not error")
+	}
+	if Enabled(nil) != nil {
+		t.Error("Enabled(nil) != nil")
+	}
+}
+
+func TestEnabledOnlyAfterEnable(t *testing.T) {
+	w := sim.NewWorld(2)
+	if Enabled(w) != nil {
+		t.Fatal("Enabled reported a registry before Enable")
+	}
+	ow := Enable(w, 8)
+	if ow == nil || Enabled(w) != ow {
+		t.Fatal("Enable/Enabled disagree")
+	}
+	// Second Enable (another image booting) returns the same registry and
+	// ignores the new capacity.
+	if Enable(w, 9999) != ow {
+		t.Fatal("second Enable created a new registry")
+	}
+	if len(ow.Shard(0).ring) != 8 {
+		t.Fatalf("ring cap = %d, want 8 (first Enable wins)", len(ow.Shard(0).ring))
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	w := sim.NewWorld(1)
+	ow := Enable(w, 4)
+	sh := ow.Shard(0)
+	for i := 0; i < 10; i++ {
+		sh.Record(LayerMPI, OpPut, 0, int(i), i, int64(i), int64(i+1))
+	}
+	if sh.Recorded() != 10 {
+		t.Errorf("Recorded = %d, want 10", sh.Recorded())
+	}
+	if sh.Dropped() != 6 {
+		t.Errorf("Dropped = %d, want 6", sh.Dropped())
+	}
+	evs := sh.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	// Oldest-first: events 6,7,8,9 survive.
+	for i, e := range evs {
+		if want := int32(6 + i); e.Tag != want {
+			t.Errorf("event %d tag = %d, want %d (wrap ordering broken)", i, e.Tag, want)
+		}
+	}
+}
+
+func TestRingUnderCapacity(t *testing.T) {
+	w := sim.NewWorld(1)
+	sh := Enable(w, 16).Shard(0)
+	sh.Record(LayerFabric, OpInject, 1, 100, 7, 5, 25)
+	sh.Record(LayerFabric, OpDeliver, 0, 100, 7, 30, 40)
+	if sh.Dropped() != 0 {
+		t.Errorf("Dropped = %d, want 0", sh.Dropped())
+	}
+	evs := sh.Events()
+	if len(evs) != 2 || evs[0].Op != OpInject || evs[1].Op != OpDeliver {
+		t.Fatalf("events wrong: %+v", evs)
+	}
+	if evs[0].Peer != 1 || evs[0].Bytes != 100 || evs[0].Start != 5 || evs[0].End != 25 {
+		t.Errorf("event fields wrong: %+v", evs[0])
+	}
+}
+
+// TestConcurrentPerImageWrites drives every image's shard from its own
+// goroutine via sim.World.Run — the ownership discipline the design relies
+// on — and merges after. Run under -race this validates the lock-free claim.
+func TestConcurrentPerImageWrites(t *testing.T) {
+	const n = 8
+	w := sim.NewWorld(n)
+	ow := Enable(w, 32)
+	err := w.Run(func(p *sim.Proc) error {
+		sh := For(p)
+		if sh == nil {
+			t.Error("For returned nil with obs enabled")
+			return nil
+		}
+		for i := 0; i < 100; i++ {
+			dst := (p.ID() + 1) % n
+			sh.Record(LayerSubstrate, OpPut, dst, 8, 0, p.Now(), p.Now()+10)
+			sh.Add(CtrRDMAPuts, 1)
+			sh.Add(CtrRDMABytes, 8)
+			sh.Max(CtrPendingRMAMax, int64(p.ID()))
+			sh.CommAdd(dst, 8)
+			p.Advance(10)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ow.Snapshot()
+	if got := s.Counters["rdma_puts"]; got != n*100 {
+		t.Errorf("rdma_puts = %d, want %d", got, n*100)
+	}
+	if got := s.Counters["rdma_bytes"]; got != n*100*8 {
+		t.Errorf("rdma_bytes = %d, want %d", got, n*100*8)
+	}
+	// Gauge merges by max, not sum.
+	if got := s.Counters["pending_rma_max"]; got != n-1 {
+		t.Errorf("pending_rma_max = %d, want %d (gauge must merge by max)", got, n-1)
+	}
+	if s.EventsRecorded != n*100 || s.EventsDropped != n*(100-32) {
+		t.Errorf("events recorded/dropped = %d/%d, want %d/%d",
+			s.EventsRecorded, s.EventsDropped, n*100, n*(100-32))
+	}
+	for src := 0; src < n; src++ {
+		dst := (src + 1) % n
+		if s.CommCount[src][dst] != 100 || s.CommBytes[src][dst] != 800 {
+			t.Errorf("comm[%d][%d] = %d ops/%d bytes, want 100/800",
+				src, dst, s.CommCount[src][dst], s.CommBytes[src][dst])
+		}
+		if s.CommCount[src][src] != 0 {
+			t.Errorf("comm[%d][%d] nonzero", src, src)
+		}
+	}
+}
+
+func TestChromeTraceValidJSON(t *testing.T) {
+	w := sim.NewWorld(2)
+	ow := Enable(w, 16)
+	ow.Shard(0).Record(LayerFabric, OpInject, 1, 64, 3, 100, 250)
+	ow.Shard(1).Record(LayerMPI, OpFlushAll, -1, 0, 2, 400, 900)
+	var buf bytes.Buffer
+	if err := ow.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var meta, complete int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if e.Ts < 0 || e.Dur < 0 {
+				t.Errorf("negative ts/dur: %+v", e)
+			}
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	if meta != 2 {
+		t.Errorf("thread_name metadata events = %d, want 2", meta)
+	}
+	if complete != 2 {
+		t.Errorf("complete events = %d, want 2", complete)
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" && e.Cat == "fabric" {
+			if e.Name != "inject" || e.Ts != 0.1 || e.Dur != 0.15 {
+				t.Errorf("fabric event wrong (ns→µs conversion?): %+v", e)
+			}
+			if peer, ok := e.Args["peer"].(float64); !ok || peer != 1 {
+				t.Errorf("fabric event peer arg = %v", e.Args["peer"])
+			}
+		}
+		if e.Ph == "X" && e.Cat == "mpi" {
+			if _, ok := e.Args["peer"]; ok {
+				t.Error("peer arg present for peer=-1 event")
+			}
+		}
+	}
+}
+
+func TestSnapshotTextAndJSON(t *testing.T) {
+	w := sim.NewWorld(2)
+	ow := Enable(w, 8)
+	ow.Shard(0).Add(CtrFlushAllScannedOps, 12)
+	ow.Shard(1).Add(CtrFlushAllScannedOps, 30)
+	ow.Shard(0).Max(CtrUnexpectedDepthMax, 3)
+	ow.Shard(1).Max(CtrUnexpectedDepthMax, 9)
+	s := ow.Snapshot()
+	if s.Counters["flushall_scanned_ops"] != 42 {
+		t.Errorf("summed counter = %d, want 42", s.Counters["flushall_scanned_ops"])
+	}
+	if s.Counters["unexpected_queue_max"] != 9 {
+		t.Errorf("gauge = %d, want 9", s.Counters["unexpected_queue_max"])
+	}
+	txt := s.Text()
+	if !bytes.Contains([]byte(txt), []byte("flushall_scanned_ops")) {
+		t.Errorf("Text missing counter:\n%s", txt)
+	}
+	mtx := s.CommMatrixText()
+	if !bytes.Contains([]byte(mtx), []byte("comm matrix: ops")) {
+		t.Errorf("CommMatrixText missing header:\n%s", mtx)
+	}
+	js, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(js, &back); err != nil {
+		t.Fatalf("snapshot JSON round-trip: %v", err)
+	}
+	if back.Counters["flushall_scanned_ops"] != 42 {
+		t.Error("JSON round-trip lost counter value")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if int(numCounters) != len(counterNames) {
+		t.Fatalf("counterNames has %d entries for %d counters", len(counterNames), int(numCounters))
+	}
+	if int(numOps) != len(opNames) {
+		t.Fatalf("opNames has %d entries for %d ops", len(opNames), int(numOps))
+	}
+	if int(numLayers) != len(layerNames) {
+		t.Fatalf("layerNames has %d entries for %d layers", len(layerNames), int(numLayers))
+	}
+	if CtrFlushAllScannedOps.String() != "flushall_scanned_ops" {
+		t.Error("counter name mismatch")
+	}
+	if OpRendezvousMatch.String() != "rdv_match" || LayerSubstrate.String() != "substrate" {
+		t.Error("op/layer name mismatch")
+	}
+	if !CtrPendingRMAMax.IsGauge() || CtrMsgsSent.IsGauge() {
+		t.Error("IsGauge wrong")
+	}
+}
+
+// BenchmarkDisabledShardOps pins the zero-overhead-when-disabled claim: all
+// recording methods on a nil shard must not allocate.
+func BenchmarkDisabledShardOps(b *testing.B) {
+	var s *Shard
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Record(LayerFabric, OpInject, 1, 64, 0, 0, 10)
+		s.Add(CtrMsgsSent, 1)
+		s.Max(CtrPendingRMAMax, 4)
+		s.CommAdd(1, 64)
+	}
+}

@@ -20,7 +20,9 @@ import (
 	"cafmpi/internal/elem"
 	"cafmpi/internal/fabric"
 	"cafmpi/internal/gasnet"
+	"cafmpi/internal/obs"
 	"cafmpi/internal/sim"
+	"cafmpi/internal/trace"
 )
 
 // AM handler ids used by this binding.
@@ -86,6 +88,9 @@ type S struct {
 	reasm      map[reasmKey]*partial
 	acks       int64 // AM-write acknowledgements received
 	slabsBytes int64
+
+	tr  *trace.Tracer // attributes substrate time in --trace; nil when off
+	osh *obs.Shard    // observability shard; nil when off
 }
 
 type reasmKey struct {
@@ -130,8 +135,13 @@ func New(p *sim.Proc, net *fabric.Net, deliver core.DeliverFunc, opt Options) (*
 		ranks[i] = i
 	}
 	s.world = &team{ranks: ranks, myRank: p.ID()}
+	s.osh = obs.For(p)
 	return s, nil
 }
+
+// SetTracer attaches the image's tracer so substrate operations report their
+// time under the substrate_* categories (core.Boot calls this when tracing).
+func (s *S) SetTracer(tr *trace.Tracer) { s.tr = tr }
 
 // Ep exposes the GASNet endpoint (tests, interop demos).
 func (s *S) Ep() *gasnet.Ep { return s.ep }
@@ -219,24 +229,38 @@ func (s *S) FreeSegment(g core.Segment) error {
 // Put is the blocking coarray write: an RDMA put (or, under Options.
 // AMWrite, an AM-mediated transfer that requires target-side progress).
 func (s *S) Put(g core.Segment, target, off int, data []byte) error {
+	defer s.tr.Span(trace.SubstratePut)()
 	seg := g.(*segment)
 	mem, world, err := seg.remote(target)
 	if err != nil {
 		return err
 	}
+	t0 := s.p.Now()
 	if s.opt.AMWrite && world != s.p.ID() {
-		return s.amWrite(seg, world, off, data)
+		err = s.amWrite(seg, world, off, data)
+	} else {
+		err = s.ep.PutRegistered(world, mem, off, data)
 	}
-	return s.ep.PutRegistered(world, mem, off, data)
+	if err != nil {
+		return err
+	}
+	s.osh.Record(obs.LayerSubstrate, obs.OpPut, world, len(data), off, t0, s.p.Now())
+	return nil
 }
 
 // Get is the blocking coarray read.
 func (s *S) Get(g core.Segment, target, off int, into []byte) error {
+	defer s.tr.Span(trace.SubstrateGet)()
 	mem, world, err := g.(*segment).remote(target)
 	if err != nil {
 		return err
 	}
-	return s.ep.GetRegistered(world, mem, off, into)
+	t0 := s.p.Now()
+	if err := s.ep.GetRegistered(world, mem, off, into); err != nil {
+		return err
+	}
+	s.osh.Record(obs.LayerSubstrate, obs.OpGet, world, len(into), off, t0, s.p.Now())
+	return nil
 }
 
 // PutDeferred is an implicit-handle put, fenced by SyncNBIAll.
@@ -299,9 +323,14 @@ func (s *S) GetAsync(g core.Segment, target, off int, into []byte) (core.Complet
 // args are [kind, seq, chunkIdx, nChunks, nUserArgs, userArgs...]; payloads
 // above gasnet.MaxMedium fragment and reassemble at the receiver.
 func (s *S) AMSend(worldTarget int, kind uint8, args []uint64, payload []byte) error {
+	defer s.tr.Span(trace.SubstrateAM)()
 	if len(args) > gasnet.MaxArgs-5 {
 		return fmt.Errorf("rtgasnet: %d runtime AM args exceed the %d available slots", len(args), gasnet.MaxArgs-5)
 	}
+	t0 := s.p.Now()
+	defer func() {
+		s.osh.Record(obs.LayerSubstrate, obs.OpAMSend, worldTarget, len(payload), int(kind), t0, s.p.Now())
+	}()
 	s.amSeq++
 	seq := s.amSeq
 	nChunks := (len(payload) + gasnet.MaxMedium - 1) / gasnet.MaxMedium
@@ -398,6 +427,7 @@ func (s *S) PollUntil(cond func() bool) { s.ep.PollUntil(cond) }
 // LocalFence completes implicit operations. GASNet's NBI sync covers local
 // and remote completion with O(1) counters.
 func (s *S) LocalFence() error {
+	defer s.tr.Span(trace.SubstrateFence)()
 	s.ep.SyncNBIAll()
 	return nil
 }
@@ -405,6 +435,7 @@ func (s *S) LocalFence() error {
 // LocalFenceScoped: GASNet's implicit-handle machinery fences puts and gets
 // together, so any requested scope syncs everything.
 func (s *S) LocalFenceScoped(puts, gets bool) error {
+	defer s.tr.Span(trace.SubstrateFence)()
 	if puts || gets {
 		s.ep.SyncNBIAll()
 	}
@@ -414,7 +445,10 @@ func (s *S) LocalFenceScoped(puts, gets bool) error {
 // ReleaseFence is the event_notify fence: the same O(1) NBI sync — the
 // structural advantage over CAF-MPI's per-rank FlushAll scan (Figure 4).
 func (s *S) ReleaseFence() error {
+	defer s.tr.Span(trace.SubstrateFence)()
+	t0 := s.p.Now()
 	s.ep.SyncNBIAll()
+	s.osh.Record(obs.LayerSubstrate, obs.OpFence, -1, 0, 0, t0, s.p.Now())
 	return nil
 }
 

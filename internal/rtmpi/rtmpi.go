@@ -22,7 +22,9 @@ import (
 	"cafmpi/internal/elem"
 	"cafmpi/internal/fabric"
 	"cafmpi/internal/mpi"
+	"cafmpi/internal/obs"
 	"cafmpi/internal/sim"
+	"cafmpi/internal/trace"
 )
 
 // Options tune the binding.
@@ -52,6 +54,9 @@ type S struct {
 	implicitGets []*mpi.Request // request handles of deferred gets (§3.5)
 	wins         []*mpi.Win     // every window this image touched
 	extraMemory  int64
+
+	tr  *trace.Tracer // attributes substrate time in --trace; nil when off
+	osh *obs.Shard    // observability shard; nil when off
 }
 
 // New builds the substrate on image p. deliver is the runtime's AM
@@ -64,8 +69,13 @@ func New(p *sim.Proc, net *fabric.Net, deliver core.DeliverFunc, opt Options) (*
 	}
 	s := &S{p: p, net: net, env: env, amComm: amComm, deliver: deliver, opt: opt}
 	s.world = &team{comm: env.CommWorld()}
+	s.osh = obs.For(p)
 	return s, nil
 }
+
+// SetTracer attaches the image's tracer so substrate operations report their
+// time under the substrate_* categories (core.Boot calls this when tracing).
+func (s *S) SetTracer(tr *trace.Tracer) { s.tr = tr }
 
 // Env exposes the MPI environment for hybrid MPI+CAF applications — the
 // interoperability the paper targets: the same MPI library instance serves
@@ -151,20 +161,32 @@ func (s *S) FreeSegment(g core.Segment) error {
 
 // Put is the blocking coarray write: MPI_PUT + MPI_WIN_FLUSH (§3.1).
 func (s *S) Put(g core.Segment, target, off int, data []byte) error {
+	defer s.tr.Span(trace.SubstratePut)()
 	win := g.(*segment).win
+	t0 := s.p.Now()
 	if err := win.Put(data, target, off); err != nil {
 		return err
 	}
-	return win.Flush(target)
+	if err := win.Flush(target); err != nil {
+		return err
+	}
+	s.osh.Record(obs.LayerSubstrate, obs.OpPut, win.Comm().WorldRank(target), len(data), off, t0, s.p.Now())
+	return nil
 }
 
 // Get is the blocking coarray read: MPI_GET + MPI_WIN_FLUSH.
 func (s *S) Get(g core.Segment, target, off int, into []byte) error {
+	defer s.tr.Span(trace.SubstrateGet)()
 	win := g.(*segment).win
+	t0 := s.p.Now()
 	if err := win.Get(into, target, off); err != nil {
 		return err
 	}
-	return win.Flush(target)
+	if err := win.Flush(target); err != nil {
+		return err
+	}
+	s.osh.Record(obs.LayerSubstrate, obs.OpGet, win.Comm().WorldRank(target), len(into), off, t0, s.p.Now())
+	return nil
 }
 
 // PutDeferred issues MPI_RPUT and parks the request on the implicit-put
@@ -255,11 +277,14 @@ func decodeAM(buf []byte) (args []uint64, payload []byte) {
 // communicator; the local-completion wait is deferred to the next
 // synchronization point (§3.2).
 func (s *S) AMSend(worldTarget int, kind uint8, args []uint64, payload []byte) error {
+	defer s.tr.Span(trace.SubstrateAM)()
+	t0 := s.p.Now()
 	req, err := s.amComm.Isend(encodeAM(args, payload), worldTarget, int(kind))
 	if err != nil {
 		return err
 	}
 	s.amReqs = append(s.amReqs, req)
+	s.osh.Record(obs.LayerSubstrate, obs.OpAMSend, worldTarget, len(payload), int(kind), t0, s.p.Now())
 	return nil
 }
 
@@ -312,6 +337,7 @@ func (s *S) LocalFence() error {
 // LocalFenceScoped is the §3.5 cofence with its optional argument: wait for
 // local completion of the implicit puts, the implicit gets, or both.
 func (s *S) LocalFenceScoped(puts, gets bool) error {
+	defer s.tr.Span(trace.SubstrateFence)()
 	var first error
 	if puts {
 		if err := mpi.Waitall(s.implicitPuts); err != nil && first == nil {
@@ -336,6 +362,11 @@ func (s *S) LocalFenceScoped(puts, gets bool) error {
 // uses the proposed request-generating MPI_WIN_RFLUSH (§5) and waits on the
 // returned requests, overlapping the per-target completion latencies.
 func (s *S) ReleaseFence() error {
+	defer s.tr.Span(trace.SubstrateFence)()
+	t0 := s.p.Now()
+	defer func() {
+		s.osh.Record(obs.LayerSubstrate, obs.OpFence, -1, 0, len(s.wins), t0, s.p.Now())
+	}()
 	if err := mpi.Waitall(s.amReqs); err != nil {
 		return err
 	}

@@ -69,6 +69,16 @@ func (w *World) Shared(key string, mk func() any) any {
 	return v
 }
 
+// Peek returns the shared object stored under key, if any, without creating
+// it. Optional subsystems (observability) use this to ask "was the registry
+// ever enabled?" without paying for — or racing on — its construction.
+func (w *World) Peek(key string) (any, bool) {
+	w.sharedMu.Lock()
+	defer w.sharedMu.Unlock()
+	v, ok := w.shared[key]
+	return v, ok
+}
+
 // PanicError wraps a panic that escaped an image's program.
 type PanicError struct {
 	Image int

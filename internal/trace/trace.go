@@ -2,6 +2,14 @@
 // It regenerates the paper's HPCToolkit-style time decompositions (Figure 4
 // for RandomAccess, Figure 8 for FFT) from first-class measurements instead
 // of sampling.
+//
+// Two views are kept per category. The *exclusive* view (Total, Report)
+// charges each nanosecond to the innermost open span only, so substrate time
+// spent inside an event_notify fence shows up under substrate_fence rather
+// than inflating event_notify. The *inclusive* view (Inclusive) charges a
+// category for the whole open-to-close duration of its outermost span — the
+// call-path attribution HPCToolkit's sampling produces, which the paper's
+// figures are drawn from.
 package trace
 
 import (
@@ -13,7 +21,8 @@ import (
 )
 
 // Category labels one kind of runtime activity. The set mirrors the
-// decomposition categories the paper reports.
+// decomposition categories the paper reports, plus the substrate-level
+// categories that separate binding time from runtime-API time.
 type Category int
 
 // Categories.
@@ -27,6 +36,10 @@ const (
 	Collective
 	FinishOp
 	SpawnOp
+	SubstratePut
+	SubstrateGet
+	SubstrateAM
+	SubstrateFence
 	Other
 	numCategories
 )
@@ -41,6 +54,10 @@ var categoryNames = [...]string{
 	"collective",
 	"finish",
 	"spawn",
+	"substrate_put",
+	"substrate_get",
+	"substrate_am",
+	"substrate_fence",
 	"other",
 }
 
@@ -60,47 +77,115 @@ func Categories() []Category {
 	return out
 }
 
+// frame is one open span on the tracer's stack.
+type frame struct {
+	cat  Category
+	t0   int64 // open time (inclusive accounting)
+	last int64 // last time this frame was the innermost (exclusive accounting)
+	acc  int64 // exclusive time accumulated so far
+}
+
 // Tracer accumulates virtual time per category for one image. A nil Tracer
 // is valid and records nothing, so tracing can be disabled without branches
 // at call sites.
+//
+// Spans nest: opening a child span pauses the parent's exclusive clock and
+// closing it resumes the parent, so no nanosecond is charged exclusively to
+// two categories — including nested spans of the *same* category, which a
+// naive start/stop pair would double-count. Span closers must run in LIFO
+// order (the `defer tr.Span(c)()` idiom guarantees this).
 type Tracer struct {
-	p      *sim.Proc
-	totals [numCategories]int64
-	counts [numCategories]int64
+	p         *sim.Proc
+	totals    [numCategories]int64 // exclusive (self) time
+	inclusive [numCategories]int64 // outermost open-to-close time
+	counts    [numCategories]int64
+	stack     []frame
+	open      [numCategories]int32 // nesting depth per category
+	closer    func()
 }
 
 // New creates a tracer bound to image p's virtual clock.
-func New(p *sim.Proc) *Tracer { return &Tracer{p: p} }
+func New(p *sim.Proc) *Tracer {
+	t := &Tracer{p: p}
+	t.closer = t.close
+	return t
+}
+
+var nopCloser = func() {}
 
 // Span opens a measurement in category c and returns the closer. Usage:
 //
 //	defer tr.Span(trace.EventWait)()
+//
+// Closers must be invoked in LIFO order with respect to other spans of the
+// same tracer (defer discipline).
 func (t *Tracer) Span(c Category) func() {
 	if t == nil {
-		return func() {}
+		return nopCloser
 	}
-	t0 := t.p.Now()
-	return func() {
-		t.totals[c] += t.p.Now() - t0
-		t.counts[c]++
+	now := t.p.Now()
+	if n := len(t.stack); n > 0 {
+		t.stack[n-1].acc += now - t.stack[n-1].last
+	}
+	t.stack = append(t.stack, frame{cat: c, t0: now, last: now})
+	t.open[c]++
+	return t.closer
+}
+
+// close pops the innermost span, charging its exclusive time and — when it
+// is the outermost span of its category — the inclusive duration.
+func (t *Tracer) close() {
+	n := len(t.stack)
+	if n == 0 {
+		return
+	}
+	now := t.p.Now()
+	f := t.stack[n-1]
+	t.stack = t.stack[:n-1]
+	f.acc += now - f.last
+	t.totals[f.cat] += f.acc
+	t.counts[f.cat]++
+	t.open[f.cat]--
+	if t.open[f.cat] == 0 {
+		// LIFO closing order means the last frame of a category to close
+		// is the first that was opened: f.t0 is the outermost open time.
+		t.inclusive[f.cat] += now - f.t0
+	}
+	if n > 1 {
+		t.stack[n-2].last = now
 	}
 }
 
-// Add records dt nanoseconds in category c directly.
+// Add records dt nanoseconds in category c directly (leaf charge: it counts
+// in both the exclusive and inclusive views).
 func (t *Tracer) Add(c Category, dt int64) {
 	if t == nil {
 		return
 	}
 	t.totals[c] += dt
+	t.inclusive[c] += dt
 	t.counts[c]++
 }
 
-// Total returns the accumulated nanoseconds in category c.
+// Total returns the accumulated *exclusive* nanoseconds in category c: time
+// spent with c as the innermost open span. Exclusive totals of distinct
+// categories never overlap, so they sum to at most the traced wall time.
 func (t *Tracer) Total(c Category) int64 {
 	if t == nil {
 		return 0
 	}
 	return t.totals[c]
+}
+
+// Inclusive returns the accumulated *inclusive* nanoseconds in category c:
+// the open-to-close duration of outermost spans, nested work included. This
+// is the HPCToolkit-style call-path attribution the paper's Figures 4 and 8
+// use (event_notify inclusive of the MPI_WIN_FLUSH_ALL it performs).
+func (t *Tracer) Inclusive(c Category) int64 {
+	if t == nil {
+		return 0
+	}
+	return t.inclusive[c]
 }
 
 // Count returns how many spans/additions category c received.
@@ -111,12 +196,14 @@ func (t *Tracer) Count(c Category) int64 {
 	return t.counts[c]
 }
 
-// Reset zeroes all accumulators.
+// Reset zeroes all accumulators. Open spans keep their already-captured
+// frame state and will deposit on close.
 func (t *Tracer) Reset() {
 	if t == nil {
 		return
 	}
 	t.totals = [numCategories]int64{}
+	t.inclusive = [numCategories]int64{}
 	t.counts = [numCategories]int64{}
 }
 
@@ -127,6 +214,7 @@ func (t *Tracer) Merge(other *Tracer) {
 	}
 	for i := range t.totals {
 		t.totals[i] += other.totals[i]
+		t.inclusive[i] += other.inclusive[i]
 		t.counts[i] += other.counts[i]
 	}
 }
@@ -139,7 +227,9 @@ type Line struct {
 	Percent  float64
 }
 
-// Report summarizes non-empty categories, largest first.
+// Report summarizes non-empty categories by exclusive time, largest first.
+// Percentages are of the summed exclusive time (zero when nothing was
+// traced), so they always total 100 across the report.
 func (t *Tracer) Report() []Line {
 	if t == nil {
 		return nil
