@@ -1,0 +1,116 @@
+package cafmpi_test
+
+import (
+	"testing"
+
+	"cafmpi/caf"
+	"cafmpi/internal/fabric"
+	"cafmpi/internal/hpcc"
+)
+
+// finalClocksRandomAccess runs the RandomAccess kernel at the
+// BenchmarkPrimitiveRandomAccessKernel configuration and returns every
+// image's final virtual clock in nanoseconds.
+func finalClocksRandomAccess(t *testing.T) []int64 {
+	t.Helper()
+	clocks := make([]int64, 8)
+	cfg := caf.Config{Substrate: caf.MPI, Platform: fabric.Platform("fusion")}
+	err := caf.Run(8, cfg, func(im *caf.Image) error {
+		if _, err := hpcc.RandomAccess(im, hpcc.RAConfig{TableBits: 8, UpdatesPerImage: 512, BatchSize: 128}); err != nil {
+			return err
+		}
+		clocks[im.ID()] = im.Proc().Now()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clocks
+}
+
+// finalClocksEventPingPong runs the EventPingPong workload at a fixed
+// iteration count and returns per-image final clocks.
+func finalClocksEventPingPong(t *testing.T) []int64 {
+	t.Helper()
+	const iters = 200
+	clocks := make([]int64, 2)
+	cfg := caf.Config{Substrate: caf.MPI, Platform: fabric.Platform("fusion")}
+	err := caf.Run(2, cfg, func(im *caf.Image) error {
+		evs, err := im.NewEvents(im.World(), 2)
+		if err != nil {
+			return err
+		}
+		peer := 1 - im.ID()
+		for i := 0; i < iters; i++ {
+			if im.ID() == 0 {
+				if err := evs.Notify(peer, 0); err != nil {
+					return err
+				}
+				if err := evs.Wait(1); err != nil {
+					return err
+				}
+			} else {
+				if err := evs.Wait(0); err != nil {
+					return err
+				}
+				if err := evs.Notify(peer, 1); err != nil {
+					return err
+				}
+			}
+		}
+		clocks[im.ID()] = im.Proc().Now()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clocks
+}
+
+// TestVirtualTimeInvariance pins the simulated clocks of the two Primitive
+// workloads against goldens captured on the seed fabric (commit 0052233,
+// linear-scan matching) with the exact configurations of
+// BenchmarkPrimitiveRandomAccessKernel and BenchmarkPrimitiveEventPingPong.
+//
+// Final clocks absorb MatchNS charges from idle progress passes whose
+// count depends on OS-level wakeup coalescing, so they are not bit-stable
+// under arbitrary schedulers; the seed fabric has the same property
+// (measured at GOMAXPROCS=2: RandomAccess swings up to ~17%, EventPingPong
+// a few hundred ns, with or without the race detector). Each workload is
+// therefore held to its seed goldens within a band sized to that inherited
+// jitter: tight for EventPingPong (near-lockstep, so only the occasional
+// extra idle pass leaks in) and wide for RandomAccess (deep overlap of
+// puts, notifies, and polls). A cost-model regression shifts clocks by
+// whole LatencyNS/PutNS multiples and lands far outside either band. On
+// the tier-1 configuration (default scheduler) the clocks reproduce the
+// goldens exactly; an in-band mismatch is logged for inspection.
+func TestVirtualTimeInvariance(t *testing.T) {
+	const raTolerance = 0.25
+	const ppTolerance = 0.002
+	goldenRA := []int64{293512, 293512, 293512, 293862, 293862, 293862, 293512, 293512}
+	goldenPP := []int64{1024198, 1022395}
+
+	ra := finalClocksRandomAccess(t)
+	pp := finalClocksEventPingPong(t)
+	t.Logf("RandomAccess clocks: %v", ra)
+	t.Logf("EventPingPong clocks: %v", pp)
+	check := func(name string, got, golden []int64, tol float64) {
+		exact := true
+		for i := range got {
+			lo := int64(float64(golden[i]) * (1 - tol))
+			hi := int64(float64(golden[i]) * (1 + tol))
+			if got[i] < lo || got[i] > hi {
+				t.Errorf("%s image %d final clock %d ns outside [%d, %d] around seed golden %d ns",
+					name, i, got[i], lo, hi, golden[i])
+			}
+			if got[i] != golden[i] {
+				exact = false
+			}
+		}
+		if !exact {
+			t.Logf("%s clocks differ from seed goldens within tolerance (idle-poll schedule jitter)", name)
+		}
+	}
+	check("RandomAccess", ra, goldenRA, raTolerance)
+	check("EventPingPong", pp, goldenPP, ppTolerance)
+}

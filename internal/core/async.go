@@ -53,7 +53,8 @@ func (ca *Coarray) PutAsync(target, off int, data []byte, opts AsyncOpts) error 
 
 	if opts.DstDone != nil {
 		if im.sub.Caps().PutWithRemoteEventViaAM {
-			args := []uint64{ca.id, uint64(off), noEvent, 0, 0}
+			args := im.amArgs[:5]
+			args[0], args[1] = ca.id, uint64(off)
 			args[2], args[3], args[4] = opts.DstDone.evsID, uint64(opts.DstDone.Slot), uint64(opts.DstDone.ownerWorld)
 			if err := im.sub.AMSend(worldTarget, amCopyPut, args, data); err != nil {
 				return err

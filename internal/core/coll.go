@@ -46,14 +46,16 @@ func (t *Team) genericBarrier() error {
 
 // sendSignal delivers an AM signal (key, myRank) to teammate dst.
 func (t *Team) sendSignal(dst, key int) error {
-	return t.im.sub.AMSend(t.WorldRank(dst), amCollSignal,
-		[]uint64{t.id, uint64(uint(key)), uint64(t.Rank())}, nil)
+	im := t.im
+	im.amArgs[0], im.amArgs[1], im.amArgs[2] = t.id, uint64(uint(key)), uint64(t.Rank())
+	return im.sub.AMSend(t.WorldRank(dst), amCollSignal, im.amArgs[:3], nil)
 }
 
 // sendData delivers a small payload to teammate dst under key.
 func (t *Team) sendData(dst, key int, payload []byte) error {
-	return t.im.sub.AMSend(t.WorldRank(dst), amCollData,
-		[]uint64{t.id, uint64(uint(key)), uint64(t.Rank())}, payload)
+	im := t.im
+	im.amArgs[0], im.amArgs[1], im.amArgs[2] = t.id, uint64(uint(key)), uint64(t.Rank())
+	return im.sub.AMSend(t.WorldRank(dst), amCollData, im.amArgs[:3], payload)
 }
 
 // ensureScratch guarantees the team scratch coarray has at least slotBytes

@@ -78,6 +78,22 @@ type Image struct {
 	// spawns of functions whose local registration has not run yet.
 	orphanAMs    map[uint64][]orphanAM
 	orphanSpawns map[uint64][]orphanAM
+
+	// amArgs is the argument scratch for outgoing runtime AMs: substrates
+	// consume args before AMSend returns, so the hot notification paths
+	// reuse one array instead of allocating a slice per message.
+	amArgs [8]uint64
+
+	// Event-wait staging: event_wait is the runtime's hottest blocking call,
+	// and a fresh condition closure per call is measurable. evCond is built
+	// once in Boot and reads the staged waitEvs/waitSlot; pollWrap likewise
+	// wraps the staged pollCond with the pending-completion drain. Both
+	// stagings save/restore around nesting (an AM handler may block again).
+	waitEvs  *Events
+	waitSlot int
+	evCond   func() bool
+	pollCond func() bool
+	pollWrap func() bool
 }
 
 type orphanAM struct {
@@ -115,6 +131,11 @@ func Boot(p *sim.Proc, cfg Config) (*Image, error) {
 		coarrays: make(map[uint64]*Coarray),
 		events:   make(map[uint64]*Events),
 		funcs:    make(map[uint64]SpawnFunc),
+	}
+	im.evCond = func() bool { return im.waitEvs.count[im.waitSlot] > 0 }
+	im.pollWrap = func() bool {
+		im.drainPending()
+		return im.pollCond()
 	}
 	im.ids = p.World().Shared("core.ids", func() any {
 		c := new(atomic.Uint64)
@@ -236,10 +257,10 @@ func (im *Image) pollUntil(cond func() bool) {
 			im.pending[0].comp.Wait()
 			continue
 		}
-		im.sub.PollUntil(func() bool {
-			im.drainPending()
-			return cond()
-		})
+		prev := im.pollCond
+		im.pollCond = cond
+		im.sub.PollUntil(im.pollWrap)
+		im.pollCond = prev
 		return
 	}
 }
@@ -364,7 +385,8 @@ func (im *Image) postEvent(ev EventRef, count int64) {
 		evs.post(ev.Slot, count)
 		return
 	}
-	if err := im.sub.AMSend(ev.ownerWorld, amEventNotify, []uint64{ev.evsID, uint64(ev.Slot), uint64(count)}, nil); err != nil {
+	im.amArgs[0], im.amArgs[1], im.amArgs[2] = ev.evsID, uint64(ev.Slot), uint64(count)
+	if err := im.sub.AMSend(ev.ownerWorld, amEventNotify, im.amArgs[:3], nil); err != nil {
 		panic(fmt.Sprintf("core: event post AM failed: %v", err))
 	}
 }

@@ -107,7 +107,9 @@ func (e *Events) Notify(target, slot int) error {
 		e.post(slot, 1)
 		return nil
 	}
-	return e.im.sub.AMSend(world, amEventNotify, []uint64{e.id, uint64(slot), 1}, nil)
+	im := e.im
+	im.amArgs[0], im.amArgs[1], im.amArgs[2] = e.id, uint64(slot), 1
+	return im.sub.AMSend(world, amEventNotify, im.amArgs[:3], nil)
 }
 
 // Wait blocks until this image's slot is posted, then consumes one post.
@@ -121,7 +123,11 @@ func (e *Events) Wait(slot int) error {
 	if e.backend != nil {
 		return e.backend.Wait(slot)
 	}
-	e.im.pollUntil(func() bool { return e.count[slot] > 0 })
+	im := e.im
+	prevEvs, prevSlot := im.waitEvs, im.waitSlot
+	im.waitEvs, im.waitSlot = e, slot
+	im.pollUntil(im.evCond)
+	im.waitEvs, im.waitSlot = prevEvs, prevSlot
 	e.count[slot]--
 	return nil
 }

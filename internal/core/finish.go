@@ -41,7 +41,8 @@ func (im *Image) Spawn(t *Team, target int, id uint64, args []byte) error {
 	}
 	defer im.tr.Span(trace.SpawnOp)()
 	im.shipped++ // counted before injection: an in-flight spawn is visible
-	return im.sub.AMSend(t.WorldRank(target), amSpawn, []uint64{id}, args)
+	im.amArgs[0] = id
+	return im.sub.AMSend(t.WorldRank(target), amSpawn, im.amArgs[:1], args)
 }
 
 // Finish runs body and then blocks until every asynchronous operation and

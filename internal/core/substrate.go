@@ -51,7 +51,9 @@ type Completion interface {
 
 // DeliverFunc is the runtime's active-message dispatcher. Substrates invoke
 // it on the *target image's goroutine* whenever the target polls and an AM
-// addressed to the runtime has arrived.
+// addressed to the runtime has arrived. args is scratch, valid only for the
+// duration of the call (the dispatcher copies what it parks); ownership of
+// payload transfers to the dispatcher, which may retain it.
 type DeliverFunc func(src int, kind uint8, args []uint64, payload []byte)
 
 // EventBackend is an optional substrate-native event transport. The paper's
@@ -140,7 +142,9 @@ type Substrate interface {
 	GetAsync(s Segment, target, off int, into []byte) (Completion, error)
 
 	// AMSend delivers a runtime active message to the world-rank target;
-	// the target's DeliverFunc runs it at the target's next poll.
+	// the target's DeliverFunc runs it at the target's next poll. args and
+	// payload are consumed before AMSend returns (the AM layer buffers
+	// both), so callers may reuse them immediately.
 	AMSend(worldTarget int, kind uint8, args []uint64, payload []byte) error
 	// Poll makes runtime progress: dispatches queued AMs.
 	Poll()

@@ -1,0 +1,510 @@
+package fabric
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// The receive path. Arriving messages land in per-(class, src) buckets
+// instead of one flat arrival-order slice; every message carries a global
+// arrival sequence stamp, and matching takes the minimum-stamp eligible
+// message across the buckets its spec selects. That reproduces the old
+// linear scan exactly — "first in arrival order" and "least arrival stamp"
+// are the same message — while an exact-source receive touches one bucket
+// instead of wading through every unexpected message ahead of it, and the
+// non-overtaking guarantee holds per stream because each bucket is itself
+// stamp-ordered.
+//
+// Blocked receivers register the match domain they care about (classes ×
+// source, plus whether pokes count); enqueue and Poke wake only waiters
+// whose domain intersects the event instead of broadcasting to everyone.
+
+// AnySrc in a MatchSpec or WaitDomain matches messages from every source.
+const AnySrc = -1
+
+// NoTimeGate as MatchSpec.Before disables arrival-time gating.
+const NoTimeGate = int64(math.MaxInt64)
+
+// classLimit bounds message class values; ClassSet is a bitmask over them.
+const classLimit = 64
+
+// ClassSet is a bitmask of message classes.
+type ClassSet uint64
+
+// AllClasses selects every message class.
+const AllClasses = ClassSet(math.MaxUint64)
+
+// Classes builds a ClassSet from individual class values.
+func Classes(cs ...uint8) ClassSet {
+	var s ClassSet
+	for _, c := range cs {
+		s |= 1 << c
+	}
+	return s
+}
+
+// Has reports whether class c is in the set.
+func (s ClassSet) Has(c uint8) bool { return s&(1<<c) != 0 }
+
+// MatchSpec describes which queued messages a receive or probe is willing
+// to take. Class and source narrow the bucket scan; Before gates on the
+// message's arrival stamp (a receiver must not consume a message that is
+// still in its virtual future); Filter, when non-nil, adds layer-specific
+// selection (tag, context, posted-receive matching) and runs under the
+// endpoint lock, so it must not call back into the endpoint.
+//
+// Callers are expected to keep a MatchSpec alive across calls (typically
+// embedded in their own state with Filter bound once) so the per-poll
+// closure allocations the old predicate API forced are gone.
+type MatchSpec struct {
+	Classes ClassSet
+	Src     int   // world rank, or AnySrc
+	Before  int64 // only messages with ArriveT <= Before are eligible
+	Filter  func(*Message) bool
+}
+
+// matchAll is the spec equivalent of the old unconditioned predicates.
+func matchAll(filter func(*Message) bool) MatchSpec {
+	return MatchSpec{Classes: AllClasses, Src: AnySrc, Before: NoTimeGate, Filter: filter}
+}
+
+// PollState is the poll-loop snapshot an endpoint returns under a single
+// lock acquisition: the activity counter, the queue depth, and the earliest
+// arrival stamp among spec-matching messages that are not yet eligible
+// (Earliest/HasEarliest ignore Before — they exist so a blocked receiver
+// can advance its clock to the next candidate's arrival).
+type PollState struct {
+	Seq         uint64
+	Depth       int
+	Earliest    int64
+	HasEarliest bool
+}
+
+// WaitDomain describes which events a blocked waiter must be woken for:
+// arrivals whose (class, src) intersect it, and pokes if Pokes is set.
+// A too-narrow domain loses wakeups; when unsure, widen.
+type WaitDomain struct {
+	Classes ClassSet
+	Src     int // world rank, or AnySrc
+	Pokes   bool
+}
+
+// FullDomain wakes for every arrival and every poke.
+var FullDomain = WaitDomain{Classes: AllClasses, Src: AnySrc, Pokes: true}
+
+// Endpoint is one image's receive queue within a layer.
+type Endpoint struct {
+	layer *Layer
+	rank  int
+
+	// seq counts arrivals and pokes. It is mutated under mu (the cond
+	// handshake needs that) but read with a plain atomic load, so poll
+	// loops sample it without contending for the queue lock.
+	seq atomic.Uint64
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	classes [classLimit]*classQueue
+	present ClassSet // classes with at least one queued message
+	nextSeq uint64   // next arrival stamp
+	depth   int      // total queued messages
+
+	// Registered domains of currently blocked waiters. In this simulator at
+	// most the endpoint's owning image blocks on it (plus transient test
+	// harness waiters), so a tiny inline array suffices; overflow falls back
+	// to always-wake, which is merely the old Broadcast behavior.
+	doms        [2]WaitDomain
+	ndoms       int
+	domOverflow int
+}
+
+func newEndpoint(l *Layer, rank int) *Endpoint {
+	e := &Endpoint{layer: l, rank: rank}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// classQueue holds one class's per-source buckets.
+type classQueue struct {
+	srcs  []bucket // indexed by source world rank
+	count int
+}
+
+// bucket is a stamp-ordered FIFO of messages from one (class, src) pair.
+// head avoids shifting on the common dequeue-from-front.
+type bucket struct {
+	msgs []*Message
+	head int
+}
+
+func (b *bucket) size() int { return len(b.msgs) - b.head }
+
+// removeAt deletes the message at absolute index i, preserving order.
+func (b *bucket) removeAt(i int) {
+	if i == b.head {
+		b.msgs[i] = nil
+		b.head++
+	} else {
+		copy(b.msgs[i:], b.msgs[i+1:])
+		b.msgs[len(b.msgs)-1] = nil
+		b.msgs = b.msgs[:len(b.msgs)-1]
+	}
+	if b.head == len(b.msgs) {
+		b.msgs = b.msgs[:0]
+		b.head = 0
+	}
+}
+
+func (e *Endpoint) enqueue(m *Message) {
+	if m.Src < 0 || m.Class >= classLimit {
+		panic(fmt.Sprintf("fabric: enqueue src %d class %d out of range", m.Src, m.Class))
+	}
+	e.mu.Lock()
+	cq := e.classes[m.Class]
+	if cq == nil {
+		cq = &classQueue{srcs: make([]bucket, len(e.layer.eps))}
+		e.classes[m.Class] = cq
+	}
+	m.aseq = e.nextSeq
+	e.nextSeq++
+	b := &cq.srcs[m.Src]
+	b.msgs = append(b.msgs, m)
+	cq.count++
+	e.depth++
+	e.present |= 1 << m.Class
+	e.seq.Add(1)
+	wake := e.wakeNeededLocked(m.Class, m.Src, false)
+	e.mu.Unlock()
+	if wake {
+		e.cond.Broadcast()
+	}
+}
+
+// wakeNeededLocked reports whether any registered waiter's domain
+// intersects an arrival of (class, src), or a poke when isPoke is set.
+func (e *Endpoint) wakeNeededLocked(class uint8, src int, isPoke bool) bool {
+	if e.domOverflow > 0 {
+		return true
+	}
+	for i := 0; i < e.ndoms; i++ {
+		d := &e.doms[i]
+		if isPoke {
+			if d.Pokes {
+				return true
+			}
+			continue
+		}
+		if d.Classes.Has(class) && (d.Src == AnySrc || d.Src == src) {
+			return true
+		}
+	}
+	return false
+}
+
+// takeSpecLocked removes and returns the least-arrival-stamp message
+// eligible under spec (class, src, Filter, and ArriveT <= Before). When no
+// message is eligible it instead reports the earliest arrival stamp among
+// messages that match everything but the time gate.
+func (e *Endpoint) takeSpecLocked(spec *MatchSpec) (*Message, int64, bool) {
+	var (
+		best      *Message
+		bestCQ    *classQueue
+		bestB     *bucket
+		bestIdx   int
+		earliest  int64
+		earlSeq   uint64
+		hasEarl   bool
+		activeSet = spec.Classes & e.present
+	)
+	for set := activeSet; set != 0; set &= set - 1 {
+		c := trailingZeros(set)
+		cq := e.classes[c]
+		if spec.Src != AnySrc {
+			e.scanBucket(cq, &cq.srcs[spec.Src], spec, &best, &bestCQ, &bestB, &bestIdx, &earliest, &earlSeq, &hasEarl)
+			continue
+		}
+		for s := range cq.srcs {
+			if cq.srcs[s].size() > 0 {
+				e.scanBucket(cq, &cq.srcs[s], spec, &best, &bestCQ, &bestB, &bestIdx, &earliest, &earlSeq, &hasEarl)
+			}
+		}
+	}
+	if best == nil {
+		return nil, earliest, hasEarl
+	}
+	bestB.removeAt(bestIdx)
+	bestCQ.count--
+	if bestCQ.count == 0 {
+		e.present &^= 1 << best.Class
+	}
+	e.depth--
+	return best, 0, false
+}
+
+// scanBucket walks one bucket in stamp order. The first eligible message it
+// meets has the bucket's least stamp, so the scan stops there; while no
+// candidate exists it tracks the earliest (ArriveT, stamp) among messages
+// matching everything but the time gate, so a failed take reports where
+// virtual time must advance to. Once any bucket has produced a candidate the
+// earliest report is moot (it is only consumed on a failed take), so the
+// scan may bail as soon as stamps pass the candidate's.
+func (e *Endpoint) scanBucket(cq *classQueue, b *bucket, spec *MatchSpec,
+	best **Message, bestCQ **classQueue, bestB **bucket, bestIdx *int,
+	earliest *int64, earlSeq *uint64, hasEarl *bool) {
+	for i := b.head; i < len(b.msgs); i++ {
+		m := b.msgs[i]
+		if *best != nil && m.aseq > (*best).aseq {
+			return
+		}
+		if spec.Filter != nil && !spec.Filter(m) {
+			continue
+		}
+		if m.ArriveT <= spec.Before {
+			// Strictly smaller stamp than any current candidate (the check
+			// above would have bailed otherwise), so this one wins.
+			*best, *bestCQ, *bestB, *bestIdx = m, cq, b, i
+			return
+		}
+		if !*hasEarl || m.ArriveT < *earliest || (m.ArriveT == *earliest && m.aseq < *earlSeq) {
+			*earliest, *earlSeq, *hasEarl = m.ArriveT, m.aseq, true
+		}
+	}
+}
+
+func trailingZeros(s ClassSet) uint8 {
+	return uint8(bits.TrailingZeros64(uint64(s)))
+}
+
+// TryRecvSpec removes and returns the least-arrival-stamp message eligible
+// under spec, under a single lock acquisition. The returned PollState always
+// carries Seq and the pre-dequeue Depth; when no message was eligible it
+// also carries the earliest arrival among messages matching everything but
+// the Before gate.
+func (e *Endpoint) TryRecvSpec(spec *MatchSpec) (*Message, PollState) {
+	e.mu.Lock()
+	st := PollState{Seq: e.seq.Load(), Depth: e.depth}
+	m, earl, has := e.takeSpecLocked(spec)
+	e.mu.Unlock()
+	if m == nil {
+		st.Earliest, st.HasEarliest = earl, has
+	}
+	return m, st
+}
+
+// PeekSpec returns (without removing) the message TryRecvSpec would take.
+func (e *Endpoint) PeekSpec(spec *MatchSpec) *Message {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m, _, _ := e.takeSpecLocked(spec)
+	if m != nil {
+		e.undoTakeLocked(m)
+	}
+	return m
+}
+
+// undoTakeLocked re-inserts a just-taken message at its stamp-ordered
+// position (it is always re-inserted immediately, so its bucket slot is
+// simply restored).
+func (e *Endpoint) undoTakeLocked(m *Message) {
+	cq := e.classes[m.Class]
+	b := &cq.srcs[m.Src]
+	// Find the insertion point: stamps are unique and ordered.
+	i := b.head
+	for ; i < len(b.msgs); i++ {
+		if b.msgs[i].aseq > m.aseq {
+			break
+		}
+	}
+	if i == b.head && b.head > 0 {
+		b.head--
+		b.msgs[b.head] = m
+	} else {
+		b.msgs = append(b.msgs, nil)
+		copy(b.msgs[i+1:], b.msgs[i:])
+		b.msgs[i] = m
+	}
+	cq.count++
+	e.depth++
+	e.present |= 1 << m.Class
+}
+
+// TryRecvPeek is TryRecvSpec fused with a probe: when the take under recv
+// comes back empty, the same lock acquisition peeks under peek (the peeked
+// message stays queued) and, when that also fails, reports the earliest
+// arrival among peek's filter-matching messages. On a failed peek every
+// filter-passing message fails the time gate, so the gate-failing earliest
+// equals the ungated earliest PollStateFor would report.
+func (e *Endpoint) TryRecvPeek(recv, peek *MatchSpec) (m *Message, st PollState, pm *Message, pearl int64, phas bool) {
+	e.mu.Lock()
+	st = PollState{Seq: e.seq.Load(), Depth: e.depth}
+	var earl int64
+	var has bool
+	m, earl, has = e.takeSpecLocked(recv)
+	if m == nil {
+		st.Earliest, st.HasEarliest = earl, has
+		pm, pearl, phas = e.takeSpecLocked(peek)
+		if pm != nil {
+			e.undoTakeLocked(pm)
+		}
+	}
+	e.mu.Unlock()
+	return
+}
+
+// PollStateFor returns the poll snapshot for spec — activity counter, queue
+// depth, and earliest arrival among filter-matching messages — without
+// dequeuing anything and under one lock acquisition.
+func (e *Endpoint) PollStateFor(spec *MatchSpec) PollState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := PollState{Seq: e.seq.Load(), Depth: e.depth}
+	activeSet := spec.Classes & e.present
+	for set := activeSet; set != 0; set &= set - 1 {
+		cq := e.classes[trailingZeros(set)]
+		if spec.Src != AnySrc {
+			scanEarliest(&cq.srcs[spec.Src], spec, &st)
+			continue
+		}
+		for s := range cq.srcs {
+			scanEarliest(&cq.srcs[s], spec, &st)
+		}
+	}
+	return st
+}
+
+func scanEarliest(b *bucket, spec *MatchSpec, st *PollState) {
+	for i := b.head; i < len(b.msgs); i++ {
+		m := b.msgs[i]
+		if spec.Filter != nil && !spec.Filter(m) {
+			continue
+		}
+		if !st.HasEarliest || m.ArriveT < st.Earliest {
+			st.Earliest, st.HasEarliest = m.ArriveT, true
+		}
+	}
+}
+
+// Recv blocks until a message matching match is queued, removes and returns
+// it. Messages are taken in arrival order, which preserves the
+// non-overtaking guarantee for any (src, class, tag) stream.
+func (e *Endpoint) Recv(match func(*Message) bool) *Message {
+	spec := matchAll(match)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if m, _, _ := e.takeSpecLocked(&spec); m != nil {
+			return m
+		}
+		e.waitLocked(FullDomain)
+	}
+}
+
+// TryRecv is Recv without blocking; it returns nil when nothing matches.
+func (e *Endpoint) TryRecv(match func(*Message) bool) *Message {
+	spec := matchAll(match)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m, _, _ := e.takeSpecLocked(&spec)
+	return m
+}
+
+// Pending reports whether any queued message matches.
+func (e *Endpoint) Pending(match func(*Message) bool) bool {
+	spec := matchAll(match)
+	return e.PeekSpec(&spec) != nil
+}
+
+// Peek returns the first queued matching message without removing it, or
+// nil. Probes use this.
+func (e *Endpoint) Peek(match func(*Message) bool) *Message {
+	spec := matchAll(match)
+	return e.PeekSpec(&spec)
+}
+
+// EarliestArrival returns the smallest arrival stamp among queued messages
+// matching match. Blocking receivers use it to advance virtual time when
+// every candidate message is still in the virtual future (delivering such a
+// message "early" would drag the receiver's clock to the sender's and let
+// skew compound).
+func (e *Endpoint) EarliestArrival(match func(*Message) bool) (int64, bool) {
+	spec := matchAll(match)
+	st := e.PollStateFor(&spec)
+	return st.Earliest, st.HasEarliest
+}
+
+// Seq returns a counter that increases with every enqueued message and every
+// poke; pollers use it to detect new activity without taking the queue lock.
+func (e *Endpoint) Seq() uint64 {
+	return e.seq.Load()
+}
+
+// waitLocked registers d and blocks until the cond is signaled for it.
+// Callers must hold e.mu and re-check their predicate on return.
+func (e *Endpoint) waitLocked(d WaitDomain) {
+	slot := -1
+	if e.ndoms < len(e.doms) {
+		slot = e.ndoms
+		e.doms[slot] = d
+		e.ndoms++
+	} else {
+		e.domOverflow++
+	}
+	e.cond.Wait()
+	if slot >= 0 {
+		// Waiters deregister in any order; swap-remove our domain by value
+		// (domains are plain data, any equal entry is interchangeable).
+		for i := 0; i < e.ndoms; i++ {
+			if e.doms[i] == d {
+				e.ndoms--
+				e.doms[i] = e.doms[e.ndoms]
+				return
+			}
+		}
+		panic("fabric: waiter domain lost")
+	}
+	e.domOverflow--
+}
+
+// WaitActivity blocks until the endpoint's activity counter passes since.
+// It returns the new counter value. The waiter is woken for every arrival
+// and poke; use WaitActivityFor to scope the wakeup.
+func (e *Endpoint) WaitActivity(since uint64) uint64 {
+	return e.WaitActivityFor(since, FullDomain)
+}
+
+// WaitActivityFor blocks until the activity counter passes since, waking
+// only for events in domain d. Callers must sample Seq before checking the
+// condition they sleep on, and d must cover every event that could satisfy
+// that condition — including pokes when completion callbacks signal it.
+func (e *Endpoint) WaitActivityFor(since uint64, d WaitDomain) uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for e.seq.Load() <= since {
+		e.waitLocked(d)
+	}
+	return e.seq.Load()
+}
+
+// Poke wakes poke-sensitive waiters and bumps the activity counter without
+// enqueuing a message. Request-completion callbacks use it so a single wait
+// loop can cover both message arrival and remote completion events.
+func (e *Endpoint) Poke() {
+	e.mu.Lock()
+	e.seq.Add(1)
+	wake := e.wakeNeededLocked(0, 0, true)
+	e.mu.Unlock()
+	if wake {
+		e.cond.Broadcast()
+	}
+}
+
+// QueueLen returns the current queue depth (used by tests and the SRQ
+// contention diagnostics).
+func (e *Endpoint) QueueLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.depth
+}

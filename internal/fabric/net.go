@@ -3,6 +3,7 @@ package fabric
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"cafmpi/internal/obs"
 	"cafmpi/internal/sim"
@@ -10,7 +11,9 @@ import (
 
 // Message is the unit of transfer between endpoints. The communication
 // layers define the meaning of Class, Tag, Ctx and Args; the fabric only
-// moves the message and stamps virtual times on it.
+// moves the message and stamps virtual times on it. Build messages with
+// NewMessage (pooled) where the consumer is known to Release them; a
+// zero-value Message works too and simply isn't recycled.
 type Message struct {
 	Src, Dst int
 	Class    uint8
@@ -28,6 +31,12 @@ type Message struct {
 	// Req, when non-nil, is the origin-side handle that learns its
 	// completion time once the receiver matches a rendezvous message.
 	Req Completer
+
+	aseq     uint64 // global arrival stamp, assigned by enqueue
+	pooled   bool   // from msgPool; Release recycles the struct
+	dataBuf  *pbuf  // pooled payload backing, nil when unpooled
+	owner    *Net   // accounts pooled payload bytes; set at Send
+	argStore [inlineArgs]uint64
 }
 
 // Completer is implemented by origin-side request objects that need the
@@ -50,6 +59,11 @@ type Net struct {
 	// attach time (obs.Enable runs before any layer attaches) so per-message
 	// paths pay a nil check, not a registry lookup.
 	ow *obs.World
+
+	// poolBytes is the pooled payload capacity currently checked out for
+	// in-flight messages of this world; Send raises the pool_bytes_inflight
+	// gauge from it and Release drains it.
+	poolBytes atomic.Int64
 
 	mu     sync.Mutex
 	layers map[string]*Layer
@@ -140,9 +154,7 @@ func (n *Net) Layer(name string) *Layer {
 	}
 	l := &Layer{net: n, name: name, eps: make([]*Endpoint, n.world.N())}
 	for i := range l.eps {
-		ep := &Endpoint{layer: l, rank: i}
-		ep.cond = sync.NewCond(&ep.mu)
-		l.eps[i] = ep
+		l.eps[i] = newEndpoint(l, i)
 	}
 	n.layers[name] = l
 	return l
@@ -183,18 +195,36 @@ func (l *Layer) Net() *Net { return l.net }
 
 // Send injects m from image p. It charges the sender's clock, stamps the
 // message, decides eager vs. rendezvous from the payload size, and enqueues
-// it at the destination endpoint. The payload slice is copied so the sender
-// may reuse its buffer immediately (matching eager-protocol semantics; for
-// rendezvous the request's CompleteAt callback reports the virtual time at
-// which the sender buffer would really be free).
+// it at the destination endpoint. The payload and args slices are copied
+// (into pooled storage) so the sender may reuse both buffers immediately
+// (matching eager-protocol semantics; for rendezvous the request's
+// CompleteAt callback reports the virtual time at which the sender buffer
+// would really be free). Ownership of m itself transfers to the fabric.
 func (l *Layer) Send(p *sim.Proc, m *Message) {
 	pr := l.net.params
 	if m.Dst < 0 || m.Dst >= len(l.eps) {
 		panic(fmt.Sprintf("fabric: send to invalid rank %d (world size %d)", m.Dst, len(l.eps)))
 	}
 	m.Src = p.ID()
-	if m.Data != nil {
-		m.Data = append([]byte(nil), m.Data...)
+	if len(m.Args) > 0 {
+		if len(m.Args) <= inlineArgs {
+			n := copy(m.argStore[:], m.Args)
+			m.Args = m.argStore[:n:n]
+		} else {
+			m.Args = append([]uint64(nil), m.Args...)
+		}
+	}
+	var poolOut int64
+	if len(m.Data) > 0 {
+		data, pb := getBuf(len(m.Data))
+		copy(data, m.Data)
+		m.Data, m.dataBuf = data, pb
+		if pb != nil {
+			m.owner = l.net
+			poolOut = l.net.poolBytes.Add(int64(cap(pb.b)))
+		}
+	} else {
+		m.Data = nil
 	}
 	t0 := p.Now()
 	p.Advance(pr.SendOverheadNS)
@@ -212,17 +242,21 @@ func (l *Layer) Send(p *sim.Proc, m *Message) {
 			m.Req.CompleteAt(m.SendT) // eager: buffer copied out at injection
 		}
 	}
+	dst, tag, rdv := m.Dst, m.Tag, m.Rendezvous
 	l.eps[m.Dst].enqueue(m)
+	// m may already be consumed and recycled by the receiver here; only the
+	// locals captured above are safe to touch.
 	if sh := l.net.shard(p); sh != nil {
-		sh.Record(obs.LayerFabric, obs.OpInject, m.Dst, size, m.Tag, t0, p.Now())
+		sh.Record(obs.LayerFabric, obs.OpInject, dst, size, tag, t0, p.Now())
 		sh.Add(obs.CtrMsgsSent, 1)
 		sh.Add(obs.CtrBytesSent, int64(size))
-		if m.Rendezvous {
+		if rdv {
 			sh.Add(obs.CtrRendezvousMsgs, 1)
 		} else {
 			sh.Add(obs.CtrEagerMsgs, 1)
 		}
-		sh.CommAdd(m.Dst, int64(size))
+		sh.Max(obs.CtrPoolBytesInFlightMax, poolOut)
+		sh.CommAdd(dst, int64(size))
 	}
 }
 
@@ -279,137 +313,6 @@ func (l *Layer) RMAPut(p *sim.Proc, dst, size int, opNS int64) (remoteDone int64
 func (l *Layer) RMAGetCost(p *sim.Proc, dst, size int, opNS int64) int64 {
 	pr := l.net.params
 	return opNS + 2*pr.PathLatency(p.ID(), dst) + pr.PathWireTime(p.ID(), dst, size)
-}
-
-// Endpoint is one image's receive queue within a layer.
-type Endpoint struct {
-	layer *Layer
-	rank  int
-
-	mu   sync.Mutex
-	cond *sync.Cond
-	q    []*Message
-	seq  uint64 // arrivals ever enqueued; lets pollers detect activity
-}
-
-func (e *Endpoint) enqueue(m *Message) {
-	e.mu.Lock()
-	e.q = append(e.q, m)
-	e.seq++
-	e.mu.Unlock()
-	e.cond.Broadcast()
-}
-
-// Recv blocks until a message matching match is queued, removes and returns
-// it. Messages are scanned in arrival order, which preserves the
-// non-overtaking guarantee for any (src, class, tag) stream.
-func (e *Endpoint) Recv(match func(*Message) bool) *Message {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for {
-		if m := e.takeLocked(match); m != nil {
-			return m
-		}
-		e.cond.Wait()
-	}
-}
-
-// TryRecv is Recv without blocking; it returns nil when nothing matches.
-func (e *Endpoint) TryRecv(match func(*Message) bool) *Message {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.takeLocked(match)
-}
-
-func (e *Endpoint) takeLocked(match func(*Message) bool) *Message {
-	for i, m := range e.q {
-		if match(m) {
-			e.q = append(e.q[:i], e.q[i+1:]...)
-			return m
-		}
-	}
-	return nil
-}
-
-// Pending reports whether any queued message matches.
-func (e *Endpoint) Pending(match func(*Message) bool) bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for _, m := range e.q {
-		if match(m) {
-			return true
-		}
-	}
-	return false
-}
-
-// Seq returns a counter that increases with every enqueued message; pollers
-// use it to detect new arrivals cheaply.
-func (e *Endpoint) Seq() uint64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.seq
-}
-
-// WaitActivity blocks until the endpoint's arrival counter passes since.
-// It returns the new counter value.
-func (e *Endpoint) WaitActivity(since uint64) uint64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for e.seq <= since {
-		e.cond.Wait()
-	}
-	return e.seq
-}
-
-// EarliestArrival returns the smallest arrival stamp among queued messages
-// matching match. Blocking receivers use it to advance virtual time when
-// every candidate message is still in the virtual future (delivering such a
-// message "early" would drag the receiver's clock to the sender's and let
-// skew compound).
-func (e *Endpoint) EarliestArrival(match func(*Message) bool) (int64, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	var best int64
-	found := false
-	for _, m := range e.q {
-		if match(m) && (!found || m.ArriveT < best) {
-			best, found = m.ArriveT, true
-		}
-	}
-	return best, found
-}
-
-// Peek returns the first queued matching message without removing it, or
-// nil. Probes use this.
-func (e *Endpoint) Peek(match func(*Message) bool) *Message {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for _, m := range e.q {
-		if match(m) {
-			return m
-		}
-	}
-	return nil
-}
-
-// Poke wakes everything blocked on this endpoint and bumps the activity
-// counter without enqueuing a message. Request-completion callbacks use it
-// so a single wait loop can cover both message arrival and remote
-// completion events.
-func (e *Endpoint) Poke() {
-	e.mu.Lock()
-	e.seq++
-	e.mu.Unlock()
-	e.cond.Broadcast()
-}
-
-// QueueLen returns the current queue depth (used by tests and the SRQ
-// contention diagnostics).
-func (e *Endpoint) QueueLen() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.q)
 }
 
 func max64(a, b int64) int64 {

@@ -85,6 +85,19 @@ type Ep struct {
 	barrierGen int
 	footprint  int64
 
+	// Cached endpoint match specs with filters bound once at Attach, so the
+	// poll and barrier paths allocate no per-call closures. brTag/brSrc stage
+	// the current barrier round for brSpec's filter. An Ep is private to its
+	// image's goroutine, so mutating them between calls is unshared state.
+	amSpec fabric.MatchSpec // any active message (request or reply)
+	brSpec fabric.MatchSpec // AMs, plus the staged barrier-round message
+	brTag  int
+	brSrc  int
+
+	// longArgs is scratch for AMRequestLong's (offset, length) arg prefix;
+	// Send copies args out before returning, so reuse across calls is safe.
+	longArgs [MaxArgs + 2]uint64
+
 	// osh is this image's observability shard, nil when off; cached at
 	// Attach so AM and RDMA hot paths pay a nil check only.
 	osh *obs.Shard
@@ -120,6 +133,8 @@ func Attach(p *sim.Proc, net *fabric.Net, segSize int, handlers ...HandlerEntry)
 	}
 	e.fep = e.layer.Endpoint(p.ID())
 	e.osh = obs.For(p)
+	e.amSpec = fabric.MatchSpec{Classes: fabric.Classes(clsAMRequest, clsAMReply), Src: fabric.AnySrc}
+	e.brSpec = fabric.MatchSpec{Classes: fabric.Classes(clsAMRequest, clsAMReply, clsBarrier), Src: fabric.AnySrc, Filter: e.barrierFilter}
 	e.segment = make([]byte, segSize)
 	sh.mu.Lock()
 	sh.segs[p.ID()] = e.segment
@@ -188,7 +203,9 @@ func (e *Ep) AMRequestShort(dst int, h HandlerID, args ...uint64) error {
 		return err
 	}
 	t0 := e.p.Now()
-	e.layer.Send(e.p, &fabric.Message{Dst: dst, Class: clsAMRequest, Ctx: int(h), Tag: catShort, Args: args})
+	m := fabric.NewMessage()
+	m.Dst, m.Class, m.Ctx, m.Tag, m.Args = dst, clsAMRequest, int(h), catShort, args
+	e.layer.Send(e.p, m)
 	e.noteAMSent(dst, 0, h, t0)
 	return nil
 }
@@ -200,7 +217,9 @@ func (e *Ep) AMRequestMedium(dst int, h HandlerID, payload []byte, args ...uint6
 		return err
 	}
 	t0 := e.p.Now()
-	e.layer.Send(e.p, &fabric.Message{Dst: dst, Class: clsAMRequest, Ctx: int(h), Tag: catMedium, Args: args, Data: payload})
+	m := fabric.NewMessage()
+	m.Dst, m.Class, m.Ctx, m.Tag, m.Args, m.Data = dst, clsAMRequest, int(h), catMedium, args, payload
+	e.layer.Send(e.p, m)
 	e.noteAMSent(dst, len(payload), h, t0)
 	return nil
 }
@@ -223,10 +242,12 @@ func (e *Ep) AMRequestLong(dst int, h HandlerID, payload []byte, dstOff int, arg
 	t0 := e.p.Now()
 	e.p.Advance(pr.PathWireTime(e.p.ID(), dst, len(payload)))
 	e.net.ClaimNIC(dst, e.p.Now()+pr.PathLatency(e.p.ID(), dst), pr.PathWireTime(e.p.ID(), dst, len(payload)))
-	e.layer.Send(e.p, &fabric.Message{
-		Dst: dst, Class: clsAMRequest, Ctx: int(h), Tag: catLong,
-		Args: append([]uint64{uint64(dstOff), uint64(len(payload))}, args...),
-	})
+	e.longArgs[0], e.longArgs[1] = uint64(dstOff), uint64(len(payload))
+	copy(e.longArgs[2:], args)
+	m := fabric.NewMessage()
+	m.Dst, m.Class, m.Ctx, m.Tag = dst, clsAMRequest, int(h), catLong
+	m.Args = e.longArgs[: 2+len(args) : 2+len(args)]
+	e.layer.Send(e.p, m)
 	e.noteAMSent(dst, len(payload), h, t0)
 	return nil
 }
@@ -260,7 +281,9 @@ func (tk *Token) ReplyShort(h HandlerID, args ...uint64) error {
 	}
 	tk.replied = true
 	t0 := tk.ep.p.Now()
-	tk.ep.layer.Send(tk.ep.p, &fabric.Message{Dst: tk.src, Class: clsAMReply, Ctx: int(h), Tag: catShort, Args: args})
+	m := fabric.NewMessage()
+	m.Dst, m.Class, m.Ctx, m.Tag, m.Args = tk.src, clsAMReply, int(h), catShort, args
+	tk.ep.layer.Send(tk.ep.p, m)
 	tk.ep.noteAMSent(tk.src, 0, h, t0)
 	return nil
 }
@@ -275,33 +298,37 @@ func (tk *Token) ReplyMedium(h HandlerID, payload []byte, args ...uint64) error 
 	}
 	tk.replied = true
 	t0 := tk.ep.p.Now()
-	tk.ep.layer.Send(tk.ep.p, &fabric.Message{Dst: tk.src, Class: clsAMReply, Ctx: int(h), Tag: catMedium, Args: args, Data: payload})
+	m := fabric.NewMessage()
+	m.Dst, m.Class, m.Ctx, m.Tag, m.Args, m.Data = tk.src, clsAMReply, int(h), catMedium, args, payload
+	tk.ep.layer.Send(tk.ep.p, m)
 	tk.ep.noteAMSent(tk.src, len(payload), h, t0)
 	return nil
 }
 
-func amMatch(m *fabric.Message) bool {
-	return m.Class == clsAMRequest || m.Class == clsAMReply
-}
-
-// arrived gates delivery on virtual time: a message whose arrival stamp is
-// in this image's future has not physically arrived yet; dispatching it
-// early would advance the local clock to the (possibly far-ahead) sender's
-// time and let skew compound across images.
-func (e *Ep) arrived(match func(*fabric.Message) bool) func(*fabric.Message) bool {
-	now := e.p.Now()
-	return func(m *fabric.Message) bool { return match(m) && m.ArriveT <= now }
+// barrierFilter passes any active message (blocking barrier rounds poll AMs,
+// as conduits do inside blocking calls) plus the one barrier message of the
+// round staged in brTag/brSrc. It runs under the endpoint lock.
+func (e *Ep) barrierFilter(m *fabric.Message) bool {
+	if m.Class != clsBarrier {
+		return true
+	}
+	return m.Tag == e.brTag && m.Src == e.brSrc
 }
 
 // Poll drains and dispatches the queued active messages that have arrived
 // in virtual time, running their handlers on this goroutine. It returns
 // the number of AMs processed. GASNet progress is explicit: no handler
 // runs unless the image polls (or blocks inside a GASNet call that polls).
+// Delivery is gated on virtual time: a message whose arrival stamp is in
+// this image's future has not physically arrived yet; dispatching it early
+// would advance the local clock to the (possibly far-ahead) sender's time
+// and let skew compound across images.
 func (e *Ep) Poll() int {
 	e.osh.Add(obs.CtrPolls, 1)
 	n := 0
 	for {
-		m := e.fep.TryRecv(e.arrived(amMatch))
+		e.amSpec.Before = e.p.Now()
+		m, _ := e.fep.TryRecvSpec(&e.amSpec)
 		if m == nil {
 			if n == 0 {
 				e.p.Advance(e.costs().PollNS)
@@ -351,6 +378,9 @@ func (e *Ep) dispatch(m *fabric.Message) {
 		off, ln := int(m.Args[0]), int(m.Args[1])
 		h(tk, m.Args[2:], e.segment[off:off+ln])
 	}
+	// GASNet handlers may not retain args or payload past their return
+	// (medium payloads are explicitly scratch), so the message recycles here.
+	m.Release()
 }
 
 // PollUntil polls until cond becomes true. While blocked it advances
@@ -363,8 +393,8 @@ func (e *Ep) PollUntil(cond func() bool) {
 		if cond() {
 			return
 		}
-		if t, ok := e.fep.EarliestArrival(amMatch); ok {
-			e.p.AdvanceTo(t)
+		if st := e.fep.PollStateFor(&e.amSpec); st.HasEarliest {
+			e.p.AdvanceTo(st.Earliest)
 			continue
 		}
 		e.fep.WaitActivity(seq)
@@ -524,17 +554,18 @@ func (e *Ep) BarrierNotify() {
 	e.barrierGen++
 	for k, round := 1, 0; k < n; k, round = k<<1, round+1 {
 		dst := (e.p.ID() + k) % n
-		e.layer.Send(e.p, &fabric.Message{Dst: dst, Class: clsBarrier, Tag: gen*64 + round})
-		src := (e.p.ID() - k + n) % n
+		bm := fabric.NewMessage()
+		bm.Dst, bm.Class, bm.Tag = dst, clsBarrier, gen*64+round
+		e.layer.Send(e.p, bm)
 		// Wait for this round's message, progressing AMs that have arrived
 		// meanwhile (conduits poll inside blocking calls).
-		want := func(m *fabric.Message) bool {
-			return amMatch(m) || (m.Class == clsBarrier && m.Tag == gen*64+round && m.Src == src)
-		}
+		e.brTag = gen*64 + round
+		e.brSrc = (e.p.ID() - k + n) % n
 		for {
-			m := e.blockingRecv(want)
+			m := e.blockingRecv(&e.brSpec)
 			if m.Class == clsBarrier {
 				e.layer.Absorb(e.p, m, 0)
+				m.Release()
 				break
 			}
 			e.dispatch(m)
@@ -542,17 +573,19 @@ func (e *Ep) BarrierNotify() {
 	}
 }
 
-// blockingRecv returns the next matching message, preferring ones that
+// blockingRecv returns the next message matching spec, preferring ones that
 // have arrived in virtual time and advancing the clock to the earliest
 // matching arrival when only future ones are queued.
-func (e *Ep) blockingRecv(match func(*fabric.Message) bool) *fabric.Message {
+func (e *Ep) blockingRecv(spec *fabric.MatchSpec) *fabric.Message {
 	for {
 		seq := e.fep.Seq()
-		if m := e.fep.TryRecv(e.arrived(match)); m != nil {
+		spec.Before = e.p.Now()
+		m, st := e.fep.TryRecvSpec(spec)
+		if m != nil {
 			return m
 		}
-		if t, ok := e.fep.EarliestArrival(match); ok {
-			e.p.AdvanceTo(t)
+		if st.HasEarliest {
+			e.p.AdvanceTo(st.Earliest)
 			continue
 		}
 		e.fep.WaitActivity(seq)

@@ -179,6 +179,7 @@ type raRouter struct {
 
 	cur  []uint64 // updates still being routed
 	send []uint64
+	msg  []uint64 // scratch for one landing-zone round (count word + entries)
 }
 
 const raSlot = 8 // bytes per entry; slot 0 of each zone is the count
@@ -203,6 +204,7 @@ func newRARouter(im *caf.Image, batch, stages int) (*raRouter, error) {
 		cap: capEntries, stages: stages, batch: batch,
 		cur:  make([]uint64, 0, 2*capEntries),
 		send: make([]uint64, 0, capEntries+1),
+		msg:  make([]uint64, 0, capEntries+1),
 	}
 	// Seed one flow-control credit per stage: every landing zone starts
 	// free. From here on, credits exactly track zone availability, so a
@@ -316,8 +318,10 @@ func (rt *raRouter) exchange(im *caf.Image, s, partner int) error {
 			if err := rt.readyEv.Wait(s); err != nil {
 				return err
 			}
-			msg := append([]uint64{cnt}, rt.send[lo:hi]...)
-			if err := rt.land.PutDeferred(partner, zone, caf.U64Bytes(msg)); err != nil {
+			// Scratch is safe to reuse: Rput consumes the bytes before
+			// PutDeferred returns.
+			rt.msg = append(append(rt.msg[:0], cnt), rt.send[lo:hi]...)
+			if err := rt.land.PutDeferred(partner, zone, caf.U64Bytes(rt.msg)); err != nil {
 				return err
 			}
 			if err := rt.dataEv.Notify(partner, s); err != nil {

@@ -18,23 +18,39 @@ const (
 	tagRMA // reserved for the RMA layer's internal traffic
 )
 
-// csend/crecv are blocking p2p on the collective context.
+// csend/crecv are blocking p2p on the collective context. The request
+// handles never escape, so they return to the pool after a successful Wait.
 func (c *Comm) csend(buf []byte, dest, tag int) error {
-	_, err := c.isendCtx(buf, dest, tag, c.ctx+1).Wait()
-	return err
+	r := c.isendCtx(buf, dest, tag, c.ctx+1)
+	if _, err := r.Wait(); err != nil {
+		return err
+	}
+	r.Free()
+	return nil
 }
 
 func (c *Comm) crecv(buf []byte, src, tag int) (Status, error) {
-	return c.irecvCtx(buf, src, tag, c.ctx+1).Wait()
+	r := c.irecvCtx(buf, src, tag, c.ctx+1)
+	st, err := r.Wait()
+	if err != nil {
+		return st, err
+	}
+	r.Free()
+	return st, nil
 }
 
 func (c *Comm) csendrecv(sendBuf []byte, dest, sendTag int, recvBuf []byte, src, recvTag int) error {
 	rr := c.irecvCtx(recvBuf, src, recvTag, c.ctx+1)
-	if _, err := c.isendCtx(sendBuf, dest, sendTag, c.ctx+1).Wait(); err != nil {
+	sr := c.isendCtx(sendBuf, dest, sendTag, c.ctx+1)
+	if _, err := sr.Wait(); err != nil {
 		return err
 	}
-	_, err := rr.Wait()
-	return err
+	if _, err := rr.Wait(); err != nil {
+		return err
+	}
+	sr.Free()
+	rr.Free()
+	return nil
 }
 
 // Barrier blocks until every rank in the communicator has entered it

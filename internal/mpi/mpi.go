@@ -61,6 +61,12 @@ type Env struct {
 	mu     sync.Mutex // guards posted (CompleteAt may come from peers)
 	posted []*Request // posted receives, in post order
 
+	// progSpec is the cached posted-receive matcher handed to the endpoint;
+	// binding Filter once at Init removes the per-poll closure allocation the
+	// progress engine used to pay. Its Filter reads posted, so every
+	// endpoint call using it must run under mu.
+	progSpec fabric.MatchSpec
+
 	// sh is this image's observability shard, nil when off; cached at Init
 	// so RMA/p2p hot paths pay a nil check only.
 	sh *obs.Shard
@@ -87,12 +93,13 @@ func Init(p *sim.Proc, net *fabric.Net) *Env {
 	}
 	env.ep = env.layer.Endpoint(p.ID())
 	env.sh = obs.For(p)
+	env.progSpec = fabric.MatchSpec{Classes: fabric.Classes(clsP2P), Src: fabric.AnySrc, Filter: env.postedFilter}
 
 	ranks := make([]int, p.N())
 	for i := range ranks {
 		ranks[i] = i
 	}
-	env.world = &Comm{env: env, ranks: ranks, myRank: p.ID(), ctx: 0}
+	env.world = newComm(env, ranks, p.ID(), 0)
 
 	// Connection state and per-peer eager buffer pools: MPICH derivatives
 	// preallocate these, which is what makes the MPI runtime's memory
@@ -137,9 +144,55 @@ type Comm struct {
 	myRank int   // this image's rank within the comm
 	ctx    int   // base context id; ctx is p2p, ctx+1 collectives
 
+	// worldToRank inverts ranks (world rank -> comm rank, -1 outside), so
+	// wildcard matching and status translation are O(1) per message instead
+	// of a scan (or a map built per probe).
+	worldToRank []int32
+
+	// Cached endpoint match specs with their filters bound once. A Comm is
+	// private to its image's goroutine, so mutating the probe fields between
+	// calls is unshared state, not a race.
+	probeSpec fabric.MatchSpec // probe/earliest matching; probeTag/probeAny below
+	ctxSpec   fabric.MatchSpec // any p2p message addressed to this context
+	probeTag  int
+	probeAny  bool
+
 	winSeq   int // windows created on this comm so far (collective order)
 	icollSeq int // nonblocking collectives issued so far (collective order)
 }
+
+// newComm builds a communicator with its rank inversion and cached match
+// specs. Every Comm must be created through it.
+func newComm(env *Env, ranks []int, myRank, ctx int) *Comm {
+	c := &Comm{env: env, ranks: ranks, myRank: myRank, ctx: ctx}
+	c.worldToRank = make([]int32, env.p.N())
+	for i := range c.worldToRank {
+		c.worldToRank[i] = -1
+	}
+	for r, wr := range ranks {
+		c.worldToRank[wr] = int32(r)
+	}
+	c.probeSpec = fabric.MatchSpec{Classes: fabric.Classes(clsP2P), Src: fabric.AnySrc, Filter: c.probeFilter}
+	c.ctxSpec = fabric.MatchSpec{Classes: fabric.Classes(clsP2P), Src: fabric.AnySrc, Before: fabric.NoTimeGate, Filter: c.ctxFilter}
+	return c
+}
+
+// probeFilter matches messages for the probe parameters staged in
+// c.probeTag/c.probeAny (and probeSpec.Src); it runs under the endpoint
+// lock.
+func (c *Comm) probeFilter(m *fabric.Message) bool {
+	if m.Ctx != c.ctx {
+		return false
+	}
+	if c.probeTag != AnyTag && m.Tag != c.probeTag {
+		return false
+	}
+	return !c.probeAny || c.worldToRank[m.Src] >= 0
+}
+
+// ctxFilter matches any point-to-point message addressed to this
+// communicator's context.
+func (c *Comm) ctxFilter(m *fabric.Message) bool { return m.Ctx == c.ctx }
 
 // Rank returns the calling image's rank in the communicator.
 func (c *Comm) Rank() int { return c.myRank }
@@ -159,7 +212,7 @@ func (c *Comm) Dup() (*Comm, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Comm{env: c.env, ranks: append([]int(nil), c.ranks...), myRank: c.myRank, ctx: ctx}, nil
+	return newComm(c.env, append([]int(nil), c.ranks...), c.myRank, ctx), nil
 }
 
 // Split partitions the communicator by color, ordering each new group by
@@ -193,14 +246,15 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 			group[j], group[j-1] = group[j-1], group[j]
 		}
 	}
-	nc := &Comm{env: c.env, ctx: ctx}
+	ranks := make([]int, 0, len(group))
+	myRank := 0
 	for i, m := range group {
-		nc.ranks = append(nc.ranks, c.ranks[m.oldRank])
+		ranks = append(ranks, c.ranks[m.oldRank])
 		if m.oldRank == c.myRank {
-			nc.myRank = i
+			myRank = i
 		}
 	}
-	return nc, nil
+	return newComm(c.env, ranks, myRank, ctx), nil
 }
 
 // allocCtx performs the collective context-id agreement: the group's rank 0
@@ -218,36 +272,17 @@ func (c *Comm) allocCtx() (int, error) {
 	return int(buf[0]), nil
 }
 
-// Translate a possibly wildcard comm-source to a matcher over world ranks.
-func (c *Comm) srcMatcher(src int) func(worldSrc int) bool {
-	if src == AnySource {
-		in := make(map[int]bool, len(c.ranks))
-		for _, wr := range c.ranks {
-			in[wr] = true
-		}
-		return func(ws int) bool { return in[ws] }
-	}
-	want := c.ranks[src]
-	return func(ws int) bool { return ws == want }
-}
-
 // commRankOfWorld maps a world rank back into this communicator.
 func (c *Comm) commRankOfWorld(world int) int {
-	for r, wr := range c.ranks {
-		if wr == world {
-			return r
-		}
-	}
-	return -1
+	return int(c.worldToRank[world])
 }
 
 // EarliestMessage returns the smallest virtual arrival stamp among queued
 // point-to-point messages addressed to this communicator (any source, any
 // tag), for blocking pollers that must advance virtual time.
 func (c *Comm) EarliestMessage() (int64, bool) {
-	return c.env.ep.EarliestArrival(func(m *fabric.Message) bool {
-		return m.Class == clsP2P && m.Ctx == c.ctx
-	})
+	st := c.env.ep.PollStateFor(&c.ctxSpec)
+	return st.Earliest, st.HasEarliest
 }
 
 func (c *Comm) checkRank(r int, what string) error {

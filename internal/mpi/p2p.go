@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"cafmpi/internal/fabric"
 	"cafmpi/internal/obs"
@@ -33,11 +34,44 @@ type Request struct {
 	src, tag int
 	ctx      int
 
+	// done is the completion flag, published with release ordering after
+	// completeT/status/err are in place so that snapshot can read them
+	// without taking mu. mu only serializes concurrent completers
+	// (duplicate CompleteAt calls racing on the completion-time max).
+	done      atomic.Bool
 	mu        sync.Mutex
-	done      bool
 	completeT int64
 	status    Status
 	err       error
+}
+
+// reqPool recycles Request structs: the blocking Send/Recv wrappers and the
+// substrate's fence-drained request arrays churn through one handle per
+// message, which used to be the library's largest allocation source.
+var reqPool = sync.Pool{New: func() any { return new(Request) }}
+
+// newRequest draws a zeroed request from the pool.
+func newRequest(env *Env, kind int, c *Comm) *Request {
+	r := reqPool.Get().(*Request)
+	r.env, r.kind, r.comm = env, kind, c
+	return r
+}
+
+// Free returns a completed request to the internal pool, in the spirit of
+// MPI_REQUEST_FREE. Only a caller that exclusively owns the handle may free
+// it, and only after a successful Wait (or for requests created complete);
+// the handle must not be touched afterwards.
+func (r *Request) Free() {
+	// No lock: the owner has already observed done through snapshot's
+	// critical section (or the request was born complete), which orders
+	// Free after the completer's last touch; from then on this goroutine
+	// is the only accessor until the pool hands the handle out again.
+	r.env, r.comm, r.buf = nil, nil, nil
+	r.kind, r.src, r.tag, r.ctx = 0, 0, 0, 0
+	r.done.Store(false)
+	r.completeT = 0
+	r.status, r.err = Status{}, nil
+	reqPool.Put(r)
 }
 
 // CompleteAt marks the operation complete at virtual time t. It is invoked
@@ -45,20 +79,24 @@ type Request struct {
 // possibly from another goroutine.
 func (r *Request) CompleteAt(t int64) {
 	r.mu.Lock()
-	r.done = true
 	if t > r.completeT {
 		r.completeT = t
 	}
+	// The waiter may observe done and Free the request the moment the
+	// store lands, so capture env first.
+	env := r.env
+	r.done.Store(true)
 	r.mu.Unlock()
-	if r.env != nil {
-		r.env.ep.Poke()
+	if env != nil {
+		env.ep.Poke()
 	}
 }
 
 func (r *Request) snapshot() (done bool, t int64, st Status, err error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.done, r.completeT, r.status, r.err
+	if !r.done.Load() {
+		return false, 0, Status{}, nil
+	}
+	return true, r.completeT, r.status, r.err
 }
 
 // Test returns the request's completion state without blocking, making
@@ -80,12 +118,13 @@ func (r *Request) Wait() (Status, error) {
 	e := r.env
 	for {
 		seq := e.ep.Seq()
-		e.progress()
+		_, ps := e.progressPoll()
 		if done, t, st, err := r.snapshot(); done {
 			e.p.AdvanceTo(t)
 			return st, err
 		}
-		if e.advanceToPending() {
+		if ps.HasEarliest {
+			e.p.AdvanceTo(ps.Earliest)
 			continue
 		}
 		e.ep.WaitActivity(seq)
@@ -121,7 +160,7 @@ func Waitany(reqs []*Request) (int, Status, error) {
 	}
 	for {
 		seq := e.ep.Seq()
-		e.progress()
+		_, ps := e.progressPoll()
 		for i, r := range reqs {
 			if r == nil {
 				continue
@@ -131,7 +170,8 @@ func Waitany(reqs []*Request) (int, Status, error) {
 				return i, st, err
 			}
 		}
-		if e.advanceToPending() {
+		if ps.HasEarliest {
+			e.p.AdvanceTo(ps.Earliest)
 			continue
 		}
 		e.ep.WaitActivity(seq)
@@ -142,7 +182,8 @@ func Waitany(reqs []*Request) (int, Status, error) {
 func (c *Comm) Isend(buf []byte, dest, tag int) (*Request, error) {
 	c.env.checkLive()
 	if dest == ProcNull {
-		r := &Request{env: c.env, kind: reqSend, comm: c, done: true}
+		r := newRequest(c.env, reqSend, c)
+		r.done.Store(true)
 		return r, nil
 	}
 	if err := c.checkRank(dest, "send"); err != nil {
@@ -155,16 +196,16 @@ func (c *Comm) Isend(buf []byte, dest, tag int) (*Request, error) {
 }
 
 func (c *Comm) isendCtx(buf []byte, dest, tag, ctx int) *Request {
-	r := &Request{env: c.env, kind: reqSend, comm: c}
+	r := newRequest(c.env, reqSend, c)
 	t0 := c.env.p.Now()
-	c.env.layer.Send(c.env.p, &fabric.Message{
-		Dst:   c.ranks[dest],
-		Class: clsP2P,
-		Tag:   tag,
-		Ctx:   ctx,
-		Data:  buf,
-		Req:   r,
-	})
+	m := fabric.NewMessage()
+	m.Dst = c.ranks[dest]
+	m.Class = clsP2P
+	m.Tag = tag
+	m.Ctx = ctx
+	m.Data = buf
+	m.Req = r
+	c.env.layer.Send(c.env.p, m)
 	if sh := c.env.sh; sh != nil {
 		sh.Record(obs.LayerMPI, obs.OpSend, c.ranks[dest], len(buf), tag, t0, c.env.p.Now())
 	}
@@ -178,6 +219,7 @@ func (c *Comm) Send(buf []byte, dest, tag int) error {
 		return err
 	}
 	_, err = r.Wait()
+	r.Free() // never escapes this call
 	return err
 }
 
@@ -197,7 +239,8 @@ func (c *Comm) Irecv(buf []byte, src, tag int) (*Request, error) {
 }
 
 func (c *Comm) irecvCtx(buf []byte, src, tag, ctx int) *Request {
-	r := &Request{env: c.env, kind: reqRecv, comm: c, buf: buf, src: src, tag: tag, ctx: ctx}
+	r := newRequest(c.env, reqRecv, c)
+	r.buf, r.src, r.tag, r.ctx = buf, src, tag, ctx
 	e := c.env
 	e.mu.Lock()
 	e.posted = append(e.posted, r)
@@ -211,7 +254,9 @@ func (c *Comm) Recv(buf []byte, src, tag int) (Status, error) {
 	if err != nil {
 		return Status{}, err
 	}
-	return r.Wait()
+	st, err := r.Wait()
+	r.Free() // never escapes this call
+	return st, err
 }
 
 // Sendrecv exchanges messages with (possibly distinct) peers in one call,
@@ -224,7 +269,9 @@ func (c *Comm) Sendrecv(sendBuf []byte, dest, sendTag int, recvBuf []byte, src, 
 	if err := c.Send(sendBuf, dest, sendTag); err != nil {
 		return Status{}, err
 	}
-	return rr.Wait()
+	st, err := rr.Wait()
+	rr.Free()
+	return st, err
 }
 
 // SendrecvReplace sends buf to dest and receives into the same buffer from
@@ -239,17 +286,94 @@ func (c *Comm) SendrecvReplace(buf []byte, dest, sendTag, src, recvTag int) (Sta
 	return st, nil
 }
 
+// setProbe stages probe parameters into the cached probe spec.
+func (c *Comm) setProbe(src, tag int) {
+	c.probeTag = tag
+	if src == AnySource {
+		c.probeSpec.Src = fabric.AnySrc
+		c.probeAny = true
+	} else {
+		c.probeSpec.Src = c.ranks[src]
+		c.probeAny = false
+	}
+}
+
 // Iprobe checks for a matching incoming message without receiving it.
 func (c *Comm) Iprobe(src, tag int) (bool, Status, error) {
 	c.env.checkLive()
 	c.env.progress()
-	now := c.env.p.Now()
-	match := c.probeMatcher(src, tag)
-	m := c.env.ep.Peek(func(m *fabric.Message) bool { return match(m) && m.ArriveT <= now })
+	c.setProbe(src, tag)
+	c.probeSpec.Before = c.env.p.Now()
+	m := c.env.ep.PeekSpec(&c.probeSpec)
 	if m == nil {
 		return false, Status{}, nil
 	}
 	return true, Status{Source: c.commRankOfWorld(m.Src), Tag: m.Tag, Count: len(m.Data)}, nil
+}
+
+// IprobeAny is Iprobe(AnySource, AnyTag) with the probe peek fused into the
+// progress engine's final (empty) matching pass, so the idle path costs one
+// endpoint lock acquisition instead of three. A failed probe also reports
+// the earliest queued arrival for this communicator, replacing a separate
+// EarliestMessage scan in blocking pollers. Virtual-time charges are
+// bit-identical to progress-then-Iprobe: the peek's time gate leads the
+// clock by the MatchNS charge an empty, undelivered pass takes afterwards,
+// which is exactly the clock a separate probe would have observed.
+func (c *Comm) IprobeAny() (bool, Status, int64, bool, error) {
+	e := c.env
+	e.checkLive()
+	c.setProbe(AnySource, AnyTag)
+	matchNS := e.costs().MatchNS
+	delivered := false
+	first := true
+	for {
+		e.mu.Lock()
+		now := e.p.Now()
+		e.progSpec.Before = now
+		c.probeSpec.Before = now
+		if !delivered {
+			c.probeSpec.Before += matchNS
+		}
+		m, st, pm, pearl, phas := e.ep.TryRecvPeek(&e.progSpec, &c.probeSpec)
+		if first {
+			e.sh.Max(obs.CtrUnexpectedDepthMax, int64(st.Depth))
+			first = false
+		}
+		if m == nil {
+			e.mu.Unlock()
+			if !delivered {
+				e.p.Advance(matchNS)
+			}
+			if pm == nil && e.ep.Seq() != st.Seq {
+				// Re-peek once at the unfused probe's lock position: an
+				// arrival that landed during the fused pass must be seen
+				// now, exactly as progress-then-Iprobe would see it, or
+				// it costs a schedule-dependent extra charged pass. An
+				// unchanged activity seq proves nothing arrived since the
+				// fused pass, so the lock can be skipped.
+				c.probeSpec.Before = e.p.Now()
+				pm = e.ep.PeekSpec(&c.probeSpec)
+			}
+			if pm == nil {
+				return false, Status{}, pearl, phas, nil
+			}
+			return true, Status{Source: c.commRankOfWorld(pm.Src), Tag: pm.Tag, Count: len(pm.Data)}, 0, false, nil
+		}
+		var hit *Request
+		for i, r := range e.posted {
+			if matchReq(r, m) {
+				hit = r
+				e.posted = append(e.posted[:i], e.posted[i+1:]...)
+				break
+			}
+		}
+		e.mu.Unlock()
+		if hit == nil {
+			panic("mpi: matched message lost its posted receive")
+		}
+		e.deliver(hit, m)
+		delivered = true
+	}
 }
 
 // Probe blocks until a matching message is available, advancing virtual
@@ -261,19 +385,12 @@ func (c *Comm) Probe(src, tag int) (Status, error) {
 		if ok || err != nil {
 			return st, err
 		}
-		if t, ok := c.env.ep.EarliestArrival(c.probeMatcher(src, tag)); ok {
-			c.env.p.AdvanceTo(t)
+		// Iprobe staged the spec; reuse it for the earliest-arrival scan.
+		if ps := c.env.ep.PollStateFor(&c.probeSpec); ps.HasEarliest {
+			c.env.p.AdvanceTo(ps.Earliest)
 			continue
 		}
 		c.env.ep.WaitActivity(seq)
-	}
-}
-
-func (c *Comm) probeMatcher(src, tag int) func(*fabric.Message) bool {
-	srcOK := c.srcMatcher(src)
-	return func(m *fabric.Message) bool {
-		return m.Class == clsP2P && m.Ctx == c.ctx &&
-			(tag == AnyTag || m.Tag == tag) && srcOK(m.Src)
 	}
 }
 
@@ -286,9 +403,21 @@ func matchReq(r *Request, m *fabric.Message) bool {
 		return false
 	}
 	if r.src == AnySource {
-		return r.comm.commRankOfWorld(m.Src) >= 0
+		return r.comm.worldToRank[m.Src] >= 0
 	}
 	return m.Src == r.comm.ranks[r.src]
+}
+
+// postedFilter reports whether any posted receive matches m. It is the
+// progress engine's match predicate, bound once into Env.progSpec; it runs
+// under the endpoint lock and reads posted, so callers hold e.mu.
+func (e *Env) postedFilter(m *fabric.Message) bool {
+	for _, r := range e.posted {
+		if matchReq(r, m) {
+			return true
+		}
+	}
+	return false
 }
 
 // progress delivers queued arrivals to posted receives, in arrival order,
@@ -298,27 +427,25 @@ func matchReq(r *Request, m *fabric.Message) bool {
 // compound. It returns whether anything was delivered. progress runs only
 // on the owning image's goroutine.
 func (e *Env) progress() bool {
+	delivered, _ := e.progressPoll()
+	return delivered
+}
+
+// progressPoll is progress plus the poll snapshot of the final (empty)
+// matching pass: blocking waits consume its earliest-arrival report in
+// place of a second locked queue scan.
+func (e *Env) progressPoll() (bool, fabric.PollState) {
 	delivered := false
-	if e.sh != nil {
-		// Queue depth before matching = unexpected-message backlog.
-		e.sh.Max(obs.CtrUnexpectedDepthMax, int64(e.ep.QueueLen()))
-	}
+	first := true
 	for {
-		now := e.p.Now()
 		e.mu.Lock()
-		var hit *Request
-		m := e.ep.TryRecv(func(m *fabric.Message) bool {
-			if m.ArriveT > now {
-				return false
-			}
-			for _, r := range e.posted {
-				if matchReq(r, m) {
-					hit = r
-					return true
-				}
-			}
-			return false
-		})
+		e.progSpec.Before = e.p.Now()
+		m, st := e.ep.TryRecvSpec(&e.progSpec)
+		if first {
+			// Queue depth before matching = unexpected-message backlog.
+			e.sh.Max(obs.CtrUnexpectedDepthMax, int64(st.Depth))
+			first = false
+		}
 		if m == nil {
 			e.mu.Unlock()
 			if !delivered {
@@ -327,16 +454,23 @@ func (e *Env) progress() bool {
 				// toward in-flight arrivals.
 				e.p.Advance(e.costs().MatchNS)
 			}
-			return delivered
+			return delivered, st
 		}
-		// Unpost before releasing the lock so no other matcher sees it.
+		// The spec's filter guaranteed a posted match while the endpoint
+		// lock was held, and posted only changes under e.mu (still held):
+		// unpost the winning request before releasing it.
+		var hit *Request
 		for i, r := range e.posted {
-			if r == hit {
+			if matchReq(r, m) {
+				hit = r
 				e.posted = append(e.posted[:i], e.posted[i+1:]...)
 				break
 			}
 		}
 		e.mu.Unlock()
+		if hit == nil {
+			panic("mpi: matched message lost its posted receive")
+		}
 		e.deliver(hit, m)
 		delivered = true
 	}
@@ -348,19 +482,12 @@ func (e *Env) progress() bool {
 // already queued but virtually in flight is a virtual-time wait.
 func (e *Env) advanceToPending() bool {
 	e.mu.Lock()
-	t, ok := e.ep.EarliestArrival(func(m *fabric.Message) bool {
-		for _, r := range e.posted {
-			if matchReq(r, m) {
-				return true
-			}
-		}
-		return false
-	})
+	st := e.ep.PollStateFor(&e.progSpec)
 	e.mu.Unlock()
-	if ok {
-		e.p.AdvanceTo(t)
+	if st.HasEarliest {
+		e.p.AdvanceTo(st.Earliest)
 	}
-	return ok
+	return st.HasEarliest
 }
 
 func (e *Env) deliver(r *Request, m *fabric.Message) {
@@ -376,11 +503,13 @@ func (e *Env) deliver(r *Request, m *fabric.Message) {
 		st.Count = len(r.buf)
 	}
 	copy(r.buf, m.Data)
-	r.mu.Lock()
-	r.done = true
+	m.Release() // payload copied out; recycle the message and its buffer
+	// deliver is the sole completer for a receive (the request left
+	// e.posted before the call), so the fields need no lock — only the
+	// release-ordered done store that snapshot pairs with.
 	r.completeT = e.p.Now()
 	r.status = st
 	r.err = err
-	r.mu.Unlock()
+	r.done.Store(true)
 	e.ep.Poke()
 }

@@ -260,7 +260,9 @@ func (w *Win) Rput(buf []byte, target, disp int) (*Request, error) {
 	if err := w.Put(buf, target, disp); err != nil {
 		return nil, err
 	}
-	r := &Request{env: w.env, kind: reqRMA, done: true, completeT: w.env.p.Now()}
+	r := newRequest(w.env, reqRMA, nil)
+	r.completeT = w.env.p.Now()
+	r.done.Store(true)
 	return r, nil
 }
 
@@ -285,7 +287,9 @@ func (w *Win) Rget(buf []byte, target, disp int) (*Request, error) {
 		sh.Add(obs.CtrRDMABytes, int64(len(buf)))
 		sh.CommAdd(worldDst, int64(len(buf)))
 	}
-	r := &Request{env: w.env, kind: reqRMA, done: true, completeT: done}
+	r := newRequest(w.env, reqRMA, nil)
+	r.completeT = done
+	r.done.Store(true)
 	return r, nil
 }
 
@@ -488,7 +492,9 @@ func (w *Win) Rflush(target int) (*Request, error) {
 		w.clearPending(target)
 	}
 	w.env.sh.Add(obs.CtrFlushCalls, 1)
-	r := &Request{env: w.env, kind: reqRMA, done: true, completeT: done}
+	r := newRequest(w.env, reqRMA, nil)
+	r.completeT = done
+	r.done.Store(true)
 	return r, nil
 }
 
@@ -529,7 +535,9 @@ func (w *Win) RflushAll() (*Request, error) {
 		sh.Add(obs.CtrRflushAllCalls, 1)
 		sh.Add(obs.CtrFlushAllScannedOps, int64(scanned))
 	}
-	r := &Request{env: w.env, kind: reqRMA, done: true, completeT: done}
+	r := newRequest(w.env, reqRMA, nil)
+	r.completeT = done
+	r.done.Store(true)
 	return r, nil
 }
 

@@ -113,8 +113,9 @@ const (
 	CtrLockAllCalls
 	CtrNBISyncs
 	CtrPolls
-	CtrUnexpectedDepthMax // gauge: deepest unexpected-message queue seen
-	CtrPendingRMAMax      // gauge: most unflushed RMA ops outstanding at once
+	CtrUnexpectedDepthMax   // gauge: deepest unexpected-message queue seen
+	CtrPendingRMAMax        // gauge: most unflushed RMA ops outstanding at once
+	CtrPoolBytesInFlightMax // gauge: most pooled payload bytes checked out at once
 	numCounters
 )
 
@@ -141,6 +142,7 @@ var counterNames = [...]string{
 	"polls",
 	"unexpected_queue_max",
 	"pending_rma_max",
+	"pool_bytes_inflight_max",
 }
 
 func (c Counter) String() string {
@@ -153,7 +155,7 @@ func (c Counter) String() string {
 // IsGauge reports whether c is a high-water gauge (merged by max) rather
 // than a monotone counter (merged by sum).
 func (c Counter) IsGauge() bool {
-	return c == CtrUnexpectedDepthMax || c == CtrPendingRMAMax
+	return c == CtrUnexpectedDepthMax || c == CtrPendingRMAMax || c == CtrPoolBytesInFlightMax
 }
 
 // Counters returns all counters in declaration order.

@@ -88,6 +88,7 @@ type S struct {
 	reasm      map[reasmKey]*partial
 	acks       int64 // AM-write acknowledgements received
 	slabsBytes int64
+	hdrArgs    [gasnet.MaxArgs]uint64 // scratch for fragment headers
 
 	tr  *trace.Tracer // attributes substrate time in --trace; nil when off
 	osh *obs.Shard    // observability shard; nil when off
@@ -343,7 +344,11 @@ func (s *S) AMSend(worldTarget int, kind uint8, args []uint64, payload []byte) e
 		if hi > len(payload) {
 			hi = len(payload)
 		}
-		hdr := append([]uint64{uint64(kind), seq, uint64(c), uint64(nChunks), uint64(len(args))}, args...)
+		// hdrArgs is scratch: the AM layer copies args at injection.
+		s.hdrArgs[0], s.hdrArgs[1] = uint64(kind), seq
+		s.hdrArgs[2], s.hdrArgs[3], s.hdrArgs[4] = uint64(c), uint64(nChunks), uint64(len(args))
+		copy(s.hdrArgs[5:], args)
+		hdr := s.hdrArgs[: 5+len(args) : 5+len(args)]
 		if err := s.ep.AMRequestMedium(worldTarget, hCore, payload[lo:hi], hdr...); err != nil {
 			return err
 		}

@@ -55,6 +55,16 @@ type S struct {
 	wins         []*mpi.Win     // every window this image touched
 	extraMemory  int64
 
+	// Scratch buffers for the AM hot path, reusable because MPI's Isend and
+	// Recv consume/fill their buffers before returning: amBuf holds encoded
+	// outgoing AMs, rxBuf incoming ones, argBuf the decoded argument words.
+	// Only an AM's payload needs a fresh allocation (the runtime may retain
+	// it past the dispatch).
+	amBuf  []byte
+	rxBuf  []byte
+	argBuf []uint64
+	rfReqs []*mpi.Request // RflushAll request scratch (UseRflush fences)
+
 	tr  *trace.Tracer // attributes substrate time in --trace; nil when off
 	osh *obs.Shard    // observability shard; nil when off
 }
@@ -247,9 +257,14 @@ func (s *S) GetAsync(g core.Segment, target, off int, into []byte) (core.Complet
 }
 
 // AM encoding: tag carries the kind; the payload is
-// [1B argCount][args as 8B little-endian][user payload].
-func encodeAM(args []uint64, payload []byte) []byte {
-	buf := make([]byte, 1+8*len(args)+len(payload))
+// [1B argCount][args as 8B little-endian][user payload]. The returned slice
+// aliases s.amBuf and is only valid until the next encode.
+func (s *S) encodeAM(args []uint64, payload []byte) []byte {
+	need := 1 + 8*len(args) + len(payload)
+	if cap(s.amBuf) < need {
+		s.amBuf = make([]byte, need)
+	}
+	buf := s.amBuf[:need]
 	buf[0] = byte(len(args))
 	for i, a := range args {
 		for b := 0; b < 8; b++ {
@@ -260,9 +275,14 @@ func encodeAM(args []uint64, payload []byte) []byte {
 	return buf
 }
 
-func decodeAM(buf []byte) (args []uint64, payload []byte) {
+// decodeAM splits an encoded AM; args aliases s.argBuf and is only valid
+// until the next decode, payload aliases buf.
+func (s *S) decodeAM(buf []byte) (args []uint64, payload []byte) {
 	n := int(buf[0])
-	args = make([]uint64, n)
+	if cap(s.argBuf) < n {
+		s.argBuf = make([]uint64, n)
+	}
+	args = s.argBuf[:n]
 	for i := 0; i < n; i++ {
 		var a uint64
 		for b := 0; b < 8; b++ {
@@ -279,7 +299,7 @@ func decodeAM(buf []byte) (args []uint64, payload []byte) {
 func (s *S) AMSend(worldTarget int, kind uint8, args []uint64, payload []byte) error {
 	defer s.tr.Span(trace.SubstrateAM)()
 	t0 := s.p.Now()
-	req, err := s.amComm.Isend(encodeAM(args, payload), worldTarget, int(kind))
+	req, err := s.amComm.Isend(s.encodeAM(args, payload), worldTarget, int(kind))
 	if err != nil {
 		return err
 	}
@@ -294,18 +314,27 @@ func (s *S) AMSend(worldTarget int, kind uint8, args []uint64, payload []byte) e
 // inside a plain MPI call makes no CAF progress.
 func (s *S) Poll() {
 	for {
-		ok, st, err := s.amComm.Iprobe(mpi.AnySource, mpi.AnyTag)
+		ok, st, _, _, err := s.amComm.IprobeAny()
 		if err != nil {
 			panic(fmt.Sprintf("rtmpi: AM probe failed: %v", err))
 		}
 		if !ok {
 			return
 		}
-		buf := make([]byte, st.Count)
+		if cap(s.rxBuf) < st.Count {
+			s.rxBuf = make([]byte, st.Count)
+		}
+		buf := s.rxBuf[:st.Count]
 		if _, err := s.amComm.Recv(buf, st.Source, st.Tag); err != nil {
 			panic(fmt.Sprintf("rtmpi: AM receive failed: %v", err))
 		}
-		args, payload := decodeAM(buf)
+		args, payload := s.decodeAM(buf)
+		if len(payload) > 0 {
+			// The dispatcher may retain the payload (shipped-function
+			// arguments, parked orphans); hand it an owned copy. Args-only
+			// AMs — event notifies, collective signals — stay allocation-free.
+			payload = append([]byte(nil), payload...)
+		}
 		s.deliver(s.amComm.WorldRank(st.Source), uint8(st.Tag), args, payload)
 	}
 }
@@ -321,6 +350,10 @@ func (s *S) PollUntil(cond func() bool) {
 		if cond() {
 			return
 		}
+		// The earliest-arrival scan must be fresh (after cond, not the
+		// poll's stale report): an arrival landing between the poll and
+		// this point must advance the clock before the next charged pass,
+		// or final clocks become schedule-dependent.
 		if t, ok := s.amComm.EarliestMessage(); ok {
 			s.p.AdvanceTo(t)
 			continue
@@ -343,15 +376,28 @@ func (s *S) LocalFenceScoped(puts, gets bool) error {
 		if err := mpi.Waitall(s.implicitPuts); err != nil && first == nil {
 			first = err
 		}
+		freeReqs(s.implicitPuts)
 		s.implicitPuts = s.implicitPuts[:0]
 	}
 	if gets {
 		if err := mpi.Waitall(s.implicitGets); err != nil && first == nil {
 			first = err
 		}
+		freeReqs(s.implicitGets)
 		s.implicitGets = s.implicitGets[:0]
 	}
 	return first
+}
+
+// freeReqs recycles a fence-drained request array the substrate exclusively
+// owns. Waitall has completed every entry, so the handles are dead.
+func freeReqs(reqs []*mpi.Request) {
+	for i, r := range reqs {
+		if r != nil {
+			r.Free()
+			reqs[i] = nil
+		}
+	}
 }
 
 // ReleaseFence implements the release barrier of event_notify (§3.4):
@@ -370,12 +416,13 @@ func (s *S) ReleaseFence() error {
 	if err := mpi.Waitall(s.amReqs); err != nil {
 		return err
 	}
+	freeReqs(s.amReqs)
 	s.amReqs = s.amReqs[:0]
 	if err := s.LocalFence(); err != nil {
 		return err
 	}
 	if s.opt.UseRflush {
-		var reqs []*mpi.Request
+		reqs := s.rfReqs[:0]
 		for _, w := range s.wins {
 			r, err := w.RflushAll()
 			if err != nil {
@@ -383,7 +430,12 @@ func (s *S) ReleaseFence() error {
 			}
 			reqs = append(reqs, r)
 		}
-		return mpi.Waitall(reqs)
+		s.rfReqs = reqs
+		err := mpi.Waitall(reqs)
+		if err == nil {
+			freeReqs(reqs)
+		}
+		return err
 	}
 	for _, w := range s.wins {
 		if err := w.FlushAll(); err != nil {

@@ -42,8 +42,9 @@ func TestAMEncodingRoundTripProperty(t *testing.T) {
 		if len(args) > 255 {
 			args = args[:255]
 		}
-		buf := encodeAM(args, payload)
-		gotArgs, gotPayload := decodeAM(buf)
+		var s S // encode/decode scratch state
+		buf := s.encodeAM(args, payload)
+		gotArgs, gotPayload := s.decodeAM(buf)
 		if len(gotArgs) != len(args) {
 			return false
 		}

@@ -39,12 +39,7 @@ func NewWorld(n int) *World {
 	w := &World{n: n, shared: make(map[string]any)}
 	w.procs = make([]*Proc, n)
 	for i := range w.procs {
-		w.procs[i] = &Proc{
-			id:    i,
-			n:     n,
-			world: w,
-			rng:   rand.New(rand.NewSource(int64(i)*0x9E3779B9 + 1)),
-		}
+		w.procs[i] = &Proc{id: i, n: n, world: w}
 	}
 	return w
 }
@@ -177,5 +172,13 @@ func (p *Proc) AdvanceTo(t int64) {
 	}
 }
 
-// Rng returns the image's deterministic private random source.
-func (p *Proc) Rng() *rand.Rand { return p.rng }
+// Rng returns the image's deterministic private random source. It is
+// seeded on first use: rand.NewSource fills a large state table, which
+// would dominate world construction for the many programs that never
+// draw a random number.
+func (p *Proc) Rng() *rand.Rand {
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(int64(p.id)*0x9E3779B9 + 1))
+	}
+	return p.rng
+}
