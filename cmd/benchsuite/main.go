@@ -34,8 +34,35 @@ func main() {
 		csvOut   = flag.String("csv", "", "also append CSV rows to this file")
 		statsOut = flag.String("stats-out", "", "append one JSON line of runtime counters per job to this file")
 		list     = flag.Bool("list", false, "list experiments and exit")
+		baseline = flag.String("baseline", "", "BENCH_*.json baseline file with a \"gate\" section")
+		gate     = flag.Bool("gate", false, "run regression gate probes against -baseline and exit nonzero on regression")
 	)
 	flag.Parse()
+
+	if *gate {
+		if *baseline == "" {
+			fmt.Fprintln(os.Stderr, "benchsuite: -gate requires -baseline")
+			os.Exit(2)
+		}
+		b, err := bench.LoadGateBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+			os.Exit(2)
+		}
+		pf := fabric.Platform(*platform)
+		if pf == nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: unknown platform %q\n", *platform)
+			os.Exit(2)
+		}
+		results, ok := bench.RunGate(b, pf)
+		fmt.Print(bench.FormatGateResults(results))
+		if !ok {
+			fmt.Fprintln(os.Stderr, "benchsuite: gate FAILED")
+			os.Exit(1)
+		}
+		fmt.Println("benchsuite: gate passed")
+		return
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {

@@ -16,13 +16,18 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime/metrics"
+	"sort"
 
 	"cafmpi/caf"
 	"cafmpi/internal/cgpop"
 	"cafmpi/internal/fabric"
 	"cafmpi/internal/hpcc"
 	"cafmpi/internal/obs"
+	"cafmpi/internal/obs/critpath"
 	"cafmpi/internal/rtmpi"
 	"cafmpi/internal/trace"
 )
@@ -43,6 +48,9 @@ func main() {
 		stats      = flag.Bool("stats", false, "print the aggregated runtime counter snapshot after the run")
 		commMatrix = flag.Bool("comm-matrix", false, "print the N x N communication matrix after the run")
 		obsRing    = flag.Int("obs-ring", 0, "per-image event ring capacity (default obs.DefaultRingCap)")
+		critPath   = flag.Bool("critpath", false, "reconstruct the virtual-time critical path and print the blame table (flows overlay -trace-out)")
+		histFlag   = flag.Bool("hist", false, "print per-op-class latency histograms (p50/p90/p99/max)")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060) and dump runtime/metrics after the run")
 
 		raBits    = flag.Int("ra-bits", 10, "ra: log2 of per-image table entries")
 		raUpdates = flag.Int("ra-updates", 4096, "ra: updates per image")
@@ -65,12 +73,24 @@ func main() {
 		cp.GASNet.SRQ.Enabled = false
 		pf = &cp
 	}
-	observe := *traceOut != "" || *stats || *commMatrix
+	if *pprofAddr != "" {
+		// The profiling endpoint observes the real (host) process — goroutine
+		// stacks, heap, CPU — while the simulated job runs.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "cafrun: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof: serving http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	observe := *traceOut != "" || *stats || *commMatrix || *critPath || *histFlag
 	cfg := caf.Config{Substrate: caf.Substrate(*sub), Platform: pf, Trace: *trc,
 		Observe: observe, ObsRingCap: *obsRing,
 		MPIOptions: rtmpi.Options{UseRflush: *rflush, AtomicEvents: *atomicEv}}
 
+	clocks := make([]int64, *np)
 	w, err := caf.RunWorld(*np, cfg, func(im *caf.Image) error {
+		defer func() { clocks[im.ID()] = im.Proc().Now() }()
 		var summary string
 		switch *app {
 		case "ra":
@@ -148,12 +168,17 @@ func main() {
 
 	if ow := obs.Enabled(w); ow != nil {
 		snap := ow.Snapshot()
+		var rep *critpath.Report
+		if *critPath {
+			rep = critpath.Analyze(ow, clocks)
+			fmt.Print(rep.BlameTable())
+		}
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
 			if err != nil {
 				fail("%v", err)
 			}
-			if err := ow.WriteChromeTrace(f); err != nil {
+			if err := ow.WriteChromeTraceFlows(f, rep.Flows()); err != nil {
 				f.Close()
 				fail("writing %s: %v", *traceOut, err)
 			}
@@ -163,12 +188,49 @@ func main() {
 			retained := snap.EventsRecorded - snap.EventsDropped
 			fmt.Printf("wrote %d events to %s (%d recorded, %d dropped; load in Perfetto / chrome://tracing)\n",
 				retained, *traceOut, snap.EventsRecorded, snap.EventsDropped)
+			if n := len(rep.Flows()); n > 0 {
+				fmt.Printf("overlaid %d critical-path flow arrows\n", n/2)
+			}
+		}
+		if *histFlag {
+			fmt.Print(snap.LatencyText())
 		}
 		if *stats {
 			fmt.Print(snap.Text())
 		}
 		if *commMatrix {
 			fmt.Print(snap.CommMatrixText())
+		}
+	}
+	if *pprofAddr != "" {
+		dumpRuntimeMetrics()
+	}
+}
+
+// dumpRuntimeMetrics prints the Go runtime/metrics registry (host-process
+// metrics, sorted by name for stable diffs).
+func dumpRuntimeMetrics() {
+	descs := metrics.All()
+	samples := make([]metrics.Sample, len(descs))
+	for i, d := range descs {
+		samples[i].Name = d.Name
+	}
+	metrics.Read(samples)
+	sort.Slice(samples, func(a, b int) bool { return samples[a].Name < samples[b].Name })
+	fmt.Println("runtime/metrics (host process):")
+	for _, s := range samples {
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			fmt.Printf("  %-60s %d\n", s.Name, s.Value.Uint64())
+		case metrics.KindFloat64:
+			fmt.Printf("  %-60s %g\n", s.Name, s.Value.Float64())
+		case metrics.KindFloat64Histogram:
+			h := s.Value.Float64Histogram()
+			var total uint64
+			for _, c := range h.Counts {
+				total += c
+			}
+			fmt.Printf("  %-60s histogram, %d samples\n", s.Name, total)
 		}
 	}
 }

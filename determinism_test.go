@@ -6,6 +6,7 @@ import (
 	"cafmpi/caf"
 	"cafmpi/internal/fabric"
 	"cafmpi/internal/hpcc"
+	"cafmpi/internal/obs"
 )
 
 // finalClocksRandomAccess runs the RandomAccess kernel at the
@@ -113,4 +114,77 @@ func TestVirtualTimeInvariance(t *testing.T) {
 	}
 	check("RandomAccess", ra, goldenRA, raTolerance)
 	check("EventPingPong", pp, goldenPP, ppTolerance)
+}
+
+// TestHistogramStability runs EventPingPong twice with observability on and
+// requires per-op-class p50/p99 to be reproducible across the runs. The
+// HDR bucketing (≤12.5% bucket width) absorbs the idle-poll schedule jitter
+// the clocks inherit, so quantiles should agree within one bucket; the band
+// here is 15% to cover a boundary-straddling sample.
+func TestHistogramStability(t *testing.T) {
+	run := func() map[string][2]int64 {
+		const iters = 200
+		cfg := caf.Config{Substrate: caf.MPI, Platform: fabric.Platform("fusion"), Observe: true}
+		w, err := caf.RunWorld(2, cfg, func(im *caf.Image) error {
+			evs, err := im.NewEvents(im.World(), 2)
+			if err != nil {
+				return err
+			}
+			peer := 1 - im.ID()
+			for i := 0; i < iters; i++ {
+				if im.ID() == 0 {
+					if err := evs.Notify(peer, 0); err != nil {
+						return err
+					}
+					if err := evs.Wait(1); err != nil {
+						return err
+					}
+				} else {
+					if err := evs.Wait(0); err != nil {
+						return err
+					}
+					if err := evs.Notify(peer, 1); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string][2]int64)
+		for _, ls := range obs.Enabled(w).Snapshot().Latency {
+			out[ls.Class] = [2]int64{ls.P50, ls.P99}
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no latency classes recorded")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("runs recorded different class sets: %d vs %d", len(a), len(b))
+	}
+	const tol = 0.15
+	for class, qa := range a {
+		qb, ok := b[class]
+		if !ok {
+			t.Errorf("class %s missing from second run", class)
+			continue
+		}
+		for i, name := range []string{"p50", "p99"} {
+			x, y := float64(qa[i]), float64(qb[i])
+			if x == 0 && y == 0 {
+				continue
+			}
+			hi := x
+			if y > hi {
+				hi = y
+			}
+			if diff := x - y; diff < -tol*hi || diff > tol*hi {
+				t.Errorf("%s %s unstable across runs: %d vs %d", class, name, qa[i], qb[i])
+			}
+		}
+	}
 }

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEvalGateMetric pins the band semantics: pass on unchanged values,
+// fail on a synthetic 2× slowdown, fail when the probe lost the metric.
+func TestEvalGateMetric(t *testing.T) {
+	lower := GateMetric{Name: "ra/mpi/np8/virtual_s", Value: 0.000294, Tolerance: 0.30, Better: "lower"}
+
+	if r := EvalGateMetric(lower, 0.000294, true); r.Status != GateOK {
+		t.Errorf("unchanged value gated %s", r.Status)
+	}
+	// Within band: +25% on a 30% band.
+	if r := EvalGateMetric(lower, 0.000294*1.25, true); r.Status != GateOK {
+		t.Errorf("in-band value gated %s", r.Status)
+	}
+	// Synthetic 2× slowdown must fail.
+	if r := EvalGateMetric(lower, 0.000294*2, true); r.Status != GateRegressed {
+		t.Errorf("2x slowdown gated %s", r.Status)
+	}
+	// "lower" is one-sided: a speedup passes.
+	if r := EvalGateMetric(lower, 0.000294/2, true); r.Status != GateOK {
+		t.Errorf("speedup gated %s", r.Status)
+	}
+
+	higher := GateMetric{Name: "ra/mpi/np8/gups", Value: 0.014, Tolerance: 0.30, Better: "higher"}
+	if r := EvalGateMetric(higher, 0.014/2, true); r.Status != GateRegressed {
+		t.Errorf("halved throughput gated %s", r.Status)
+	}
+	if r := EvalGateMetric(higher, 0.014*2, true); r.Status != GateOK {
+		t.Errorf("doubled throughput gated %s", r.Status)
+	}
+
+	twoSided := GateMetric{Name: "ra/mpi/np8/msgs_sent", Value: 1000, Tolerance: 0.01}
+	if r := EvalGateMetric(twoSided, 1000, true); r.Status != GateOK {
+		t.Errorf("exact counter gated %s", r.Status)
+	}
+	if r := EvalGateMetric(twoSided, 1020, true); r.Status != GateRegressed {
+		t.Errorf("+2%% counter drift gated %s", r.Status)
+	}
+	if r := EvalGateMetric(twoSided, 980, true); r.Status != GateRegressed {
+		t.Errorf("-2%% counter drift gated %s", r.Status)
+	}
+
+	// Missing metric: never a silent pass.
+	if r := EvalGateMetric(lower, 0, false); r.Status != GateMissingProbe {
+		t.Errorf("missing metric gated %s", r.Status)
+	}
+	// Zero baseline with nonzero current is an infinite relative delta.
+	zero := GateMetric{Name: "x/y", Value: 0, Tolerance: 0.1}
+	if r := EvalGateMetric(zero, 5, true); r.Status != GateRegressed || !math.IsInf(r.Delta, 1) {
+		t.Errorf("zero-baseline drift gated %s (delta %v)", r.Status, r.Delta)
+	}
+	if r := EvalGateMetric(zero, 0, true); r.Status != GateOK {
+		t.Errorf("zero-baseline zero-current gated %s", r.Status)
+	}
+}
+
+// TestRunKey pins the runkey/metric split.
+func TestRunKey(t *testing.T) {
+	if k, m := runKey("ra/mpi/np8/virtual_s"); k != "ra/mpi/np8" || m != "virtual_s" {
+		t.Errorf("runKey = %q/%q", k, m)
+	}
+	if k, m := runKey("bare"); k != "" || m != "bare" {
+		t.Errorf("runKey bare = %q/%q", k, m)
+	}
+}
+
+// TestLoadGateBaseline exercises parse and the no-gate-section error.
+func TestLoadGateBaseline(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	os.WriteFile(good, []byte(`{"benchmarks":[],"gate":{"note":"n","metrics":[{"name":"a/b","value":1,"tolerance":0.1,"better":"lower"}]}}`), 0o644)
+	b, err := LoadGateBaseline(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Metrics) != 1 || b.Metrics[0].Name != "a/b" || b.Metrics[0].Better != "lower" {
+		t.Fatalf("parsed %+v", b)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"benchmarks":[]}`), 0o644)
+	if _, err := LoadGateBaseline(bad); err == nil {
+		t.Error("no-gate-section file loaded without error")
+	}
+}
+
+// TestRunGateAgainstLiveProbes runs the real probes against a baseline
+// captured from themselves: a fresh measurement must gate OK (the
+// unchanged-tree criterion), an unknown probe must report missing.
+func TestRunGateAgainstLiveProbes(t *testing.T) {
+	vals, err := gateProbe("ra/mpi/np8", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &GateBaseline{Metrics: []GateMetric{
+		{Name: "ra/mpi/np8/virtual_s", Value: vals["virtual_s"], Tolerance: 0.30, Better: "lower"},
+		{Name: "ra/mpi/np8/msgs_sent", Value: vals["msgs_sent"], Tolerance: 0.01},
+		{Name: "nonexistent/probe/metric", Value: 1, Tolerance: 0.1},
+	}}
+	results, ok := RunGate(b, nil)
+	if ok {
+		t.Error("gate passed despite a missing probe")
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	for _, r := range results {
+		want := GateOK
+		if strings.HasPrefix(r.Metric.Name, "nonexistent/") {
+			want = GateMissingProbe
+		}
+		if r.Status != want {
+			t.Errorf("%s gated %s (current %g, baseline %g), want %s",
+				r.Metric.Name, r.Status, r.Current, r.Metric.Value, want)
+		}
+	}
+	out := FormatGateResults(results)
+	for _, frag := range []string{"ra/mpi/np8/virtual_s", "missing-probe", "ok"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("formatted results missing %q:\n%s", frag, out)
+		}
+	}
+}

@@ -54,6 +54,7 @@ type Image struct {
 	p   *sim.Proc
 	sub Substrate
 	tr  *trace.Tracer
+	osh *obs.Shard // nil when observability is off
 
 	world *Team
 	ids   *atomic.Uint64 // world-shared id allocator (teams, coarrays, events)
@@ -150,6 +151,7 @@ func Boot(p *sim.Proc, cfg Config) (*Image, error) {
 		// handles at attach time.
 		obs.Enable(p.World(), cfg.ObsRingCap)
 	}
+	im.osh = obs.For(p)
 	// TEAM_WORLD must be addressable by AMs before the substrate's first
 	// poll: a faster image can finish booting and send world-team
 	// collective AMs while this image is still inside the substrate's
@@ -306,7 +308,7 @@ func (im *Image) deliver(src int, kind uint8, args []uint64, payload []byte) {
 		if !ok {
 			panic(fmt.Sprintf("core: image %d received notify for unknown events object %d", im.ID(), args[0]))
 		}
-		evs.post(int(args[1]), int64(args[2]))
+		evs.post(src, int(args[1]), int64(args[2]))
 
 	case amSpawn:
 		fn, ok := im.funcs[args[0]]
@@ -382,7 +384,7 @@ func (im *Image) postEvent(ev EventRef, count int64) {
 		if !ok {
 			panic(fmt.Sprintf("core: posting to unknown events object %d", ev.evsID))
 		}
-		evs.post(ev.Slot, count)
+		evs.post(im.ID(), ev.Slot, count)
 		return
 	}
 	im.amArgs[0], im.amArgs[1], im.amArgs[2] = ev.evsID, uint64(ev.Slot), uint64(count)

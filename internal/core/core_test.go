@@ -128,8 +128,8 @@ func TestOrphanSpawnBuffering(t *testing.T) {
 }
 
 func TestEventRefOwnership(t *testing.T) {
-	e := &Events{id: 11, count: make([]int64, 3)}
-	e.post(1, 2)
+	e := &Events{id: 11, count: make([]int64, 3), lastSrc: make([]int32, 3)}
+	e.post(0, 1, 2)
 	if e.count[1] != 2 {
 		t.Error("post miscounted")
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"cafmpi/internal/obs"
 	"cafmpi/internal/trace"
 )
 
@@ -14,6 +15,15 @@ type Events struct {
 	team  *Team
 	id    uint64
 	count []int64 // local slots; touched only on the owner's goroutine
+
+	// lastSrc remembers, per slot, the world rank whose post most recently
+	// credited it (-1 when never posted): the peer a subsequent Wait blames.
+	// lastPostT is the local virtual time of that post, so Wait's fallback
+	// edge covers only the tail after the post landed — the blocking span
+	// before it belongs to the finer fabric delivery edges recorded during
+	// the poll, which carry the cross-image jump.
+	lastSrc   []int32
+	lastPostT []int64
 
 	// backend, when non-nil, is a substrate-native transport (the §3.4
 	// FETCH_AND_OP/COMPARE_AND_SWAP design); otherwise events ride the
@@ -38,7 +48,11 @@ func (im *Image) NewEvents(t *Team, n int) (*Events, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Events{im: im, team: t, id: id, count: make([]int64, n)}
+	e := &Events{im: im, team: t, id: id, count: make([]int64, n),
+		lastSrc: make([]int32, n), lastPostT: make([]int64, n)}
+	for i := range e.lastSrc {
+		e.lastSrc[i] = -1
+	}
 	if be, err := im.sub.AllocEvents(t.ref, n, id); err == nil {
 		e.backend = be
 	} else if err != ErrUnsupported {
@@ -72,13 +86,18 @@ func (e *Events) checkSlot(slot int, what string) error {
 	return nil
 }
 
-// post credits a slot (runs on the owner's goroutine, from deliver).
-func (e *Events) post(slot int, n int64) {
+// post credits a slot (runs on the owner's goroutine, from deliver). src is
+// the world rank whose notify produced the credit.
+func (e *Events) post(src, slot int, n int64) {
 	if e.backend != nil {
 		e.backend.Post(slot, n)
 		return
 	}
 	e.count[slot] += n
+	e.lastSrc[slot] = int32(src)
+	if e.im != nil {
+		e.lastPostT[slot] = e.im.p.Now()
+	}
 }
 
 // Notify posts the event slot on teammate target. Per §3.4 the notifying
@@ -96,6 +115,7 @@ func (e *Events) Notify(target, slot int) error {
 		return err
 	}
 	defer e.im.tr.Span(trace.EventNotify)()
+	t0 := e.im.p.Now()
 	if err := e.im.sub.ReleaseFence(); err != nil {
 		return err
 	}
@@ -104,12 +124,17 @@ func (e *Events) Notify(target, slot int) error {
 	}
 	world := e.team.WorldRank(target)
 	if world == e.im.ID() {
-		e.post(slot, 1)
+		e.post(world, slot, 1)
+		e.im.osh.Record(obs.LayerRuntime, obs.OpEventNotify, world, 0, slot, t0, e.im.p.Now())
 		return nil
 	}
 	im := e.im
 	im.amArgs[0], im.amArgs[1], im.amArgs[2] = e.id, uint64(slot), 1
-	return im.sub.AMSend(world, amEventNotify, im.amArgs[:3], nil)
+	err := im.sub.AMSend(world, amEventNotify, im.amArgs[:3], nil)
+	// Event only — the release fence and AM injection record their own
+	// happens-before edges, which must not be shadowed by a coarser one.
+	im.osh.Record(obs.LayerRuntime, obs.OpEventNotify, world, 0, slot, t0, im.p.Now())
+	return err
 }
 
 // Wait blocks until this image's slot is posted, then consumes one post.
@@ -124,11 +149,32 @@ func (e *Events) Wait(slot int) error {
 		return e.backend.Wait(slot)
 	}
 	im := e.im
+	t0 := im.p.Now()
 	prevEvs, prevSlot := im.waitEvs, im.waitSlot
 	im.waitEvs, im.waitSlot = e, slot
 	im.pollUntil(im.evCond)
 	im.waitEvs, im.waitSlot = prevEvs, prevSlot
 	e.count[slot]--
+	if im.osh != nil {
+		end := im.p.Now()
+		peer := int(e.lastSrc[slot])
+		im.osh.Record(obs.LayerRuntime, obs.OpEventWait, peer, 0, slot, t0, end)
+		// Fallback edge covering only the tail after the satisfying post
+		// landed: the blocking span before it belongs to the fabric delivery
+		// edges recorded during the poll, which carry the cross-image jump
+		// back to the notifier. Covering the whole span here would shadow
+		// them (the walker skips edges inside a consumed interval).
+		start := t0
+		if pt := e.lastPostT[slot]; pt > start {
+			start = pt
+		}
+		if end > start {
+			ed := obs.Edge{Layer: obs.LayerRuntime, Op: obs.OpEventWait,
+				Peer: e.lastSrc[slot], Start: start, End: end}
+			ed.AddComp(obs.CompEventWait, end-start)
+			im.osh.RecordEdge(ed)
+		}
+	}
 	return nil
 }
 

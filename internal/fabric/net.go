@@ -247,7 +247,8 @@ func (l *Layer) Send(p *sim.Proc, m *Message) {
 	// m may already be consumed and recycled by the receiver here; only the
 	// locals captured above are safe to touch.
 	if sh := l.net.shard(p); sh != nil {
-		sh.Record(obs.LayerFabric, obs.OpInject, dst, size, tag, t0, p.Now())
+		end := p.Now()
+		sh.Record(obs.LayerFabric, obs.OpInject, dst, size, tag, t0, end)
 		sh.Add(obs.CtrMsgsSent, 1)
 		sh.Add(obs.CtrBytesSent, int64(size))
 		if rdv {
@@ -257,6 +258,10 @@ func (l *Layer) Send(p *sim.Proc, m *Message) {
 		}
 		sh.Max(obs.CtrPoolBytesInFlightMax, poolOut)
 		sh.CommAdd(dst, int64(size))
+		e := obs.Edge{Layer: obs.LayerFabric, Op: obs.OpInject,
+			Peer: int32(dst), Start: t0, End: end}
+		e.AddComp(obs.CompOverhead, pr.SendOverheadNS)
+		sh.RecordEdge(e)
 	}
 }
 
@@ -265,8 +270,28 @@ func (l *Layer) Send(p *sim.Proc, m *Message) {
 // round-trip that starts when both sides are ready. extra is the layer's
 // per-message receive cost (tag matching, handler dispatch, ...).
 func (l *Layer) Absorb(p *sim.Proc, m *Message, extra int64) {
+	l.absorb(p, m, extra, 0)
+}
+
+// AbsorbAM is Absorb with the delivery cost split into the matching/handler
+// dispatch charge and an SRQ stall, so the happens-before edge attributes
+// them to distinct blame components (CompMatch vs CompSRQStall).
+func (l *Layer) AbsorbAM(p *sim.Proc, m *Message, matchNS, stallNS int64) {
+	l.absorb(p, m, matchNS, stallNS)
+}
+
+func (l *Layer) absorb(p *sim.Proc, m *Message, matchNS, stallNS int64) {
 	pr := l.net.params
 	t0 := p.Now()
+	// Captured before the clock moves: whether the receiver was already
+	// blocked when the message (or its rendezvous RTS) arrived. If so, the
+	// delivery is on the receiver's critical path all the way back to the
+	// sender's injection, and the recorded edge jumps there.
+	sendT, arriveT := m.SendT, m.ArriveT
+	// Equality counts as blocked: an idle receiver's poll advances its clock
+	// exactly to the arrival stamp before absorbing.
+	blocked := t0 <= arriveT
+	var rdvStart, rdvDone int64
 	if m.Rendezvous {
 		start := max64(p.Now(), m.ArriveT)
 		size := len(m.Data) + 8*len(m.Args)
@@ -276,19 +301,53 @@ func (l *Layer) Absorb(p *sim.Proc, m *Message, extra int64) {
 			m.Req.CompleteAt(start + lat) // sender free after CTS
 		}
 		p.AdvanceTo(done)
+		rdvStart, rdvDone = start, done
 	} else {
 		p.AdvanceTo(m.ArriveT)
 	}
-	p.Advance(pr.RecvOverheadNS + extra)
+	p.Advance(pr.RecvOverheadNS + matchNS + stallNS)
 	if sh := l.net.shard(p); sh != nil {
 		size := len(m.Data) + 8*len(m.Args)
 		op := obs.OpDeliver
 		if m.Rendezvous {
 			op = obs.OpRendezvousMatch
 		}
-		sh.Record(obs.LayerFabric, op, m.Src, size, m.Tag, t0, p.Now())
+		end := p.Now()
+		sh.Record(obs.LayerFabric, op, m.Src, size, m.Tag, t0, end)
 		sh.Add(obs.CtrMsgsRecv, 1)
 		sh.Add(obs.CtrBytesRecv, int64(size))
+
+		lat := pr.PathLatency(m.Src, m.Dst)
+		wire := pr.PathWireTime(m.Src, m.Dst, size)
+		e := obs.Edge{Layer: obs.LayerFabric, Op: op,
+			Peer: int32(m.Src), Start: t0, End: end, SrcT: sendT}
+		if m.Rendezvous {
+			if blocked {
+				// RTS leg was awaited: one latency from injection to RTS
+				// arrival, then the walker continues at the sender.
+				e.Jump = true
+				e.AddComp(obs.CompLatency, arriveT-sendT)
+			}
+			// CTS + DATA legs: two latencies, the payload's wire time, and
+			// any NIC queueing the claim absorbed.
+			xfer := rdvDone - rdvStart
+			e.AddComp(obs.CompLatency, 2*lat)
+			e.AddComp(obs.CompBandwidth, wire)
+			e.AddComp(obs.CompGap, xfer-2*lat-wire)
+		} else if blocked {
+			e.Jump = true
+			flight := arriveT - sendT // L, then wire occupancy, then queueing
+			l2 := min64(lat, flight)
+			rest := flight - l2
+			w2 := min64(wire, rest)
+			e.AddComp(obs.CompLatency, l2)
+			e.AddComp(obs.CompBandwidth, w2)
+			e.AddComp(obs.CompGap, rest-w2)
+		}
+		e.AddComp(obs.CompOverhead, pr.RecvOverheadNS)
+		e.AddComp(obs.CompMatch, matchNS)
+		e.AddComp(obs.CompSRQStall, stallNS)
+		sh.RecordEdge(e)
 	}
 }
 
@@ -303,6 +362,12 @@ func (l *Layer) RMAPut(p *sim.Proc, dst, size int, opNS int64) (remoteDone int64
 	if sh := l.net.shard(p); sh != nil {
 		sh.Record(obs.LayerFabric, obs.OpRMAPut, dst, size, 0, t0, done)
 		sh.CommAdd(dst, int64(size))
+		// The local edge covers only the issue overhead; latency/wire time
+		// surface on the flush that waits for remote completion.
+		e := obs.Edge{Layer: obs.LayerFabric, Op: obs.OpRMAPut,
+			Peer: int32(dst), Start: t0, End: p.Now()}
+		e.AddComp(obs.CompOverhead, opNS)
+		sh.RecordEdge(e)
 	}
 	return done
 }
@@ -317,6 +382,13 @@ func (l *Layer) RMAGetCost(p *sim.Proc, dst, size int, opNS int64) int64 {
 
 func max64(a, b int64) int64 {
 	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
 		return a
 	}
 	return b

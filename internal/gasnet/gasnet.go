@@ -356,7 +356,7 @@ func (e *Ep) dispatch(m *fabric.Message) {
 		extra += int64((pen - 1) * float64(e.net.Params().LatencyNS+e.net.Params().RecvOverheadNS+e.net.Params().WireTime(plen)))
 	}
 	t0 := e.p.Now()
-	e.layer.Absorb(e.p, m, extra)
+	e.layer.AbsorbAM(e.p, m, c.AMNS, extra-c.AMNS)
 	if e.osh != nil {
 		e.osh.Record(obs.LayerGASNet, obs.OpAMDeliver, m.Src, plen, m.Ctx, t0, e.p.Now())
 		e.osh.Add(obs.CtrAMsDelivered, 1)
@@ -535,12 +535,21 @@ func (e *Ep) SyncNBIAll() {
 	t0 := e.p.Now()
 	synced := e.nbiCount
 	e.p.Advance(e.costs().PollNS)
+	pre := e.p.Now()
 	e.p.AdvanceTo(e.nbiRemote)
 	e.nbiCount = 0
 	e.nbiRemote = 0
 	if e.osh != nil {
-		e.osh.Record(obs.LayerGASNet, obs.OpNBISync, -1, 0, synced, t0, e.p.Now())
+		end := e.p.Now()
+		e.osh.Record(obs.LayerGASNet, obs.OpNBISync, -1, 0, synced, t0, end)
 		e.osh.Add(obs.CtrNBISyncs, 1)
+		if end > t0 {
+			ed := obs.Edge{Layer: obs.LayerGASNet, Op: obs.OpNBISync,
+				Peer: -1, Start: t0, End: end}
+			ed.AddComp(obs.CompOverhead, e.costs().PollNS)
+			ed.AddComp(obs.CompFlushWait, end-pre)
+			e.osh.RecordEdge(ed)
+		}
 	}
 }
 

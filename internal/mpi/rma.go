@@ -125,6 +125,10 @@ func (w *Win) LockAll() error {
 	if sh := w.env.sh; sh != nil {
 		sh.Record(obs.LayerMPI, obs.OpLockAll, -1, 0, w.comm.Size(), t0, w.env.p.Now())
 		sh.Add(obs.CtrLockAllCalls, 1)
+		e := obs.Edge{Layer: obs.LayerMPI, Op: obs.OpLockAll,
+			Peer: -1, Start: t0, End: w.env.p.Now()}
+		e.AddComp(obs.CompFlushScan, w.env.costs().FlushScanNS*int64(w.comm.Size()))
+		sh.RecordEdge(e)
 	}
 	return nil
 }
@@ -411,16 +415,29 @@ func (w *Win) Flush(target int) error {
 	}
 	c := w.env.costs()
 	t0 := w.env.p.Now()
-	if w.hasPending[target] {
+	var waited int64
+	pending := w.hasPending[target]
+	if pending {
 		w.env.p.AdvanceTo(w.pendingT[target])
+		waited = w.env.p.Now() - t0
 		w.env.p.Advance(c.FlushNS)
 		w.clearPending(target)
 	} else {
 		w.env.p.Advance(c.FlushScanNS)
 	}
 	if sh := w.env.sh; sh != nil {
-		sh.Record(obs.LayerMPI, obs.OpFlush, w.comm.ranks[target], 0, 0, t0, w.env.p.Now())
+		end := w.env.p.Now()
+		sh.Record(obs.LayerMPI, obs.OpFlush, w.comm.ranks[target], 0, 0, t0, end)
 		sh.Add(obs.CtrFlushCalls, 1)
+		e := obs.Edge{Layer: obs.LayerMPI, Op: obs.OpFlush,
+			Peer: int32(w.comm.ranks[target]), Start: t0, End: end}
+		if pending {
+			e.AddComp(obs.CompFlushWait, waited)
+			e.AddComp(obs.CompOverhead, c.FlushNS)
+		} else {
+			e.AddComp(obs.CompFlushScan, c.FlushScanNS)
+		}
+		sh.RecordEdge(e)
 	}
 	return nil
 }
@@ -459,18 +476,33 @@ func (w *Win) FlushAll() error {
 	}
 	c := w.env.costs()
 	t0 := w.env.p.Now()
+	var waited int64
+	flushed := 0
 	for t := 0; t < w.comm.Size(); t++ {
 		w.env.p.Advance(c.FlushScanNS)
 		if w.hasPending[t] {
+			pre := w.env.p.Now()
 			w.env.p.AdvanceTo(w.pendingT[t])
+			waited += w.env.p.Now() - pre
 			w.env.p.Advance(c.FlushNS)
 			w.clearPending(t)
+			flushed++
 		}
 	}
 	if sh := w.env.sh; sh != nil {
-		sh.Record(obs.LayerMPI, obs.OpFlushAll, -1, 0, w.comm.Size(), t0, w.env.p.Now())
+		end := w.env.p.Now()
+		sh.Record(obs.LayerMPI, obs.OpFlushAll, -1, 0, w.comm.Size(), t0, end)
 		sh.Add(obs.CtrFlushAllCalls, 1)
 		sh.Add(obs.CtrFlushAllScannedOps, int64(w.comm.Size()))
+		// The linear scan over every rank of the communicator is the §4.1
+		// bottleneck; the blame table separates it from genuine completion
+		// waits so the scan cost is visible even when nothing was pending.
+		e := obs.Edge{Layer: obs.LayerMPI, Op: obs.OpFlushAll,
+			Peer: -1, Start: t0, End: end}
+		e.AddComp(obs.CompFlushScan, c.FlushScanNS*int64(w.comm.Size()))
+		e.AddComp(obs.CompFlushWait, waited)
+		e.AddComp(obs.CompOverhead, c.FlushNS*int64(flushed))
+		sh.RecordEdge(e)
 	}
 	return nil
 }
@@ -531,9 +563,16 @@ func (w *Win) RflushAll() (*Request, error) {
 		}
 	}
 	if sh := w.env.sh; sh != nil {
-		sh.Record(obs.LayerMPI, obs.OpFlushAll, -1, 0, scanned, t0, w.env.p.Now())
+		end := w.env.p.Now()
+		sh.Record(obs.LayerMPI, obs.OpFlushAll, -1, 0, scanned, t0, end)
 		sh.Add(obs.CtrRflushAllCalls, 1)
 		sh.Add(obs.CtrFlushAllScannedOps, int64(scanned))
+		if end > t0 {
+			e := obs.Edge{Layer: obs.LayerMPI, Op: obs.OpFlushAll,
+				Peer: -1, Start: t0, End: end}
+			e.AddComp(obs.CompFlushScan, c.FlushScanNS*int64(scanned))
+			sh.RecordEdge(e)
+		}
 	}
 	r := newRequest(w.env, reqRMA, nil)
 	r.completeT = done

@@ -1,0 +1,260 @@
+// Package critpath reconstructs the virtual-time critical path of a run
+// from the happens-before edges the instrumented layers record (obs.Edge):
+// starting at the last-finishing image it walks backward in virtual time,
+// crossing to the enabling image wherever a completion was constrained by a
+// remote operation (message injection, rendezvous handshake, event notify),
+// and attributes every nanosecond of the path to a LogGP-style blame
+// component — o/L/G/g, tag matching, SRQ stalls, flush_all's linear rank
+// scan, flush completion waits — or to application compute where no edge
+// covers the time. The result is the quantitative form of the paper's §4
+// analysis: *which* costs put the finish time where it is.
+package critpath
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cafmpi/internal/obs"
+)
+
+// AppLabel is the pseudo op-class for time not covered by any recorded
+// edge: application compute and idle polling between operations.
+const AppLabel = "(app)"
+
+// TruncLabel is the pseudo op-class for path time the walker could not
+// attribute because the recording image's edge ring had wrapped.
+const TruncLabel = "(truncated)"
+
+// BlameRow is one (op class, component) cell of the blame table.
+type BlameRow struct {
+	Class     string `json:"class"`     // "layer/op", AppLabel, or TruncLabel
+	Component string `json:"component"` // obs.Component name
+	NS        int64  `json:"ns"`
+	Count     int64  `json:"count"` // path steps contributing to this row
+}
+
+// Report is the reconstructed critical path of one run.
+type Report struct {
+	Images      int        `json:"images"`
+	LastImage   int        `json:"last_image"`
+	FinishNS    int64      `json:"finish_ns"`
+	Steps       int        `json:"steps"`
+	Hops        int        `json:"hops"` // cross-image jumps taken
+	TruncatedNS int64      `json:"truncated_ns"`
+	Rows        []BlameRow `json:"rows"` // sorted by NS descending
+
+	flows []obs.FlowEvent
+}
+
+// walker carries the backward traversal state.
+type walker struct {
+	perImg  [][]obs.Edge // per-image edges sorted by (End asc, record idx asc)
+	dropped []bool       // image lost edges to ring wrap-around
+	rows    map[[2]string]*BlameRow
+	flows   []obs.FlowEvent
+	hops    int
+}
+
+// Analyze walks the critical path of w's recorded edges. finish holds every
+// image's final virtual clock (sim.World.Proc(i).Now() after Run); the walk
+// starts at its maximum. A nil registry yields a nil report.
+func Analyze(w *obs.World, finish []int64) *Report {
+	if w == nil || len(finish) == 0 {
+		return nil
+	}
+	n := len(finish)
+	last := 0
+	for i, f := range finish {
+		if f > finish[last] {
+			last = i
+		}
+	}
+	wk := &walker{
+		perImg:  make([][]obs.Edge, n),
+		dropped: make([]bool, n),
+		rows:    make(map[[2]string]*BlameRow),
+	}
+	total := 0
+	for i := 0; i < n && i < w.N(); i++ {
+		sh := w.Shard(i)
+		edges := sh.Edges()
+		// Stable sort by End keeps equal-End edges in record order, so the
+		// walker meets the earlier-recorded (finer-grained) edge first.
+		sort.SliceStable(edges, func(a, b int) bool { return edges[a].End < edges[b].End })
+		wk.perImg[i] = edges
+		wk.dropped[i] = sh.EdgesDropped() > 0
+		total += len(edges)
+	}
+
+	rep := &Report{Images: n, LastImage: last, FinishNS: finish[last]}
+	img, t := last, finish[last]
+	maxSteps := 4*total + 16 // every step strictly decreases t; generous slack
+	for t > 0 && rep.Steps < maxSteps {
+		e := wk.pick(img, t)
+		if e == nil {
+			// Nothing recorded behind t on this image: either genuinely all
+			// compute (startup), or the ring wrapped and the history is gone.
+			if wk.dropped[img] {
+				rep.TruncatedNS += t
+				wk.add(TruncLabel, obs.CompCompute, t)
+			} else {
+				wk.add(AppLabel, obs.CompCompute, t)
+			}
+			break
+		}
+		rep.Steps++
+		if gap := t - e.End; gap > 0 {
+			wk.add(AppLabel, obs.CompCompute, gap)
+		}
+		from, jump := effectiveFrom(e, n)
+		class := e.Layer.String() + "/" + e.Op.String()
+		covered := e.End - from
+		rem := covered
+		for i := 0; i < int(e.NComps) && rem > 0; i++ {
+			take := e.Comps[i].NS
+			if take > rem {
+				take = rem
+			}
+			wk.add(class, e.Comps[i].C, take)
+			rem -= take
+		}
+		if rem > 0 {
+			wk.add(class, obs.CompCompute, rem)
+		}
+		if jump {
+			wk.hops++
+			wk.flows = append(wk.flows,
+				obs.FlowEvent{ID: wk.hops, Image: int(e.Peer), T: from, Start: true},
+				obs.FlowEvent{ID: wk.hops, Image: img, T: e.End, Start: false})
+			img = int(e.Peer)
+		}
+		t = from
+	}
+	rep.Hops = wk.hops
+	rep.flows = wk.flows
+	rep.Rows = make([]BlameRow, 0, len(wk.rows))
+	for _, r := range wk.rows {
+		rep.Rows = append(rep.Rows, *r)
+	}
+	sort.Slice(rep.Rows, func(a, b int) bool {
+		ra, rb := &rep.Rows[a], &rep.Rows[b]
+		if ra.NS != rb.NS {
+			return ra.NS > rb.NS
+		}
+		if ra.Class != rb.Class {
+			return ra.Class < rb.Class
+		}
+		return ra.Component < rb.Component
+	})
+	return rep
+}
+
+// effectiveFrom returns where the walker lands after consuming e: the
+// enabling image's timestamp for a valid jump, the edge's own start
+// otherwise.
+func effectiveFrom(e *obs.Edge, n int) (from int64, jump bool) {
+	if e.Jump && e.Peer >= 0 && int(e.Peer) < n && e.SrcT >= 0 && e.SrcT < e.End {
+		return e.SrcT, true
+	}
+	return e.Start, false
+}
+
+// pick returns the best edge on img ending at or before t: the latest End,
+// and among equal Ends the earliest-recorded edge (the finest-grained one —
+// a fabric delivery beats the runtime wait that subsumes it). Edges that
+// cannot make progress (effective from ≥ End) are skipped.
+func (wk *walker) pick(img int, t int64) *obs.Edge {
+	edges := wk.perImg[img]
+	// Binary search: first index with End > t.
+	hi := sort.Search(len(edges), func(i int) bool { return edges[i].End > t })
+	for hi > 0 {
+		// [lo,hi) is the run of edges sharing edges[hi-1].End.
+		end := edges[hi-1].End
+		lo := hi - 1
+		for lo > 0 && edges[lo-1].End == end {
+			lo--
+		}
+		for i := lo; i < hi; i++ {
+			e := &edges[i]
+			if from, _ := effectiveFrom(e, len(wk.perImg)); from < e.End {
+				return e
+			}
+		}
+		hi = lo
+	}
+	return nil
+}
+
+func (wk *walker) add(class string, c obs.Component, ns int64) {
+	if ns <= 0 {
+		return
+	}
+	k := [2]string{class, c.String()}
+	r := wk.rows[k]
+	if r == nil {
+		r = &BlameRow{Class: class, Component: c.String()}
+		wk.rows[k] = r
+	}
+	r.NS += ns
+	r.Count++
+}
+
+// AttributedNS returns the path time attributed to named components (the
+// finish time minus what ring truncation hid).
+func (r *Report) AttributedNS() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.FinishNS - r.TruncatedNS
+}
+
+// ComponentTotals sums the blame table per component (pseudo-rows for
+// truncation excluded), for tests and programmatic consumers.
+func (r *Report) ComponentTotals() map[string]int64 {
+	out := make(map[string]int64)
+	if r == nil {
+		return out
+	}
+	for _, row := range r.Rows {
+		if row.Class == TruncLabel {
+			continue
+		}
+		out[row.Component] += row.NS
+	}
+	return out
+}
+
+// Flows returns the cross-image hops of the path as Perfetto flow-event
+// endpoints, for overlay on the Chrome trace
+// (obs.World.WriteChromeTraceFlows).
+func (r *Report) Flows() []obs.FlowEvent {
+	if r == nil {
+		return nil
+	}
+	return r.flows
+}
+
+// BlameTable renders the report as an aligned text table with per-row share
+// of the finish time.
+func (r *Report) BlameTable() string {
+	if r == nil {
+		return "(no critical path: observability disabled)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical path: image %d finished at %d ns (%d steps, %d cross-image hops)\n",
+		r.LastImage, r.FinishNS, r.Steps, r.Hops)
+	if r.TruncatedNS > 0 {
+		fmt.Fprintf(&b, "WARNING: %d ns unattributed (edge ring wrapped; raise -obs-ring)\n", r.TruncatedNS)
+	}
+	fmt.Fprintf(&b, "%-22s %-12s %14s %8s %7s\n", "op class", "component", "ns", "steps", "share")
+	for _, row := range r.Rows {
+		share := 0.0
+		if r.FinishNS > 0 {
+			share = 100 * float64(row.NS) / float64(r.FinishNS)
+		}
+		fmt.Fprintf(&b, "%-22s %-12s %14d %8d %6.2f%%\n",
+			row.Class, row.Component, row.NS, row.Count, share)
+	}
+	return b.String()
+}

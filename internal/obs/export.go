@@ -8,6 +8,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"cafmpi/internal/obs/hist"
 )
 
 // Snapshot is the merged, read-only view of a World's shards, taken after
@@ -17,10 +19,26 @@ type Snapshot struct {
 	Images         int                `json:"images"`
 	EventsRecorded uint64             `json:"events_recorded"`
 	EventsDropped  uint64             `json:"events_dropped"`
+	EdgesRecorded  uint64             `json:"edges_recorded"`
+	EdgesDropped   uint64             `json:"edges_dropped"`
 	Counters       map[string]int64   `json:"counters"`
 	CommCount      [][]int64          `json:"comm_count"`
 	CommBytes      [][]int64          `json:"comm_bytes"`
+	Latency        []LatencyStat      `json:"latency,omitempty"`
 	PerImage       []map[string]int64 `json:"per_image,omitempty"`
+}
+
+// LatencyStat is the merged latency distribution of one op class
+// ("layer/op"), aggregated across images. Quantiles are HDR-bucket upper
+// bounds (internal/obs/hist), deterministic for a given sample multiset.
+type LatencyStat struct {
+	Class string  `json:"class"`
+	Count int64   `json:"count"`
+	P50   int64   `json:"p50_ns"`
+	P90   int64   `json:"p90_ns"`
+	P99   int64   `json:"p99_ns"`
+	Max   int64   `json:"max_ns"`
+	Mean  float64 `json:"mean_ns"`
 }
 
 // Snapshot merges all shards into a Snapshot. Call only after the world's
@@ -41,6 +59,8 @@ func (w *World) Snapshot() *Snapshot {
 	for i, sh := range w.shards {
 		s.EventsRecorded += sh.Recorded()
 		s.EventsDropped += sh.Dropped()
+		s.EdgesRecorded += sh.EdgesRecorded()
+		s.EdgesDropped += sh.EdgesDropped()
 		s.CommCount[i] = append([]int64(nil), sh.matCount...)
 		s.CommBytes[i] = append([]int64(nil), sh.matBytes...)
 		for _, c := range Counters() {
@@ -54,7 +74,48 @@ func (w *World) Snapshot() *Snapshot {
 			}
 		}
 	}
+	// Latency rows in (layer, op) declaration order: deterministic without
+	// sorting by value.
+	for l := Layer(0); l < numLayers; l++ {
+		for op := Op(0); op < numOps; op++ {
+			merged := hist.New()
+			for _, sh := range w.shards {
+				merged.Merge(sh.hists[l][op])
+			}
+			if merged.Count() == 0 {
+				continue
+			}
+			s.Latency = append(s.Latency, LatencyStat{
+				Class: l.String() + "/" + op.String(),
+				Count: merged.Count(),
+				P50:   merged.Quantile(0.50),
+				P90:   merged.Quantile(0.90),
+				P99:   merged.Quantile(0.99),
+				Max:   merged.Max(),
+				Mean:  merged.Mean(),
+			})
+		}
+	}
 	return s
+}
+
+// LatencyText renders the per-op-class latency distributions as an aligned
+// table (virtual nanoseconds).
+func (s *Snapshot) LatencyText() string {
+	if s == nil {
+		return "(observability disabled)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %10s %10s %10s %10s %10s %12s\n",
+		"op class", "count", "p50_ns", "p90_ns", "p99_ns", "max_ns", "mean_ns")
+	for _, r := range s.Latency {
+		fmt.Fprintf(&b, "%-22s %10d %10d %10d %10d %10d %12.1f\n",
+			r.Class, r.Count, r.P50, r.P90, r.P99, r.Max, r.Mean)
+	}
+	if len(s.Latency) == 0 {
+		b.WriteString("(no events recorded)\n")
+	}
+	return b.String()
 }
 
 // Text renders the counter registry as an aligned table, nonzero entries
@@ -130,7 +191,20 @@ type chromeEvent struct {
 	Dur  float64        `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	Bp   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
+}
+
+// FlowEvent is one endpoint of a Perfetto flow arrow overlaid on the trace
+// (the critical-path profiler emits one flow per cross-image hop). Start
+// marks the flow origin ("s"); otherwise it is the flow end ("f").
+type FlowEvent struct {
+	ID    int
+	Image int
+	T     int64 // virtual ns
+	Start bool
+	Name  string
 }
 
 // WriteChromeTrace writes the retained events of every image as Chrome
@@ -138,6 +212,13 @@ type chromeEvent struct {
 // tid ("image N" thread) per image. Open the file in Perfetto
 // (https://ui.perfetto.dev) or chrome://tracing.
 func (w *World) WriteChromeTrace(out io.Writer) error {
+	return w.WriteChromeTraceFlows(out, nil)
+}
+
+// WriteChromeTraceFlows is WriteChromeTrace with flow arrows overlaid —
+// Perfetto renders each (ID-matched "s"/"f" pair) as an arrow between the
+// two images' timelines.
+func (w *World) WriteChromeTraceFlows(out io.Writer, flows []FlowEvent) error {
 	if w == nil {
 		return fmt.Errorf("obs: observability not enabled")
 	}
@@ -166,13 +247,42 @@ func (w *World) WriteChromeTrace(out io.Writer) error {
 			})
 		}
 	}
-	// Stable ordering (by timestamp, then tid) keeps the export deterministic
-	// for tests and diffs; viewers do not require it.
-	sort.SliceStable(evs, func(a, b int) bool {
-		if evs[a].Ts != evs[b].Ts {
-			return evs[a].Ts < evs[b].Ts
+	for _, f := range flows {
+		ph, bp := "s", ""
+		if !f.Start {
+			ph, bp = "f", "e"
 		}
-		return evs[a].Tid < evs[b].Tid
+		name := f.Name
+		if name == "" {
+			name = "critpath"
+		}
+		evs = append(evs, chromeEvent{
+			Name: name, Cat: "critpath", Ph: ph,
+			Ts: float64(f.T) / 1e3, Pid: 1, Tid: f.Image,
+			ID: fmt.Sprintf("%d", f.ID), Bp: bp,
+		})
+	}
+	// Fully-ordered sort (timestamp, image, phase, name, duration, flow id)
+	// keeps the export byte-deterministic for a given set of events, so two
+	// identical runs diff cleanly; viewers do not require any ordering.
+	sort.SliceStable(evs, func(a, b int) bool {
+		ea, eb := &evs[a], &evs[b]
+		if ea.Ts != eb.Ts {
+			return ea.Ts < eb.Ts
+		}
+		if ea.Tid != eb.Tid {
+			return ea.Tid < eb.Tid
+		}
+		if ea.Ph != eb.Ph {
+			return ea.Ph < eb.Ph
+		}
+		if ea.Name != eb.Name {
+			return ea.Name < eb.Name
+		}
+		if ea.Dur != eb.Dur {
+			return ea.Dur < eb.Dur
+		}
+		return ea.ID < eb.ID
 	})
 	enc := json.NewEncoder(out)
 	return enc.Encode(map[string]any{

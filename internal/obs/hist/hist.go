@@ -1,0 +1,180 @@
+// Package hist implements HDR-style latency histograms: logarithmic
+// power-of-2 buckets subdivided into 2^subBits linear sub-buckets, so
+// relative error is bounded by 1/2^subBits at every magnitude while the
+// whole int64 nanosecond range fits in a few hundred counters. Values below
+// 2*2^subBits are recorded exactly.
+//
+// Recording is a handful of integer operations and never allocates, so the
+// owning image goroutine can feed a histogram from instrumented hot paths
+// under the same lock-free ownership discipline as the obs counter shards.
+// Quantiles are reported as the inclusive upper bound of the bucket holding
+// the requested rank — deterministic for a given multiset of samples, and
+// stable across runs whose samples move within a bucket.
+package hist
+
+import "math/bits"
+
+// subBits is the log2 of the per-power-of-2 sub-bucket count. 3 gives 8
+// sub-buckets: ≤12.5% relative bucket width, 488 buckets total.
+const subBits = 3
+
+// sub is the number of sub-buckets per power-of-2 range.
+const sub = 1 << subBits
+
+// NumBuckets is the total bucket count covering all non-negative int64
+// values.
+const NumBuckets = (64 - subBits) * sub
+
+// Hist is one latency histogram. The zero value is not usable; call New.
+// All methods are nil-safe: recording into or querying a nil histogram is a
+// no-op / zero.
+type Hist struct {
+	counts [NumBuckets]int64
+	count  int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// New returns an empty histogram.
+func New() *Hist {
+	return &Hist{min: -1}
+}
+
+// BucketIndex returns the bucket index for value v (negative values clamp
+// to bucket 0).
+func BucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < 2*sub {
+		return int(u) // exact small values
+	}
+	shift := uint(bits.Len64(u)) - subBits - 1
+	return int(uint64(shift)*sub + (u >> shift))
+}
+
+// BucketUpper returns the inclusive upper bound of bucket idx — the value
+// quantiles report.
+func BucketUpper(idx int) int64 {
+	if idx < 2*sub {
+		return int64(idx)
+	}
+	shift := uint(idx)/sub - 1
+	m := uint64(idx) - uint64(shift)*sub
+	return int64((m+1)<<shift - 1)
+}
+
+// Record adds one sample.
+func (h *Hist) Record(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[BucketIndex(v)]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	if h.min < 0 || v < h.min {
+		h.min = v
+	}
+}
+
+// Count returns the number of samples recorded.
+func (h *Hist) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the sum of all samples.
+func (h *Hist) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Max returns the largest sample recorded (exact, not bucketed); 0 when
+// empty.
+func (h *Hist) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Min returns the smallest sample recorded (exact); 0 when empty.
+func (h *Hist) Min() int64 {
+	if h == nil || h.min < 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Mean returns the arithmetic mean of the samples; 0 when empty.
+func (h *Hist) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns the value at or below which a fraction q of the samples
+// fall, as the inclusive upper bound of the bucket containing that rank
+// (capped at the exact maximum). q outside [0,1] clamps.
+func (h *Hist) Quantile(q float64) int64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(h.count))
+	if float64(rank) < q*float64(h.count) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i]
+		if cum >= rank {
+			up := BucketUpper(i)
+			if up > h.max {
+				up = h.max
+			}
+			return up
+		}
+	}
+	return h.max
+}
+
+// Merge adds o's samples into h (for aggregating per-image shards after a
+// run). A nil o is a no-op.
+func (h *Hist) Merge(o *Hist) {
+	if h == nil || o == nil {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+	if o.min >= 0 && (h.min < 0 || o.min < h.min) {
+		h.min = o.min
+	}
+}

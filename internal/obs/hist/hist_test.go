@@ -1,0 +1,132 @@
+package hist
+
+import "testing"
+
+// TestBucketBoundaries pins the bucket scheme: exact small values, then
+// power-of-2 ranges split into 8 linear sub-buckets, contiguous with no
+// gaps or overlaps.
+func TestBucketBoundaries(t *testing.T) {
+	// Values below 2*sub land in their own exact bucket.
+	for v := int64(0); v < 2*sub; v++ {
+		if got := BucketIndex(v); got != int(v) {
+			t.Errorf("BucketIndex(%d) = %d, want %d", v, got, v)
+		}
+		if got := BucketUpper(int(v)); got != v {
+			t.Errorf("BucketUpper(%d) = %d, want %d", v, got, v)
+		}
+	}
+	// Contiguity: bucket index is monotone in v and every value is ≤ its
+	// bucket's upper bound, > the previous bucket's upper bound.
+	prev := 0
+	for _, v := range []int64{16, 17, 31, 32, 63, 64, 100, 1023, 1024, 4095, 1 << 20, 1<<40 + 12345, 1 << 62} {
+		idx := BucketIndex(v)
+		if idx < prev {
+			t.Errorf("BucketIndex(%d) = %d not monotone (prev %d)", v, idx, prev)
+		}
+		prev = idx
+		if up := BucketUpper(idx); v > up {
+			t.Errorf("value %d above its bucket %d upper bound %d", v, idx, up)
+		}
+		if idx > 0 {
+			if lo := BucketUpper(idx - 1); v <= lo {
+				t.Errorf("value %d not above previous bucket upper %d", v, lo)
+			}
+		}
+		if idx >= NumBuckets {
+			t.Fatalf("BucketIndex(%d) = %d out of range %d", v, idx, NumBuckets)
+		}
+	}
+	// Negative values clamp to bucket 0.
+	if got := BucketIndex(-5); got != 0 {
+		t.Errorf("BucketIndex(-5) = %d, want 0", got)
+	}
+	// Relative width bound: bucket width / lower bound ≤ 1/sub for the
+	// logarithmic range.
+	for idx := 2 * sub; idx < NumBuckets-1; idx++ {
+		lo := BucketUpper(idx-1) + 1
+		hi := BucketUpper(idx)
+		if hi < lo {
+			t.Fatalf("bucket %d inverted: [%d,%d]", idx, lo, hi)
+		}
+		if width := hi - lo + 1; width > lo/int64(sub)+1 {
+			t.Errorf("bucket %d width %d exceeds 1/%d of %d", idx, width, sub, lo)
+		}
+	}
+}
+
+// TestQuantiles checks percentile extraction against a known distribution.
+func TestQuantiles(t *testing.T) {
+	h := New()
+	// 100 samples: 1..100. Exact for small values; bucketed above 15.
+	for v := int64(1); v <= 100; v++ {
+		h.Record(v)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", h.Count())
+	}
+	if h.Max() != 100 {
+		t.Fatalf("Max = %d, want 100", h.Max())
+	}
+	if h.Min() != 1 {
+		t.Fatalf("Min = %d, want 1", h.Min())
+	}
+	if got := h.Quantile(0.10); got != 10 {
+		t.Errorf("p10 = %d, want 10 (exact range)", got)
+	}
+	// p50: rank 50 falls in the bucket containing 50 ([48,51] at sub=8);
+	// reported as that bucket's upper bound.
+	if got := h.Quantile(0.50); got != 51 {
+		t.Errorf("p50 = %d, want 51 (upper bound of bucket holding 50)", got)
+	}
+	if got := h.Quantile(0.99); got != 100 {
+		t.Errorf("p99 = %d, want 100 (bucket upper 103 capped at max)", got)
+	}
+	if got := h.Quantile(1.0); got != 100 {
+		t.Errorf("p100 = %d, want 100", got)
+	}
+	// Determinism: the same multiset recorded in any order yields the same
+	// quantiles.
+	h2 := New()
+	for v := int64(100); v >= 1; v-- {
+		h2.Record(v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if h.Quantile(q) != h2.Quantile(q) {
+			t.Errorf("q=%.2f differs across insertion orders: %d vs %d", q, h.Quantile(q), h2.Quantile(q))
+		}
+	}
+}
+
+// TestMerge checks that merging shards equals recording into one histogram.
+func TestMerge(t *testing.T) {
+	a, b, all := New(), New(), New()
+	for v := int64(0); v < 500; v += 3 {
+		a.Record(v)
+		all.Record(v)
+	}
+	for v := int64(1); v < 5000; v += 7 {
+		b.Record(v)
+		all.Record(v)
+	}
+	a.Merge(b)
+	if a.Count() != all.Count() || a.Sum() != all.Sum() || a.Max() != all.Max() || a.Min() != all.Min() {
+		t.Fatalf("merge mismatch: count %d/%d sum %d/%d max %d/%d min %d/%d",
+			a.Count(), all.Count(), a.Sum(), all.Sum(), a.Max(), all.Max(), a.Min(), all.Min())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 1} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Errorf("q=%g: merged %d vs direct %d", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+}
+
+// TestNilSafety: nil histograms ignore records and report zeros, matching
+// the obs shard discipline.
+func TestNilSafety(t *testing.T) {
+	var h *Hist
+	h.Record(42)
+	h.Merge(New())
+	if h.Count() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("nil histogram not inert")
+	}
+}

@@ -24,6 +24,7 @@ package obs
 import (
 	"fmt"
 
+	"cafmpi/internal/obs/hist"
 	"cafmpi/internal/sim"
 )
 
@@ -36,10 +37,11 @@ const (
 	LayerMPI
 	LayerGASNet
 	LayerSubstrate
+	LayerRuntime // core runtime: event notify/wait, above the substrates
 	numLayers
 )
 
-var layerNames = [...]string{"fabric", "mpi", "gasnet", "substrate"}
+var layerNames = [...]string{"fabric", "mpi", "gasnet", "substrate", "runtime"}
 
 func (l Layer) String() string {
 	if int(l) >= len(layerNames) {
@@ -70,6 +72,8 @@ const (
 	OpBarrier                   // gasnet: dissemination barrier
 	OpNBISync                   // gasnet: implicit-handle sync (tag = ops synced)
 	OpFence                     // substrate: release/local fence
+	OpEventNotify               // runtime: event_notify (fence + notification AM)
+	OpEventWait                 // runtime: event_wait blocking span (tag = slot)
 	numOps
 )
 
@@ -77,6 +81,7 @@ var opNames = [...]string{
 	"inject", "deliver", "rdv_match", "rma_put",
 	"put", "get", "accumulate", "flush", "flush_all", "lock_all",
 	"send", "recv", "am_send", "am_deliver", "barrier", "nbi_sync", "fence",
+	"event_notify", "event_wait",
 }
 
 func (o Op) String() string {
@@ -167,6 +172,90 @@ func Counters() []Counter {
 	return out
 }
 
+// Component is a LogGP-style cost component, the unit of blame in the
+// critical-path decomposition: o (CPU overhead), L (wire latency), G
+// (bandwidth/serialization), g (NIC queueing gap), plus the runtime-level
+// costs the paper's analysis names — tag matching, SRQ stalls, flush_all's
+// linear rank scan, flush completion waits, and event-wait blocking.
+// CompCompute is everything in between edges: application computation and
+// idle polling.
+type Component uint8
+
+// Components.
+const (
+	CompCompute   Component = iota // application compute / idle between edges
+	CompOverhead                   // o: per-message CPU overhead (send+recv)
+	CompLatency                    // L: wire latency
+	CompBandwidth                  // G: serialization / wire occupancy
+	CompGap                        // g: NIC queueing behind other transfers
+	CompMatch                      // receive-side tag matching / AM dispatch
+	CompSRQStall                   // GASNet shared-receive-queue saturation stall
+	CompFlushScan                  // MPI flush_all linear per-rank scan
+	CompFlushWait                  // blocking on remote completion of own RMA
+	CompEventWait                  // event_wait blocking (fallback attribution)
+	NumComponents
+)
+
+var componentNames = [...]string{
+	"compute", "o_overhead", "L_latency", "G_bandwidth", "g_nic_gap",
+	"match", "srq_stall", "flush_scan", "flush_wait", "event_wait",
+}
+
+func (c Component) String() string {
+	if int(c) >= len(componentNames) {
+		return fmt.Sprintf("Component(%d)", int(c))
+	}
+	return componentNames[c]
+}
+
+// CompSpan is one component's share of an edge's covered interval.
+type CompSpan struct {
+	NS int64
+	C  Component
+}
+
+// MaxEdgeComps bounds the per-edge decomposition (a blocked eager delivery
+// needs L+G+g+o+match+stall).
+const MaxEdgeComps = 6
+
+// Edge is one happens-before record for the critical-path walker: the
+// operation covered virtual time [Start,End] on the recording image, and —
+// when Jump is set — was enabled by image Peer at Peer-local time SrcT
+// (message injection, event notify), so the walker crosses images there.
+// Comps decompose the covered interval ([SrcT,End] for jumps, [Start,End]
+// otherwise); any remainder is attributed to CompCompute.
+type Edge struct {
+	Start  int64
+	End    int64
+	SrcT   int64 // enabler's virtual time; meaningful when Jump
+	Layer  Layer
+	Op     Op
+	Peer   int32 // enabling image (world rank); -1 when local
+	Jump   bool  // completion was constrained by Peer: walk to (Peer, SrcT)
+	NComps uint8
+	Comps  [MaxEdgeComps]CompSpan
+}
+
+// AddComp appends ns of component c to the edge's decomposition, merging
+// with an existing span of the same component and dropping non-positive
+// spans. Silently drops overflow beyond MaxEdgeComps (the walker attributes
+// the remainder to compute).
+func (e *Edge) AddComp(c Component, ns int64) {
+	if ns <= 0 {
+		return
+	}
+	for i := 0; i < int(e.NComps); i++ {
+		if e.Comps[i].C == c {
+			e.Comps[i].NS += ns
+			return
+		}
+	}
+	if int(e.NComps) < MaxEdgeComps {
+		e.Comps[e.NComps] = CompSpan{NS: ns, C: c}
+		e.NComps++
+	}
+}
+
 // Event is one structured timeline entry, stamped with virtual nanoseconds.
 type Event struct {
 	Layer Layer
@@ -181,6 +270,13 @@ type Event struct {
 // DefaultRingCap is the per-image event ring capacity when Enable is called
 // with cap <= 0.
 const DefaultRingCap = 4096
+
+// DefaultEdgeRingCap is the per-image happens-before edge ring capacity.
+// Edges are denser than events (every message produces an inject and a
+// delivery edge) and the critical-path walker degrades to unattributed time
+// where they have wrapped, so the ring is larger; it also scales up with an
+// explicitly enlarged event ring.
+const DefaultEdgeRingCap = 16384
 
 const worldKey = "obs.world"
 
@@ -200,11 +296,16 @@ func Enable(w *sim.World, ringCap int) *World {
 	if ringCap <= 0 {
 		ringCap = DefaultRingCap
 	}
+	edgeCap := DefaultEdgeRingCap
+	if ringCap > edgeCap {
+		edgeCap = ringCap
+	}
 	return w.Shared(worldKey, func() any {
 		ow := &World{n: w.N(), ringCap: ringCap, shards: make([]*Shard, w.N())}
 		for i := range ow.shards {
 			ow.shards[i] = &Shard{
 				ring:     make([]Event, ringCap),
+				edges:    make([]Edge, edgeCap),
 				matCount: make([]int64, w.N()),
 				matBytes: make([]int64, w.N()),
 			}
@@ -254,13 +355,16 @@ func (w *World) Shard(i int) *Shard {
 type Shard struct {
 	ring     []Event
 	total    uint64 // events ever recorded (ring wraps at len(ring))
+	edges    []Edge
+	edgeTot  uint64 // edges ever recorded (ring wraps at len(edges))
 	counters [numCounters]int64
 	matCount []int64 // per-destination message/op count
 	matBytes []int64 // per-destination bytes
+	hists    [numLayers][numOps]*hist.Hist
 }
 
 // Record appends a structured event to the ring, evicting the oldest entry
-// once the ring is full.
+// once the ring is full, and feeds the (layer, op) latency histogram.
 func (s *Shard) Record(layer Layer, op Op, peer, bytes, tag int, start, end int64) {
 	if s == nil {
 		return
@@ -271,6 +375,70 @@ func (s *Shard) Record(layer Layer, op Op, peer, bytes, tag int, start, end int6
 		Start: start, End: end,
 	}
 	s.total++
+	h := s.hists[layer][op]
+	if h == nil {
+		h = hist.New()
+		s.hists[layer][op] = h
+	}
+	h.Record(end - start)
+}
+
+// RecordEdge appends a happens-before edge to the edge ring, evicting the
+// oldest entry once the ring is full.
+func (s *Shard) RecordEdge(e Edge) {
+	if s == nil {
+		return
+	}
+	s.edges[s.edgeTot%uint64(len(s.edges))] = e
+	s.edgeTot++
+}
+
+// Hist returns the (layer, op) latency histogram, nil when no event of that
+// class was recorded.
+func (s *Shard) Hist(layer Layer, op Op) *hist.Hist {
+	if s == nil {
+		return nil
+	}
+	return s.hists[layer][op]
+}
+
+// EdgesRecorded returns how many edges were ever recorded, including
+// dropped ones.
+func (s *Shard) EdgesRecorded() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.edgeTot
+}
+
+// EdgesDropped returns how many edges were evicted by ring wrap-around.
+func (s *Shard) EdgesDropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	if s.edgeTot <= uint64(len(s.edges)) {
+		return 0
+	}
+	return s.edgeTot - uint64(len(s.edges))
+}
+
+// Edges returns the retained edges, oldest first (nondecreasing End, since
+// each edge ends at its recording image's current clock). The slice is
+// freshly allocated; call only after the world's Run has returned.
+func (s *Shard) Edges() []Edge {
+	if s == nil {
+		return nil
+	}
+	n := s.edgeTot
+	capU := uint64(len(s.edges))
+	if n <= capU {
+		return append([]Edge(nil), s.edges[:n]...)
+	}
+	out := make([]Edge, 0, capU)
+	start := n % capU
+	out = append(out, s.edges[start:]...)
+	out = append(out, s.edges[:start]...)
+	return out
 }
 
 // Add increments counter c by d.

@@ -272,3 +272,120 @@ func BenchmarkDisabledShardOps(b *testing.B) {
 		s.CommAdd(1, 64)
 	}
 }
+
+// populateSynthetic fills a 2-image registry with a fixed set of events,
+// counters, edges, and matrix entries, for the determinism test below.
+func populateSynthetic(ow *World) {
+	s0, s1 := ow.Shard(0), ow.Shard(1)
+	s0.Record(LayerFabric, OpInject, 1, 64, 3, 100, 250)
+	s0.Record(LayerMPI, OpFlushAll, -1, 0, 2, 400, 900)
+	// Two events at the same virtual time exercise the sort tie-breaks.
+	s0.Record(LayerMPI, OpFlush, 1, 0, 0, 400, 900)
+	s1.Record(LayerFabric, OpDeliver, 0, 64, 3, 300, 380)
+	s1.Record(LayerRuntime, OpEventWait, 0, 0, 1, 300, 380)
+	s0.Add(CtrMsgsSent, 2)
+	s1.Add(CtrMsgsRecv, 2)
+	s0.Max(CtrPendingRMAMax, 7)
+	s0.CommAdd(1, 64)
+	s1.CommAdd(0, 32)
+	e := Edge{Layer: LayerFabric, Op: OpDeliver, Peer: 0, Jump: true, SrcT: 250, Start: 300, End: 380}
+	e.AddComp(CompLatency, 80)
+	s1.RecordEdge(e)
+}
+
+// TestDeterministicExports: two identically-populated registries must
+// produce byte-identical text, JSON, and Chrome-trace exports — including
+// flow overlays — so that diffing two runs of the same workload is
+// meaningful (the bench gate and CI artifacts rely on this).
+func TestDeterministicExports(t *testing.T) {
+	render := func() (string, string, string, []byte, []byte) {
+		ow := Enable(sim.NewWorld(2), 32)
+		populateSynthetic(ow)
+		snap := ow.Snapshot()
+		js, err := snap.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		flows := []FlowEvent{
+			{ID: 1, Image: 0, T: 250, Start: true},
+			{ID: 1, Image: 1, T: 380, Start: false},
+		}
+		var tr bytes.Buffer
+		if err := ow.WriteChromeTraceFlows(&tr, flows); err != nil {
+			t.Fatal(err)
+		}
+		return snap.Text(), snap.CommMatrixText(), snap.LatencyText(), js, tr.Bytes()
+	}
+	t1, m1, l1, j1, c1 := render()
+	t2, m2, l2, j2, c2 := render()
+	if t1 != t2 {
+		t.Error("counter text not byte-identical")
+	}
+	if m1 != m2 {
+		t.Error("comm matrix text not byte-identical")
+	}
+	if l1 != l2 {
+		t.Error("latency text not byte-identical")
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Error("snapshot JSON not byte-identical")
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Error("chrome trace not byte-identical")
+	}
+	// Flow endpoints survive the export as s/f phase pairs.
+	if !bytes.Contains(c1, []byte(`"ph":"s"`)) || !bytes.Contains(c1, []byte(`"ph":"f"`)) {
+		t.Errorf("flow endpoints missing from trace:\n%s", c1)
+	}
+}
+
+// TestEdgeRingAndHist covers the edge ring accessors and per-class
+// histogram feeding on a live shard.
+func TestEdgeRingAndHist(t *testing.T) {
+	ow := Enable(sim.NewWorld(1), 16)
+	sh := ow.Shard(0)
+	for i := 0; i < 5; i++ {
+		e := Edge{Layer: LayerFabric, Op: OpInject, Start: int64(i * 10), End: int64(i*10 + 7)}
+		e.AddComp(CompOverhead, 7)
+		sh.RecordEdge(e)
+		sh.Record(LayerFabric, OpInject, 1, 8, 0, int64(i*10), int64(i*10+7))
+	}
+	if sh.EdgesRecorded() != 5 || sh.EdgesDropped() != 0 {
+		t.Fatalf("edges recorded %d dropped %d", sh.EdgesRecorded(), sh.EdgesDropped())
+	}
+	edges := sh.Edges()
+	if len(edges) != 5 || edges[0].Start != 0 || edges[4].End != 47 {
+		t.Fatalf("Edges() wrong: %+v", edges)
+	}
+	h := sh.Hist(LayerFabric, OpInject)
+	if h.Count() != 5 || h.Max() != 7 {
+		t.Fatalf("hist fed wrong: count %d max %d", h.Count(), h.Max())
+	}
+	snap := ow.Snapshot()
+	if len(snap.Latency) != 1 || snap.Latency[0].Class != "fabric/inject" || snap.Latency[0].P50 != 7 {
+		t.Fatalf("latency stats wrong: %+v", snap.Latency)
+	}
+	if snap.EdgesRecorded != 5 {
+		t.Fatalf("snapshot edges = %d", snap.EdgesRecorded)
+	}
+}
+
+// TestEdgeAddComp pins the merge/skip/overflow semantics of the per-edge
+// component decomposition.
+func TestEdgeAddComp(t *testing.T) {
+	var e Edge
+	e.AddComp(CompLatency, 10)
+	e.AddComp(CompLatency, 5) // merges
+	e.AddComp(CompGap, 0)     // dropped
+	e.AddComp(CompGap, -3)    // dropped
+	if e.NComps != 1 || e.Comps[0].NS != 15 || e.Comps[0].C != CompLatency {
+		t.Fatalf("merge wrong: %+v", e)
+	}
+	for c := CompOverhead; int(e.NComps) < MaxEdgeComps; c++ {
+		e.AddComp(c, 1)
+	}
+	e.AddComp(CompEventWait, 99) // overflow: silently dropped
+	if int(e.NComps) != MaxEdgeComps {
+		t.Fatalf("overflow grew NComps: %d", e.NComps)
+	}
+}

@@ -453,7 +453,16 @@ func (s *S) ReleaseFence() error {
 	defer s.tr.Span(trace.SubstrateFence)()
 	t0 := s.p.Now()
 	s.ep.SyncNBIAll()
-	s.osh.Record(obs.LayerSubstrate, obs.OpFence, -1, 0, 0, t0, s.p.Now())
+	end := s.p.Now()
+	s.osh.Record(obs.LayerSubstrate, obs.OpFence, -1, 0, 0, t0, end)
+	if s.osh != nil && end > t0 {
+		// Fallback: the NBI-sync edge (same End, recorded first) wins ties
+		// and carries the finer flush_wait split; this covers evictions.
+		e := obs.Edge{Layer: obs.LayerSubstrate, Op: obs.OpFence,
+			Peer: -1, Start: t0, End: end}
+		e.AddComp(obs.CompFlushWait, end-t0)
+		s.osh.RecordEdge(e)
+	}
 	return nil
 }
 

@@ -411,7 +411,18 @@ func (s *S) ReleaseFence() error {
 	defer s.tr.Span(trace.SubstrateFence)()
 	t0 := s.p.Now()
 	defer func() {
-		s.osh.Record(obs.LayerSubstrate, obs.OpFence, -1, 0, len(s.wins), t0, s.p.Now())
+		end := s.p.Now()
+		s.osh.Record(obs.LayerSubstrate, obs.OpFence, -1, 0, len(s.wins), t0, end)
+		if s.osh != nil && end > t0 {
+			// Fallback edge for fence time the inner flush edges do not cover
+			// (Waitall on Rflush requests, evicted flush records). Ties at the
+			// same End resolve to the earlier-recorded inner edge, which keeps
+			// its finer-grained blame.
+			e := obs.Edge{Layer: obs.LayerSubstrate, Op: obs.OpFence,
+				Peer: -1, Start: t0, End: end}
+			e.AddComp(obs.CompFlushWait, end-t0)
+			s.osh.RecordEdge(e)
+		}
 	}()
 	if err := mpi.Waitall(s.amReqs); err != nil {
 		return err
