@@ -55,6 +55,13 @@ type Config struct {
 	// ObsRingCap overrides the per-image event ring capacity
 	// (obs.DefaultRingCap when zero).
 	ObsRingCap int
+	// Sanitize enables the PGAS synchronization sanitizer: vector-clock
+	// happens-before tracking across the runtime's sync points plus shadow
+	// access histories on coarray windows, reporting unordered conflicting
+	// Put/Get/local accesses and MPI-3 RMA ordering misuse. Clock-pure (no
+	// effect on virtual time). Read the findings after the run with
+	// sanitizer.Enabled(world) on the world returned by RunWorld.
+	Sanitize bool
 	// MPIOptions tunes the CAF-MPI binding (e.g. the §5 MPI_WIN_RFLUSH
 	// ablation).
 	MPIOptions rtmpi.Options
@@ -135,7 +142,7 @@ func (c *Config) coreConfig() (core.Config, error) {
 	if err := c.normalize(); err != nil {
 		return core.Config{}, err
 	}
-	cc := core.Config{Trace: c.Trace, Observe: c.Observe, ObsRingCap: c.ObsRingCap}
+	cc := core.Config{Trace: c.Trace, Observe: c.Observe, ObsRingCap: c.ObsRingCap, Sanitize: c.Sanitize}
 	switch c.Substrate {
 	case MPI:
 		opt := c.MPIOptions

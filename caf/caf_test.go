@@ -129,14 +129,14 @@ func TestEventsAreCountingSemaphores(t *testing.T) {
 		const k = 5
 		if im.ID() == 0 {
 			for i := 0; i < k; i++ {
-				if err := evs.Notify(1, 0); err != nil {
+				if err = evs.Notify(1, 0); err != nil {
 					return err
 				}
 			}
 			return im.World().Barrier()
 		}
 		for i := 0; i < k; i++ {
-			if err := evs.Wait(0); err != nil {
+			if err = evs.Wait(0); err != nil {
 				return err
 			}
 		}
@@ -280,7 +280,7 @@ func TestGetAsyncEvent(t *testing.T) {
 			return err
 		}
 		copy(co.Local(), bytes.Repeat([]byte{byte(0xC0 | im.ID())}, 64))
-		if err := im.World().Barrier(); err != nil {
+		if err = im.World().Barrier(); err != nil {
 			return err
 		}
 		evs, err := im.NewEvents(im.World(), 1)
@@ -343,7 +343,7 @@ func TestCopyAsyncRemoteToRemote(t *testing.T) {
 			return err
 		}
 		copy(co.Local(), bytes.Repeat([]byte{byte(im.ID() + 1)}, 32))
-		if err := im.World().Barrier(); err != nil {
+		if err = im.World().Barrier(); err != nil {
 			return err
 		}
 		evs, err := im.NewEvents(im.World(), 1)
@@ -459,7 +459,7 @@ func TestTeamSplitAndSubteamCollectives(t *testing.T) {
 			return fmt.Errorf("split size %d", sub.Size())
 		}
 		out := make([]int64, 1)
-		if err := sub.Allreduce(I64Bytes([]int64{int64(im.ID())}), I64Bytes(out), Int64, OpSum); err != nil {
+		if err = sub.Allreduce(I64Bytes([]int64{int64(im.ID())}), I64Bytes(out), Int64, OpSum); err != nil {
 			return err
 		}
 		want := int64(0 + 2 + 4)
@@ -1161,12 +1161,12 @@ func TestAtomicEventsDesign(t *testing.T) {
 		prev := (im.ID() - 1 + im.N()) % im.N()
 		// Counting semantics across the ring.
 		for i := 0; i < 3; i++ {
-			if err := evs.Notify(next, 0); err != nil {
+			if err = evs.Notify(next, 0); err != nil {
 				return err
 			}
 		}
 		for i := 0; i < 3; i++ {
-			if err := evs.Wait(0); err != nil {
+			if err = evs.Wait(0); err != nil {
 				return err
 			}
 		}

@@ -119,7 +119,7 @@ func TestDistArraySumAndValidation(t *testing.T) {
 		for k := 0; k < hi-lo; k++ {
 			a.Local()[k] = 1
 		}
-		if err := a.Barrier(); err != nil {
+		if err = a.Barrier(); err != nil {
 			return err
 		}
 		sum, err := a.Sum()

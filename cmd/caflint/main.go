@@ -1,0 +1,43 @@
+// Command caflint is the repository's multichecker: a suite of static
+// analyzers enforcing CAF-runtime invariants that ordinary go vet cannot
+// know about (virtual-clock purity, mutex guard annotations, fabric pool
+// buffer lifetimes, observability coverage, shadowed variables).
+//
+// It speaks the cmd/go vet-tool protocol, so both forms work:
+//
+//	go build -o caflint ./cmd/caflint
+//	go vet -vettool=$PWD/caflint ./...
+//
+// or simply:
+//
+//	go run ./cmd/caflint ./...
+//
+// which re-executes itself through `go vet -vettool`. Individual analyzers
+// can be disabled with -<name>=false. Findings are suppressed in source with
+// `//caflint:allow <analyzer> [-- reason]` (see internal/analysis).
+package main
+
+import (
+	"cafmpi/internal/analysis"
+	"cafmpi/internal/analysis/passes/clockpure"
+	"cafmpi/internal/analysis/passes/guardedby"
+	"cafmpi/internal/analysis/passes/obsedge"
+	"cafmpi/internal/analysis/passes/poolescape"
+	"cafmpi/internal/analysis/passes/shadow"
+	"cafmpi/internal/analysis/passes/wallclock"
+	"cafmpi/internal/analysis/unit"
+)
+
+// Suite lists every analyzer caflint runs, in reporting order.
+var Suite = []*analysis.Analyzer{
+	wallclock.Analyzer,
+	clockpure.Analyzer,
+	guardedby.Analyzer,
+	poolescape.Analyzer,
+	obsedge.Analyzer,
+	shadow.Analyzer,
+}
+
+func main() {
+	unit.Main(Suite...)
+}

@@ -3,14 +3,15 @@
 //
 // Usage:
 //
-//	cafrun -app ra|fft|hpl|cgpop -np 16 -substrate mpi|gasnet \
-//	       [-platform fusion|edison|mira] [-trace] [app flags]
+//	cafrun -app ra|fft|hpl|cgpop|racedemo -np 16 -substrate mpi|gasnet \
+//	       [-platform fusion|edison|mira] [-trace] [-sanitize] [app flags]
 //
 // Examples:
 //
 //	cafrun -app ra -np 64 -substrate gasnet -ra-bits 10
 //	cafrun -app fft -np 16 -substrate mpi -fft-log 16 -trace
 //	cafrun -app cgpop -np 8 -cg-pull
+//	cafrun -app racedemo -np 2 -sanitize   # exits 1 with a data-race finding
 package main
 
 import (
@@ -29,12 +30,13 @@ import (
 	"cafmpi/internal/obs"
 	"cafmpi/internal/obs/critpath"
 	"cafmpi/internal/rtmpi"
+	"cafmpi/internal/sanitizer"
 	"cafmpi/internal/trace"
 )
 
 func main() {
 	var (
-		app      = flag.String("app", "ra", "application: ra | fft | hpl | hpl2d | cgpop")
+		app      = flag.String("app", "ra", "application: ra | fft | hpl | hpl2d | cgpop | racedemo")
 		np       = flag.Int("np", 8, "number of images")
 		sub      = flag.String("substrate", "mpi", "runtime substrate: mpi | gasnet")
 		platform = flag.String("platform", "fusion", "platform preset")
@@ -50,6 +52,7 @@ func main() {
 		obsRing    = flag.Int("obs-ring", 0, "per-image event ring capacity (default obs.DefaultRingCap)")
 		critPath   = flag.Bool("critpath", false, "reconstruct the virtual-time critical path and print the blame table (flows overlay -trace-out)")
 		histFlag   = flag.Bool("hist", false, "print per-op-class latency histograms (p50/p90/p99/max)")
+		sanitize   = flag.Bool("sanitize", false, "run the PGAS synchronization sanitizer; exit 1 if it finds unordered conflicting accesses or RMA misuse")
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060) and dump runtime/metrics after the run")
 
 		raBits    = flag.Int("ra-bits", 10, "ra: log2 of per-image table entries")
@@ -85,7 +88,7 @@ func main() {
 	}
 	observe := *traceOut != "" || *stats || *commMatrix || *critPath || *histFlag
 	cfg := caf.Config{Substrate: caf.Substrate(*sub), Platform: pf, Trace: *trc,
-		Observe: observe, ObsRingCap: *obsRing,
+		Observe: observe, ObsRingCap: *obsRing, Sanitize: *sanitize,
 		MPIOptions: rtmpi.Options{UseRflush: *rflush, AtomicEvents: *atomicEv}}
 
 	clocks := make([]int64, *np)
@@ -134,6 +137,24 @@ func main() {
 			summary = fmt.Sprintf("CGPOP(%s): %.6f virtual s for %d iterations; residual %.3e -> %.3e (dual runtime: %v, runtime memory %.1f MB)",
 				mode, res.Seconds, res.Iterations, res.InitialNorm, res.FinalNorm,
 				res.DualRuntime, float64(res.RuntimeMemory)/(1<<20))
+		case "racedemo":
+			// Deliberately buggy two-image program (demo for -sanitize): an
+			// unsynchronized Put racing the owner's local read.
+			co, err := im.AllocCoarray(im.World(), 64)
+			if err != nil {
+				return err
+			}
+			if im.ID() == 0 {
+				if err := co.Put(1%im.N(), 0, make([]byte, 8)); err != nil {
+					return err
+				}
+			} else if im.ID() == 1 {
+				_ = co.ReadLocal(0, 8)
+			}
+			if err := co.Free(); err != nil {
+				return err
+			}
+			summary = "racedemo: completed (run with -sanitize to see the bug)"
 		default:
 			return fmt.Errorf("unknown app %q", *app)
 		}
@@ -204,6 +225,12 @@ func main() {
 	}
 	if *pprofAddr != "" {
 		dumpRuntimeMetrics()
+	}
+	if sw := sanitizer.Enabled(w); sw != nil {
+		fmt.Print(sw.Text())
+		if sw.Count() > 0 {
+			os.Exit(1)
+		}
 	}
 }
 

@@ -46,7 +46,7 @@ func main() {
 			g := lo + k
 			loc[k] = math.Exp(-float64(g%977)/977.0) * math.Cos(float64(g)/1811.0)
 		}
-		if err := table.Barrier(); err != nil {
+		if err = table.Barrier(); err != nil {
 			return err
 		}
 		_ = hi

@@ -1,0 +1,227 @@
+// Package analysis is a self-contained static-analysis framework modeled on
+// golang.org/x/tools/go/analysis, built entirely on the standard library's
+// go/ast and go/types so the tree carries no external dependencies. It powers
+// cmd/caflint: a multichecker of CAF-runtime-specific invariants (virtual-
+// clock purity, mutex guard annotations, fabric pool lifetimes, obs edge
+// coverage) that runs standalone or as a `go vet -vettool`.
+//
+// # Suppression grammar
+//
+// A diagnostic can be silenced with an annotation comment:
+//
+//	//caflint:allow <analyzer> [<analyzer>...] [-- reason]
+//
+// The annotation's scope depends on where it appears:
+//
+//   - on the same line as the offending expression, or alone on the line
+//     directly above it: that line only;
+//   - in the doc comment of a function: the whole function;
+//   - in the package clause's doc comment: the whole file.
+//
+// Unscoped suppression is deliberately impossible: every allow names the
+// analyzers it silences, so a sweep can grep for outstanding waivers.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name is the analyzer's identifier (used in -<name>=false flags and in
+	// //caflint:allow annotations).
+	Name string
+	// Doc is the one-paragraph description printed by `caflint help`.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings through
+	// pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's parsed and type-checked state to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// report receives every non-suppressed diagnostic.
+	report func(Diagnostic)
+	// allows indexes the //caflint:allow annotations of every file.
+	allows *allowIndex
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf reports a finding at pos unless an allow annotation covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.allows != nil && p.allows.allowed(p.Fset, pos, p.Analyzer.Name) {
+		return
+	}
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// NewPass builds a Pass over a type-checked package; drivers (the vet-config
+// unitchecker, the test harness) construct one per (package, analyzer).
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, report func(Diagnostic)) *Pass {
+	return &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		report:    report,
+		allows:    buildAllowIndex(fset, files),
+	}
+}
+
+// allowSpan is one annotation's scope: analyzer names allowed over a file
+// line interval.
+type allowSpan struct {
+	file     string
+	fromLine int
+	toLine   int
+	names    map[string]bool
+}
+
+type allowIndex struct{ spans []allowSpan }
+
+// allowed reports whether an annotation covers (pos, analyzer).
+func (ix *allowIndex) allowed(fset *token.FileSet, pos token.Pos, analyzer string) bool {
+	if ix == nil || !pos.IsValid() {
+		return false
+	}
+	p := fset.Position(pos)
+	for _, s := range ix.spans {
+		if s.file == p.Filename && p.Line >= s.fromLine && p.Line <= s.toLine &&
+			(s.names[analyzer] || s.names["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+const allowPrefix = "caflint:allow"
+
+// parseAllow extracts the analyzer names of one annotation comment, or nil.
+func parseAllow(text string) map[string]bool {
+	text = strings.TrimPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), "/*")
+	if !strings.HasPrefix(text, allowPrefix) {
+		return nil
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = rest[:i] // trailing free-form reason
+	}
+	names := make(map[string]bool)
+	for _, f := range strings.Fields(rest) {
+		names[strings.TrimSuffix(f, ",")] = true
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	return names
+}
+
+// buildAllowIndex scans every comment of every file and computes each
+// annotation's scope.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
+	ix := &allowIndex{}
+	for _, f := range files {
+		fname := fset.Position(f.Pos()).Filename
+
+		// File scope: annotations in the package doc comment.
+		if f.Doc != nil {
+			for _, c := range f.Doc.List {
+				if names := parseAllow(c.Text); names != nil {
+					end := fset.Position(f.End()).Line
+					ix.spans = append(ix.spans, allowSpan{file: fname, fromLine: 1, toLine: end, names: names})
+				}
+			}
+		}
+
+		// Function scope: annotations in a declaration's doc comment.
+		funcDoc := make(map[*ast.CommentGroup]bool)
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			funcDoc[fd.Doc] = true
+			for _, c := range fd.Doc.List {
+				if names := parseAllow(c.Text); names != nil {
+					ix.spans = append(ix.spans, allowSpan{
+						file:     fname,
+						fromLine: fset.Position(fd.Pos()).Line,
+						toLine:   fset.Position(fd.End()).Line,
+						names:    names,
+					})
+				}
+			}
+		}
+
+		// Line scope: every other annotation covers its own line and the next.
+		for _, cg := range f.Comments {
+			if cg == f.Doc || funcDoc[cg] {
+				continue
+			}
+			for _, c := range cg.List {
+				if names := parseAllow(c.Text); names != nil {
+					line := fset.Position(c.Pos()).Line
+					ix.spans = append(ix.spans, allowSpan{file: fname, fromLine: line, toLine: line + 1, names: names})
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// CalleeFunc resolves the *types.Func a call expression invokes (methods and
+// package-level functions), or nil for indirect calls, conversions and
+// builtins. Shared by several analyzers.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f // package-qualified call
+		}
+	}
+	return nil
+}
+
+// PkgBase returns the last segment of a package path ("" for nil).
+func PkgBase(pkg *types.Package) string {
+	if pkg == nil {
+		return ""
+	}
+	path := pkg.Path()
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// IsTestFile reports whether pos lies in a _test.go file.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,249 @@
+// Package analysistest is the fixture-driven test harness for caflint
+// analyzers — the stdlib-only counterpart of golang.org/x/tools'
+// analysistest. A test points it at a package under the analyzer's
+// testdata/src tree; the harness parses and type-checks the fixture
+// (resolving fixture-local imports from sibling testdata packages and
+// standard-library imports from GOROOT source), runs the analyzer, and
+// compares every diagnostic against `// want "regexp"` expectations:
+//
+//	x := time.Now() // want `wall-clock time\.Now`
+//
+// Each want comment holds one or more quoted regexps; each must match
+// exactly one diagnostic reported on that line, and every diagnostic must
+// be claimed by a want. Fixtures therefore pin both the positive and the
+// negative behaviour of an analyzer: deleting the analyzer's check makes
+// the fixture's wants unmatched and the test fail.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cafmpi/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	_, file, _, ok := runtime.Caller(1)
+	if !ok {
+		panic("analysistest: cannot locate caller")
+	}
+	return filepath.Join(filepath.Dir(file), "testdata")
+}
+
+// Run analyzes each named package under testdata/src with a, comparing
+// diagnostics to the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	ld := &loader{
+		testdata: testdata,
+		fset:     token.NewFileSet(),
+		pkgs:     make(map[string]*loaded),
+	}
+	ld.std = importer.ForCompiler(ld.fset, "source", nil)
+	for _, pkg := range pkgs {
+		runPkg(t, ld, a, pkg)
+	}
+}
+
+func runPkg(t *testing.T, ld *loader, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	lp, err := ld.load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+
+	wants := collectWants(t, ld.fset, lp.files)
+
+	var diags []analysis.Diagnostic
+	pass := analysis.NewPass(a, ld.fset, lp.files, lp.pkg, lp.info, func(d analysis.Diagnostic) {
+		diags = append(diags, d)
+	})
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s on %s: %v", a.Name, pkgPath, err)
+	}
+
+	// Claim each diagnostic against a want on its line.
+	for _, d := range diags {
+		p := ld.fset.Position(d.Pos)
+		key := lineKey{file: filepath.Base(p.Filename), line: p.Line}
+		claimed := false
+		for _, w := range wants[key] {
+			if w.claimed {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.claimed = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("%s: unexpected diagnostic: %s", p, d.Message)
+		}
+	}
+	var keys []lineKey
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.claimed {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, w.re)
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	claimed bool
+}
+
+// collectWants extracts `// want "re" ...` expectations from every comment.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[lineKey][]*want {
+	t.Helper()
+	wants := make(map[lineKey][]*want)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				key := lineKey{file: filepath.Base(p.Filename), line: p.Line}
+				for _, pat := range splitQuoted(t, p, strings.TrimPrefix(text, "want ")) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", p, pat, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted parses a sequence of Go-quoted or backquoted strings.
+func splitQuoted(t *testing.T, p token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var q byte = s[0]
+		if q != '"' && q != '`' {
+			t.Fatalf("%s: want patterns must be quoted, got %q", p, s)
+		}
+		end := strings.IndexByte(s[1:], q)
+		if end < 0 {
+			t.Fatalf("%s: unterminated want pattern %q", p, s)
+		}
+		raw := s[:end+2]
+		pat, err := strconv.Unquote(raw)
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %s: %v", p, raw, err)
+		}
+		out = append(out, pat)
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out
+}
+
+// loaded is one type-checked fixture package.
+type loaded struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// loader resolves fixture packages from testdata/src and everything else
+// from the standard library's source.
+type loader struct {
+	testdata string
+	fset     *token.FileSet
+	std      types.Importer
+	pkgs     map[string]*loaded
+}
+
+func (ld *loader) load(path string) (*loaded, error) {
+	if lp, ok := ld.pkgs[path]; ok {
+		return lp, nil
+	}
+	dir := filepath.Join(ld.testdata, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, perr := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			return nil, perr
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	cfg := &types.Config{Importer: (*fixtureImporter)(ld)}
+	pkg, err := cfg.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	lp := &loaded{files: files, pkg: pkg, info: info}
+	ld.pkgs[path] = lp
+	return lp, nil
+}
+
+// fixtureImporter prefers testdata/src packages over the standard library.
+type fixtureImporter loader
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	ld := (*loader)(fi)
+	if _, err := os.Stat(filepath.Join(ld.testdata, "src", filepath.FromSlash(path))); err == nil {
+		lp, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg, nil
+	}
+	return ld.std.Import(path)
+}

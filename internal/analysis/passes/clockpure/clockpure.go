@@ -1,0 +1,71 @@
+// Package clockpure defines an analyzer enforcing the PR-3 invariant that
+// observability code is clock-pure: the obs/critpath/hist recording paths
+// must never call into runtime layers that advance virtual clocks (fabric,
+// mpi, gasnet, core, substrates), and may touch sim only through read-only
+// accessors. Recording must observe the simulation, never perturb it — the
+// clock-invariance goldens depend on -trace/-stats/-critpath being free.
+package clockpure
+
+import (
+	"go/ast"
+
+	"cafmpi/internal/analysis"
+)
+
+// Analyzer flags clock-impure calls inside recording packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "clockpure",
+	Doc:  "obs/critpath/hist/sanitizer recording code must not call clock-advancing runtime APIs",
+	Run:  run,
+}
+
+// recordingPkgs are the package basenames held to clock purity.
+var recordingPkgs = map[string]bool{"obs": true, "critpath": true, "hist": true, "sanitizer": true}
+
+// runtimePkgs are the layers whose entry points may advance virtual clocks;
+// recording code must not call into them at all.
+var runtimePkgs = map[string]bool{
+	"fabric": true, "mpi": true, "gasnet": true, "core": true,
+	"rtmpi": true, "rtgasnet": true, "caf": true,
+}
+
+// simReadOnly lists the sim accessors recording code may use: identity,
+// registry reads, and reading (never advancing) the clock.
+var simReadOnly = map[string]bool{
+	"ID": true, "N": true, "World": true, "Now": true,
+	"Peek": true, "Shared": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !recordingPkgs[analysis.PkgBase(pass.Pkg)] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg() == pass.Pkg {
+				return true
+			}
+			base := analysis.PkgBase(fn.Pkg())
+			switch {
+			case runtimePkgs[base]:
+				pass.Reportf(call.Pos(),
+					"recording code calls %s.%s: obs paths must stay clock-pure (no fabric/runtime calls)",
+					base, fn.Name())
+			case base == "sim" && !simReadOnly[fn.Name()]:
+				pass.Reportf(call.Pos(),
+					"recording code calls sim.%s: only read-only accessors (%s) are clock-pure",
+					fn.Name(), "ID/N/World/Now/Peek/Shared")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package clockpure_test
+
+import (
+	"testing"
+
+	"cafmpi/internal/analysis/analysistest"
+	"cafmpi/internal/analysis/passes/clockpure"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), clockpure.Analyzer, "obs", "app")
+}

@@ -1,0 +1,13 @@
+// Package app is not a recording package: the same calls are legal here,
+// so the analyzer must stay silent.
+package app
+
+import (
+	"fabric"
+	"sim"
+)
+
+func Step(p *sim.Proc) {
+	fabric.Send(1, nil)
+	p.Advance(10)
+}

@@ -1,0 +1,8 @@
+// Package fabric is a fixture stand-in for the message fabric.
+package fabric
+
+func Send(dst int, b []byte) {}
+
+type Endpoint struct{}
+
+func (e *Endpoint) Poke() {}

@@ -1,0 +1,25 @@
+// Package obs is a fixture recording package: it must stay clock-pure.
+package obs
+
+import (
+	"fabric"
+	"sim"
+)
+
+type Shard struct{ events int }
+
+// Record is a pure recording path: reading identity and the clock is fine.
+func (s *Shard) Record(p *sim.Proc) {
+	_ = p.ID()
+	_ = p.Now()
+	s.events++
+}
+
+// leaky calls into runtime layers: every such call is a violation.
+func leaky(p *sim.Proc, e *fabric.Endpoint) {
+	fabric.Send(1, nil) // want `recording code calls fabric\.Send`
+	e.Poke()            // want `recording code calls fabric\.Poke`
+	p.Advance(10)       // want `recording code calls sim\.Advance`
+	p.AdvanceTo(99)     // want `recording code calls sim\.AdvanceTo`
+	p.Wake(2)           // want `recording code calls sim\.Wake`
+}

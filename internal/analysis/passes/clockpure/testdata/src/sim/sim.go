@@ -1,0 +1,12 @@
+// Package sim is a fixture stand-in for the simulator: read-only accessors
+// plus the clock-advancing calls recording code must never make.
+package sim
+
+type Proc struct{ now int64 }
+
+func (p *Proc) ID() int            { return 0 }
+func (p *Proc) N() int             { return 1 }
+func (p *Proc) Now() int64         { return p.now }
+func (p *Proc) Advance(dt int64)   { p.now += dt }
+func (p *Proc) AdvanceTo(t int64)  { p.now = t }
+func (p *Proc) Wake(target int)    {}

@@ -1,0 +1,312 @@
+// Package guardedby defines an intraprocedural lock-annotation checker.
+// A struct field carrying the comment
+//
+//	field T // guarded by mu
+//
+// may only be accessed while the named sibling mutex is held. The analyzer
+// tracks Lock/RLock/Unlock/RUnlock calls flow-insensitively through each
+// function body (straight-line within a block; branches inherit and do not
+// leak acquisitions) and reports guarded-field accesses at program points
+// where no matching lock is held.
+//
+// Conventions understood:
+//
+//   - functions whose name ends in "Locked" are called with the lock already
+//     held and are skipped entirely (the repo's existing naming convention);
+//   - a deferred Unlock keeps the lock held to the end of the function;
+//   - function literals are analyzed with the lock state at their creation
+//     point (closures that run under the enclosing lock stay quiet; closures
+//     stored and run later are out of scope for an intraprocedural check).
+package guardedby
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"cafmpi/internal/analysis"
+)
+
+// Analyzer enforces `// guarded by <mu>` field annotations.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc:  "fields annotated `// guarded by <mu>` must be accessed with that mutex held",
+	Run:  run,
+}
+
+var guardRe = regexp.MustCompile(`guarded by (\S+)`)
+
+func run(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue // convention: caller holds the lock
+			}
+			c := &checker{pass: pass, guards: guards}
+			c.block(fd.Body.List, lockSet{})
+		}
+	}
+	return nil
+}
+
+// collectGuards maps each annotated field object to its guard's name.
+func collectGuards(pass *analysis.Pass) map[*types.Var]string {
+	guards := make(map[*types.Var]string)
+	note := func(field *ast.Field, cg *ast.CommentGroup) {
+		if cg == nil {
+			return
+		}
+		m := guardRe.FindStringSubmatch(cg.Text())
+		if m == nil {
+			return
+		}
+		for _, name := range field.Names {
+			if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+				guards[v] = m[1]
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				note(field, field.Comment)
+				note(field, field.Doc)
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// lockSet is the set of held locks, keyed by rendered receiver expression
+// (e.g. "e.mu").
+type lockSet map[string]bool
+
+func (s lockSet) clone() lockSet {
+	c := make(lockSet, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	guards map[*types.Var]string
+}
+
+// block walks statements sequentially, threading lock acquisitions through
+// straight-line code; nested control flow sees a snapshot and cannot leak
+// acquisitions outward (conservative in both directions, quiet in practice).
+func (c *checker) block(stmts []ast.Stmt, held lockSet) {
+	for _, s := range stmts {
+		c.stmt(s, held)
+	}
+}
+
+func (c *checker) stmt(s ast.Stmt, held lockSet) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if name, recv, ok := lockCall(s.X); ok {
+			c.checkExpr(s.X, held) // the receiver chain itself may be guarded
+			switch name {
+			case "Lock", "RLock":
+				held[recv] = true
+			case "Unlock", "RUnlock":
+				delete(held, recv)
+			}
+			return
+		}
+		c.checkExpr(s.X, held)
+	case *ast.DeferStmt:
+		if name, _, ok := lockCall(s.Call); ok && (name == "Unlock" || name == "RUnlock") {
+			return // deferred unlock: lock stays held for the rest of the body
+		}
+		c.checkExpr(s.Call, held)
+	case *ast.BlockStmt:
+		c.block(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		c.checkExpr(s.Cond, held)
+		c.block(s.Body.List, held.clone())
+		if s.Else != nil {
+			c.stmt(s.Else, held.clone())
+		}
+	case *ast.ForStmt:
+		inner := held.clone()
+		if s.Init != nil {
+			c.stmt(s.Init, inner)
+		}
+		if s.Cond != nil {
+			c.checkExpr(s.Cond, inner)
+		}
+		if s.Post != nil {
+			c.stmt(s.Post, inner)
+		}
+		c.block(s.Body.List, inner)
+	case *ast.RangeStmt:
+		c.checkExpr(s.X, held)
+		c.block(s.Body.List, held.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			c.checkExpr(s.Tag, held)
+		}
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				for _, e := range cl.List {
+					c.checkExpr(e, held)
+				}
+				c.block(cl.Body, held.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				c.block(cl.Body, held.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CommClause); ok {
+				if cl.Comm != nil {
+					c.stmt(cl.Comm, held.clone())
+				}
+				c.block(cl.Body, held.clone())
+			}
+		}
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, held)
+	case *ast.GoStmt:
+		// A spawned goroutine does not inherit the caller's locks.
+		c.checkExpr(s.Call, lockSet{})
+	default:
+		// Assignments, returns, sends, incs: check every contained expression.
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case ast.Stmt:
+				if n == s {
+					return true
+				}
+				c.stmt(n, held) // nested statements (shouldn't occur outside the cases above)
+				return false
+			case *ast.FuncLit:
+				c.block(n.Body.List, held.clone())
+				return false
+			case *ast.SelectorExpr:
+				c.checkSel(n, held)
+			}
+			return true
+		})
+	}
+}
+
+// checkExpr inspects an expression tree for guarded-field selector accesses.
+func (c *checker) checkExpr(e ast.Expr, held lockSet) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.block(n.Body.List, held.clone())
+			return false
+		case *ast.SelectorExpr:
+			c.checkSel(n, held)
+		}
+		return true
+	})
+}
+
+// checkSel reports x.field when field is annotated and no lock rendering as
+// x.<guard> (or any lock whose last segment is the guard name, for guards
+// held through an owner object) is currently held.
+func (c *checker) checkSel(sel *ast.SelectorExpr, held lockSet) {
+	var obj *types.Var
+	if s, ok := c.pass.TypesInfo.Selections[sel]; ok {
+		obj, _ = s.Obj().(*types.Var)
+	} else if u, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Var); ok {
+		obj = u
+	}
+	if obj == nil {
+		return
+	}
+	guard, ok := c.guards[obj]
+	if !ok {
+		return
+	}
+	want := render(sel.X) + "." + guard
+	if held[want] || held[guard] {
+		return
+	}
+	// Guards reached through a different owner (e.g. a bucket guarded by its
+	// endpoint's mu): accept any held lock ending in the guard's name.
+	suffix := guard
+	if i := strings.LastIndexByte(guard, '.'); i >= 0 {
+		suffix = guard[i+1:]
+	}
+	for h := range held {
+		if h == guard || strings.HasSuffix(h, "."+suffix) {
+			return
+		}
+	}
+	c.pass.Reportf(sel.Sel.Pos(),
+		"access to %s.%s requires holding %q (annotated `guarded by %s`)",
+		render(sel.X), sel.Sel.Name, want, guard)
+}
+
+// lockCall matches m.Lock()/RLock()/Unlock()/RUnlock() and returns the
+// method name and the rendered receiver.
+func lockCall(e ast.Expr) (name, recv string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall || len(call.Args) != 0 {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return sel.Sel.Name, render(sel.X), true
+	}
+	return "", "", false
+}
+
+// render flattens a selector chain to a stable string key ("e.mu",
+// "w.env.mu"); unrenderable subexpressions become "?".
+func render(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return render(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return render(e.X)
+	case *ast.IndexExpr:
+		return render(e.X) + "[]"
+	case *ast.CallExpr:
+		return render(e.Fun) + "()"
+	}
+	return "?"
+}

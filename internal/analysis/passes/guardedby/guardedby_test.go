@@ -1,0 +1,12 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"cafmpi/internal/analysis/analysistest"
+	"cafmpi/internal/analysis/passes/guardedby"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), guardedby.Analyzer, "a")
+}

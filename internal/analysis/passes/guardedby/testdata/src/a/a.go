@@ -1,0 +1,86 @@
+// Package a exercises the guardedby analyzer: `// guarded by <mu>` fields
+// accessed without the named mutex held are flagged; accesses under the
+// lock (including via deferred unlock, closures created under the lock,
+// and the *Locked naming convention) are not.
+package a
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+
+	rw    sync.RWMutex
+	cache map[string]int // guarded by rw
+
+	free int // unguarded: never flagged
+}
+
+func (c *counter) good() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.free++
+}
+
+func (c *counter) goodDeferred() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}
+
+func (c *counter) goodRead() int {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.cache["k"]
+}
+
+// goodLocked is called with c.mu held (naming convention).
+func (c *counter) incLocked() {
+	c.n++
+}
+
+func (c *counter) bad() {
+	c.n++ // want `access to c\.n requires holding "c\.mu"`
+}
+
+func (c *counter) badAfterUnlock() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.n-- // want `access to c\.n requires holding "c\.mu"`
+}
+
+func (c *counter) badWrongLock() {
+	c.rw.Lock()
+	defer c.rw.Unlock()
+	c.n++ // want `access to c\.n requires holding "c\.mu"`
+}
+
+func (c *counter) badRead() int {
+	return c.cache["k"] // want `access to c\.cache requires holding "c\.rw"`
+}
+
+func (c *counter) goodClosureUnderLock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := func() { c.n++ }
+	f()
+}
+
+func (c *counter) badGoroutine() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `access to c\.n requires holding "c\.mu"`
+	}()
+}
+
+func (c *counter) goodBranch() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.n > 0 {
+		c.n--
+	}
+}

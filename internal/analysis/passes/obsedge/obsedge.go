@@ -1,0 +1,109 @@
+// Package obsedge defines an analyzer keeping the observability layer
+// honest: any exported fabric/mpi/gasnet operation that advances a virtual
+// clock (sim.Proc.Advance/AdvanceTo) models simulated work, and simulated
+// work that leaves no obs record is invisible to the critical-path walker
+// and the blame table — PR 3's coverage then silently decays as ops are
+// added. Such functions must record at least one obs event, edge or counter,
+// directly or through a same-package helper (noteAMSent-style factoring is
+// recognized transitively), or carry an explicit //caflint:allow obsedge
+// waiver naming why the op is below the observability floor.
+package obsedge
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cafmpi/internal/analysis"
+)
+
+// Analyzer enforces obs coverage of clock-advancing exported ops.
+var Analyzer = &analysis.Analyzer{
+	Name: "obsedge",
+	Doc:  "exported fabric/mpi/gasnet ops that advance clocks must record an obs edge or counter",
+	Run:  run,
+}
+
+// layerPkgs are the instrumented communication layers.
+var layerPkgs = map[string]bool{"fabric": true, "mpi": true, "gasnet": true}
+
+func run(pass *analysis.Pass) error {
+	if !layerPkgs[analysis.PkgBase(pass.Pkg)] {
+		return nil
+	}
+
+	// Collect every function declaration with its direct facts: does it call
+	// obs/hist itself, and which same-package functions does it call?
+	type funcInfo struct {
+		decl     *ast.FuncDecl
+		records  bool
+		advances bool
+		calls    []*types.Func
+	}
+	infos := make(map[*types.Func]*funcInfo)
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &funcInfo{decl: fd}
+			infos[obj] = fi
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := analysis.CalleeFunc(pass.TypesInfo, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				switch base := analysis.PkgBase(fn.Pkg()); {
+				case base == "sim" && (fn.Name() == "Advance" || fn.Name() == "AdvanceTo"):
+					fi.advances = true
+				case base == "obs" || base == "hist":
+					fi.records = true
+				case fn.Pkg() == pass.Pkg:
+					fi.calls = append(fi.calls, fn)
+				}
+				return true
+			})
+		}
+	}
+
+	// Propagate "records" through same-package calls to a fixpoint, so ops
+	// whose instrumentation lives in a helper (or in the non-blocking issue
+	// path a blocking wrapper delegates to) are credited.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range infos {
+			if fi.records {
+				continue
+			}
+			for _, callee := range fi.calls {
+				if ci, ok := infos[callee]; ok && ci.records {
+					fi.records = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for _, fi := range infos {
+		fd := fi.decl
+		if !fd.Name.IsExported() || !fi.advances || fi.records {
+			continue
+		}
+		pass.Reportf(fd.Name.Pos(),
+			"%s advances the virtual clock but records no obs event/edge/counter: the op is invisible to the critical-path walker (record via obs.Shard or annotate //caflint:allow obsedge)",
+			fd.Name.Name)
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package obsedge_test
+
+import (
+	"testing"
+
+	"cafmpi/internal/analysis/analysistest"
+	"cafmpi/internal/analysis/passes/obsedge"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), obsedge.Analyzer, "fabric", "app")
+}

@@ -1,0 +1,9 @@
+// Package app is not an instrumented communication layer: clock-advancing
+// exported functions here carry no obs obligation.
+package app
+
+import "sim"
+
+func Work(p *sim.Proc) {
+	p.Advance(42)
+}

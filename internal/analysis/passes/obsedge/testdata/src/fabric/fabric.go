@@ -1,0 +1,52 @@
+// Package fabric exercises the obsedge analyzer: exported operations that
+// advance the virtual clock must record an obs event/edge/counter, directly
+// or through a same-package helper; unexported functions and clock-neutral
+// exported functions are not held to it.
+package fabric
+
+import (
+	"obs"
+	"sim"
+)
+
+type Layer struct {
+	p  *sim.Proc
+	sh *obs.Shard
+}
+
+// Send advances the clock and records: fine.
+func (l *Layer) Send(dst int, b []byte) {
+	l.p.Advance(100)
+	l.sh.Record(1, dst)
+}
+
+// Flush advances the clock with no record at all.
+func (l *Layer) Flush(dst int) { // want `Flush advances the virtual clock but records no obs event/edge/counter`
+	l.p.AdvanceTo(1000)
+}
+
+// Probe is clock-neutral: no obligation.
+func (l *Layer) Probe() bool { return l.p.Now() > 0 }
+
+// internalStep advances but is unexported: helpers are not ops.
+func (l *Layer) internalStep() {
+	l.p.Advance(5)
+}
+
+// noteSent is an instrumentation helper.
+func (l *Layer) noteSent(dst int) {
+	l.sh.Add("sent", 1)
+}
+
+// Inject records through the noteSent helper: credited transitively.
+func (l *Layer) Inject(dst int) {
+	l.p.Advance(50)
+	l.noteSent(dst)
+}
+
+// Poke advances deliberately below the observability floor.
+//
+//caflint:allow obsedge -- wakeup has no span to attribute
+func (l *Layer) Poke(dst int) {
+	l.p.Advance(1)
+}

@@ -1,0 +1,7 @@
+// Package obs is a fixture stand-in for the observability layer.
+package obs
+
+type Shard struct{}
+
+func (s *Shard) Record(op, peer int)       {}
+func (s *Shard) Add(ctr string, n int64)   {}

@@ -1,0 +1,8 @@
+// Package sim is a fixture stand-in for the simulator clock.
+package sim
+
+type Proc struct{ now int64 }
+
+func (p *Proc) Now() int64        { return p.now }
+func (p *Proc) Advance(dt int64)  { p.now += dt }
+func (p *Proc) AdvanceTo(t int64) { p.now = t }

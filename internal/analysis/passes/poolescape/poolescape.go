@@ -1,0 +1,225 @@
+// Package poolescape defines an analyzer for the fabric buffer-pool
+// ownership contract (internal/fabric/pool.go): a pooled *Message or *pbuf
+// is dead the moment it is Released, put back with putBuf, or handed to
+// Send/enqueue (ownership transfers to the fabric, and the receiver may
+// recycle it concurrently). Any later use of the same variable in the same
+// function — including a second Release — races with reuse of the pooled
+// object and corrupts unrelated traffic.
+//
+// The check is intraprocedural and position-based: after a consuming call,
+// later uses of the variable are flagged unless it is first reassigned.
+package poolescape
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"cafmpi/internal/analysis"
+)
+
+// Analyzer flags uses of pooled fabric buffers after ownership ends.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolescape",
+	Doc:  "pooled fabric buffers must not be used after Release/putBuf/Send",
+	Run:  run,
+}
+
+// pooledTypes are the named types whose values live in pools.
+var pooledTypes = map[string]bool{"Message": true, "pbuf": true}
+
+// consumeCall classifies a call as consuming one of its operands:
+// returns the consumed identifier and a label for the report.
+func consumeCall(info *types.Info, call *ast.CallExpr) (*ast.Ident, string) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Release":
+			if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok && isPooled(info, id) {
+				return id, "Release"
+			}
+		case "Send", "enqueue":
+			// Ownership of a *Message argument transfers to the fabric: the
+			// receiver may absorb and recycle it concurrently. (Absorb and
+			// AbsorbAM are receiver-side accounting — the caller keeps
+			// ownership — so they do not consume.)
+			for _, arg := range call.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok && isPooled(info, id) {
+					return id, fun.Sel.Name
+				}
+			}
+		}
+	case *ast.Ident:
+		if fun.Name == "putBuf" {
+			for _, arg := range call.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok && isPooled(info, id) {
+					return id, "putBuf"
+				}
+			}
+		}
+	}
+	return nil, ""
+}
+
+// isPooled reports whether id's type is a pointer to a pooled named type.
+func isPooled(info *types.Info, id *ast.Ident) bool {
+	tv, ok := info.Types[id]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return pooledTypes[n.Obj().Name()]
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+type consumption struct {
+	pos   token.Pos // end of the consuming call
+	limit token.Pos // end of the poisoned region (NoPos = rest of function)
+	where string
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// Pass 1: per variable, collect consumption points and reassignments.
+	// A consumption whose statement is immediately followed by an
+	// unconditional jump (break/continue/goto/return) poisons only up to
+	// that jump: control cannot fall through to the code after it, so
+	// later textual uses are a different iteration's (reassigned) value.
+	consumed := make(map[*types.Var][]consumption)
+	reassigned := make(map[*types.Var][]token.Pos)
+	var walkList func(list []ast.Stmt)
+	// recordConsumptions records consuming calls directly under s, without
+	// descending into nested statement lists (the recursion below visits
+	// those with their own jump-derived limits).
+	recordConsumptions := func(s ast.Stmt, limit token.Pos) {
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+				return false
+			case *ast.CallExpr:
+				if id, label := consumeCall(info, n); id != nil {
+					if v, ok := info.Uses[id].(*types.Var); ok {
+						consumed[v] = append(consumed[v], consumption{pos: n.End(), limit: limit, where: label})
+					}
+				}
+			}
+			return true
+		})
+	}
+	walkList = func(list []ast.Stmt) {
+		for i, s := range list {
+			limit := token.NoPos
+			if i+1 < len(list) {
+				switch nxt := list[i+1].(type) {
+				case *ast.BranchStmt:
+					limit = nxt.End()
+				case *ast.ReturnStmt:
+					// Uses inside the return's results are still checked
+					// (return m after Release is a bug); nothing beyond is.
+					limit = nxt.End()
+				}
+			}
+			recordConsumptions(s, limit)
+			// Recurse into nested statement lists with their own limits.
+			ast.Inspect(s, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BlockStmt:
+					walkList(n.List)
+					return false
+				case *ast.CaseClause:
+					walkList(n.Body)
+					return false
+				case *ast.CommClause:
+					walkList(n.Body)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	walkList(fd.Body.List)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if v, ok := info.Defs[id].(*types.Var); ok {
+						reassigned[v] = append(reassigned[v], id.Pos())
+					} else if v, ok := info.Uses[id].(*types.Var); ok {
+						reassigned[v] = append(reassigned[v], id.Pos())
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(consumed) == 0 {
+		return
+	}
+	for v := range consumed {
+		sort.Slice(consumed[v], func(i, j int) bool { return consumed[v][i].pos < consumed[v][j].pos })
+	}
+
+	// Pass 2: flag uses after the earliest consumption not followed by a
+	// reassignment before the use.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		cons, ok := consumed[v]
+		if !ok {
+			return true
+		}
+		for _, c := range cons {
+			if id.Pos() <= c.pos {
+				continue // at or before the consuming call itself
+			}
+			if c.limit.IsValid() && id.Pos() > c.limit {
+				continue // past the jump that bounds this consumption's path
+			}
+			if reassignedBetween(reassigned[v], c.pos, id.Pos()) {
+				continue
+			}
+			pass.Reportf(id.Pos(),
+				"use of %s after %s: the pooled buffer may already be recycled by another image",
+				id.Name, c.where)
+			break // one report per use site
+		}
+		return true
+	})
+}
+
+func reassignedBetween(positions []token.Pos, after, before token.Pos) bool {
+	for _, p := range positions {
+		// p == before is the flagged ident itself being the assignment's
+		// left-hand side: writing a dead variable is fine (it revives it).
+		if p > after && p <= before {
+			return true
+		}
+	}
+	return false
+}

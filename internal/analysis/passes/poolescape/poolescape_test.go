@@ -1,0 +1,12 @@
+package poolescape_test
+
+import (
+	"testing"
+
+	"cafmpi/internal/analysis/analysistest"
+	"cafmpi/internal/analysis/passes/poolescape"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), poolescape.Analyzer, "fabric")
+}

@@ -1,0 +1,86 @@
+// Package fabric exercises the poolescape analyzer: a pooled *Message or
+// *pbuf is dead after Release/putBuf/Send; later uses of the same variable
+// are flagged unless it is reassigned first.
+package fabric
+
+type Message struct {
+	Class int
+	Data  []byte
+}
+
+func (m *Message) Release() {}
+
+type pbuf struct{ b []byte }
+
+type Layer struct{}
+
+func (l *Layer) Send(m *Message)    {}
+func (l *Layer) enqueue(m *Message) {}
+
+func putBuf(p *pbuf) {}
+
+func getMsg() *Message { return &Message{} }
+func getBuf() *pbuf    { return &pbuf{} }
+
+func goodRelease() {
+	m := getMsg()
+	m.Class = 1
+	m.Release()
+}
+
+func badUseAfterRelease() int {
+	m := getMsg()
+	m.Release()
+	return m.Class // want `use of m after Release`
+}
+
+func badDoubleRelease() {
+	m := getMsg()
+	m.Release()
+	m.Release() // want `use of m after Release`
+}
+
+func badUseAfterSend(l *Layer) int {
+	m := getMsg()
+	l.Send(m)
+	return m.Class // want `use of m after Send`
+}
+
+func badUseAfterEnqueue(l *Layer) {
+	m := getMsg()
+	l.enqueue(m)
+	m.Class = 2 // want `use of m after enqueue`
+}
+
+func badUseAfterPutBuf() []byte {
+	p := getBuf()
+	putBuf(p)
+	return p.b // want `use of p after putBuf`
+}
+
+func goodReassigned(l *Layer) int {
+	m := getMsg()
+	l.Send(m)
+	m = getMsg()
+	return m.Class
+}
+
+// goodLoopRecycle models the match-loop idiom: the consumption is followed
+// by an unconditional continue, so the next iteration's use is a fresh
+// (reassigned) value, not a use-after-release.
+func goodLoopRecycle(l *Layer, ms []*Message) {
+	for i := 0; i < len(ms); i++ {
+		m := ms[i]
+		if m.Class == 0 {
+			m.Release()
+			continue
+		}
+		m.Class = 3
+	}
+}
+
+func badReturnAfterRelease() *Message {
+	m := getMsg()
+	m.Release()
+	return m // want `use of m after Release`
+}

@@ -1,0 +1,106 @@
+// Package shadow defines a variable-shadowing analyzer equivalent in
+// spirit to golang.org/x/tools' shadow pass (which CI previously tried to
+// install from the network — and silently skipped when it couldn't). A
+// declaration shadows an earlier one when a new variable of the same name
+// hides a function-local variable that is still used after the inner scope
+// closes: the classic `err := ...` inside a block that leaves the outer
+// err unassigned. Package-level names are not considered (too noisy, and
+// hiding them locally is usually deliberate).
+package shadow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cafmpi/internal/analysis"
+)
+
+// Analyzer reports local declarations that shadow a live outer variable.
+var Analyzer = &analysis.Analyzer{
+	Name: "shadow",
+	Doc:  "report declarations shadowing an outer variable that is used after the inner scope ends",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// lastUse tracks the last textual use of every local variable: a shadow
+	// is only dangerous while the shadowed variable is still live.
+	lastUse := make(map[types.Object]token.Pos)
+	note := func(id *ast.Ident, obj types.Object) {
+		if obj == nil {
+			return
+		}
+		if p, ok := lastUse[obj]; !ok || id.End() > p {
+			lastUse[obj] = id.End()
+		}
+	}
+	for id, obj := range pass.TypesInfo.Uses {
+		note(id, obj)
+	}
+	for id, obj := range pass.TypesInfo.Defs {
+		note(id, obj)
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if n.Tok != token.DEFINE {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						check(pass, id, lastUse)
+					}
+				}
+			case *ast.GenDecl:
+				if n.Tok != token.VAR {
+					return true
+				}
+				for _, spec := range n.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, id := range vs.Names {
+							check(pass, id, lastUse)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// check reports id when it declares a variable hiding an outer local that
+// remains in use after id's scope closes.
+func check(pass *analysis.Pass, id *ast.Ident, lastUse map[types.Object]token.Pos) {
+	if id.Name == "_" {
+		return
+	}
+	obj, ok := pass.TypesInfo.Defs[id].(*types.Var)
+	if !ok {
+		return
+	}
+	inner := obj.Parent()
+	if inner == nil || inner.Parent() == nil {
+		return
+	}
+	// Walk outward for a same-named variable, stopping at package scope.
+	_, outer := inner.Parent().LookupParent(id.Name, id.Pos())
+	ov, ok := outer.(*types.Var)
+	if !ok || ov == obj || ov.IsField() {
+		return
+	}
+	if scope := ov.Parent(); scope == nil ||
+		scope == pass.Pkg.Scope() || scope == types.Universe {
+		return // package-level and universe names are fair game
+	}
+	// The shadow only matters if the outer variable is used after the
+	// shadowing scope ends (otherwise the inner name simply takes over).
+	if lastUse[ov] <= inner.End() {
+		return
+	}
+	pass.Reportf(id.Pos(), "declaration of %q shadows declaration at %s",
+		id.Name, pass.Fset.Position(ov.Pos()))
+}

@@ -1,0 +1,12 @@
+package shadow_test
+
+import (
+	"testing"
+
+	"cafmpi/internal/analysis/analysistest"
+	"cafmpi/internal/analysis/passes/shadow"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), shadow.Analyzer, "a")
+}

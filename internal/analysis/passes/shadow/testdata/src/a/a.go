@@ -1,0 +1,52 @@
+// Package a exercises the shadow analyzer: an inner := that hides an outer
+// local still used after the inner scope ends is flagged; harmless takeovers
+// and package-level hiding are not.
+package a
+
+import "errors"
+
+func work() (int, error)  { return 1, nil }
+func setup() error        { return errors.New("x") }
+
+// badShadow: the block's err hides the outer err, which the caller then
+// returns — the classic silently-dropped error.
+func badShadow(cond bool) error {
+	err := setup()
+	if cond {
+		n, err := work() // want `declaration of "err" shadows declaration at .*a\.go:14`
+		_ = n
+		_ = err
+	}
+	return err
+}
+
+// goodTakeover: the outer err is never used after the inner scope, so the
+// inner name simply takes over.
+func goodTakeover(cond bool) int {
+	err := setup()
+	_ = err
+	if cond {
+		n, err := work()
+		_ = err
+		return n
+	}
+	return 0
+}
+
+var pkgLevel = 7
+
+// goodPackageHide: hiding a package-level name locally is deliberate.
+func goodPackageHide() int {
+	pkgLevel := 1
+	return pkgLevel
+}
+
+// badVarShadow: a var declaration shadows too.
+func badVarShadow(cond bool) error {
+	err := setup()
+	if cond {
+		var err error // want `declaration of "err" shadows declaration at .*a\.go:46`
+		_ = err
+	}
+	return err
+}

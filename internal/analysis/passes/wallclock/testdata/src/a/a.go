@@ -1,0 +1,43 @@
+// Package a exercises the wallclock analyzer: host-clock reads are
+// flagged, pure time-value arithmetic is not, and the allow annotation
+// suppresses deliberate uses at line, function, and file scope.
+package a
+
+import (
+	"fmt"
+	"time"
+)
+
+func violations() {
+	t0 := time.Now()                   // want `wall-clock time\.Now in simulation code`
+	fmt.Println(time.Since(t0))        // want `wall-clock time\.Since in simulation code`
+	time.Sleep(time.Millisecond)       // want `wall-clock time\.Sleep in simulation code`
+	_ = time.Tick(time.Second)         // want `wall-clock time\.Tick in simulation code`
+	_ = time.NewTicker(time.Second)    // want `wall-clock time\.NewTicker in simulation code`
+	_ = time.NewTimer(time.Second)     // want `wall-clock time\.NewTimer in simulation code`
+	_ = time.After(time.Second)        // want `wall-clock time\.After in simulation code`
+	_ = time.Until(t0)                 // want `wall-clock time\.Until in simulation code`
+	time.AfterFunc(time.Second, func() {}) // want `wall-clock time\.AfterFunc in simulation code`
+}
+
+// pure uses only host-clock-free helpers: no diagnostics.
+func pure() {
+	d, _ := time.ParseDuration("3ms")
+	_ = d * 2
+	_ = time.Duration(5) * time.Millisecond
+	_ = time.Unix(0, 42)
+}
+
+func allowedLine() {
+	_ = time.Now() //caflint:allow wallclock -- wall-time reporting
+	//caflint:allow wallclock
+	_ = time.Now()
+}
+
+// allowedFunc reports bench wall time.
+//
+//caflint:allow wallclock -- the whole function is harness-side
+func allowedFunc() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}

@@ -1,0 +1,15 @@
+package a
+
+import (
+	"testing"
+	"time"
+)
+
+// Test files may bound host time freely: the analyzer exempts them, so no
+// diagnostics are expected here.
+func TestHostTimeIsAllowed(t *testing.T) {
+	t0 := time.Now()
+	if time.Since(t0) > time.Minute {
+		t.Fatal("impossibly slow")
+	}
+}

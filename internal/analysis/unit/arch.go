@@ -1,0 +1,6 @@
+package unit
+
+import "runtime"
+
+// defaultGOARCH is the host architecture, used when GOARCH is unset.
+const defaultGOARCH = runtime.GOARCH

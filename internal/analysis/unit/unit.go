@@ -1,0 +1,320 @@
+// Package unit implements the `go vet -vettool` driver protocol (the role
+// golang.org/x/tools/go/analysis/unitchecker plays for x/tools analyzers)
+// on top of the standard library alone.
+//
+// cmd/go invokes the tool once per package with three entry points:
+//
+//   - `tool -V=full` must print "name version ..." (used for build caching);
+//   - `tool -flags` must print a JSON description of the tool's flags;
+//   - `tool <file>.cfg` must analyze the package described by the JSON
+//     config, print diagnostics to stderr, write the facts file named by
+//     VetxOutput, and exit nonzero iff there were diagnostics or errors.
+//
+// Run also accepts ordinary package patterns: `caflint ./...` re-executes
+// itself through `go vet -vettool=<self>` so users need no wrapper script.
+package unit
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"cafmpi/internal/analysis"
+)
+
+// Config mirrors the JSON emitted by cmd/go for each vetted package. Field
+// names must match cmd/go's (see src/cmd/go/internal/work/exec.go vetConfig).
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for a caflint-style multichecker binary.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	printVersion := fs.String("V", "", "print version and exit (cmd/go protocol)")
+	printFlags := fs.Bool("flags", false, "print flags in JSON (cmd/go protocol)")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON on stdout")
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer")
+	}
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] <packages|cfg-file>\n\nanalyzers:\n", progname)
+		for _, a := range analyzers {
+			doc := a.Doc
+			if i := strings.IndexByte(doc, '\n'); i >= 0 {
+				doc = doc[:i]
+			}
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, doc)
+		}
+	}
+	fs.Parse(os.Args[1:])
+
+	if *printVersion != "" {
+		// cmd/go parses `name version devel ... buildID=a/b/c/d` and hashes
+		// the content ID (last segment) into its build cache key, so derive
+		// it from this binary's own bytes: rebuilding caflint invalidates
+		// cached vet verdicts.
+		fmt.Printf("%s version devel buildID=%s\n", progname, selfContentID())
+		return
+	}
+	if *printFlags {
+		describeFlags(fs)
+		return
+	}
+
+	var active []*analysis.Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+
+	args := fs.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runUnit(args[0], active, *jsonOut)
+		return
+	}
+	// Standalone mode: delegate package loading to the go command, with this
+	// very binary as the vet tool.
+	self, err := os.Executable()
+	if err != nil {
+		fatal("cannot locate own executable: %v", err)
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cmdArgs := []string{"vet", "-vettool=" + self}
+	for _, a := range analyzers {
+		if !*enabled[a.Name] {
+			cmdArgs = append(cmdArgs, "-"+a.Name+"=false")
+		}
+	}
+	cmd := exec.Command("go", append(cmdArgs, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fatal("go vet: %v", err)
+	}
+}
+
+// selfContentID hashes the running executable into the four-segment buildID
+// shape cmd/go's toolID parser expects.
+func selfContentID() string {
+	h := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			h = fmt.Sprintf("%x", sum[:12])
+		}
+	}
+	return h + "/" + h + "/" + h + "/" + h
+}
+
+// describeFlags prints the tool's flags in the JSON shape cmd/go expects
+// from `tool -flags`.
+func describeFlags(fs *flag.FlagSet) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	fs.VisitAll(func(f *flag.Flag) {
+		isBool := false
+		if b, ok := f.Value.(interface{ IsBoolFlag() bool }); ok {
+			isBool = b.IsBoolFlag()
+		}
+		flags = append(flags, jsonFlag{Name: f.Name, Bool: isBool, Usage: f.Usage})
+	})
+	data, err := json.Marshal(flags)
+	if err != nil {
+		fatal("marshaling flags: %v", err)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// runUnit analyzes the single package described by cfgFile.
+func runUnit(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatal("%v", err)
+	}
+	var cfg Config
+	if err = json.Unmarshal(data, &cfg); err != nil {
+		fatal("parsing %s: %v", cfgFile, err)
+	}
+
+	// The facts file must exist even when this run reports nothing: cmd/go
+	// caches it for dependent packages. caflint analyzers exchange no facts,
+	// so the file is an empty placeholder.
+	if cfg.VetxOutput != "" {
+		if err = os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fatal("writing facts: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return // facts-only run: dependents need the vetx file, not diagnostics
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, perr := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return
+			}
+			fatal("%v", perr)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tcfg := &types.Config{
+		Importer: newCfgImporter(&cfg, fset),
+		Error:    func(error) {}, // collect nothing; first error returned below
+		Sizes:    types.SizesFor(cfg.Compiler, buildArch()),
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fatal("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := analysis.NewPass(a, fset, files, pkg, info, func(d analysis.Diagnostic) {
+			diags = append(diags, d)
+		})
+		if err := a.Run(pass); err != nil {
+			fatal("analyzer %s on %s: %v", a.Name, cfg.ImportPath, err)
+		}
+	}
+	if len(diags) == 0 {
+		return
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	if jsonOut {
+		printJSON(os.Stdout, fset, cfg.ImportPath, diags)
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+	}
+	os.Exit(2)
+}
+
+// printJSON emits the x/tools-compatible {pkg: {analyzer: [diag]}} shape.
+func printJSON(w io.Writer, fset *token.FileSet, pkgPath string, diags []analysis.Diagnostic) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := make(map[string][]jsonDiag)
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer],
+			jsonDiag{Posn: fset.Position(d.Pos).String(), Message: d.Message})
+	}
+	out := map[string]map[string][]jsonDiag{pkgPath: byAnalyzer}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	enc.Encode(out)
+}
+
+// cfgImporter resolves imports through the export-data files cmd/go listed
+// in the config, using the compiler-written export format reader.
+type cfgImporter struct {
+	cfg   *Config
+	gc    types.Importer
+	cache map[string]*types.Package
+}
+
+func newCfgImporter(cfg *Config, fset *token.FileSet) *cfgImporter {
+	ci := &cfgImporter{cfg: cfg, cache: make(map[string]*types.Package)}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	ci.gc = importer.ForCompiler(fset, "gc", lookup)
+	return ci
+}
+
+func (ci *cfgImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	canonical := path
+	if mapped, ok := ci.cfg.ImportMap[path]; ok {
+		canonical = mapped
+	}
+	if pkg, ok := ci.cache[canonical]; ok {
+		return pkg, nil
+	}
+	pkg, err := ci.gc.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	ci.cache[canonical] = pkg
+	return pkg, nil
+}
+
+// buildArch returns the architecture whose type sizes the checker should
+// assume; vet runs on the build host, so GOARCH (or the host arch) is right.
+func buildArch() string {
+	if a := os.Getenv("GOARCH"); a != "" {
+		return a
+	}
+	return defaultGOARCH
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "caflint: "+format+"\n", args...)
+	os.Exit(1)
+}

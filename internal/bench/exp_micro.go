@@ -33,26 +33,26 @@ func micro(o Options, platform *fabric.Params, sub caf.Substrate, p, k, ka int) 
 		// delivery rate observed at the target (as the paper's
 		// EVENT_NOTIFY microbenchmark does).
 		rate := func(name string, n int, fn func() error) (float64, error) {
-			if err := im.World().Barrier(); err != nil {
+			if err = im.World().Barrier(); err != nil {
 				return 0, err
 			}
 			t0 := im.Now()
 			if im.ID() == 0 {
 				for i := 0; i < n; i++ {
-					if err := fn(); err != nil {
+					if err = fn(); err != nil {
 						return 0, fmt.Errorf("%s: %w", name, err)
 					}
 				}
 			}
 			if name == "notify" && im.ID() == target && im.ID() != 0 {
 				for i := 0; i < n; i++ {
-					if err := evs.Wait(0); err != nil {
+					if err = evs.Wait(0); err != nil {
 						return 0, err
 					}
 				}
 			}
 			dt := im.Now() - t0
-			if err := im.World().Barrier(); err != nil {
+			if err = im.World().Barrier(); err != nil {
 				return 0, err
 			}
 			measurer := 0

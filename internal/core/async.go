@@ -50,13 +50,19 @@ func (ca *Coarray) PutAsync(target, off int, data []byte, opts AsyncOpts) error 
 	defer ca.im.tr.Span(trace.CoarrayWrite)()
 	im := ca.im
 	worldTarget := ca.team.WorldRank(target)
+	// Recorded at issue, before the injection publishes the release edge: in
+	// the abstract model the data may land any time until the completion
+	// event, so an unordered access at the target races even when this
+	// implementation's AM path happens to resolve it deterministically.
+	im.san.CheckRead(data, "PutAsync source")
+	im.san.RemoteWrite(ca.id, worldTarget, off, len(data), "PutAsync")
 
 	if opts.DstDone != nil {
 		if im.sub.Caps().PutWithRemoteEventViaAM {
 			args := im.amArgs[:5]
 			args[0], args[1] = ca.id, uint64(off)
 			args[2], args[3], args[4] = opts.DstDone.evsID, uint64(opts.DstDone.Slot), uint64(opts.DstDone.ownerWorld)
-			if err := im.sub.AMSend(worldTarget, amCopyPut, args, data); err != nil {
+			if err := im.amSend(worldTarget, amCopyPut, args, data); err != nil {
 				return err
 			}
 			// The AM layer buffers the payload at injection (§3.2), so the
@@ -102,6 +108,7 @@ func (ca *Coarray) GetAsync(target, off int, into []byte, opts AsyncOpts) error 
 	}
 	defer ca.im.tr.Span(trace.CoarrayRead)()
 	im := ca.im
+	im.san.RemoteRead(ca.id, ca.team.WorldRank(target), off, len(into), "GetAsync")
 	done := opts.DstDone
 	if done == nil {
 		done = opts.SrcDone // a get's "source" is remote; accept either name
@@ -114,6 +121,8 @@ func (ca *Coarray) GetAsync(target, off int, into []byte, opts AsyncOpts) error 
 		im.notePending(comp, done)
 		return nil
 	}
+	// No completion event: `into` is undefined until the next cofence.
+	im.san.NoteDeferredGet(into, "GetAsync")
 	return im.sub.GetDeferred(ca.seg, target, off, into)
 }
 
@@ -142,6 +151,7 @@ func (im *Image) CopyAsync(dst *Coarray, dstImage, dstOff int, src *Coarray, src
 			return err
 		}
 		buf := make([]byte, n)
+		im.san.RemoteRead(src.id, src.team.WorldRank(srcImage), srcOff, n, "CopyAsync stage")
 		if err := im.sub.Get(src.seg, srcImage, srcOff, buf); err != nil {
 			return err
 		}
@@ -158,7 +168,9 @@ func (im *Image) CopyAsync(dst *Coarray, dstImage, dstOff int, src *Coarray, src
 // operation issued after the Cofence can be reordered before it.
 func (im *Image) Cofence() error {
 	defer im.tr.Span(trace.Other)()
-	return im.sub.LocalFence()
+	err := im.sub.LocalFence()
+	im.san.FenceLocal()
+	return err
 }
 
 // CofenceOpts selects which implicit operations a scoped cofence completes
@@ -171,5 +183,9 @@ type CofenceOpts struct {
 // CofenceScoped is Cofence restricted to the implicit puts and/or gets.
 func (im *Image) CofenceScoped(opts CofenceOpts) error {
 	defer im.tr.Span(trace.Other)()
-	return im.sub.LocalFenceScoped(opts.Puts, opts.Gets)
+	err := im.sub.LocalFenceScoped(opts.Puts, opts.Gets)
+	if opts.Gets {
+		im.san.FenceLocal()
+	}
+	return err
 }

@@ -49,8 +49,26 @@ func (ca *Coarray) Team() *Team { return ca.team }
 // Bytes returns the per-image size.
 func (ca *Coarray) Bytes() int { return ca.bytes }
 
-// Local returns this image's portion.
+// Local returns this image's portion. Accesses through the returned slice
+// are invisible to the sanitizer; code that wants local accesses checked
+// for races against remote Puts/Gets should use ReadLocal/WriteLocal.
 func (ca *Coarray) Local() []byte { return ca.seg.Local() }
+
+// ReadLocal returns [off, off+n) of this image's portion for reading,
+// recording the access with the sanitizer when enabled.
+func (ca *Coarray) ReadLocal(off, n int) []byte {
+	buf := ca.seg.Local()[off : off+n]
+	ca.im.san.LocalAccess(ca.id, off, n, false, "local read")
+	ca.im.san.CheckRead(buf, "local read")
+	return buf
+}
+
+// WriteLocal returns [off, off+n) of this image's portion for writing,
+// recording the access with the sanitizer when enabled.
+func (ca *Coarray) WriteLocal(off, n int) []byte {
+	ca.im.san.LocalAccess(ca.id, off, n, true, "local write")
+	return ca.seg.Local()[off : off+n]
+}
 
 // Free releases the coarray collectively.
 func (ca *Coarray) Free() error {
@@ -86,6 +104,8 @@ func (ca *Coarray) Put(target, off int, data []byte) error {
 		return err
 	}
 	defer ca.im.tr.Span(trace.CoarrayWrite)()
+	ca.im.san.CheckRead(data, "Put source")
+	ca.im.san.RemoteWrite(ca.id, ca.team.WorldRank(target), off, len(data), "Put")
 	return ca.im.sub.Put(ca.seg, target, off, data)
 }
 
@@ -95,6 +115,7 @@ func (ca *Coarray) Get(target, off int, into []byte) error {
 		return err
 	}
 	defer ca.im.tr.Span(trace.CoarrayRead)()
+	ca.im.san.RemoteRead(ca.id, ca.team.WorldRank(target), off, len(into), "Get")
 	return ca.im.sub.Get(ca.seg, target, off, into)
 }
 
@@ -106,6 +127,8 @@ func (ca *Coarray) PutDeferred(target, off int, data []byte) error {
 		return err
 	}
 	defer ca.im.tr.Span(trace.CoarrayWrite)()
+	ca.im.san.CheckRead(data, "PutDeferred source")
+	ca.im.san.RemoteWrite(ca.id, ca.team.WorldRank(target), off, len(data), "PutDeferred")
 	return ca.im.sub.PutDeferred(ca.seg, target, off, data)
 }
 
@@ -116,5 +139,7 @@ func (ca *Coarray) GetDeferred(target, off int, into []byte) error {
 		return err
 	}
 	defer ca.im.tr.Span(trace.CoarrayRead)()
+	ca.im.san.RemoteRead(ca.id, ca.team.WorldRank(target), off, len(into), "GetDeferred")
+	ca.im.san.NoteDeferredGet(into, "GetDeferred")
 	return ca.im.sub.GetDeferred(ca.seg, target, off, into)
 }

@@ -21,8 +21,18 @@ import (
 const collAMMax = 1024
 
 // Barrier blocks until every team member has entered it.
+//
+// The public collectives are the sanitizer's collective sync points: entry
+// contributes this image's clock to the round, exit joins the
+// contributors'. Rooted collectives contribute/acquire asymmetrically (a
+// bcast orders root entry before every exit but does not order leaves with
+// each other). The generic AM fallbacks would be covered by the AM edges
+// alone; the explicit hooks are what cover the substrate-native
+// implementations, which move no AMs.
 func (t *Team) Barrier() error {
 	defer t.im.tr.Span(trace.Collective)()
+	round := t.im.san.CollEnter(t.id, t.Size(), true)
+	defer t.im.san.CollExit(t.id, round, true)
 	if err := t.im.sub.Barrier(t.ref); err != ErrUnsupported {
 		return err
 	}
@@ -48,14 +58,14 @@ func (t *Team) genericBarrier() error {
 func (t *Team) sendSignal(dst, key int) error {
 	im := t.im
 	im.amArgs[0], im.amArgs[1], im.amArgs[2] = t.id, uint64(uint(key)), uint64(t.Rank())
-	return im.sub.AMSend(t.WorldRank(dst), amCollSignal, im.amArgs[:3], nil)
+	return im.amSend(t.WorldRank(dst), amCollSignal, im.amArgs[:3], nil)
 }
 
 // sendData delivers a small payload to teammate dst under key.
 func (t *Team) sendData(dst, key int, payload []byte) error {
 	im := t.im
 	im.amArgs[0], im.amArgs[1], im.amArgs[2] = t.id, uint64(uint(key)), uint64(t.Rank())
-	return im.sub.AMSend(t.WorldRank(dst), amCollData, im.amArgs[:3], payload)
+	return im.amSend(t.WorldRank(dst), amCollData, im.amArgs[:3], payload)
 }
 
 // ensureScratch guarantees the team scratch coarray has at least slotBytes
@@ -94,7 +104,7 @@ func (t *Team) putSlot(dst, key int, data []byte) error {
 	if err := t.im.sub.PutDeferred(t.coll.scratch, dst, t.Rank()*t.coll.slotBytes, data); err != nil {
 		return err
 	}
-	if err := t.im.sub.ReleaseFence(); err != nil {
+	if err := t.im.releaseFence(); err != nil {
 		return err
 	}
 	return t.sendSignal(dst, key)
@@ -112,6 +122,8 @@ func (t *Team) recvSlot(src, key int, dst []byte) error {
 // Bcast broadcasts root's buf to every member.
 func (t *Team) Bcast(buf []byte, root int) error {
 	defer t.im.tr.Span(trace.Collective)()
+	round := t.im.san.CollEnter(t.id, t.Size(), t.Rank() == root)
+	defer t.im.san.CollExit(t.id, round, true)
 	return t.bcast(buf, root)
 }
 
@@ -181,7 +193,7 @@ func (t *Team) genericBcast(buf []byte, root int) error {
 		}
 	}
 	if len(children) > 0 {
-		if err := t.im.sub.ReleaseFence(); err != nil {
+		if err := t.im.releaseFence(); err != nil {
 			return err
 		}
 		for _, child := range children {
@@ -201,6 +213,8 @@ func (t *Team) bcastU64(v []uint64, root int) error {
 // Reduce combines in from every member with op into out at root.
 func (t *Team) Reduce(in, out []byte, k elem.Kind, op elem.Op, root int) error {
 	defer t.im.tr.Span(trace.Collective)()
+	round := t.im.san.CollEnter(t.id, t.Size(), true)
+	defer t.im.san.CollExit(t.id, round, t.Rank() == root)
 	return t.reduce(in, out, k, op, root)
 }
 
@@ -274,6 +288,8 @@ func (t *Team) Allreduce(in, out []byte, k elem.Kind, op elem.Op) error {
 	if len(out) < len(in) {
 		return fmt.Errorf("core: Allreduce out buffer too small (%d < %d)", len(out), len(in))
 	}
+	round := t.im.san.CollEnter(t.id, t.Size(), true)
+	defer t.im.san.CollExit(t.id, round, true)
 	if err := t.im.sub.Allreduce(t.ref, in, out, k, op); err != ErrUnsupported {
 		return err
 	}
@@ -292,6 +308,8 @@ func (t *Team) Allgather(send, recv []byte) error {
 	if len(recv) < blk*n {
 		return fmt.Errorf("core: Allgather recv buffer too small (%d < %d)", len(recv), blk*n)
 	}
+	round := t.im.san.CollEnter(t.id, n, true)
+	defer t.im.san.CollExit(t.id, round, true)
 	if err := t.im.sub.Allgather(t.ref, send, recv); err != ErrUnsupported {
 		return err
 	}
@@ -349,6 +367,8 @@ func (t *Team) Alltoall(send, recv []byte) error {
 	if len(recv) < blk*n {
 		return fmt.Errorf("core: Alltoall recv buffer too small (%d < %d)", len(recv), blk*n)
 	}
+	round := t.im.san.CollEnter(t.id, n, true)
+	defer t.im.san.CollExit(t.id, round, true)
 	if err := t.im.sub.Alltoall(t.ref, send, recv); err != ErrUnsupported {
 		return err
 	}
@@ -387,7 +407,7 @@ func (t *Team) genericAlltoall(send, recv []byte, blk int) error {
 	}
 	tB := t.im.p.Now()
 	// Complete all puts remotely, then tell every peer its block landed.
-	if err := t.im.sub.ReleaseFence(); err != nil {
+	if err := t.im.releaseFence(); err != nil {
 		return err
 	}
 	tC := t.im.p.Now()

@@ -6,6 +6,7 @@ import (
 
 	"cafmpi/internal/fabric"
 	"cafmpi/internal/obs"
+	"cafmpi/internal/sanitizer"
 	"cafmpi/internal/sim"
 	"cafmpi/internal/trace"
 )
@@ -41,6 +42,12 @@ type Config struct {
 	// ObsRingCap overrides the per-image event ring capacity
 	// (obs.DefaultRingCap when zero).
 	ObsRingCap int
+	// Sanitize enables the PGAS synchronization sanitizer: per-image vector
+	// clocks merged at the runtime's sync points plus shadow access tracking
+	// on coarray windows, reporting unordered conflicting accesses and RMA
+	// ordering misuse. Clock-pure — virtual time is unaffected. Read the
+	// findings after the run via sanitizer.Enabled(world).
+	Sanitize bool
 }
 
 // SpawnFunc is a shippable function (CAF 2.0 function shipping). It runs on
@@ -54,7 +61,8 @@ type Image struct {
 	p   *sim.Proc
 	sub Substrate
 	tr  *trace.Tracer
-	osh *obs.Shard // nil when observability is off
+	osh *obs.Shard       // nil when observability is off
+	san *sanitizer.Image // nil when sanitizing is off (methods are nil-safe)
 
 	world *Team
 	ids   *atomic.Uint64 // world-shared id allocator (teams, coarrays, events)
@@ -152,6 +160,10 @@ func Boot(p *sim.Proc, cfg Config) (*Image, error) {
 		obs.Enable(p.World(), cfg.ObsRingCap)
 	}
 	im.osh = obs.For(p)
+	if cfg.Sanitize {
+		sanitizer.Enable(p.World())
+		im.san = sanitizer.For(p)
+	}
 	// TEAM_WORLD must be addressable by AMs before the substrate's first
 	// poll: a faster image can finish booting and send world-team
 	// collective AMs while this image is still inside the substrate's
@@ -300,14 +312,25 @@ func (im *Image) newID(t *Team) (uint64, error) {
 }
 
 // deliver is the runtime's AM dispatcher, invoked by the substrate on this
-// image's goroutine during polls.
+// image's goroutine during polls. An AM's execution happens-after its
+// injection, so delivery is a sanitizer acquire on the (src, this) channel;
+// orphan replays go straight to dispatch — their clock edge was taken at
+// arrival, and arrival happens-before the replay.
 func (im *Image) deliver(src int, kind uint8, args []uint64, payload []byte) {
+	im.san.AMAcquire(src)
+	im.dispatch(src, kind, args, payload)
+}
+
+func (im *Image) dispatch(src int, kind uint8, args []uint64, payload []byte) {
 	switch kind {
 	case amEventNotify:
 		evs, ok := im.events[args[0]]
 		if !ok {
 			panic(fmt.Sprintf("core: image %d received notify for unknown events object %d", im.ID(), args[0]))
 		}
+		// The post is this slot's release point: the owner's clock already
+		// joined the notifier's via the AM edge above.
+		im.san.EventPublish(args[0], im.ID(), int(args[1]))
 		evs.post(src, int(args[1]), int64(args[2]))
 
 	case amSpawn:
@@ -333,6 +356,9 @@ func (im *Image) deliver(src int, kind uint8, args []uint64, payload []byte) {
 			panic(fmt.Sprintf("core: image %d received copy-put for unknown coarray %d", im.ID(), args[0]))
 		}
 		off := int(args[1])
+		// The copy executes on the owner's goroutine: record it as the
+		// owner's write, clock already past the sender's injection edge.
+		im.san.LocalAccess(args[0], off, len(payload), true, fmt.Sprintf("copy-put from image %d", src))
 		copy(co.Local()[off:off+len(payload)], payload)
 		if args[2] != noEvent {
 			ev := EventRef{evsID: args[2], Slot: int(args[3]), ownerWorld: int(args[4])}
@@ -369,9 +395,25 @@ func (im *Image) registerTeam(t *Team) {
 	if q := im.orphanAMs[t.id]; q != nil {
 		delete(im.orphanAMs, t.id)
 		for _, o := range q {
-			im.deliver(o.src, o.kind, o.args, o.payload)
+			im.dispatch(o.src, o.kind, o.args, o.payload)
 		}
 	}
+}
+
+// amSend injects a runtime AM, publishing the sanitizer release edge the
+// delivery on dst will acquire. All runtime AM injection goes through here.
+func (im *Image) amSend(dst int, kind uint8, args []uint64, payload []byte) error {
+	im.san.AMPublish(dst)
+	return im.sub.AMSend(dst, kind, args, payload)
+}
+
+// releaseFence completes every previously issued operation at its target.
+// Locally it also completes implicitly synchronized gets, so pending
+// get-destination buffers become defined.
+func (im *Image) releaseFence() error {
+	err := im.sub.ReleaseFence()
+	im.san.FenceLocal()
+	return err
 }
 
 // postEvent posts count to an event reference, locally when this image owns
@@ -384,11 +426,12 @@ func (im *Image) postEvent(ev EventRef, count int64) {
 		if !ok {
 			panic(fmt.Sprintf("core: posting to unknown events object %d", ev.evsID))
 		}
+		im.san.EventPublish(ev.evsID, im.ID(), ev.Slot)
 		evs.post(im.ID(), ev.Slot, count)
 		return
 	}
 	im.amArgs[0], im.amArgs[1], im.amArgs[2] = ev.evsID, uint64(ev.Slot), uint64(count)
-	if err := im.sub.AMSend(ev.ownerWorld, amEventNotify, im.amArgs[:3], nil); err != nil {
+	if err := im.amSend(ev.ownerWorld, amEventNotify, im.amArgs[:3], nil); err != nil {
 		panic(fmt.Sprintf("core: event post AM failed: %v", err))
 	}
 }

@@ -116,21 +116,25 @@ func (e *Events) Notify(target, slot int) error {
 	}
 	defer e.im.tr.Span(trace.EventNotify)()
 	t0 := e.im.p.Now()
-	if err := e.im.sub.ReleaseFence(); err != nil {
+	if err := e.im.releaseFence(); err != nil {
 		return err
 	}
+	world := e.team.WorldRank(target)
 	if e.backend != nil {
+		// Substrate-native events bypass the AM path: the release edge is
+		// published here, directly against the target's slot.
+		e.im.san.EventPublish(e.id, world, slot)
 		return e.backend.Notify(target, slot)
 	}
-	world := e.team.WorldRank(target)
 	if world == e.im.ID() {
+		e.im.san.EventPublish(e.id, world, slot)
 		e.post(world, slot, 1)
 		e.im.osh.Record(obs.LayerRuntime, obs.OpEventNotify, world, 0, slot, t0, e.im.p.Now())
 		return nil
 	}
 	im := e.im
 	im.amArgs[0], im.amArgs[1], im.amArgs[2] = e.id, uint64(slot), 1
-	err := im.sub.AMSend(world, amEventNotify, im.amArgs[:3], nil)
+	err := im.amSend(world, amEventNotify, im.amArgs[:3], nil)
 	// Event only — the release fence and AM injection record their own
 	// happens-before edges, which must not be shadowed by a coarser one.
 	im.osh.Record(obs.LayerRuntime, obs.OpEventNotify, world, 0, slot, t0, im.p.Now())
@@ -146,7 +150,11 @@ func (e *Events) Wait(slot int) error {
 	}
 	defer e.im.tr.Span(trace.EventWait)()
 	if e.backend != nil {
-		return e.backend.Wait(slot)
+		if err := e.backend.Wait(slot); err != nil {
+			return err
+		}
+		e.im.san.EventAcquire(e.id, e.im.ID(), slot)
+		return nil
 	}
 	im := e.im
 	t0 := im.p.Now()
@@ -155,6 +163,7 @@ func (e *Events) Wait(slot int) error {
 	im.pollUntil(im.evCond)
 	im.waitEvs, im.waitSlot = prevEvs, prevSlot
 	e.count[slot]--
+	im.san.EventAcquire(e.id, im.ID(), slot)
 	if im.osh != nil {
 		end := im.p.Now()
 		peer := int(e.lastSrc[slot])
@@ -184,11 +193,16 @@ func (e *Events) TryWait(slot int) (bool, error) {
 		return false, err
 	}
 	if e.backend != nil {
-		return e.backend.TryWait(slot)
+		ok, err := e.backend.TryWait(slot)
+		if ok {
+			e.im.san.EventAcquire(e.id, e.im.ID(), slot)
+		}
+		return ok, err
 	}
 	e.im.Poll()
 	if e.count[slot] > 0 {
 		e.count[slot]--
+		e.im.san.EventAcquire(e.id, e.im.ID(), slot)
 		return true, nil
 	}
 	return false, nil

@@ -21,7 +21,10 @@ func (im *Image) RegisterFunc(id uint64, fn SpawnFunc) error {
 	if q := im.orphanSpawns[id]; q != nil {
 		delete(im.orphanSpawns, id)
 		for _, o := range q {
-			im.deliver(o.src, o.kind, o.args, o.payload)
+			// Replays go through dispatch, not deliver: the sanitizer's AM
+			// happens-before edge was already consumed when the message first
+			// arrived and was queued as an orphan.
+			im.dispatch(o.src, o.kind, o.args, o.payload)
 		}
 	}
 	return nil
@@ -42,7 +45,7 @@ func (im *Image) Spawn(t *Team, target int, id uint64, args []byte) error {
 	defer im.tr.Span(trace.SpawnOp)()
 	im.shipped++ // counted before injection: an in-flight spawn is visible
 	im.amArgs[0] = id
-	return im.sub.AMSend(t.WorldRank(target), amSpawn, im.amArgs[:1], args)
+	return im.amSend(t.WorldRank(target), amSpawn, im.amArgs[:1], args)
 }
 
 // Finish runs body and then blocks until every asynchronous operation and
@@ -65,7 +68,7 @@ func (im *Image) Finish(t *Team, body func() error) error {
 	prevShipped := int64(-1)
 	for {
 		im.Poll() // execute any spawns already queued locally
-		if err := im.sub.ReleaseFence(); err != nil {
+		if err := im.releaseFence(); err != nil {
 			return err
 		}
 		in := []int64{im.shipped - im.completed, im.shipped}

@@ -66,7 +66,7 @@ type Net struct {
 	poolBytes atomic.Int64
 
 	mu     sync.Mutex
-	layers map[string]*Layer
+	layers map[string]*Layer // guarded by mu
 }
 
 // nic tracks the busy intervals of one image's inbound link. Reservations
@@ -76,7 +76,7 @@ type Net struct {
 // coalesce, so sustained incast collapses to one growing interval.
 type nic struct {
 	mu   sync.Mutex
-	busy []ivl // sorted by start; bounded, oldest evicted
+	busy []ivl // sorted by start; bounded, oldest evicted; guarded by mu
 }
 
 type ivl struct{ start, end int64 }

@@ -20,6 +20,7 @@ import (
 
 	"cafmpi/internal/fabric"
 	"cafmpi/internal/obs"
+	"cafmpi/internal/sanitizer"
 	"cafmpi/internal/sim"
 )
 
@@ -101,6 +102,7 @@ type Ep struct {
 	// osh is this image's observability shard, nil when off; cached at
 	// Attach so AM and RDMA hot paths pay a nil check only.
 	osh *obs.Shard
+	san *sanitizer.Image // nil when sanitizing is off (methods are nil-safe)
 }
 
 // HandlerEntry binds a handler id to its function for Attach, mirroring
@@ -133,6 +135,7 @@ func Attach(p *sim.Proc, net *fabric.Net, segSize int, handlers ...HandlerEntry)
 	}
 	e.fep = e.layer.Endpoint(p.ID())
 	e.osh = obs.For(p)
+	e.san = sanitizer.For(p)
 	e.amSpec = fabric.MatchSpec{Classes: fabric.Classes(clsAMRequest, clsAMReply), Src: fabric.AnySrc}
 	e.brSpec = fabric.MatchSpec{Classes: fabric.Classes(clsAMRequest, clsAMReply, clsBarrier), Src: fabric.AnySrc, Filter: e.barrierFilter}
 	e.segment = make([]byte, segSize)
@@ -519,7 +522,11 @@ func (e *Ep) noteNBI(h *Handle) {
 
 // SyncNB blocks until the explicit handle's operation completes locally.
 func (e *Ep) SyncNB(h *Handle) {
+	t0 := e.p.Now()
 	e.p.AdvanceTo(h.localT)
+	if end := e.p.Now(); e.osh != nil && end > t0 {
+		e.osh.Record(obs.LayerGASNet, obs.OpNBISync, -1, 0, 0, t0, end)
+	}
 }
 
 // TrySyncNB reports whether the handle has completed without blocking.
@@ -539,6 +546,8 @@ func (e *Ep) SyncNBIAll() {
 	e.p.AdvanceTo(e.nbiRemote)
 	e.nbiCount = 0
 	e.nbiRemote = 0
+	// NBI sync completes implicit gets: their destinations become defined.
+	e.san.FenceLocal()
 	if e.osh != nil {
 		end := e.p.Now()
 		e.osh.Record(obs.LayerGASNet, obs.OpNBISync, -1, 0, synced, t0, end)

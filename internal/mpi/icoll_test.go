@@ -14,7 +14,7 @@ func TestIbarrierOverlaps(t *testing.T) {
 		}
 		// Overlapped local work while the barrier progresses.
 		e.Proc().Advance(10_000)
-		if err := r.Wait(); err != nil {
+		if err = r.Wait(); err != nil {
 			return err
 		}
 		done, err := r.Test()

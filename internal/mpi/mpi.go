@@ -20,6 +20,7 @@ import (
 
 	"cafmpi/internal/fabric"
 	"cafmpi/internal/obs"
+	"cafmpi/internal/sanitizer"
 	"cafmpi/internal/sim"
 )
 
@@ -44,8 +45,8 @@ const (
 type worldState struct {
 	nextCtx atomic.Int64
 	winsMu  sync.Mutex
-	wins    map[string]*winShared
-	dynWins map[string]*dynShared
+	wins    map[string]*winShared // guarded by winsMu
+	dynWins map[string]*dynShared // guarded by winsMu
 }
 
 // Env is one image's MPI library instance (the result of MPI_Init).
@@ -71,6 +72,10 @@ type Env struct {
 	// so RMA/p2p hot paths pay a nil check only.
 	sh *obs.Shard
 
+	// san is this image's sanitizer handle, nil when off (methods are
+	// nil-safe); cached at Init like sh.
+	san *sanitizer.Image
+
 	footprint int64
 	finalized bool
 }
@@ -93,6 +98,7 @@ func Init(p *sim.Proc, net *fabric.Net) *Env {
 	}
 	env.ep = env.layer.Endpoint(p.ID())
 	env.sh = obs.For(p)
+	env.san = sanitizer.For(p)
 	env.progSpec = fabric.MatchSpec{Classes: fabric.Classes(clsP2P), Src: fabric.AnySrc, Filter: env.postedFilter}
 
 	ranks := make([]int, p.N())

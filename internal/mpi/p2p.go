@@ -266,7 +266,7 @@ func (c *Comm) Sendrecv(sendBuf []byte, dest, sendTag int, recvBuf []byte, src, 
 	if err != nil {
 		return Status{}, err
 	}
-	if err := c.Send(sendBuf, dest, sendTag); err != nil {
+	if err = c.Send(sendBuf, dest, sendTag); err != nil {
 		return Status{}, err
 	}
 	st, err := rr.Wait()

@@ -226,7 +226,7 @@ func TestProbeThenRecv(t *testing.T) {
 			return fmt.Errorf("probe status %+v", st)
 		}
 		buf := make([]byte, st.Count)
-		if _, err := c.Recv(buf, st.Source, st.Tag); err != nil {
+		if _, err = c.Recv(buf, st.Source, st.Tag); err != nil {
 			return err
 		}
 		ok, _, err := c.Iprobe(AnySource, AnyTag)

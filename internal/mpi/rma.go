@@ -154,7 +154,12 @@ func (w *Win) Lock(target int) error {
 		return fmt.Errorf("mpi: Lock(%d) inside an existing epoch", target)
 	}
 	w.locked[target] = true
+	t0 := w.env.p.Now()
 	w.env.p.Advance(w.env.net.Params().LatencyNS) // lock request one-way; grant piggybacked
+	if sh := w.env.sh; sh != nil {
+		sh.Record(obs.LayerMPI, obs.OpLockAll, w.comm.ranks[target], 0, 1, t0, w.env.p.Now())
+		sh.Add(obs.CtrLockAllCalls, 1)
+	}
 	return nil
 }
 
@@ -181,6 +186,11 @@ func (w *Win) checkAccess(target int, what string) error {
 		return err
 	}
 	if !w.lockedAll && !w.locked[target] {
+		// MPI-3 RMA usage violation: surfaced to the sanitizer (so a
+		// -sanitize run reports it alongside data races) and still returned
+		// as the hard error it always was.
+		w.env.san.RMAViolation(fmt.Sprintf("image %d: %s to window target %d outside an access epoch (no Lock/LockAll)",
+			w.env.p.ID(), what, target))
 		return fmt.Errorf("mpi: %s to target %d outside an access epoch (call Lock or LockAll first)", what, target)
 	}
 	return nil
@@ -439,6 +449,7 @@ func (w *Win) Flush(target int) error {
 		}
 		sh.RecordEdge(e)
 	}
+	w.env.san.FenceLocal()
 	return nil
 }
 
@@ -449,7 +460,14 @@ func (w *Win) FlushLocal(target int) error {
 	if err := w.checkAccess(target, "FlushLocal"); err != nil {
 		return err
 	}
+	t0 := w.env.p.Now()
 	w.env.p.Advance(w.env.costs().FlushScanNS)
+	if sh := w.env.sh; sh != nil {
+		sh.Record(obs.LayerMPI, obs.OpFlush, w.comm.ranks[target], 0, 0, t0, w.env.p.Now())
+		sh.Add(obs.CtrFlushCalls, 1)
+	}
+	// Local completion defines get destinations (MPI-3 §11.5.4).
+	w.env.san.FenceLocal()
 	return nil
 }
 
@@ -504,6 +522,7 @@ func (w *Win) FlushAll() error {
 		e.AddComp(obs.CompOverhead, c.FlushNS*int64(flushed))
 		sh.RecordEdge(e)
 	}
+	w.env.san.FenceLocal()
 	return nil
 }
 

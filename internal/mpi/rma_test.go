@@ -395,10 +395,10 @@ func TestRputRgetRequests(t *testing.T) {
 			if err != nil {
 				return err
 			}
-			if _, err := r1.Wait(); err != nil { // local completion
+			if _, err = r1.Wait(); err != nil { // local completion
 				return err
 			}
-			if err := w.Flush(1); err != nil { // remote completion
+			if err = w.Flush(1); err != nil { // remote completion
 				return err
 			}
 			got := make([]byte, 3)
@@ -645,13 +645,13 @@ func TestSharedWindowOnOneNode(t *testing.T) {
 		}
 		// ... and direct stores by one rank are visible to node peers.
 		if node.Rank() == 0 {
-			mem, err := win.SharedQuery(0)
-			if err != nil {
-				return err
+			mem, qerr := win.SharedQuery(0)
+			if qerr != nil {
+				return qerr
 			}
 			mem[5] = byte(0xA0 + p.ID()/4)
 		}
-		if err := node.Barrier(); err != nil {
+		if err = node.Barrier(); err != nil {
 			return err
 		}
 		peer0, err := win.SharedQuery(0)
@@ -662,7 +662,7 @@ func TestSharedWindowOnOneNode(t *testing.T) {
 			return fmt.Errorf("shared store not visible: %#x", peer0[5])
 		}
 		// A cross-node shared allocation must be refused.
-		if _, err := WinAllocateShared(c, 8); err == nil {
+		if _, err = WinAllocateShared(c, 8); err == nil {
 			return fmt.Errorf("cross-node shared window accepted")
 		}
 		// But checkLive etc: plain window query is rejected.

@@ -3,6 +3,8 @@ package mpi
 import (
 	"fmt"
 	"sync"
+
+	"cafmpi/internal/obs"
 )
 
 // Dynamic windows (MPI_WIN_CREATE_DYNAMIC / MPI_WIN_ATTACH / MPI_WIN_DETACH,
@@ -21,7 +23,7 @@ type DynRegion struct {
 // dynShared is the cross-image state of one dynamic window.
 type dynShared struct {
 	mu      sync.Mutex
-	regions map[DynRegion][]byte
+	regions map[DynRegion][]byte // guarded by mu
 	atomMu  []sync.Mutex
 }
 
@@ -72,6 +74,8 @@ func WinCreateDynamic(c *Comm) (*DynWin, error) {
 
 // Attach exposes mem for remote access through the window and returns its
 // region handle (MPI_WIN_ATTACH). Local, not collective.
+//
+//caflint:allow obsedge -- local registration bookkeeping; no peer or transfer to attribute
 func (w *DynWin) Attach(mem []byte) (DynRegion, error) {
 	if mem == nil {
 		return DynRegion{}, fmt.Errorf("mpi: attaching nil memory")
@@ -110,7 +114,12 @@ func (w *DynWin) LockAll() error {
 		return fmt.Errorf("mpi: LockAll inside an existing epoch")
 	}
 	w.lockedAll = true
+	t0 := w.env.p.Now()
 	w.env.p.Advance(w.env.costs().FlushScanNS * int64(w.comm.Size()))
+	if sh := w.env.sh; sh != nil {
+		sh.Record(obs.LayerMPI, obs.OpLockAll, -1, 0, w.comm.Size(), t0, w.env.p.Now())
+		sh.Add(obs.CtrLockAllCalls, 1)
+	}
 	return nil
 }
 
@@ -173,9 +182,16 @@ func (w *DynWin) Get(buf []byte, reg DynRegion, disp int) error {
 	}
 	pr := w.env.net.Params()
 	worldDst := w.comm.ranks[reg.Rank]
+	t0 := w.env.p.Now()
 	w.env.p.Advance(w.env.costs().GetNS)
 	copy(buf, mem[disp:])
 	w.notePending(reg.Rank, w.env.p.Now()+2*pr.PathLatency(w.env.p.ID(), worldDst)+pr.PathWireTime(w.env.p.ID(), worldDst, len(buf)))
+	if sh := w.env.sh; sh != nil {
+		sh.Record(obs.LayerMPI, obs.OpGet, worldDst, len(buf), 0, t0, w.env.p.Now())
+		sh.Add(obs.CtrRDMAGets, 1)
+		sh.Add(obs.CtrRDMABytes, int64(len(buf)))
+		sh.CommAdd(worldDst, int64(len(buf)))
+	}
 	return nil
 }
 
@@ -206,12 +222,17 @@ func (w *DynWin) Flush(target int) error {
 		return err
 	}
 	c := w.env.costs()
+	t0 := w.env.p.Now()
 	if w.hasPending[target] {
 		w.env.p.AdvanceTo(w.pendingT[target])
 		w.env.p.Advance(c.FlushNS)
 		w.hasPending[target] = false
 	} else {
 		w.env.p.Advance(c.FlushScanNS)
+	}
+	if sh := w.env.sh; sh != nil {
+		sh.Record(obs.LayerMPI, obs.OpFlush, w.comm.ranks[target], 0, 0, t0, w.env.p.Now())
+		sh.Add(obs.CtrFlushCalls, 1)
 	}
 	return nil
 }
@@ -223,6 +244,7 @@ func (w *DynWin) FlushAll() error {
 		return fmt.Errorf("mpi: FlushAll outside an access epoch")
 	}
 	c := w.env.costs()
+	t0 := w.env.p.Now()
 	for t := 0; t < w.comm.Size(); t++ {
 		w.env.p.Advance(c.FlushScanNS)
 		if w.hasPending[t] {
@@ -230,6 +252,11 @@ func (w *DynWin) FlushAll() error {
 			w.env.p.Advance(c.FlushNS)
 			w.hasPending[t] = false
 		}
+	}
+	if sh := w.env.sh; sh != nil {
+		sh.Record(obs.LayerMPI, obs.OpFlushAll, -1, 0, w.comm.Size(), t0, w.env.p.Now())
+		sh.Add(obs.CtrFlushAllCalls, 1)
+		sh.Add(obs.CtrFlushAllScannedOps, int64(w.comm.Size()))
 	}
 	return nil
 }

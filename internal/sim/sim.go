@@ -130,7 +130,7 @@ func (w *World) RunTimeout(d time.Duration, fn func(*Proc) error) error {
 	select {
 	case err := <-done:
 		return err
-	case <-time.After(d):
+	case <-time.After(d): //caflint:allow wallclock -- host-time watchdog around a possibly deadlocked virtual run
 		return ErrTimeout
 	}
 }
