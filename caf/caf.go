@@ -18,11 +18,13 @@
 package caf
 
 import (
+	"context"
 	"fmt"
 
 	"cafmpi/internal/core"
 	"cafmpi/internal/elem"
 	"cafmpi/internal/fabric"
+	"cafmpi/internal/faults"
 	"cafmpi/internal/mpi"
 	"cafmpi/internal/rtgasnet"
 	"cafmpi/internal/rtmpi"
@@ -38,13 +40,10 @@ const (
 	GASNet Substrate = "gasnet" // CAF-GASNet: the original CAF 2.0 baseline
 )
 
-// Config configures a CAF job.
-type Config struct {
-	// Substrate picks CAF-MPI or CAF-GASNet. Default: MPI.
-	Substrate Substrate
-	// Platform selects the machine model (fabric.Fusion, fabric.Edison,
-	// fabric.Mira or a custom parameter set). Default: fusion.
-	Platform *fabric.Params
+// Diag groups the diagnostic subsystems of a job. All of them are off by
+// default and clock-pure (they never perturb virtual time), so they can be
+// toggled without changing a run's timing results.
+type Diag struct {
 	// Trace enables per-image time decomposition (Figures 4 and 8).
 	Trace bool
 	// Observe enables the obs subsystem: per-image event timelines,
@@ -62,6 +61,42 @@ type Config struct {
 	// effect on virtual time). Read the findings after the run with
 	// sanitizer.Enabled(world) on the world returned by RunWorld.
 	Sanitize bool
+}
+
+// Config configures a CAF job.
+type Config struct {
+	// Substrate picks CAF-MPI or CAF-GASNet. Default: MPI.
+	Substrate Substrate
+	// Platform selects the machine model (fabric.Fusion, fabric.Edison,
+	// fabric.Mira or a custom parameter set). Default: fusion.
+	Platform *fabric.Params
+	// Diag groups the diagnostic subsystems (tracing, observability,
+	// sanitizing).
+	Diag Diag
+	// Faults installs a deterministic fault-injection plan (drops,
+	// duplicates, delays, reordering, image crashes and stalls) driven by
+	// the virtual clock; nil or an empty plan leaves the fabric untouched
+	// and costs nothing. See faults.Plan / faults.Canonical.
+	Faults *faults.Plan
+
+	// Trace is a deprecated alias for Diag.Trace (ORed in).
+	//
+	// Deprecated: set Diag.Trace.
+	Trace bool
+	// Observe is a deprecated alias for Diag.Observe (ORed in).
+	//
+	// Deprecated: set Diag.Observe.
+	Observe bool
+	// ObsRingCap is a deprecated alias for Diag.ObsRingCap; Diag.ObsRingCap
+	// wins when both are set.
+	//
+	// Deprecated: set Diag.ObsRingCap.
+	ObsRingCap int
+	// Sanitize is a deprecated alias for Diag.Sanitize (ORed in).
+	//
+	// Deprecated: set Diag.Sanitize.
+	Sanitize bool
+
 	// MPIOptions tunes the CAF-MPI binding (e.g. the §5 MPI_WIN_RFLUSH
 	// ablation).
 	MPIOptions rtmpi.Options
@@ -129,11 +164,19 @@ func (c *Config) normalize() error {
 	if c.Platform == nil {
 		c.Platform = fabric.Platform("fusion")
 	}
+	// Fold the deprecated top-level diagnostic fields into Diag: booleans
+	// OR, the ring capacity prefers the Diag value when both are set.
+	c.Diag.Trace = c.Diag.Trace || c.Trace
+	c.Diag.Observe = c.Diag.Observe || c.Observe
+	c.Diag.Sanitize = c.Diag.Sanitize || c.Sanitize
+	if c.Diag.ObsRingCap == 0 {
+		c.Diag.ObsRingCap = c.ObsRingCap
+	}
 	switch c.Substrate {
 	case MPI, GASNet:
 		return nil
 	default:
-		return fmt.Errorf("caf: unknown substrate %q (want %q or %q)", c.Substrate, MPI, GASNet)
+		return fmt.Errorf("caf: unknown substrate %q (want %q or %q): %w", c.Substrate, MPI, GASNet, ErrInvalid)
 	}
 }
 
@@ -142,7 +185,7 @@ func (c *Config) coreConfig() (core.Config, error) {
 	if err := c.normalize(); err != nil {
 		return core.Config{}, err
 	}
-	cc := core.Config{Trace: c.Trace, Observe: c.Observe, ObsRingCap: c.ObsRingCap, Sanitize: c.Sanitize}
+	cc := core.Config{Trace: c.Diag.Trace, Observe: c.Diag.Observe, ObsRingCap: c.Diag.ObsRingCap, Sanitize: c.Diag.Sanitize, Faults: c.Faults}
 	switch c.Substrate {
 	case MPI:
 		opt := c.MPIOptions
@@ -160,23 +203,34 @@ func (c *Config) coreConfig() (core.Config, error) {
 	return cc, nil
 }
 
-// Run executes fn as a CAF program on n images.
+// Run executes fn as a CAF program on n images. It is
+// RunContext(context.Background(), ...).
 func Run(n int, cfg Config, fn func(*Image) error) error {
-	cc, err := cfg.coreConfig()
-	if err != nil {
-		return err
-	}
-	return core.Run(n, cc, fn)
+	return RunContext(context.Background(), n, cfg, fn)
+}
+
+// RunContext is Run under a context: when ctx is canceled the job's failure
+// latch trips and every blocked runtime call (event waits, collectives,
+// finish, blocked sends) unblocks with a typed error wrapping the
+// cancellation cause, so the job exits cleanly instead of deadlocking.
+func RunContext(ctx context.Context, n int, cfg Config, fn func(*Image) error) error {
+	_, err := RunWorldContext(ctx, n, cfg, fn)
+	return err
 }
 
 // RunWorld is Run returning the simulation world as well, for post-run
 // inspection (the obs registry, per-image clocks).
 func RunWorld(n int, cfg Config, fn func(*Image) error) (*sim.World, error) {
+	return RunWorldContext(context.Background(), n, cfg, fn)
+}
+
+// RunWorldContext is RunContext returning the simulation world as well.
+func RunWorldContext(ctx context.Context, n int, cfg Config, fn func(*Image) error) (*sim.World, error) {
 	cc, err := cfg.coreConfig()
 	if err != nil {
 		return nil, err
 	}
-	return core.RunWorld(n, cc, fn)
+	return core.RunWorldContext(ctx, n, cc, fn)
 }
 
 // Boot initializes the CAF runtime on an existing simulated image (for

@@ -1,0 +1,31 @@
+package caf
+
+import "cafmpi/internal/faults"
+
+// Typed errors surfaced by the runtime's error/cancellation API. All of
+// them are errors.Is-matchable through every wrapping layer (including a
+// panic that escapes an image: sim.PanicError unwraps to its cause).
+var (
+	// ErrImageFailed reports that a peer image crashed (a fault-plan crash
+	// point) or the job was canceled. Team collectives, event waits, finish
+	// and blocked sends unblock with an error matching it instead of
+	// deadlocking — the ULFM-style failure notification.
+	ErrImageFailed = faults.ErrImageFailed
+	// ErrTimeout reports a virtual-time delivery timeout.
+	ErrTimeout = faults.ErrTimeout
+	// ErrRetriesExhausted reports that a send burned its full retry budget
+	// without being delivered; it wraps ErrTimeout.
+	ErrRetriesExhausted = faults.ErrRetriesExhausted
+	// ErrInvalid reports invalid arguments to a runtime call (bad rank or
+	// slot, out-of-range coarray offset, unknown substrate).
+	ErrInvalid = faults.ErrInvalid
+)
+
+// ImageError is the typed error carrying which image failed and in which
+// operation; unwrap with errors.As to recover the rank.
+type ImageError = faults.ImageError
+
+// FaultPlan is a deterministic fault-injection plan for Config.Faults; build
+// one programmatically, parse JSON with faults.Parse/Load, or use
+// faults.Canonical for the standard 1%-drop chaos plan.
+type FaultPlan = faults.Plan

@@ -26,6 +26,7 @@ import (
 	"cafmpi/caf"
 	"cafmpi/internal/cgpop"
 	"cafmpi/internal/fabric"
+	"cafmpi/internal/faults"
 	"cafmpi/internal/hpcc"
 	"cafmpi/internal/obs"
 	"cafmpi/internal/obs/critpath"
@@ -53,6 +54,8 @@ func main() {
 		critPath   = flag.Bool("critpath", false, "reconstruct the virtual-time critical path and print the blame table (flows overlay -trace-out)")
 		histFlag   = flag.Bool("hist", false, "print per-op-class latency histograms (p50/p90/p99/max)")
 		sanitize   = flag.Bool("sanitize", false, "run the PGAS synchronization sanitizer; exit 1 if it finds unordered conflicting accesses or RMA misuse")
+		faultsSpec = flag.String("faults", "", "deterministic fault plan: a JSON plan file, \"canonical\" (the 1%-drop chaos plan), or \"canonical:SEED\"")
+		faultLog   = flag.Bool("fault-log", false, "print the injected-fault decision log after the run (implies reproducible ordering)")
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060) and dump runtime/metrics after the run")
 
 		raBits    = flag.Int("ra-bits", 10, "ra: log2 of per-image table entries")
@@ -87,8 +90,19 @@ func main() {
 		fmt.Printf("pprof: serving http://%s/debug/pprof/\n", *pprofAddr)
 	}
 	observe := *traceOut != "" || *stats || *commMatrix || *critPath || *histFlag
-	cfg := caf.Config{Substrate: caf.Substrate(*sub), Platform: pf, Trace: *trc,
-		Observe: observe, ObsRingCap: *obsRing, Sanitize: *sanitize,
+	var plan *faults.Plan
+	if *faultsSpec != "" {
+		var err error
+		if plan, err = faults.LoadSpec(*faultsSpec); err != nil {
+			fail("%v", err)
+		}
+		if err := plan.Validate(*np); err != nil {
+			fail("fault plan: %v", err)
+		}
+	}
+	cfg := caf.Config{Substrate: caf.Substrate(*sub), Platform: pf,
+		Diag:       caf.Diag{Trace: *trc, Observe: observe, ObsRingCap: *obsRing, Sanitize: *sanitize},
+		Faults:     plan,
 		MPIOptions: rtmpi.Options{UseRflush: *rflush, AtomicEvents: *atomicEv}}
 
 	clocks := make([]int64, *np)
@@ -222,6 +236,15 @@ func main() {
 		if *commMatrix {
 			fmt.Print(snap.CommMatrixText())
 		}
+	}
+	if st := faults.Enabled(w); st.Active() {
+		evs := st.Log()
+		if *faultLog {
+			for _, ev := range evs {
+				fmt.Println(ev.String())
+			}
+		}
+		fmt.Printf("faults: %d injected (signature %s)\n", len(evs), faults.SignatureHash(evs))
 	}
 	if *pprofAddr != "" {
 		dumpRuntimeMetrics()

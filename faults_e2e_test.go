@@ -1,0 +1,185 @@
+package cafmpi_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"cafmpi/caf"
+	"cafmpi/internal/fabric"
+	"cafmpi/internal/faults"
+	"cafmpi/internal/hpcc"
+)
+
+var chaosSubstrates = []caf.Substrate{caf.MPI, caf.GASNet}
+
+// chaosRun executes fn under plan and returns the injected-fault log
+// signature hash alongside the run error.
+func chaosRun(sub caf.Substrate, n int, plan *caf.FaultPlan, fn func(*caf.Image) error) (string, error) {
+	cfg := caf.Config{Substrate: sub, Platform: fabric.Platform("fusion"), Faults: plan}
+	w, err := caf.RunWorld(n, cfg, fn)
+	if err != nil {
+		return "", err
+	}
+	return faults.SignatureHash(faults.Enabled(w).Log()), nil
+}
+
+// raVerify is the canonical chaos workload: verified RandomAccess.
+func raVerify(im *caf.Image) error {
+	res, err := hpcc.RandomAccess(im, hpcc.RAConfig{TableBits: 8, UpdatesPerImage: 512, BatchSize: 128, Verify: true})
+	if err != nil {
+		return err
+	}
+	if res.Errors != 0 {
+		return errors.New("RandomAccess table verification failed under fault plan")
+	}
+	return nil
+}
+
+// TestChaosRandomAccessCompletes: verified RandomAccess completes
+// correctly under the canonical 1% drop plan on both substrates, with a
+// bit-reproducible injected-fault signature.
+func TestChaosRandomAccessCompletes(t *testing.T) {
+	for _, sub := range chaosSubstrates {
+		sig1, err := chaosRun(sub, 8, faults.Canonical(1), raVerify)
+		if err != nil {
+			t.Fatalf("%s: %v", sub, err)
+		}
+		sig2, err := chaosRun(sub, 8, faults.Canonical(1), raVerify)
+		if err != nil {
+			t.Fatalf("%s (rerun): %v", sub, err)
+		}
+		if sig1 != sig2 {
+			t.Fatalf("%s: fault signature not deterministic: %s vs %s", sub, sig1, sig2)
+		}
+	}
+}
+
+// TestChaosEventPingPong: a strict notify/wait alternation terminates
+// under injected loss only if every notification is delivered exactly
+// once; a stuck Wait here means a dropped notify was never retried (or a
+// duplicate double-credited the semaphore).
+func TestChaosEventPingPong(t *testing.T) {
+	const rounds = 256
+	plan := &caf.FaultPlan{Seed: 3, Rules: []faults.Rule{
+		{Kind: faults.KindDrop, Src: -1, Dst: -1, Prob: 0.05},
+		{Kind: faults.KindDup, Src: -1, Dst: -1, Prob: 0.05, DelayNS: 900},
+		{Kind: faults.KindReorder, Src: -1, Dst: -1, Prob: 0.1, DelayNS: 4000},
+	}}
+	for _, sub := range chaosSubstrates {
+		_, err := chaosRun(sub, 2, plan, func(im *caf.Image) error {
+			evs, err := im.NewEvents(im.World(), 1)
+			if err != nil {
+				return err
+			}
+			peer := 1 - im.ID()
+			for i := 0; i < rounds; i++ {
+				if im.ID() == 0 {
+					if err := evs.Notify(peer, 0); err != nil {
+						return err
+					}
+					if err := evs.Wait(0); err != nil {
+						return err
+					}
+				} else {
+					if err := evs.Wait(0); err != nil {
+						return err
+					}
+					if err := evs.Notify(peer, 0); err != nil {
+						return err
+					}
+				}
+			}
+			// Exactly-once: no stray credit may remain on either side.
+			if ok, err := evs.TryWait(0); err != nil {
+				return err
+			} else if ok {
+				return errors.New("duplicate notification credited the event twice")
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", sub, err)
+		}
+	}
+}
+
+// TestRetriesExhaustedSurfaces: with every message dropped, the failure
+// surfaces as the typed ErrRetriesExhausted / ErrTimeout chain.
+func TestRetriesExhaustedSurfaces(t *testing.T) {
+	plan := &caf.FaultPlan{Seed: 1, Rules: []faults.Rule{
+		{Kind: faults.KindDrop, Src: -1, Dst: -1, Prob: 1},
+	}}
+	for _, sub := range chaosSubstrates {
+		_, err := chaosRun(sub, 2, plan, func(im *caf.Image) error {
+			return im.World().Barrier()
+		})
+		if err == nil {
+			t.Fatalf("%s: total message loss did not fail the job", sub)
+		}
+		if !errors.Is(err, caf.ErrRetriesExhausted) && !errors.Is(err, caf.ErrImageFailed) {
+			t.Fatalf("%s: err = %v, want the typed exhaustion/failure chain", sub, err)
+		}
+		if !errors.Is(err, caf.ErrTimeout) && !errors.Is(err, caf.ErrImageFailed) {
+			t.Fatalf("%s: ErrRetriesExhausted should be a timeout: %v", sub, err)
+		}
+	}
+}
+
+// TestImageCrashUnblocks: a planned image crash surfaces as
+// caf.ErrImageFailed on every image — including the survivors parked in a
+// barrier, which must unblock rather than hang (ULFM-style notification).
+func TestImageCrashUnblocks(t *testing.T) {
+	plan := &caf.FaultPlan{Seed: 1, Crashes: []faults.CrashPoint{{Image: 1, AtNS: 0}}}
+	for _, sub := range chaosSubstrates {
+		_, err := chaosRun(sub, 4, plan, func(im *caf.Image) error {
+			for i := 0; i < 4; i++ {
+				if err := im.World().Barrier(); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if !errors.Is(err, caf.ErrImageFailed) {
+			t.Fatalf("%s: err = %v, want ErrImageFailed", sub, err)
+		}
+		var ie *caf.ImageError
+		if errors.As(err, &ie) && ie.Image >= 0 && ie.Image != 1 {
+			t.Fatalf("%s: blamed image %d, want 1", sub, ie.Image)
+		}
+	}
+}
+
+// TestRunContextCancel: a canceled context unblocks a wait that would
+// otherwise deadlock, with the cause in the error chain.
+func TestRunContextCancel(t *testing.T) {
+	cause := errors.New("operator gave up")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	cfg := caf.Config{Substrate: caf.MPI, Platform: fabric.Platform("fusion")}
+	err := caf.RunContext(ctx, 2, cfg, func(im *caf.Image) error {
+		evs, err := im.NewEvents(im.World(), 1)
+		if err != nil {
+			return err
+		}
+		return evs.Wait(0) // never posted: only cancellation can end this
+	})
+	if err == nil {
+		t.Fatal("canceled context did not stop a deadlocked wait")
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("err = %v, want chain containing the cancel cause", err)
+	}
+}
+
+// TestRunContextBackgroundIsRun: RunContext with a background context is
+// exactly Run.
+func TestRunContextBackgroundIsRun(t *testing.T) {
+	cfg := caf.Config{Substrate: caf.GASNet, Platform: fabric.Platform("fusion")}
+	err := caf.RunContext(context.Background(), 4, cfg, func(im *caf.Image) error {
+		return im.World().Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -15,12 +15,14 @@ import (
 // Analyzer flags clock-impure calls inside recording packages.
 var Analyzer = &analysis.Analyzer{
 	Name: "clockpure",
-	Doc:  "obs/critpath/hist/sanitizer recording code must not call clock-advancing runtime APIs",
+	Doc:  "obs/critpath/hist/sanitizer/faults recording code must not call clock-advancing runtime APIs",
 	Run:  run,
 }
 
-// recordingPkgs are the package basenames held to clock purity.
-var recordingPkgs = map[string]bool{"obs": true, "critpath": true, "hist": true, "sanitizer": true}
+// recordingPkgs are the package basenames held to clock purity. faults is
+// held to the same standard: the injector decides and records faults but
+// only the fabric may apply their clock consequences.
+var recordingPkgs = map[string]bool{"obs": true, "critpath": true, "hist": true, "sanitizer": true, "faults": true}
 
 // runtimePkgs are the layers whose entry points may advance virtual clocks;
 // recording code must not call into them at all.

@@ -137,6 +137,14 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 					// Uses inside the return's results are still checked
 					// (return m after Release is a bug); nothing beyond is.
 					limit = nxt.End()
+				case *ast.ExprStmt:
+					// A panic(...) call terminates the path like return does
+					// (Release-then-panic is the fault injector's crash exit).
+					if call, ok := nxt.X.(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+							limit = nxt.End()
+						}
+					}
 				}
 			}
 			recordConsumptions(s, limit)

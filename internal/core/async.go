@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"cafmpi/internal/faults"
 	"cafmpi/internal/trace"
 )
 
@@ -22,11 +23,11 @@ func (im *Image) waitPred(p *EventRef) error {
 		return nil
 	}
 	if p.ownerWorld != im.ID() {
-		return fmt.Errorf("core: predicate event must be local to the issuing image")
+		return fmt.Errorf("core: predicate event must be local to the issuing image: %w", faults.ErrInvalid)
 	}
 	evs, ok := im.events[p.evsID]
 	if !ok {
-		return fmt.Errorf("core: predicate references unknown events object %d", p.evsID)
+		return fmt.Errorf("core: predicate references unknown events object %d: %w", p.evsID, faults.ErrInvalid)
 	}
 	return evs.Wait(p.Slot)
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"cafmpi/internal/faults"
 	"cafmpi/internal/trace"
 )
 
@@ -23,7 +24,7 @@ type Coarray struct {
 // over team t.
 func (im *Image) AllocCoarray(t *Team, bytes int) (*Coarray, error) {
 	if bytes < 0 {
-		return nil, fmt.Errorf("core: negative coarray size %d", bytes)
+		return nil, fmt.Errorf("core: negative coarray size %d: %w", bytes, faults.ErrInvalid)
 	}
 	id, err := im.newID(t)
 	if err != nil {
@@ -88,10 +89,10 @@ func (ca *Coarray) check(target, off, n int, what string) error {
 		return fmt.Errorf("core: %s on freed coarray", what)
 	}
 	if target < 0 || target >= ca.team.Size() {
-		return fmt.Errorf("core: %s target image %d out of range [0,%d)", what, target, ca.team.Size())
+		return fmt.Errorf("core: %s target image %d out of range [0,%d): %w", what, target, ca.team.Size(), faults.ErrInvalid)
 	}
 	if off < 0 || off+n > ca.bytes {
-		return fmt.Errorf("core: %s range [%d,%d) outside coarray of %d bytes", what, off, off+n, ca.bytes)
+		return fmt.Errorf("core: %s range [%d,%d) outside coarray of %d bytes: %w", what, off, off+n, ca.bytes, faults.ErrInvalid)
 	}
 	return nil
 }

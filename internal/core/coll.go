@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cafmpi/internal/elem"
+	"cafmpi/internal/faults"
 	"cafmpi/internal/trace"
 )
 
@@ -49,7 +50,9 @@ func (t *Team) genericBarrier() error {
 		if err := t.sendSignal(dst, key); err != nil {
 			return err
 		}
-		t.im.pollUntil(func() bool { return t.coll.consumeSig(key, src) })
+		if err := t.im.pollUntil(func() bool { return t.coll.consumeSig(key, src) }); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -100,7 +103,9 @@ func (t *Team) ensureScratch(slotBytes int) error {
 // putSlot writes data into dst's scratch slot for this image and signals
 // (key, myRank). It consumes one flow-control credit for dst.
 func (t *Team) putSlot(dst, key int, data []byte) error {
-	t.im.pollUntil(func() bool { return t.coll.takeCredit(dst) })
+	if err := t.im.pollUntil(func() bool { return t.coll.takeCredit(dst) }); err != nil {
+		return err
+	}
 	if err := t.im.sub.PutDeferred(t.coll.scratch, dst, t.Rank()*t.coll.slotBytes, data); err != nil {
 		return err
 	}
@@ -113,7 +118,9 @@ func (t *Team) putSlot(dst, key int, data []byte) error {
 // recvSlot waits for (key, src), copies n bytes out of src's slot into dst,
 // and returns the credit.
 func (t *Team) recvSlot(src, key int, dst []byte) error {
-	t.im.pollUntil(func() bool { return t.coll.consumeSig(key, src) })
+	if err := t.im.pollUntil(func() bool { return t.coll.consumeSig(key, src) }); err != nil {
+		return err
+	}
 	slot := t.coll.scratch.Local()[src*t.coll.slotBytes:]
 	copy(dst, slot[:len(dst)])
 	return t.sendSignal(src, creditKey)
@@ -157,10 +164,12 @@ func (t *Team) genericBcast(buf []byte, root int) error {
 				}
 			} else {
 				var got []byte
-				t.im.pollUntil(func() bool {
+				if err := t.im.pollUntil(func() bool {
 					got = t.coll.take(key, parent)
 					return got != nil
-				})
+				}); err != nil {
+					return err
+				}
 				if len(got) != len(buf) {
 					return fmt.Errorf("core: bcast size mismatch (%d vs %d)", len(got), len(buf))
 				}
@@ -187,7 +196,9 @@ func (t *Team) genericBcast(buf []byte, root int) error {
 	// Bulk forwarding: write every child's slot, one fence, then signal —
 	// the puts overlap instead of paying a completion round trip each.
 	for _, child := range children {
-		t.im.pollUntil(func() bool { return t.coll.takeCredit(child) })
+		if err := t.im.pollUntil(func() bool { return t.coll.takeCredit(child) }); err != nil {
+			return err
+		}
 		if err := t.im.sub.PutDeferred(t.coll.scratch, child, t.Rank()*t.coll.slotBytes, buf); err != nil {
 			return err
 		}
@@ -223,7 +234,7 @@ func (t *Team) reduce(in, out []byte, k elem.Kind, op elem.Op, root int) error {
 		return err
 	}
 	if len(in)%k.Size() != 0 {
-		return fmt.Errorf("core: Reduce buffer size %d not a multiple of element size %d", len(in), k.Size())
+		return fmt.Errorf("core: Reduce buffer size %d not a multiple of element size %d: %w", len(in), k.Size(), faults.ErrInvalid)
 	}
 	if err := t.im.sub.Reduce(t.ref, in, out, k, op, root); err != ErrUnsupported {
 		return err
@@ -259,10 +270,12 @@ func (t *Team) genericReduce(in, out []byte, k elem.Kind, op elem.Op, root int) 
 				}
 			} else {
 				var got []byte
-				t.im.pollUntil(func() bool {
+				if err := t.im.pollUntil(func() bool {
 					got = t.coll.take(key, child)
 					return got != nil
-				})
+				}); err != nil {
+					return err
+				}
 				if len(got) != len(tmp) {
 					return fmt.Errorf("core: reduce size mismatch (%d vs %d)", len(got), len(tmp))
 				}
@@ -275,7 +288,7 @@ func (t *Team) genericReduce(in, out []byte, k elem.Kind, op elem.Op, root int) 
 		}
 	}
 	if len(out) < len(acc) {
-		return fmt.Errorf("core: Reduce out buffer too small (%d < %d)", len(out), len(acc))
+		return fmt.Errorf("core: Reduce out buffer too small (%d < %d): %w", len(out), len(acc), faults.ErrInvalid)
 	}
 	copy(out, acc)
 	return nil
@@ -286,7 +299,7 @@ func (t *Team) genericReduce(in, out []byte, k elem.Kind, op elem.Op, root int) 
 func (t *Team) Allreduce(in, out []byte, k elem.Kind, op elem.Op) error {
 	defer t.im.tr.Span(trace.Collective)()
 	if len(out) < len(in) {
-		return fmt.Errorf("core: Allreduce out buffer too small (%d < %d)", len(out), len(in))
+		return fmt.Errorf("core: Allreduce out buffer too small (%d < %d): %w", len(out), len(in), faults.ErrInvalid)
 	}
 	round := t.im.san.CollEnter(t.id, t.Size(), true)
 	defer t.im.san.CollExit(t.id, round, true)
@@ -306,7 +319,7 @@ func (t *Team) Allgather(send, recv []byte) error {
 	blk := len(send)
 	n := t.Size()
 	if len(recv) < blk*n {
-		return fmt.Errorf("core: Allgather recv buffer too small (%d < %d)", len(recv), blk*n)
+		return fmt.Errorf("core: Allgather recv buffer too small (%d < %d): %w", len(recv), blk*n, faults.ErrInvalid)
 	}
 	round := t.im.san.CollEnter(t.id, n, true)
 	defer t.im.san.CollExit(t.id, round, true)
@@ -339,10 +352,12 @@ func (t *Team) Allgather(send, recv []byte) error {
 			}
 			var got []byte
 			s := src
-			t.im.pollUntil(func() bool {
+			if err := t.im.pollUntil(func() bool {
 				got = t.coll.take(key, s)
 				return got != nil
-			})
+			}); err != nil {
+				return err
+			}
 			if len(got) != blk {
 				return fmt.Errorf("core: Allgather block size mismatch from rank %d (%d vs %d)", s, len(got), blk)
 			}
@@ -361,11 +376,11 @@ func (t *Team) Alltoall(send, recv []byte) error {
 	defer t.im.tr.Span(trace.Alltoall)()
 	n := t.Size()
 	if len(send)%n != 0 {
-		return fmt.Errorf("core: Alltoall buffer size %d not divisible by team size %d", len(send), n)
+		return fmt.Errorf("core: Alltoall buffer size %d not divisible by team size %d: %w", len(send), n, faults.ErrInvalid)
 	}
 	blk := len(send) / n
 	if len(recv) < blk*n {
-		return fmt.Errorf("core: Alltoall recv buffer too small (%d < %d)", len(recv), blk*n)
+		return fmt.Errorf("core: Alltoall recv buffer too small (%d < %d): %w", len(recv), blk*n, faults.ErrInvalid)
 	}
 	round := t.im.san.CollEnter(t.id, n, true)
 	defer t.im.san.CollExit(t.id, round, true)
@@ -425,7 +440,9 @@ func (t *Team) genericAlltoall(send, recv []byte, blk int) error {
 		if src == me {
 			continue
 		}
-		t.im.pollUntil(func() bool { return t.coll.consumeSig(key, src) })
+		if err := t.im.pollUntil(func() bool { return t.coll.consumeSig(key, src) }); err != nil {
+			return err
+		}
 		slot := local[src*t.coll.slotBytes+par*blk:]
 		copy(recv[src*blk:(src+1)*blk], slot[:blk])
 	}
@@ -444,7 +461,7 @@ func (t *Team) genericAlltoall(send, recv []byte, blk int) error {
 // the operation at issue and post the events immediately.
 func (t *Team) AllreduceAsync(in, out []byte, k elem.Kind, op elem.Op, dataDone, opDone *EventRef) error {
 	if len(out) < len(in) {
-		return fmt.Errorf("core: AllreduceAsync out buffer too small (%d < %d)", len(out), len(in))
+		return fmt.Errorf("core: AllreduceAsync out buffer too small (%d < %d): %w", len(out), len(in), faults.ErrInvalid)
 	}
 	comp, err := t.im.sub.AllreduceAsync(t.ref, in, out, k, op)
 	if err == nil {
@@ -492,7 +509,7 @@ func (t *Team) BcastAsync(buf []byte, root int, done *EventRef) error {
 
 func (t *Team) checkRank(r int, what string) error {
 	if r < 0 || r >= t.Size() {
-		return fmt.Errorf("core: %s rank %d out of range [0,%d)", what, r, t.Size())
+		return fmt.Errorf("core: %s rank %d out of range [0,%d): %w", what, r, t.Size(), faults.ErrInvalid)
 	}
 	return nil
 }

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
 	"cafmpi/internal/fabric"
+	"cafmpi/internal/faults"
 	"cafmpi/internal/obs"
 	"cafmpi/internal/sanitizer"
 	"cafmpi/internal/sim"
@@ -48,6 +50,11 @@ type Config struct {
 	// ordering misuse. Clock-pure — virtual time is unaffected. Read the
 	// findings after the run via sanitizer.Enabled(world).
 	Sanitize bool
+	// Faults installs a deterministic fault-injection plan on the fabric
+	// (message drops with retry/backoff, duplicates, delays, image crashes
+	// and stalls). Nil means no injection — the zero-cost default. Read the
+	// injected-fault log after the run via faults.Enabled(world).Log().
+	Faults *faults.Plan
 }
 
 // SpawnFunc is a shippable function (CAF 2.0 function shipping). It runs on
@@ -63,6 +70,7 @@ type Image struct {
 	tr  *trace.Tracer
 	osh *obs.Shard       // nil when observability is off
 	san *sanitizer.Image // nil when sanitizing is off (methods are nil-safe)
+	flt *faults.State    // failure/cancellation latch (methods are nil-safe)
 
 	world *Team
 	ids   *atomic.Uint64 // world-shared id allocator (teams, coarrays, events)
@@ -160,6 +168,10 @@ func Boot(p *sim.Proc, cfg Config) (*Image, error) {
 		obs.Enable(p.World(), cfg.ObsRingCap)
 	}
 	im.osh = obs.For(p)
+	// Like obs.Enable, this must precede the Factory call (the fabric caches
+	// the fault state at attach). Idempotent: RunWorldContext already enabled
+	// it with the same plan.
+	im.flt = faults.Enable(p.World(), cfg.Faults)
 	if cfg.Sanitize {
 		sanitizer.Enable(p.World())
 		im.san = sanitizer.For(p)
@@ -195,11 +207,52 @@ func Run(n int, cfg Config, fn func(*Image) error) error {
 // RunWorld is Run returning the world as well, so callers can read post-run
 // state — the obs registry, per-image clocks — after all images finish.
 func RunWorld(n int, cfg Config, fn func(*Image) error) (*sim.World, error) {
+	return RunWorldContext(context.Background(), n, cfg, fn)
+}
+
+// RunContext is Run with cancellation: when ctx is done, every image's
+// blocked runtime call returns an error wrapping the context's cause, the
+// images drain, and the call returns. The world's post-run state (obs,
+// fault log) stays readable via RunWorldContext.
+func RunContext(ctx context.Context, n int, cfg Config, fn func(*Image) error) error {
+	_, err := RunWorldContext(ctx, n, cfg, fn)
+	return err
+}
+
+// RunWorldContext boots an n-image world, executes fn on every image, and
+// cancels the job cleanly when ctx is done: the cancellation trips the
+// world's failure latch, which broadcast-wakes every parked endpoint
+// waiter, so blocked collectives/event waits/finishes return typed errors
+// instead of deadlocking, and all image goroutines join before return.
+func RunWorldContext(ctx context.Context, n int, cfg Config, fn func(*Image) error) (*sim.World, error) {
 	w := sim.NewWorld(n)
-	err := w.Run(func(p *sim.Proc) error {
-		im, err := Boot(p, cfg)
-		if err != nil {
-			return err
+	st := faults.Enable(w, cfg.Faults)
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() { st.Cancel(context.Cause(ctx)) })
+		defer stop()
+	}
+	err := w.Run(func(p *sim.Proc) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				c, ok := r.(faults.Crashed)
+				if !ok {
+					panic(r)
+				}
+				// A fault-plan crash point: the image dies with a typed
+				// error instead of a panic, so callers can errors.Is it.
+				err = c.Into()
+			}
+			if err != nil {
+				// An image exiting with an error is a failed image: latch
+				// it so peers parked in collectives or event waits unblock
+				// with ErrImageFailed instead of waiting forever for
+				// messages the dead image will never send.
+				st.MarkFailed(p.ID())
+			}
+		}()
+		im, berr := Boot(p, cfg)
+		if berr != nil {
+			return berr
 		}
 		return fn(im)
 	})
@@ -260,12 +313,18 @@ func (im *Image) Poll() {
 // pollUntil blocks until cond holds, making full runtime progress. If the
 // awaited condition can only be produced by a locally issued asynchronous
 // operation (a pending completion), the wait completes that operation —
-// advancing the virtual clock — instead of parking on the network.
-func (im *Image) pollUntil(cond func() bool) {
+// advancing the virtual clock — instead of parking on the network. It
+// returns early with a typed error when the job's failure latch trips (an
+// image crashed, or the job was canceled) — ULFM-style: a wait whose
+// producer may be dead unblocks with ErrImageFailed instead of hanging.
+func (im *Image) pollUntil(cond func() bool) error {
 	for {
 		im.Poll()
 		if cond() {
-			return
+			return nil
+		}
+		if err := im.flt.ErrOp("wait"); err != nil {
+			return err
 		}
 		if len(im.pending) > 0 {
 			im.pending[0].comp.Wait()
@@ -273,9 +332,9 @@ func (im *Image) pollUntil(cond func() bool) {
 		}
 		prev := im.pollCond
 		im.pollCond = cond
-		im.sub.PollUntil(im.pollWrap)
+		err := im.sub.PollUntil(im.pollWrap)
 		im.pollCond = prev
-		return
+		return err
 	}
 }
 
@@ -432,6 +491,8 @@ func (im *Image) postEvent(ev EventRef, count int64) {
 	}
 	im.amArgs[0], im.amArgs[1], im.amArgs[2] = ev.evsID, uint64(ev.Slot), uint64(count)
 	if err := im.amSend(ev.ownerWorld, amEventNotify, im.amArgs[:3], nil); err != nil {
-		panic(fmt.Sprintf("core: event post AM failed: %v", err))
+		// Wrapped, not stringified: the panic value unwraps through
+		// sim.PanicError so typed causes (ErrImageFailed, ...) stay matchable.
+		panic(fmt.Errorf("core: image %d event post AM failed: %w", im.ID(), err))
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"cafmpi/internal/faults"
 	"cafmpi/internal/obs"
 	"cafmpi/internal/trace"
 )
@@ -42,7 +43,7 @@ type EventRef struct {
 // NewEvents collectively allocates an event coarray with n slots per image.
 func (im *Image) NewEvents(t *Team, n int) (*Events, error) {
 	if n <= 0 {
-		return nil, fmt.Errorf("core: event count must be positive, got %d", n)
+		return nil, fmt.Errorf("core: event count must be positive, got %d: %w", n, faults.ErrInvalid)
 	}
 	id, err := im.newID(t)
 	if err != nil {
@@ -81,7 +82,7 @@ func (e *Events) RefOn(target, slot int) EventRef {
 
 func (e *Events) checkSlot(slot int, what string) error {
 	if slot < 0 || slot >= len(e.count) {
-		return fmt.Errorf("core: %s slot %d out of range [0,%d)", what, slot, len(e.count))
+		return fmt.Errorf("core: %s slot %d out of range [0,%d): %w", what, slot, len(e.count), faults.ErrInvalid)
 	}
 	return nil
 }
@@ -160,8 +161,11 @@ func (e *Events) Wait(slot int) error {
 	t0 := im.p.Now()
 	prevEvs, prevSlot := im.waitEvs, im.waitSlot
 	im.waitEvs, im.waitSlot = e, slot
-	im.pollUntil(im.evCond)
+	err := im.pollUntil(im.evCond)
 	im.waitEvs, im.waitSlot = prevEvs, prevSlot
+	if err != nil {
+		return err
+	}
 	e.count[slot]--
 	im.san.EventAcquire(e.id, im.ID(), slot)
 	if im.osh != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cafmpi/internal/elem"
+	"cafmpi/internal/faults"
 	"cafmpi/internal/trace"
 )
 
@@ -12,10 +13,10 @@ import (
 // (function pointers cannot travel between images; ids can).
 func (im *Image) RegisterFunc(id uint64, fn SpawnFunc) error {
 	if fn == nil {
-		return fmt.Errorf("core: nil spawn function")
+		return fmt.Errorf("core: nil spawn function: %w", faults.ErrInvalid)
 	}
 	if _, dup := im.funcs[id]; dup {
-		return fmt.Errorf("core: spawn function %d already registered", id)
+		return fmt.Errorf("core: spawn function %d already registered: %w", id, faults.ErrInvalid)
 	}
 	im.funcs[id] = fn
 	if q := im.orphanSpawns[id]; q != nil {
@@ -40,7 +41,7 @@ func (im *Image) Spawn(t *Team, target int, id uint64, args []byte) error {
 		return err
 	}
 	if _, ok := im.funcs[id]; !ok {
-		return fmt.Errorf("core: spawning unregistered function %d (registration must be symmetric)", id)
+		return fmt.Errorf("core: spawning unregistered function %d (registration must be symmetric): %w", id, faults.ErrInvalid)
 	}
 	defer im.tr.Span(trace.SpawnOp)()
 	im.shipped++ // counted before injection: an in-flight spawn is visible

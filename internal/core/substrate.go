@@ -148,8 +148,11 @@ type Substrate interface {
 	AMSend(worldTarget int, kind uint8, args []uint64, payload []byte) error
 	// Poll makes runtime progress: dispatches queued AMs.
 	Poll()
-	// PollUntil polls until cond holds, blocking between arrivals.
-	PollUntil(cond func() bool)
+	// PollUntil polls until cond holds, blocking between arrivals. It
+	// returns early with a typed error when the world's failure latch
+	// trips (fault-injected image crash or job cancellation); cond's
+	// progress is then abandoned.
+	PollUntil(cond func() bool) error
 
 	// LocalFence completes all deferred operations locally (cofence).
 	LocalFence() error

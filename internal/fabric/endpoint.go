@@ -6,6 +6,9 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+
+	"cafmpi/internal/faults"
+	"cafmpi/internal/obs"
 )
 
 // The receive path. Arriving messages land in per-(class, src) buckets
@@ -278,6 +281,44 @@ func trailingZeros(s ClassSet) uint8 {
 	return uint8(bits.TrailingZeros64(uint64(s)))
 }
 
+// sweepDupLocked enforces at-most-once absorb for injector-duplicated
+// messages: m was just taken for real (not a peek), so its sibling copy —
+// same (class, src) bucket, same DupKey — is removed and recycled here,
+// before the lock drops and the sibling could match anything. Peek paths
+// must NOT sweep (they undo their take).
+func (e *Endpoint) sweepDupLocked(m *Message) {
+	if m.DupKey == 0 {
+		return
+	}
+	cq := e.classes[m.Class]
+	if cq == nil {
+		return
+	}
+	b := &cq.srcs[m.Src]
+	for i := b.head; i < len(b.msgs); i++ {
+		s := b.msgs[i]
+		if s.DupKey != m.DupKey {
+			continue
+		}
+		b.removeAt(i)
+		cq.count--
+		if cq.count == 0 {
+			e.present &^= 1 << m.Class
+		}
+		e.depth--
+		if flt := e.layer.net.flt; flt != nil {
+			flt.Record(e.rank, faults.Event{T: s.ArriveT, Kind: faults.KindDedup,
+				Layer: e.layer.name, Class: s.Class, Src: s.Src, Dst: e.rank, Seq: m.DupKey - 1})
+		}
+		if ow := e.layer.net.ow; ow != nil {
+			ow.Shard(e.rank).Add(obs.CtrFaultDedupDrops, 1)
+		}
+		s.Req = nil // the surviving copy owns the origin-side completion
+		s.Release()
+		return // exactly one sibling can exist
+	}
+}
+
 // TryRecvSpec removes and returns the least-arrival-stamp message eligible
 // under spec, under a single lock acquisition. The returned PollState always
 // carries Seq and the pre-dequeue Depth; when no message was eligible it
@@ -287,6 +328,9 @@ func (e *Endpoint) TryRecvSpec(spec *MatchSpec) (*Message, PollState) {
 	e.mu.Lock()
 	st := PollState{Seq: e.seq.Load(), Depth: e.depth}
 	m, earl, has := e.takeSpecLocked(spec)
+	if m != nil {
+		e.sweepDupLocked(m)
+	}
 	e.mu.Unlock()
 	if m == nil {
 		st.Earliest, st.HasEarliest = earl, has
@@ -343,7 +387,9 @@ func (e *Endpoint) TryRecvPeek(recv, peek *MatchSpec) (m *Message, st PollState,
 	var earl int64
 	var has bool
 	m, earl, has = e.takeSpecLocked(recv)
-	if m == nil {
+	if m != nil {
+		e.sweepDupLocked(m)
+	} else {
 		st.Earliest, st.HasEarliest = earl, has
 		pm, pearl, phas = e.takeSpecLocked(peek)
 		if pm != nil {
@@ -396,6 +442,7 @@ func (e *Endpoint) Recv(match func(*Message) bool) *Message {
 	defer e.mu.Unlock()
 	for {
 		if m, _, _ := e.takeSpecLocked(&spec); m != nil {
+			e.sweepDupLocked(m)
 			return m
 		}
 		e.waitLocked(FullDomain)
@@ -408,6 +455,9 @@ func (e *Endpoint) TryRecv(match func(*Message) bool) *Message {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	m, _, _ := e.takeSpecLocked(&spec)
+	if m != nil {
+		e.sweepDupLocked(m)
+	}
 	return m
 }
 
@@ -486,6 +536,17 @@ func (e *Endpoint) WaitActivityFor(since uint64, d WaitDomain) uint64 {
 		e.waitLocked(d)
 	}
 	return e.seq.Load()
+}
+
+// WakeAll bumps the activity counter and wakes every parked waiter
+// regardless of domain. The fault state's failure latch uses it so blocked
+// receivers re-check their loop condition — and observe the error — after
+// an image crash or a job cancellation.
+func (e *Endpoint) WakeAll() {
+	e.mu.Lock()
+	e.seq.Add(1)
+	e.mu.Unlock()
+	e.cond.Broadcast()
 }
 
 // Poke wakes poke-sensitive waiters and bumps the activity counter without

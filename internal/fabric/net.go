@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"cafmpi/internal/faults"
 	"cafmpi/internal/obs"
 	"cafmpi/internal/sim"
 )
@@ -31,6 +32,12 @@ type Message struct {
 	// Req, when non-nil, is the origin-side handle that learns its
 	// completion time once the receiver matches a rendezvous message.
 	Req Completer
+
+	// DupKey, when nonzero, marks a message the fault injector duplicated:
+	// both copies carry the same key, and the receiving endpoint's take
+	// path sweeps out the sibling so at most one copy is ever absorbed
+	// (sequence-number dedup).
+	DupKey uint64
 
 	aseq     uint64 // global arrival stamp, assigned by enqueue
 	pooled   bool   // from msgPool; Release recycles the struct
@@ -59,6 +66,11 @@ type Net struct {
 	// attach time (obs.Enable runs before any layer attaches) so per-message
 	// paths pay a nil check, not a registry lookup.
 	ow *obs.World
+
+	// flt is the world's fault-injection state, nil when faults.Enable was
+	// never called (plain fabric tests). Captured at attach time like ow;
+	// with no plan the per-send cost is a single nil/flag check.
+	flt *faults.State
 
 	// poolBytes is the pooled payload capacity currently checked out for
 	// in-flight messages of this world; Send raises the pool_bytes_inflight
@@ -126,15 +138,37 @@ func AttachNet(w *sim.World, params *Params) *Net {
 	// Resolved outside the Shared callback: Peek and Shared share a
 	// non-reentrant mutex.
 	ow := obs.Enabled(w)
+	flt := faults.Enabled(w)
 	return w.Shared("fabric.net", func() any {
-		return &Net{
+		n := &Net{
 			world:  w,
 			params: params,
 			nics:   make([]nic, w.N()),
 			layers: make(map[string]*Layer),
 			ow:     ow,
+			flt:    flt,
 		}
+		// When the failure latch trips (image crash or job cancellation),
+		// broadcast-wake every parked endpoint waiter so blocked collectives,
+		// event waits and finishes observe the error instead of deadlocking.
+		flt.OnWake(n.WakeAll)
+		return n
 	}).(*Net)
+}
+
+// WakeAll wakes every parked waiter on every endpoint of every layer.
+func (n *Net) WakeAll() {
+	n.mu.Lock()
+	layers := make([]*Layer, 0, len(n.layers))
+	for _, l := range n.layers {
+		layers = append(layers, l)
+	}
+	n.mu.Unlock()
+	for _, l := range layers {
+		for _, ep := range l.eps {
+			ep.WakeAll()
+		}
+	}
 }
 
 // Params returns the platform parameter set in force.
@@ -200,12 +234,45 @@ func (l *Layer) Net() *Net { return l.net }
 // (matching eager-protocol semantics; for rendezvous the request's
 // CompleteAt callback reports the virtual time at which the sender buffer
 // would really be free). Ownership of m itself transfers to the fabric.
-func (l *Layer) Send(p *sim.Proc, m *Message) {
+//
+// With a fault plan active, Send is also where the resilient-delivery
+// protocol runs: dropped attempts cost the sender ack-timeout + exponential
+// backoff virtual time before the successful retransmission (the retry
+// traffic is folded into the cost model, so no extra message objects exist
+// and decisions stay bit-reproducible), bounded retries fail with a typed
+// ErrRetriesExhausted, sends to a crashed image fail with ErrImageFailed,
+// and the sending image itself can hit a crash or stall point here.
+// Callers that can surface errors should check the result; fire-and-forget
+// callers may ignore it (delivery is then best-effort under faults, exactly
+// like the underlying network).
+func (l *Layer) Send(p *sim.Proc, m *Message) error {
 	pr := l.net.params
 	if m.Dst < 0 || m.Dst >= len(l.eps) {
 		panic(fmt.Sprintf("fabric: send to invalid rank %d (world size %d)", m.Dst, len(l.eps)))
 	}
 	m.Src = p.ID()
+	flt := l.net.flt
+	if flt.Active() {
+		if stall, crashed := flt.Checkpoint(m.Src, p.Now()); crashed {
+			m.Release()
+			panic(faults.Crashed{Image: p.ID()})
+		} else if stall > 0 {
+			p.Advance(stall)
+		}
+		if flt.ImageDown(m.Dst) {
+			// ULFM-style failure notification: talking to a dead image is an
+			// immediate typed error, not a hang. Complete the request so any
+			// origin-side waiter unblocks.
+			flt.Record(m.Src, faults.Event{T: p.Now(), Kind: faults.KindBlackhole,
+				Layer: l.name, Class: m.Class, Src: m.Src, Dst: m.Dst})
+			if m.Req != nil {
+				m.Req.CompleteAt(p.Now())
+			}
+			dst := m.Dst
+			m.Release()
+			return &faults.ImageError{Image: dst, Op: "send(" + l.name + ")", Err: faults.ErrImageFailed}
+		}
+	}
 	if len(m.Args) > 0 {
 		if len(m.Args) <= inlineArgs {
 			n := copy(m.argStore[:], m.Args)
@@ -228,22 +295,58 @@ func (l *Layer) Send(p *sim.Proc, m *Message) {
 	}
 	t0 := p.Now()
 	p.Advance(pr.SendOverheadNS)
+	var v faults.Verdict
+	if flt.Active() {
+		v = flt.OnSend(l.name, m.Class, m.Src, m.Dst, p.Now())
+		if v.Exhausted {
+			// Every attempt up to MaxRetries was dropped: charge the full
+			// timeout/backoff schedule the protocol waited through, complete
+			// the origin-side request (the buffer is free; the op failed),
+			// and surface the typed error.
+			p.Advance(v.RetryWaitNS)
+			if sh := l.net.shard(p); sh != nil {
+				sh.Record(obs.LayerFabric, obs.OpFault, m.Dst, 0, m.Tag, t0, p.Now())
+				sh.Add(obs.CtrFaultsInjected, int64(v.Injected))
+				sh.Add(obs.CtrFaultRetries, int64(v.Retries))
+				sh.Add(obs.CtrFaultRetryNS, v.RetryWaitNS)
+			}
+			if m.Req != nil {
+				m.Req.CompleteAt(p.Now())
+			}
+			dst := m.Dst
+			m.Release()
+			return &faults.ImageError{Image: dst, Op: "send(" + l.name + ")", Err: faults.ErrRetriesExhausted}
+		}
+		// Dropped attempts delay the successful retransmission: the sender
+		// sat out ack timeouts (exponential backoff) before it went through.
+		p.Advance(v.RetryWaitNS)
+	}
 	m.SendT = p.Now()
 	size := len(m.Data) + 8*len(m.Args)
 	lat := pr.PathLatency(m.Src, m.Dst)
 	if size > pr.EagerThreshold {
 		m.Rendezvous = true
 		// True arrival computed at match time; ArriveT here is the
-		// ready-to-send notification's arrival.
-		m.ArriveT = m.SendT + lat
+		// ready-to-send notification's arrival (shifted by any injected
+		// delay/reorder jitter).
+		m.ArriveT = m.SendT + lat + v.DelayNS
 	} else {
-		m.ArriveT = l.net.ClaimNIC(m.Dst, m.SendT+lat, pr.PathWireTime(m.Src, m.Dst, size))
+		m.ArriveT = l.net.ClaimNIC(m.Dst, m.SendT+lat+v.DelayNS, pr.PathWireTime(m.Src, m.Dst, size))
 		if m.Req != nil {
 			m.Req.CompleteAt(m.SendT) // eager: buffer copied out at injection
 		}
 	}
+	var dup *Message
+	if v.Dup {
+		m.DupKey = v.Seq + 1
+		dup = l.cloneForDup(m, v.DupDelayNS)
+	}
 	dst, tag, rdv := m.Dst, m.Tag, m.Rendezvous
+	injected, retries, retryNS := v.Injected, v.Retries, v.RetryWaitNS
 	l.eps[m.Dst].enqueue(m)
+	if dup != nil {
+		l.eps[dst].enqueue(dup)
+	}
 	// m may already be consumed and recycled by the receiver here; only the
 	// locals captured above are safe to touch.
 	if sh := l.net.shard(p); sh != nil {
@@ -258,11 +361,52 @@ func (l *Layer) Send(p *sim.Proc, m *Message) {
 		}
 		sh.Max(obs.CtrPoolBytesInFlightMax, poolOut)
 		sh.CommAdd(dst, int64(size))
+		if injected > 0 {
+			sh.Record(obs.LayerFabric, obs.OpFault, dst, size, tag, t0, end)
+			sh.Add(obs.CtrFaultsInjected, int64(injected))
+			if retries > 0 {
+				sh.Add(obs.CtrFaultRetries, int64(retries))
+				sh.Add(obs.CtrFaultRetryNS, retryNS)
+			}
+		}
 		e := obs.Edge{Layer: obs.LayerFabric, Op: obs.OpInject,
 			Peer: int32(dst), Start: t0, End: end}
 		e.AddComp(obs.CompOverhead, pr.SendOverheadNS)
 		sh.RecordEdge(e)
 	}
+	return nil
+}
+
+// cloneForDup builds the injector's duplicate of m: same match identity and
+// stamps, its own pooled payload, arriving delay after the original. The
+// shared DupKey lets the receiver's dedup sweep suppress whichever copy
+// loses the match.
+func (l *Layer) cloneForDup(m *Message, delay int64) *Message {
+	d := NewMessage()
+	d.Src, d.Dst, d.Class, d.Tag, d.Ctx = m.Src, m.Dst, m.Class, m.Tag, m.Ctx
+	if len(m.Args) > 0 {
+		if len(m.Args) <= inlineArgs {
+			n := copy(d.argStore[:], m.Args)
+			d.Args = d.argStore[:n:n]
+		} else {
+			d.Args = append([]uint64(nil), m.Args...)
+		}
+	}
+	if len(m.Data) > 0 {
+		data, pb := getBuf(len(m.Data))
+		copy(data, m.Data)
+		d.Data, d.dataBuf = data, pb
+		if pb != nil {
+			d.owner = l.net
+			l.net.poolBytes.Add(int64(cap(pb.b)))
+		}
+	}
+	d.SendT = m.SendT
+	d.ArriveT = m.ArriveT + delay
+	d.Rendezvous = m.Rendezvous
+	d.Req = m.Req // CompleteAt is max-merge; at most one copy is absorbed anyway
+	d.DupKey = m.DupKey
+	return d
 }
 
 // Absorb advances the receiving image's clock for a matched message: eager
@@ -282,6 +426,13 @@ func (l *Layer) AbsorbAM(p *sim.Proc, m *Message, matchNS, stallNS int64) {
 
 func (l *Layer) absorb(p *sim.Proc, m *Message, matchNS, stallNS int64) {
 	pr := l.net.params
+	if flt := l.net.flt; flt.Active() {
+		if stall, crashed := flt.Checkpoint(p.ID(), p.Now()); crashed {
+			panic(faults.Crashed{Image: p.ID()})
+		} else if stall > 0 {
+			p.Advance(stall)
+		}
+	}
 	t0 := p.Now()
 	// Captured before the clock moves: whether the receiver was already
 	// blocked when the message (or its rendezvous RTS) arrived. If so, the

@@ -49,6 +49,7 @@ func (m *Message) Release() {
 	m.SendT, m.ArriveT = 0, 0
 	m.Rendezvous = false
 	m.Req = nil
+	m.DupKey = 0
 	m.aseq = 0
 	m.owner = nil
 	m.dataBuf = nil

@@ -1,0 +1,551 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"cafmpi/internal/sim"
+)
+
+// Sentinel errors for the typed failure surface. The caf package re-exports
+// them; user code matches with errors.Is / errors.As.
+var (
+	// ErrImageFailed reports that an image crashed (a fault-plan crash
+	// point). Collectives, finish, and event waits on surviving images
+	// unblock with an error wrapping it instead of deadlocking (ULFM-style
+	// global failure notification).
+	ErrImageFailed = errors.New("image failed")
+
+	// ErrTimeout reports a virtual-time delivery timeout.
+	ErrTimeout = errors.New("virtual-time timeout")
+
+	// ErrRetriesExhausted reports that a send burned its full
+	// retransmission budget without an ack; it wraps ErrTimeout.
+	ErrRetriesExhausted = fmt.Errorf("delivery retries exhausted: %w", ErrTimeout)
+
+	// ErrInvalid reports invalid arguments to a runtime call (bad rank,
+	// slot, count, plan, ...).
+	ErrInvalid = errors.New("invalid argument")
+)
+
+// ImageError is the typed error every user-facing failure path returns:
+// which image, which operation, and the sentinel cause (unwrappable).
+// Image is -1 when no single image is to blame (e.g. cancellation).
+type ImageError struct {
+	Image int
+	Op    string
+	Err   error
+}
+
+func (e *ImageError) Error() string {
+	if e.Image < 0 {
+		return fmt.Sprintf("caf: %s: %v", e.Op, e.Err)
+	}
+	return fmt.Sprintf("caf: %s: image %d: %v", e.Op, e.Image, e.Err)
+}
+
+func (e *ImageError) Unwrap() error { return e.Err }
+
+// Crashed is the panic value the fabric raises on the crashing image's own
+// goroutine when it hits a crash point. The core runtime recovers it into
+// an *ImageError; if it escapes to sim.World.Run instead, the resulting
+// *sim.PanicError unwraps to it, so errors.Is(err, ErrImageFailed) holds
+// either way.
+type Crashed struct{ Image int }
+
+func (c Crashed) Error() string { return fmt.Sprintf("image %d crashed (fault plan)", c.Image) }
+func (c Crashed) Unwrap() error { return ErrImageFailed }
+
+// Into converts the panic value to the typed error form.
+func (c Crashed) Into() *ImageError {
+	return &ImageError{Image: c.Image, Op: "crash", Err: ErrImageFailed}
+}
+
+// Event is one injected-fault log entry. T is the virtual clock of the
+// image that recorded it (sender for send-side faults, receiver for
+// dedups); the decision fields (Kind/Layer/Class/Src/Dst/Seq/Attempt) are
+// schedule-independent, which is what Signature captures.
+type Event struct {
+	T       int64  `json:"t_ns"`
+	Kind    string `json:"kind"`
+	Layer   string `json:"layer,omitempty"`
+	Class   uint8  `json:"class,omitempty"`
+	Src     int    `json:"src"`
+	Dst     int    `json:"dst"`
+	Seq     uint64 `json:"seq"`
+	Attempt int    `json:"attempt,omitempty"`
+	DelayNS int64  `json:"delay_ns,omitempty"`
+}
+
+func (ev Event) String() string {
+	s := fmt.Sprintf("t=%-12d %-18s %d->%d seq=%d", ev.T, ev.Kind+"["+ev.Layer+"]", ev.Src, ev.Dst, ev.Seq)
+	if ev.Attempt > 0 {
+		s += fmt.Sprintf(" attempt=%d", ev.Attempt)
+	}
+	if ev.DelayNS > 0 {
+		s += fmt.Sprintf(" delay=%dns", ev.DelayNS)
+	}
+	return s
+}
+
+// Extra event kinds beyond the rule kinds.
+const (
+	KindExhausted = "retries_exhausted" // sender gave up on a message
+	KindDedup     = "dedup"             // receiver dropped a duplicate
+	KindCrash     = "crash"             // image hit a crash point
+	KindStall     = "stall"             // image hit a stall point
+	KindBlackhole = "blackhole"         // send to an already-failed image
+)
+
+// Signature renders the schedule-independent decision content of a fault
+// log: sorted, without timestamps, excluding blackhole events (how many
+// sends race a crash before noticing it is schedule-dependent; every other
+// decision is a pure function of the plan and program order). Two runs of
+// the same program under the same plan produce equal signatures.
+func Signature(evs []Event) string {
+	keep := make([]Event, 0, len(evs))
+	for _, ev := range evs {
+		if ev.Kind == KindBlackhole {
+			continue
+		}
+		ev.T = 0
+		keep = append(keep, ev)
+	}
+	sortEvents(keep)
+	var b []byte
+	for _, ev := range keep {
+		b = fmt.Appendf(b, "%s %s c%d %d->%d seq=%d a%d d%d\n",
+			ev.Kind, ev.Layer, ev.Class, ev.Src, ev.Dst, ev.Seq, ev.Attempt, ev.DelayNS)
+	}
+	return string(b)
+}
+
+// SignatureHash condenses Signature(evs) into a short hex digest for
+// one-line determinism reports (two runs with the same plan and seed print
+// the same hash).
+func SignatureHash(evs []Event) string {
+	h := fnv.New64a()
+	h.Write([]byte(Signature(evs)))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func sortEvents(evs []Event) {
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		if a.Attempt != b.Attempt {
+			return a.Attempt < b.Attempt
+		}
+		return a.Kind < b.Kind
+	})
+}
+
+// Verdict is what the fabric applies for one send.
+type Verdict struct {
+	// Seq is the sender's per-destination program-order sequence number of
+	// this message (keys the duplicate-suppression sweep).
+	Seq uint64
+	// Retries is how many retransmissions the ack/timeout protocol needed;
+	// RetryWaitNS is the total virtual time the sender spent in timeouts
+	// and backoff before the successful attempt (charged to its clock).
+	Retries     int
+	RetryWaitNS int64
+	// DelayNS shifts the message's arrival (delay/reorder rules).
+	DelayNS int64
+	// Dup asks the fabric to enqueue a second copy arriving DupDelayNS
+	// after the original; the receiver's dedup sweep absorbs only one.
+	Dup        bool
+	DupDelayNS int64
+	// Exhausted: every attempt up to MaxRetries was dropped; the send
+	// fails with ErrRetriesExhausted.
+	Exhausted bool
+	// Injected counts fault events this verdict logged (for obs).
+	Injected int
+}
+
+// State is the world-shared fault state: the injector (nil without a
+// plan), the failure/cancellation latch, and the per-image fault logs.
+// All methods are safe on a nil *State (faults never enabled).
+type State struct {
+	plan *Plan
+	inj  *injector
+
+	down   atomic.Uint32         // 1 once failed or canceled
+	failed atomic.Int64          // first failed image + 1
+	cancel atomic.Pointer[error] // cancellation cause
+
+	wakeMu sync.Mutex
+	wakes  []func()
+
+	logs []imageLog
+}
+
+type imageLog struct {
+	mu  sync.Mutex
+	evs []Event
+}
+
+// injector holds the active plan's decision state. Mutable slices are
+// indexed by sending image and touched only from that image's goroutine,
+// so decisions stay lock-free and schedule-independent.
+type injector struct {
+	seed         uint64
+	maxRetries   int
+	retryTimeout int64
+	rules        []Rule
+	crashes      []CrashPoint
+	stalls       []StallPoint
+
+	n          int
+	seqs       []uint64   // [src*n+dst]: per-destination send counters
+	counts     [][]uint32 // [src][rule]: per-sender fire counts (MaxCount)
+	crashFired []bool     // one-shot latches, owner-image only
+	stallFired []bool
+}
+
+const stateKey = "faults.state"
+
+// Enable installs the plan's fault state on the world (idempotent; the
+// first caller's plan wins, and every image calls it in Boot before the
+// fabric attaches). A nil or empty plan still creates the State so the
+// failure/cancellation latch works, but leaves the injector off — the
+// zero-cost default that keeps virtual clocks bit-exact vs. the goldens.
+func Enable(w *sim.World, plan *Plan) *State {
+	return w.Shared(stateKey, func() any {
+		return newState(w.N(), plan)
+	}).(*State)
+}
+
+// Enabled returns the world's fault state, or nil if Enable was never
+// called (plain fabric tests).
+func Enabled(w *sim.World) *State {
+	if v, ok := w.Peek(stateKey); ok {
+		return v.(*State)
+	}
+	return nil
+}
+
+func newState(n int, plan *Plan) *State {
+	st := &State{plan: plan, logs: make([]imageLog, n)}
+	if plan.empty() {
+		return st
+	}
+	inj := &injector{
+		seed:         plan.Seed,
+		maxRetries:   plan.maxRetries(),
+		retryTimeout: plan.retryTimeout(),
+		rules:        plan.Rules,
+		crashes:      plan.Crashes,
+		stalls:       plan.Stalls,
+		n:            n,
+		seqs:         make([]uint64, n*n),
+		crashFired:   make([]bool, len(plan.Crashes)),
+		stallFired:   make([]bool, len(plan.Stalls)),
+	}
+	inj.counts = make([][]uint32, n)
+	for i := range inj.counts {
+		inj.counts[i] = make([]uint32, len(plan.Rules))
+	}
+	st.inj = inj
+	return st
+}
+
+// Plan returns the installed plan (nil without one).
+func (st *State) Plan() *Plan {
+	if st == nil {
+		return nil
+	}
+	return st.plan
+}
+
+// Active reports whether the injector is live (a non-empty plan). The
+// fabric's hot path checks this once per send.
+func (st *State) Active() bool { return st != nil && st.inj != nil }
+
+// Down reports whether the job is failing: an image crashed or the job
+// was canceled. Blocking loops check it before parking.
+func (st *State) Down() bool { return st != nil && st.down.Load() != 0 }
+
+// Err returns the failure latch as a typed error (nil while healthy).
+func (st *State) Err() error { return st.ErrOp("wait") }
+
+// ErrOp is Err with the blocked operation's kind stamped into the
+// *ImageError, so "which op gave up" survives into the user's error chain.
+func (st *State) ErrOp(op string) error {
+	if st == nil || st.down.Load() == 0 {
+		return nil
+	}
+	if c := st.cancel.Load(); c != nil {
+		return &ImageError{Image: -1, Op: op, Err: *c}
+	}
+	if f := st.failed.Load(); f > 0 {
+		return &ImageError{Image: int(f - 1), Op: op, Err: ErrImageFailed}
+	}
+	return &ImageError{Image: -1, Op: op, Err: ErrImageFailed}
+}
+
+// FailedImage returns the first crashed image, or -1.
+func (st *State) FailedImage() int {
+	if st == nil {
+		return -1
+	}
+	return int(st.failed.Load()) - 1
+}
+
+// Cancel trips the failure latch with a cancellation cause (ctx.Done()):
+// every parked wait across the job wakes and returns an error wrapping
+// cause.
+func (st *State) Cancel(cause error) {
+	if st == nil {
+		return
+	}
+	if cause == nil {
+		cause = errors.New("job canceled")
+	}
+	st.cancel.CompareAndSwap(nil, &cause)
+	st.trip()
+}
+
+// MarkFailed latches image img as failed and wakes every parked waiter.
+func (st *State) MarkFailed(img int) {
+	if st == nil {
+		return
+	}
+	st.failed.CompareAndSwap(0, int64(img)+1)
+	st.trip()
+}
+
+func (st *State) trip() {
+	st.down.Store(1)
+	st.wakeMu.Lock()
+	wakes := make([]func(), len(st.wakes))
+	copy(wakes, st.wakes)
+	st.wakeMu.Unlock()
+	for _, fn := range wakes {
+		fn()
+	}
+}
+
+// OnWake registers a broadcast hook (the fabric's endpoint wake-all) fired
+// when the failure latch trips; if it already tripped, fn runs now.
+func (st *State) OnWake(fn func()) {
+	if st == nil || fn == nil {
+		return
+	}
+	st.wakeMu.Lock()
+	st.wakes = append(st.wakes, fn)
+	st.wakeMu.Unlock()
+	if st.down.Load() != 0 {
+		fn()
+	}
+}
+
+// Record appends a fault event to image img's log.
+func (st *State) Record(img int, ev Event) {
+	if st == nil || img < 0 || img >= len(st.logs) {
+		return
+	}
+	l := &st.logs[img]
+	l.mu.Lock()
+	l.evs = append(l.evs, ev)
+	l.mu.Unlock()
+}
+
+// Log returns the merged injected-fault log in canonical (Src, Dst, Seq,
+// Attempt, Kind) order.
+func (st *State) Log() []Event {
+	if st == nil {
+		return nil
+	}
+	var out []Event
+	for i := range st.logs {
+		l := &st.logs[i]
+		l.mu.Lock()
+		out = append(out, l.evs...)
+		l.mu.Unlock()
+	}
+	sortEvents(out)
+	return out
+}
+
+// OnSend computes the fault verdict for one message send. Pure except for
+// the sender-owned sequence/budget counters and the fault log; the fabric
+// applies every clock effect. Call only when Active().
+func (st *State) OnSend(layer string, class uint8, src, dst int, now int64) Verdict {
+	inj := st.inj
+	v := Verdict{Seq: inj.nextSeq(src, dst)}
+	if len(inj.rules) == 0 {
+		return v
+	}
+
+	// Drop rules drive the ack/timeout/retry protocol: each attempt is
+	// re-rolled (salted with the attempt number); a dropped attempt costs
+	// the sender one backoff timeout. The protocol is folded into the
+	// sender's virtual time — no retransmitted message objects exist, so
+	// the decision stream stays bit-reproducible.
+	for attempt := 0; ; attempt++ {
+		dropped := false
+		for ri := range inj.rules {
+			r := &inj.rules[ri]
+			if r.Kind != KindDrop || !r.matches(layer, class, src, dst, now) {
+				continue
+			}
+			if !inj.budgetOK(src, ri) {
+				continue
+			}
+			if inj.roll(src, dst, v.Seq, uint64(ri), uint64(attempt)) < r.Prob {
+				inj.consume(src, ri)
+				st.Record(src, Event{T: now, Kind: KindDrop, Layer: layer, Class: class,
+					Src: src, Dst: dst, Seq: v.Seq, Attempt: attempt})
+				v.Injected++
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			break
+		}
+		if attempt >= inj.maxRetries {
+			st.Record(src, Event{T: now, Kind: KindExhausted, Layer: layer, Class: class,
+				Src: src, Dst: dst, Seq: v.Seq, Attempt: attempt})
+			v.Injected++
+			v.Exhausted = true
+			return v
+		}
+		v.RetryWaitNS += inj.retryTimeout << uint(attempt)
+		v.Retries++
+	}
+
+	// Non-drop rules roll once against the successful attempt.
+	for ri := range inj.rules {
+		r := &inj.rules[ri]
+		if r.Kind == KindDrop || !r.matches(layer, class, src, dst, now) {
+			continue
+		}
+		if !inj.budgetOK(src, ri) {
+			continue
+		}
+		roll := inj.roll(src, dst, v.Seq, uint64(ri), saltOnce)
+		if roll >= r.Prob {
+			continue
+		}
+		inj.consume(src, ri)
+		ev := Event{T: now, Kind: r.Kind, Layer: layer, Class: class, Src: src, Dst: dst, Seq: v.Seq}
+		switch r.Kind {
+		case KindDelay:
+			v.DelayNS += r.DelayNS
+			ev.DelayNS = r.DelayNS
+		case KindReorder:
+			// Hash-derived jitter in [0, DelayNS): distinct messages shift
+			// by different amounts, so arrival order genuinely scrambles.
+			j := int64(inj.bits(src, dst, v.Seq, uint64(ri), saltJitter) % uint64(r.DelayNS))
+			v.DelayNS += j
+			ev.DelayNS = j
+		case KindDup:
+			if !v.Dup {
+				v.Dup = true
+				v.DupDelayNS = r.DelayNS
+				ev.DelayNS = r.DelayNS
+			}
+		}
+		st.Record(src, Event{T: ev.T, Kind: ev.Kind, Layer: ev.Layer, Class: ev.Class,
+			Src: ev.Src, Dst: ev.Dst, Seq: ev.Seq, DelayNS: ev.DelayNS})
+		v.Injected++
+	}
+	return v
+}
+
+// Checkpoint is the crash/stall probe the fabric calls on every send and
+// absorb: it returns any one-shot stall to charge, and whether the image
+// just hit a crash point (the caller then panics with Crashed{img}).
+// Call only when Active().
+func (st *State) Checkpoint(img int, now int64) (stallNS int64, crashed bool) {
+	inj := st.inj
+	for si := range inj.stalls {
+		s := &inj.stalls[si]
+		if s.Image != img || now < s.AtNS || inj.stallFired[si] {
+			continue
+		}
+		inj.stallFired[si] = true
+		st.Record(img, Event{T: now, Kind: KindStall, Src: img, Dst: img, DelayNS: s.DurNS})
+		stallNS += s.DurNS
+	}
+	for ci := range inj.crashes {
+		c := &inj.crashes[ci]
+		if c.Image != img || now < c.AtNS || inj.crashFired[ci] {
+			continue
+		}
+		inj.crashFired[ci] = true
+		st.Record(img, Event{T: now, Kind: KindCrash, Src: img, Dst: img})
+		st.MarkFailed(img)
+		crashed = true
+	}
+	return stallNS, crashed
+}
+
+// ImageDown reports whether img has crashed (sends to it blackhole).
+func (st *State) ImageDown(img int) bool {
+	return st != nil && st.failed.Load() == int64(img)+1
+}
+
+// Hash salts distinguishing decision purposes.
+const (
+	saltOnce   = 1 << 20 // non-drop rules (attempt-independent)
+	saltJitter = 1 << 21 // reorder jitter bits
+)
+
+// nextSeq returns the sender's program-order sequence number for dst
+// (sender-goroutine only; shared across layers, which is fine because a
+// sender's interleaving of layers is itself program order).
+func (inj *injector) nextSeq(src, dst int) uint64 {
+	i := src*inj.n + dst
+	s := inj.seqs[i]
+	inj.seqs[i] = s + 1
+	return s
+}
+
+func (inj *injector) budgetOK(src, ri int) bool {
+	r := &inj.rules[ri]
+	return r.MaxCount == 0 || inj.counts[src][ri] < uint32(r.MaxCount)
+}
+
+func (inj *injector) consume(src, ri int) {
+	if inj.rules[ri].MaxCount > 0 {
+		inj.counts[src][ri]++
+	}
+}
+
+// bits is the keyed decision hash: a splitmix64 chain over
+// (seed, src, dst, seq, rule, salt). Schedule-independent by construction.
+func (inj *injector) bits(src, dst int, seq, rule, salt uint64) uint64 {
+	h := inj.seed
+	h = mix(h ^ uint64(src)<<32 ^ uint64(dst))
+	h = mix(h ^ seq)
+	h = mix(h ^ rule<<40 ^ salt)
+	return h
+}
+
+// roll maps the hash to [0,1) with 53 bits of precision.
+func (inj *injector) roll(src, dst int, seq, rule, salt uint64) float64 {
+	return float64(inj.bits(src, dst, seq, rule, salt)>>11) / (1 << 53)
+}
+
+// mix is the splitmix64 finalizer.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

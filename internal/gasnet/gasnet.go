@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"cafmpi/internal/fabric"
+	"cafmpi/internal/faults"
 	"cafmpi/internal/obs"
 	"cafmpi/internal/sanitizer"
 	"cafmpi/internal/sim"
@@ -103,6 +104,7 @@ type Ep struct {
 	// Attach so AM and RDMA hot paths pay a nil check only.
 	osh *obs.Shard
 	san *sanitizer.Image // nil when sanitizing is off (methods are nil-safe)
+	flt *faults.State    // world failure latch, nil-safe when faults are off
 }
 
 // HandlerEntry binds a handler id to its function for Attach, mirroring
@@ -136,6 +138,7 @@ func Attach(p *sim.Proc, net *fabric.Net, segSize int, handlers ...HandlerEntry)
 	e.fep = e.layer.Endpoint(p.ID())
 	e.osh = obs.For(p)
 	e.san = sanitizer.For(p)
+	e.flt = faults.Enabled(p.World())
 	e.amSpec = fabric.MatchSpec{Classes: fabric.Classes(clsAMRequest, clsAMReply), Src: fabric.AnySrc}
 	e.brSpec = fabric.MatchSpec{Classes: fabric.Classes(clsAMRequest, clsAMReply, clsBarrier), Src: fabric.AnySrc, Filter: e.barrierFilter}
 	e.segment = make([]byte, segSize)
@@ -153,7 +156,9 @@ func Attach(p *sim.Proc, net *fabric.Net, segSize int, handlers ...HandlerEntry)
 	e.footprint = c.BaseFootprint + int64(p.N()*c.PeerBytes) + int64(segSize)
 
 	// Everyone must see every segment before one-sided traffic starts.
-	e.Barrier()
+	if err := e.Barrier(); err != nil {
+		return nil, err
+	}
 	return e, nil
 }
 
@@ -208,7 +213,9 @@ func (e *Ep) AMRequestShort(dst int, h HandlerID, args ...uint64) error {
 	t0 := e.p.Now()
 	m := fabric.NewMessage()
 	m.Dst, m.Class, m.Ctx, m.Tag, m.Args = dst, clsAMRequest, int(h), catShort, args
-	e.layer.Send(e.p, m)
+	if err := e.layer.Send(e.p, m); err != nil {
+		return err
+	}
 	e.noteAMSent(dst, 0, h, t0)
 	return nil
 }
@@ -222,7 +229,9 @@ func (e *Ep) AMRequestMedium(dst int, h HandlerID, payload []byte, args ...uint6
 	t0 := e.p.Now()
 	m := fabric.NewMessage()
 	m.Dst, m.Class, m.Ctx, m.Tag, m.Args, m.Data = dst, clsAMRequest, int(h), catMedium, args, payload
-	e.layer.Send(e.p, m)
+	if err := e.layer.Send(e.p, m); err != nil {
+		return err
+	}
 	e.noteAMSent(dst, len(payload), h, t0)
 	return nil
 }
@@ -250,7 +259,9 @@ func (e *Ep) AMRequestLong(dst int, h HandlerID, payload []byte, dstOff int, arg
 	m := fabric.NewMessage()
 	m.Dst, m.Class, m.Ctx, m.Tag = dst, clsAMRequest, int(h), catLong
 	m.Args = e.longArgs[: 2+len(args) : 2+len(args)]
-	e.layer.Send(e.p, m)
+	if err := e.layer.Send(e.p, m); err != nil {
+		return err
+	}
 	e.noteAMSent(dst, len(payload), h, t0)
 	return nil
 }
@@ -286,7 +297,9 @@ func (tk *Token) ReplyShort(h HandlerID, args ...uint64) error {
 	t0 := tk.ep.p.Now()
 	m := fabric.NewMessage()
 	m.Dst, m.Class, m.Ctx, m.Tag, m.Args = tk.src, clsAMReply, int(h), catShort, args
-	tk.ep.layer.Send(tk.ep.p, m)
+	if err := tk.ep.layer.Send(tk.ep.p, m); err != nil {
+		return err
+	}
 	tk.ep.noteAMSent(tk.src, 0, h, t0)
 	return nil
 }
@@ -303,7 +316,9 @@ func (tk *Token) ReplyMedium(h HandlerID, payload []byte, args ...uint64) error 
 	t0 := tk.ep.p.Now()
 	m := fabric.NewMessage()
 	m.Dst, m.Class, m.Ctx, m.Tag, m.Args, m.Data = tk.src, clsAMReply, int(h), catMedium, args, payload
-	tk.ep.layer.Send(tk.ep.p, m)
+	if err := tk.ep.layer.Send(tk.ep.p, m); err != nil {
+		return err
+	}
 	tk.ep.noteAMSent(tk.src, len(payload), h, t0)
 	return nil
 }
@@ -388,13 +403,18 @@ func (e *Ep) dispatch(m *fabric.Message) {
 
 // PollUntil polls until cond becomes true. While blocked it advances
 // virtual time to the earliest queued arrival (a blocking poll *is* a
-// virtual-time wait) and otherwise parks until real activity.
-func (e *Ep) PollUntil(cond func() bool) {
+// virtual-time wait) and otherwise parks until real activity. It returns
+// early with a typed error when the world's failure latch trips, so waits
+// on a crashed peer unblock instead of deadlocking.
+func (e *Ep) PollUntil(cond func() bool) error {
 	for {
 		seq := e.fep.Seq()
 		e.Poll()
 		if cond() {
-			return
+			return nil
+		}
+		if err := e.flt.ErrOp("poll_until"); err != nil {
+			return err
 		}
 		if st := e.fep.PollStateFor(&e.amSpec); st.HasEarliest {
 			e.p.AdvanceTo(st.Earliest)
@@ -565,8 +585,10 @@ func (e *Ep) SyncNBIAll() {
 // NBIOutstanding returns the number of unsynced implicit operations.
 func (e *Ep) NBIOutstanding() int { return e.nbiCount }
 
-// BarrierNotify begins a split-phase barrier (gasnet_barrier_notify).
-func (e *Ep) BarrierNotify() {
+// BarrierNotify begins a split-phase barrier (gasnet_barrier_notify). It
+// returns a typed error when the failure latch trips mid-barrier (ULFM
+// semantics: collectives over a dead image fail rather than hang).
+func (e *Ep) BarrierNotify() error {
 	n := e.p.N()
 	gen := e.barrierGen
 	e.barrierGen++
@@ -574,13 +596,18 @@ func (e *Ep) BarrierNotify() {
 		dst := (e.p.ID() + k) % n
 		bm := fabric.NewMessage()
 		bm.Dst, bm.Class, bm.Tag = dst, clsBarrier, gen*64+round
-		e.layer.Send(e.p, bm)
+		if err := e.layer.Send(e.p, bm); err != nil {
+			return err
+		}
 		// Wait for this round's message, progressing AMs that have arrived
 		// meanwhile (conduits poll inside blocking calls).
 		e.brTag = gen*64 + round
 		e.brSrc = (e.p.ID() - k + n) % n
 		for {
-			m := e.blockingRecv(&e.brSpec)
+			m, err := e.blockingRecv(&e.brSpec)
+			if err != nil {
+				return err
+			}
 			if m.Class == clsBarrier {
 				e.layer.Absorb(e.p, m, 0)
 				m.Release()
@@ -589,18 +616,23 @@ func (e *Ep) BarrierNotify() {
 			e.dispatch(m)
 		}
 	}
+	return nil
 }
 
 // blockingRecv returns the next message matching spec, preferring ones that
 // have arrived in virtual time and advancing the clock to the earliest
-// matching arrival when only future ones are queued.
-func (e *Ep) blockingRecv(spec *fabric.MatchSpec) *fabric.Message {
+// matching arrival when only future ones are queued. It unblocks with a
+// typed error when the failure latch trips.
+func (e *Ep) blockingRecv(spec *fabric.MatchSpec) (*fabric.Message, error) {
 	for {
 		seq := e.fep.Seq()
 		spec.Before = e.p.Now()
 		m, st := e.fep.TryRecvSpec(spec)
 		if m != nil {
-			return m
+			return m, nil
+		}
+		if err := e.flt.ErrOp("recv"); err != nil {
+			return nil, err
 		}
 		if st.HasEarliest {
 			e.p.AdvanceTo(st.Earliest)
@@ -612,12 +644,14 @@ func (e *Ep) blockingRecv(spec *fabric.MatchSpec) *fabric.Message {
 
 // BarrierWait completes the split-phase barrier. The dissemination work is
 // performed in BarrierNotify; Wait is the completion point.
-func (e *Ep) BarrierWait() {}
+func (e *Ep) BarrierWait() error { return nil }
 
 // Barrier is the blocking composition of notify and wait.
-func (e *Ep) Barrier() {
-	e.BarrierNotify()
-	e.BarrierWait()
+func (e *Ep) Barrier() error {
+	if err := e.BarrierNotify(); err != nil {
+		return err
+	}
+	return e.BarrierWait()
 }
 
 // Registered-memory RDMA: real GASNet conduits can target any registered

@@ -85,6 +85,9 @@ func (r *CollRequest) Wait() error {
 		if done {
 			return err
 		}
+		if err := r.env.flt.ErrOp("icoll_wait"); err != nil {
+			return err
+		}
 		// Block until something changes: either new arrivals or a queued
 		// virtual-future arrival we can advance to.
 		seq := r.env.ep.Seq()

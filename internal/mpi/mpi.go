@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 
 	"cafmpi/internal/fabric"
+	"cafmpi/internal/faults"
 	"cafmpi/internal/obs"
 	"cafmpi/internal/sanitizer"
 	"cafmpi/internal/sim"
@@ -76,6 +77,11 @@ type Env struct {
 	// nil-safe); cached at Init like sh.
 	san *sanitizer.Image
 
+	// flt is the world failure latch (nil-safe when faults are off); every
+	// blocking loop consults it so waits on a crashed peer return a typed
+	// error instead of hanging.
+	flt *faults.State
+
 	footprint int64
 	finalized bool
 }
@@ -99,6 +105,7 @@ func Init(p *sim.Proc, net *fabric.Net) *Env {
 	env.ep = env.layer.Endpoint(p.ID())
 	env.sh = obs.For(p)
 	env.san = sanitizer.For(p)
+	env.flt = faults.Enabled(p.World())
 	env.progSpec = fabric.MatchSpec{Classes: fabric.Classes(clsP2P), Src: fabric.AnySrc, Filter: env.postedFilter}
 
 	ranks := make([]int, p.N())

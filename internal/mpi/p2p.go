@@ -123,6 +123,9 @@ func (r *Request) Wait() (Status, error) {
 			e.p.AdvanceTo(t)
 			return st, err
 		}
+		if err := e.flt.ErrOp("wait"); err != nil {
+			return Status{}, err
+		}
 		if ps.HasEarliest {
 			e.p.AdvanceTo(ps.Earliest)
 			continue
@@ -170,6 +173,9 @@ func Waitany(reqs []*Request) (int, Status, error) {
 				return i, st, err
 			}
 		}
+		if err := e.flt.ErrOp("waitany"); err != nil {
+			return -1, Status{}, err
+		}
 		if ps.HasEarliest {
 			e.p.AdvanceTo(ps.Earliest)
 			continue
@@ -205,7 +211,14 @@ func (c *Comm) isendCtx(buf []byte, dest, tag, ctx int) *Request {
 	m.Ctx = ctx
 	m.Data = buf
 	m.Req = r
-	c.env.layer.Send(c.env.p, m)
+	if err := c.env.layer.Send(c.env.p, m); err != nil {
+		// The fabric already stamped the request complete; surface the
+		// typed failure through it so Wait reports it. r has not escaped
+		// yet, so the unsynchronized err store is safe.
+		r.err = err
+		r.done.Store(true)
+		return r
+	}
 	if sh := c.env.sh; sh != nil {
 		sh.Record(obs.LayerMPI, obs.OpSend, c.ranks[dest], len(buf), tag, t0, c.env.p.Now())
 	}
@@ -384,6 +397,9 @@ func (c *Comm) Probe(src, tag int) (Status, error) {
 		ok, st, err := c.Iprobe(src, tag)
 		if ok || err != nil {
 			return st, err
+		}
+		if err := c.env.flt.ErrOp("probe"); err != nil {
+			return Status{}, err
 		}
 		// Iprobe staged the spec; reuse it for the earliest-arrival scan.
 		if ps := c.env.ep.PollStateFor(&c.probeSpec); ps.HasEarliest {

@@ -74,6 +74,7 @@ const (
 	OpFence                     // substrate: release/local fence
 	OpEventNotify               // runtime: event_notify (fence + notification AM)
 	OpEventWait                 // runtime: event_wait blocking span (tag = slot)
+	OpFault                     // fabric: injected fault(s) on a send (drop/retry/dup/delay)
 	numOps
 )
 
@@ -81,7 +82,7 @@ var opNames = [...]string{
 	"inject", "deliver", "rdv_match", "rma_put",
 	"put", "get", "accumulate", "flush", "flush_all", "lock_all",
 	"send", "recv", "am_send", "am_deliver", "barrier", "nbi_sync", "fence",
-	"event_notify", "event_wait",
+	"event_notify", "event_wait", "fault",
 }
 
 func (o Op) String() string {
@@ -121,6 +122,10 @@ const (
 	CtrUnexpectedDepthMax   // gauge: deepest unexpected-message queue seen
 	CtrPendingRMAMax        // gauge: most unflushed RMA ops outstanding at once
 	CtrPoolBytesInFlightMax // gauge: most pooled payload bytes checked out at once
+	CtrFaultsInjected       // fault events injected (drops, dups, delays, reorders, ...)
+	CtrFaultRetries         // retransmissions the delivery protocol performed
+	CtrFaultRetryNS         // virtual ns senders spent in ack timeouts and backoff
+	CtrFaultDedupDrops      // duplicate copies suppressed by the receive-side sweep
 	numCounters
 )
 
@@ -148,6 +153,10 @@ var counterNames = [...]string{
 	"unexpected_queue_max",
 	"pending_rma_max",
 	"pool_bytes_inflight_max",
+	"faults_injected",
+	"fault_retries",
+	"fault_retry_wait_ns",
+	"fault_dedup_drops",
 }
 
 func (c Counter) String() string {

@@ -102,7 +102,8 @@ type reasmKey struct {
 type partial struct {
 	kind    uint8
 	args    []uint64
-	data    []byte
+	data    []byte // nChunks*MaxMedium bytes; chunks land positionally
+	total   int    // true payload length, set when the last chunk arrives
 	got, of int
 }
 
@@ -371,18 +372,22 @@ func (s *S) onCoreAM(tk *gasnet.Token, hdr []uint64, chunk []byte) {
 	key := reasmKey{src: tk.Src(), seq: seq}
 	pa := s.reasm[key]
 	if pa == nil {
-		pa = &partial{kind: kind, args: args, data: make([]byte, 0, nc*gasnet.MaxMedium), of: nc}
+		pa = &partial{kind: kind, args: args, data: make([]byte, nc*gasnet.MaxMedium), of: nc}
 		s.reasm[key] = pa
 	}
-	// Fragments of one AM arrive in order on the (src -> dst) stream.
-	if ci != pa.got {
-		panic(fmt.Sprintf("rtgasnet: AM fragment %d from %d arrived out of order (want %d)", ci, tk.Src(), pa.got))
+	// Fragments are placed positionally: injected delays and reordering
+	// (fault plans) can deliver chunks of one AM out of order, so each
+	// lands at its offset rather than being appended in arrival order.
+	// Every chunk but the last is exactly MaxMedium bytes, so the last
+	// chunk fixes the total payload length.
+	copy(pa.data[ci*gasnet.MaxMedium:], chunk)
+	if ci == pa.of-1 {
+		pa.total = ci*gasnet.MaxMedium + len(chunk)
 	}
-	pa.data = append(pa.data, chunk...)
 	pa.got++
 	if pa.got == pa.of {
 		delete(s.reasm, key)
-		s.deliver(tk.Src(), pa.kind, pa.args, pa.data)
+		s.deliver(tk.Src(), pa.kind, pa.args, pa.data[:pa.total])
 	}
 }
 
@@ -406,8 +411,7 @@ func (s *S) amWrite(seg *segment, world, off int, data []byte) error {
 		}
 	}
 	want += int64(n)
-	s.ep.PollUntil(func() bool { return s.acks >= want })
-	return nil
+	return s.ep.PollUntil(func() bool { return s.acks >= want })
 }
 
 func (s *S) onAMWrite(tk *gasnet.Token, args []uint64, payload []byte) {
@@ -426,8 +430,9 @@ func (s *S) onAMAck(*gasnet.Token, []uint64, []byte) { s.acks++ }
 // Poll dispatches queued AMs.
 func (s *S) Poll() { s.ep.Poll() }
 
-// PollUntil polls until cond holds.
-func (s *S) PollUntil(cond func() bool) { s.ep.PollUntil(cond) }
+// PollUntil polls until cond holds, or returns a typed error when the
+// world's failure latch trips.
+func (s *S) PollUntil(cond func() bool) error { return s.ep.PollUntil(cond) }
 
 // LocalFence completes implicit operations. GASNet's NBI sync covers local
 // and remote completion with O(1) counters.
@@ -483,8 +488,7 @@ func (s *S) BcastAsync(core.TeamRef, []byte, int) (core.Completion, error) {
 // hand-crafted by the runtime.
 func (s *S) Barrier(t core.TeamRef) error {
 	if t.Size() == s.p.N() {
-		s.ep.Barrier()
-		return nil
+		return s.ep.Barrier()
 	}
 	return core.ErrUnsupported
 }

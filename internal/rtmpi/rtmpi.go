@@ -21,6 +21,7 @@ import (
 	"cafmpi/internal/core"
 	"cafmpi/internal/elem"
 	"cafmpi/internal/fabric"
+	"cafmpi/internal/faults"
 	"cafmpi/internal/mpi"
 	"cafmpi/internal/obs"
 	"cafmpi/internal/sim"
@@ -67,6 +68,7 @@ type S struct {
 
 	tr  *trace.Tracer // attributes substrate time in --trace; nil when off
 	osh *obs.Shard    // observability shard; nil when off
+	flt *faults.State // failure/cancellation latch; nil-safe methods
 }
 
 // New builds the substrate on image p. deliver is the runtime's AM
@@ -80,6 +82,7 @@ func New(p *sim.Proc, net *fabric.Net, deliver core.DeliverFunc, opt Options) (*
 	s := &S{p: p, net: net, env: env, amComm: amComm, deliver: deliver, opt: opt}
 	s.world = &team{comm: env.CommWorld()}
 	s.osh = obs.For(p)
+	s.flt = faults.Enabled(p.World())
 	return s, nil
 }
 
@@ -227,14 +230,16 @@ type completion struct{ req *mpi.Request }
 func (c completion) Test() bool {
 	done, _, err := c.req.Test()
 	if err != nil {
-		panic(fmt.Sprintf("rtmpi: async operation failed: %v", err))
+		// Wrapped, not stringified: unwinds through sim.PanicError with the
+		// typed cause (ErrImageFailed, ErrRetriesExhausted) intact.
+		panic(fmt.Errorf("rtmpi: async operation failed: %w", err))
 	}
 	return done
 }
 
 func (c completion) Wait() {
 	if _, err := c.req.Wait(); err != nil {
-		panic(fmt.Sprintf("rtmpi: async operation failed: %v", err))
+		panic(fmt.Errorf("rtmpi: async operation failed: %w", err))
 	}
 }
 
@@ -343,12 +348,17 @@ func (s *S) Poll() {
 // is a blocking receive-style poll, so the MPI progress engine keeps
 // serving other traffic (§3.4). When a runtime AM is queued but still in
 // virtual flight, the wait advances the clock to its arrival.
-func (s *S) PollUntil(cond func() bool) {
+func (s *S) PollUntil(cond func() bool) error {
 	for {
 		seq := s.env.ActivitySeq()
 		s.Poll()
 		if cond() {
-			return
+			return nil
+		}
+		// Failure latch (image crash / cancellation): unblock with the
+		// typed error instead of waiting for an arrival that may never come.
+		if err := s.flt.ErrOp("poll_until"); err != nil {
+			return err
 		}
 		// The earliest-arrival scan must be fresh (after cond, not the
 		// poll's stale report): an arrival landing between the poll and
@@ -462,14 +472,14 @@ type collCompletion struct{ r *mpi.CollRequest }
 func (c collCompletion) Test() bool {
 	done, err := c.r.Test()
 	if err != nil {
-		panic(fmt.Sprintf("rtmpi: nonblocking collective failed: %v", err))
+		panic(fmt.Errorf("rtmpi: nonblocking collective failed: %w", err))
 	}
 	return done
 }
 
 func (c collCompletion) Wait() {
 	if err := c.r.Wait(); err != nil {
-		panic(fmt.Sprintf("rtmpi: nonblocking collective failed: %v", err))
+		panic(fmt.Errorf("rtmpi: nonblocking collective failed: %w", err))
 	}
 }
 
@@ -594,6 +604,9 @@ func (e *atomicEvents) Wait(slot int) error {
 		seq := e.s.env.ActivitySeq()
 		e.s.Poll()
 		if ok, err := e.tryConsume(slot); err != nil || ok {
+			return err
+		}
+		if err := e.s.flt.ErrOp("event_wait"); err != nil {
 			return err
 		}
 		e.s.env.WaitActivity(seq)

@@ -85,6 +85,16 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("sim: image %d panicked: %v\n%s", e.Image, e.Value, e.Stack)
 }
 
+// Unwrap exposes the panic value when it is itself an error, so typed
+// failures thrown across the runtime (e.g. fault-injected image crashes)
+// stay errors.Is-matchable even when no layer recovered them.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
 // Run executes fn once per image, each on its own goroutine, and waits for
 // all of them. It returns the first non-nil error (by image rank); panics in
 // an image are converted to *PanicError rather than crashing the process.
