@@ -150,6 +150,27 @@ func TestImageCrashUnblocks(t *testing.T) {
 	}
 }
 
+// TestProgrammaticPlanValidated: a malformed plan handed to caf.Config
+// directly (not through cafrun/-faults, which parse-validates) is rejected
+// up front with the typed ErrInvalid instead of booting — a zero-delay
+// reorder rule would otherwise panic with a divide by zero mid-run, and
+// out-of-range ranks would be silently ignored.
+func TestProgrammaticPlanValidated(t *testing.T) {
+	bad := []*caf.FaultPlan{
+		{Seed: 1, Rules: []faults.Rule{{Kind: faults.KindReorder, Src: -1, Dst: -1, Prob: 1}}},
+		{Seed: 1, Rules: []faults.Rule{{Kind: faults.KindDrop, Src: -1, Dst: 9, Prob: 1}}},
+		{Seed: 1, Crashes: []faults.CrashPoint{{Image: 7, AtNS: 0}}},
+	}
+	for i, plan := range bad {
+		_, err := chaosRun(caf.MPI, 2, plan, func(im *caf.Image) error {
+			return im.World().Barrier()
+		})
+		if !errors.Is(err, caf.ErrInvalid) {
+			t.Errorf("plan %d: err = %v, want ErrInvalid", i, err)
+		}
+	}
+}
+
 // TestRunContextCancel: a canceled context unblocks a wait that would
 // otherwise deadlock, with the cause in the error chain.
 func TestRunContextCancel(t *testing.T) {

@@ -225,6 +225,12 @@ func RunContext(ctx context.Context, n int, cfg Config, fn func(*Image) error) e
 // waiter, so blocked collectives/event waits/finishes return typed errors
 // instead of deadlocking, and all image goroutines join before return.
 func RunWorldContext(ctx context.Context, n int, cfg Config, fn func(*Image) error) (*sim.World, error) {
+	// Programmatic plans get the same scrutiny cafrun's -faults path does:
+	// reject bad ranks/probabilities/kinds (and the divide-by-zero a
+	// zero-delay reorder rule would hit) with the typed ErrInvalid up front.
+	if err := cfg.Faults.Validate(n); err != nil {
+		return nil, fmt.Errorf("core: fault plan: %w", err)
+	}
 	w := sim.NewWorld(n)
 	st := faults.Enable(w, cfg.Faults)
 	if ctx.Done() != nil {

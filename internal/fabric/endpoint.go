@@ -162,10 +162,35 @@ func (b *bucket) removeAt(i int) {
 }
 
 func (e *Endpoint) enqueue(m *Message) {
+	e.mu.Lock()
+	wake := e.enqueueLocked(m)
+	e.mu.Unlock()
+	if wake {
+		e.cond.Broadcast()
+	}
+}
+
+// enqueue2 inserts m and its injector-made duplicate under a single lock
+// acquisition. The two copies must become visible atomically: with separate
+// enqueues the receiver can match and absorb m in the window between them,
+// the dedup sweep then finds no sibling, and dup is later delivered as a
+// real second copy — breaking the at-most-once guarantee.
+func (e *Endpoint) enqueue2(m, dup *Message) {
+	e.mu.Lock()
+	wake := e.enqueueLocked(m)
+	if e.enqueueLocked(dup) {
+		wake = true
+	}
+	e.mu.Unlock()
+	if wake {
+		e.cond.Broadcast()
+	}
+}
+
+func (e *Endpoint) enqueueLocked(m *Message) (wake bool) {
 	if m.Src < 0 || m.Class >= classLimit {
 		panic(fmt.Sprintf("fabric: enqueue src %d class %d out of range", m.Src, m.Class))
 	}
-	e.mu.Lock()
 	cq := e.classes[m.Class]
 	if cq == nil {
 		cq = &classQueue{srcs: make([]bucket, len(e.layer.eps))}
@@ -179,11 +204,7 @@ func (e *Endpoint) enqueue(m *Message) {
 	e.depth++
 	e.present |= 1 << m.Class
 	e.seq.Add(1)
-	wake := e.wakeNeededLocked(m.Class, m.Src, false)
-	e.mu.Unlock()
-	if wake {
-		e.cond.Broadcast()
-	}
+	return e.wakeNeededLocked(m.Class, m.Src, false)
 }
 
 // wakeNeededLocked reports whether any registered waiter's domain

@@ -137,6 +137,55 @@ func TestDuplicateDedup(t *testing.T) {
 	}
 }
 
+// TestDuplicateDedupStress: the original and its injected duplicate become
+// visible in one lock acquisition (enqueue2), so a fast concurrent receiver
+// can never absorb the original before the duplicate exists — the window
+// that would orphan the duplicate and deliver it as a real second copy.
+// Every original is absorbed exactly once, every sibling swept exactly once.
+func TestDuplicateDedupStress(t *testing.T) {
+	const msgs = 300
+	plan := &faults.Plan{Seed: 3, Rules: []faults.Rule{
+		{Kind: faults.KindDup, Src: -1, Dst: -1, Prob: 1, DelayNS: 1},
+	}}
+	w := sim.NewWorld(2)
+	var ep *Endpoint
+	err := w.Run(func(p *sim.Proc) error {
+		l := faultNet(p, plan).Layer("t")
+		if p.ID() == 0 {
+			for i := 0; i < msgs; i++ {
+				if err := l.Send(p, &Message{Dst: 1, Tag: i, Data: []byte{byte(i)}}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		ep = l.Endpoint(1)
+		for i := 0; i < msgs; i++ {
+			m := ep.Recv(func(*Message) bool { return true })
+			l.Absorb(p, m, 0)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := ep.QueueLen(); n != 0 {
+		t.Fatalf("%d messages still queued after %d receives: a duplicate escaped the dedup sweep", n, msgs)
+	}
+	var dups, dedups int
+	for _, ev := range faults.Enabled(w).Log() {
+		switch ev.Kind {
+		case faults.KindDup:
+			dups++
+		case faults.KindDedup:
+			dedups++
+		}
+	}
+	if dups != msgs || dedups != msgs {
+		t.Fatalf("log has %d dup / %d dedup events, want %d/%d", dups, dedups, msgs, msgs)
+	}
+}
+
 // TestCrashPointPanics: an image hitting its crash point aborts with the
 // typed panic, which unwraps to ErrImageFailed through the sim layer.
 func TestCrashPointPanics(t *testing.T) {

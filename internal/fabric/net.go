@@ -343,9 +343,11 @@ func (l *Layer) Send(p *sim.Proc, m *Message) error {
 	}
 	dst, tag, rdv := m.Dst, m.Tag, m.Rendezvous
 	injected, retries, retryNS := v.Injected, v.Retries, v.RetryWaitNS
-	l.eps[m.Dst].enqueue(m)
 	if dup != nil {
-		l.eps[dst].enqueue(dup)
+		// Both copies must appear in one lock acquisition; see enqueue2.
+		l.eps[dst].enqueue2(m, dup)
+	} else {
+		l.eps[dst].enqueue(m)
 	}
 	// m may already be consumed and recycled by the receiver here; only the
 	// locals captured above are safe to touch.
@@ -428,6 +430,7 @@ func (l *Layer) absorb(p *sim.Proc, m *Message, matchNS, stallNS int64) {
 	pr := l.net.params
 	if flt := l.net.flt; flt.Active() {
 		if stall, crashed := flt.Checkpoint(p.ID(), p.Now()); crashed {
+			m.Release() // match the Send-path crash: don't leak the pooled message
 			panic(faults.Crashed{Image: p.ID()})
 		} else if stall > 0 {
 			p.Advance(stall)

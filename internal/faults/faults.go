@@ -182,9 +182,10 @@ type State struct {
 	plan *Plan
 	inj  *injector
 
-	down   atomic.Uint32         // 1 once failed or canceled
-	failed atomic.Int64          // first failed image + 1
-	cancel atomic.Pointer[error] // cancellation cause
+	down    atomic.Uint32         // 1 once failed or canceled
+	failed  atomic.Int64          // first failed image + 1
+	imgDown []atomic.Bool         // per-image failed flags (ImageDown)
+	cancel  atomic.Pointer[error] // cancellation cause
 
 	wakeMu sync.Mutex
 	wakes  []func()
@@ -238,7 +239,7 @@ func Enabled(w *sim.World) *State {
 }
 
 func newState(n int, plan *Plan) *State {
-	st := &State{plan: plan, logs: make([]imageLog, n)}
+	st := &State{plan: plan, logs: make([]imageLog, n), imgDown: make([]atomic.Bool, n)}
 	if plan.empty() {
 		return st
 	}
@@ -319,9 +320,14 @@ func (st *State) Cancel(cause error) {
 }
 
 // MarkFailed latches image img as failed and wakes every parked waiter.
+// Every crashed image is tracked (ImageDown blackholes sends to all of
+// them); FailedImage keeps reporting the first.
 func (st *State) MarkFailed(img int) {
 	if st == nil {
 		return
+	}
+	if img >= 0 && img < len(st.imgDown) {
+		st.imgDown[img].Store(true)
 	}
 	st.failed.CompareAndSwap(0, int64(img)+1)
 	st.trip()
@@ -495,9 +501,11 @@ func (st *State) Checkpoint(img int, now int64) (stallNS int64, crashed bool) {
 	return stallNS, crashed
 }
 
-// ImageDown reports whether img has crashed (sends to it blackhole).
+// ImageDown reports whether img has crashed (sends to it blackhole). Unlike
+// FailedImage it consults the full failed set, so with multiple crash points
+// every dead image fail-fasts consistently.
 func (st *State) ImageDown(img int) bool {
-	return st != nil && st.failed.Load() == int64(img)+1
+	return st != nil && img >= 0 && img < len(st.imgDown) && st.imgDown[img].Load()
 }
 
 // Hash salts distinguishing decision purposes.

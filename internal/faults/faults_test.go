@@ -162,6 +162,26 @@ func TestCheckpointOneShot(t *testing.T) {
 	}
 }
 
+// TestMultipleFailedImages: ImageDown tracks every crashed image, not just
+// the first (with two crash points, sends to either dead image must
+// blackhole); FailedImage keeps reporting the first.
+func TestMultipleFailedImages(t *testing.T) {
+	st := newState(4, &Plan{})
+	st.MarkFailed(2)
+	st.MarkFailed(0)
+	if st.FailedImage() != 2 {
+		t.Fatalf("FailedImage = %d, want first-failed 2", st.FailedImage())
+	}
+	for img, want := range map[int]bool{0: true, 1: false, 2: true, 3: false} {
+		if st.ImageDown(img) != want {
+			t.Errorf("ImageDown(%d) = %v, want %v", img, !want, want)
+		}
+	}
+	if st.ImageDown(-1) || st.ImageDown(4) {
+		t.Fatal("out-of-range rank reported down")
+	}
+}
+
 // TestCancel: cancellation trips the latch with the cause in the chain and
 // fires wake hooks, including those registered after the trip.
 func TestCancel(t *testing.T) {
