@@ -54,6 +54,11 @@ type Diag struct {
 	// ObsRingCap overrides the per-image event ring capacity
 	// (obs.DefaultRingCap when zero).
 	ObsRingCap int
+	// Postmortem arms the crash-triggered flight recorder: when an image
+	// crashes or the job's failure latch trips, a deterministic
+	// signature-stamped bundle (recent events, counters, fault decisions)
+	// is written under this directory. Implies Observe.
+	Postmortem string
 	// Sanitize enables the PGAS synchronization sanitizer: vector-clock
 	// happens-before tracking across the runtime's sync points plus shadow
 	// access histories on coarray windows, reporting unordered conflicting
@@ -185,7 +190,7 @@ func (c *Config) coreConfig() (core.Config, error) {
 	if err := c.normalize(); err != nil {
 		return core.Config{}, err
 	}
-	cc := core.Config{Trace: c.Diag.Trace, Observe: c.Diag.Observe, ObsRingCap: c.Diag.ObsRingCap, Sanitize: c.Diag.Sanitize, Faults: c.Faults}
+	cc := core.Config{Trace: c.Diag.Trace, Observe: c.Diag.Observe, ObsRingCap: c.Diag.ObsRingCap, Sanitize: c.Diag.Sanitize, Faults: c.Faults, Postmortem: c.Diag.Postmortem}
 	switch c.Substrate {
 	case MPI:
 		opt := c.MPIOptions

@@ -30,6 +30,7 @@ import (
 	"cafmpi/internal/hpcc"
 	"cafmpi/internal/obs"
 	"cafmpi/internal/obs/critpath"
+	"cafmpi/internal/obs/flightrec"
 	"cafmpi/internal/rtmpi"
 	"cafmpi/internal/sanitizer"
 	"cafmpi/internal/trace"
@@ -56,6 +57,7 @@ func main() {
 		sanitize   = flag.Bool("sanitize", false, "run the PGAS synchronization sanitizer; exit 1 if it finds unordered conflicting accesses or RMA misuse")
 		faultsSpec = flag.String("faults", "", "deterministic fault plan: a JSON plan file, \"canonical\" (the 1%-drop chaos plan), or \"canonical:SEED\"")
 		faultLog   = flag.Bool("fault-log", false, "print the injected-fault decision log after the run (implies reproducible ordering)")
+		postmortem = flag.String("postmortem", "", "arm the crash-triggered flight recorder: write a deterministic signature-stamped bundle under this directory when an image crashes or the job fails")
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060) and dump runtime/metrics after the run")
 
 		raBits    = flag.Int("ra-bits", 10, "ra: log2 of per-image table entries")
@@ -101,7 +103,7 @@ func main() {
 		}
 	}
 	cfg := caf.Config{Substrate: caf.Substrate(*sub), Platform: pf,
-		Diag:       caf.Diag{Trace: *trc, Observe: observe, ObsRingCap: *obsRing, Sanitize: *sanitize},
+		Diag:       caf.Diag{Trace: *trc, Observe: observe, ObsRingCap: *obsRing, Sanitize: *sanitize, Postmortem: *postmortem},
 		Faults:     plan,
 		MPIOptions: rtmpi.Options{UseRflush: *rflush, AtomicEvents: *atomicEv}}
 
@@ -198,6 +200,22 @@ func main() {
 		return nil
 	})
 	if err != nil {
+		// The flight recorder already dumped (core's latch hook fires before
+		// RunWorld returns); Dump here just re-resolves the bundle path.
+		if rec := flightrec.Armed(w); rec != nil {
+			if dir, derr := rec.Dump(w, err); derr == nil && dir != "" {
+				fmt.Fprintf(os.Stderr, "cafrun: postmortem bundle: %s\n", dir)
+			}
+		}
+		// A crashed run is when the decision log matters most: print it (and
+		// the hash that names the bundle) before exiting.
+		if st := faults.Enabled(w); *faultLog && st.Active() {
+			evs := st.Log()
+			for _, ev := range evs {
+				fmt.Println(ev.String())
+			}
+			fmt.Printf("signature_hash: %s\n", faults.SignatureHash(evs))
+		}
 		fail("%v", err)
 	}
 
@@ -243,6 +261,9 @@ func main() {
 			for _, ev := range evs {
 				fmt.Println(ev.String())
 			}
+			// Same line the postmortem bundle's MANIFEST carries, so a live
+			// run and a dumped bundle can be matched by eye.
+			fmt.Printf("signature_hash: %s\n", faults.SignatureHash(evs))
 		}
 		fmt.Printf("faults: %d injected (signature %s)\n", len(evs), faults.SignatureHash(evs))
 	}

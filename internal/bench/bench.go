@@ -46,6 +46,10 @@ type Options struct {
 	// experiment runs and receives the merged counter snapshot of each,
 	// labeled "<substrate>/np=<n>".
 	Stats func(label string, snap *obs.Snapshot)
+	// ScalingOut, when set, makes the "scaling" experiment write its
+	// ScalingReport (flush-scan share, SRQ-stall share, per-image obs
+	// memory vs P) as JSON to this path — the BENCH_scaling.json artifact.
+	ScalingOut string
 }
 
 func (o Options) withDefaults() Options {

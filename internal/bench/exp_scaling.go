@@ -1,0 +1,191 @@
+// The scaling probe harness (ROADMAP item 1): sweep the process count into
+// the regime where the paper's pathologies live — MPI_WIN_FLUSH_ALL's
+// linear per-rank scan and GASNet's SRQ collapse at >=128 processes — and
+// record each pathology's share of the critical path, plus the obs
+// subsystem's own per-image memory to prove the telemetry stays O(activity)
+// while the world grows to np=4096.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"cafmpi/caf"
+	"cafmpi/internal/hpcc"
+	"cafmpi/internal/obs"
+	"cafmpi/internal/obs/critpath"
+)
+
+// ScalingSweep is the process-count schedule of the scaling probes. The
+// sweep deliberately reaches past the SRQ collapse point (128) into the
+// paper's large-job regime; Options.MaxP trims it (CI smokes run 1024,
+// the full acceptance run 4096).
+var ScalingSweep = []int{8, 64, 128, 256, 1024, 4096}
+
+// ScalingPoint is one (substrate, workload, np) measurement.
+type ScalingPoint struct {
+	Substrate string `json:"substrate"`
+	Workload  string `json:"workload"`
+	NP        int    `json:"np"`
+	// VirtualS is the slowest image's final virtual clock.
+	VirtualS float64 `json:"virtual_s"`
+	// FlushScanShare and SRQStallShare are each component's fraction of the
+	// critical path (critpath blame), the paper's flush-scan and SRQ-stall
+	// curves.
+	FlushScanShare float64 `json:"flush_scan_share"`
+	SRQStallShare  float64 `json:"srq_stall_share"`
+	// ObsBytesPerImage is the largest shard's self-metered footprint —
+	// flat across NP for a fixed per-image workload (sparse comm mode).
+	ObsBytesPerImage int64 `json:"obs_bytes_per_image"`
+	// ActivePeersMax is the widest comm row (distinct destinations) any
+	// image accumulated: the quantity obs memory actually scales with.
+	ActivePeersMax int    `json:"active_peers_max"`
+	EventsRecorded uint64 `json:"events_recorded"`
+}
+
+// ScalingReport is the BENCH_scaling.json document.
+type ScalingReport struct {
+	Platform string         `json:"platform"`
+	Quick    bool           `json:"quick"`
+	Points   []ScalingPoint `json:"points"`
+}
+
+// scalingPingPong bounces an event between the two farthest images; the
+// rest of the world participates only in setup and teardown. With two
+// active images at every NP, its obs memory curve isolates the sparse-mode
+// claim: per-image telemetry cost tracks activity, not world size.
+func scalingPingPong(im *caf.Image, iters int) error {
+	evs, err := im.NewEvents(im.World(), 2)
+	if err != nil {
+		return err
+	}
+	last := im.N() - 1
+	if im.ID() != 0 && im.ID() != last {
+		return nil
+	}
+	for i := 0; i < iters; i++ {
+		if im.ID() == 0 {
+			if err := evs.Notify(last, 0); err != nil {
+				return err
+			}
+			if last == 0 {
+				if err := evs.Wait(0); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := evs.Wait(1); err != nil {
+				return err
+			}
+		} else {
+			if err := evs.Wait(0); err != nil {
+				return err
+			}
+			if err := evs.Notify(0, 1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// scalingPoint runs one probe job and extracts the point's metrics.
+func scalingPoint(o Options, sub caf.Substrate, np int, workload string) (ScalingPoint, error) {
+	pt := ScalingPoint{Substrate: string(sub), Workload: workload, NP: np}
+	ra := hpcc.RAConfig{TableBits: 8, UpdatesPerImage: 256, BatchSize: 64}
+	iters := 200
+	if o.Quick {
+		ra.UpdatesPerImage = 64
+		iters = 50
+	}
+	cfg := caf.Config{Substrate: sub, Platform: o.Platform, Observe: true}
+	clocks := make([]int64, np)
+	w, err := caf.RunWorld(np, cfg, func(im *caf.Image) error {
+		defer func() { clocks[im.ID()] = im.Proc().Now() }()
+		switch workload {
+		case "ra":
+			_, err := hpcc.RandomAccess(im, ra)
+			return err
+		case "pingpong":
+			return scalingPingPong(im, iters)
+		default:
+			return fmt.Errorf("bench: unknown scaling workload %q", workload)
+		}
+	})
+	if err != nil {
+		return pt, err
+	}
+	ow := obs.Enabled(w)
+	if rep := critpath.Analyze(ow, clocks); rep != nil && rep.FinishNS > 0 {
+		tot := rep.ComponentTotals()
+		pt.FlushScanShare = float64(tot[obs.CompFlushScan.String()]) / float64(rep.FinishNS)
+		pt.SRQStallShare = float64(tot[obs.CompSRQStall.String()]) / float64(rep.FinishNS)
+	}
+	pt.VirtualS = maxClockSeconds(clocks)
+	for i := 0; i < ow.N(); i++ {
+		sh := ow.Shard(i)
+		if mem := sh.MemBytes(); mem > pt.ObsBytesPerImage {
+			pt.ObsBytesPerImage = mem
+		}
+		if k := sh.CommPeers(); k > pt.ActivePeersMax {
+			pt.ActivePeersMax = k
+		}
+		pt.EventsRecorded += sh.Recorded()
+	}
+	return pt, nil
+}
+
+func scalingExperiment() Experiment {
+	return Experiment{
+		ID:    "scaling",
+		Title: "Scaling pathology probes: flush-scan share, SRQ stall share, obs memory vs P",
+		Paper: "FLUSH_ALL's per-rank scan grows linearly with P on CAF-MPI; GASNet SRQ stalls appear at >=128 processes and grow with P; per-image obs memory stays flat (sparse comm mode) while both pathologies climb.",
+		Run: func(o Options) (*Table, error) {
+			o = o.withDefaults()
+			report := &ScalingReport{Platform: o.Platform.Name, Quick: o.Quick}
+			t := &Table{ID: "scaling",
+				Title:  "Scaling pathology probes",
+				XLabel: "processes", YLabel: "share of critical path / KiB per image",
+				Notes: fmt.Sprintf("platform=%s sweep to maxp=%d; RA %s", o.Platform.Name, o.MaxP,
+					"drives flush_all (MPI) and AM pressure (GASNet); ping-pong isolates obs memory")}
+			for _, np := range ScalingSweep {
+				if np > o.MaxP {
+					continue
+				}
+				for _, sub := range []caf.Substrate{caf.MPI, caf.GASNet} {
+					for _, workload := range []string{"ra", "pingpong"} {
+						pt, err := scalingPoint(o, sub, np, workload)
+						if err != nil {
+							return nil, fmt.Errorf("scaling %s/%s np=%d: %w", sub, workload, np, err)
+						}
+						report.Points = append(report.Points, pt)
+						series := fmt.Sprintf("%s-%s", sub, workload)
+						if workload == "ra" {
+							if sub == caf.MPI {
+								t.Rows = append(t.Rows, Row{Series: series + " flush_scan", X: np, Y: pt.FlushScanShare})
+							} else {
+								t.Rows = append(t.Rows, Row{Series: series + " srq_stall", X: np, Y: pt.SRQStallShare})
+							}
+						}
+						t.Rows = append(t.Rows, Row{Series: series + " obsKiB/img", X: np, Y: float64(pt.ObsBytesPerImage) / 1024})
+					}
+				}
+			}
+			if o.ScalingOut != "" {
+				blob, err := json.MarshalIndent(report, "", "  ")
+				if err != nil {
+					return nil, err
+				}
+				if err := os.WriteFile(o.ScalingOut, append(blob, '\n'), 0o644); err != nil {
+					return nil, fmt.Errorf("scaling: writing %s: %w", o.ScalingOut, err)
+				}
+			}
+			return t, nil
+		},
+	}
+}
+
+func init() {
+	register(scalingExperiment())
+}

@@ -8,6 +8,7 @@ import (
 	"cafmpi/internal/fabric"
 	"cafmpi/internal/faults"
 	"cafmpi/internal/obs"
+	"cafmpi/internal/obs/flightrec"
 	"cafmpi/internal/sanitizer"
 	"cafmpi/internal/sim"
 	"cafmpi/internal/trace"
@@ -55,6 +56,12 @@ type Config struct {
 	// and stalls). Nil means no injection — the zero-cost default. Read the
 	// injected-fault log after the run via faults.Enabled(world).Log().
 	Faults *faults.Plan
+	// Postmortem arms the flight recorder: when an image crashes or the
+	// job's failure latch trips, a deterministic signature-stamped bundle
+	// (recent events, counters, fault decisions) is written under this
+	// directory. Implies Observe — the obs shards are the recorder's
+	// black box.
+	Postmortem string
 }
 
 // SpawnFunc is a shippable function (CAF 2.0 function shipping). It runs on
@@ -162,10 +169,13 @@ func Boot(p *sim.Proc, cfg Config) (*Image, error) {
 	if cfg.Trace {
 		im.tr = trace.New(p)
 	}
-	if cfg.Observe {
+	if cfg.Observe || cfg.Postmortem != "" {
 		// Must precede the Factory call: fabric/mpi/gasnet cache their shard
 		// handles at attach time.
 		obs.Enable(p.World(), cfg.ObsRingCap)
+	}
+	if cfg.Postmortem != "" {
+		flightrec.Arm(p.World(), cfg.Postmortem)
 	}
 	im.osh = obs.For(p)
 	// Like obs.Enable, this must precede the Factory call (the fabric caches
@@ -262,6 +272,13 @@ func RunWorldContext(ctx context.Context, n int, cfg Config, fn func(*Image) err
 		}
 		return fn(im)
 	})
+	// Crash-triggered dump: every failed chaos run leaves a debuggable
+	// artifact. A dump failure never masks the run's own error.
+	if rec := flightrec.Armed(w); rec != nil && (err != nil || st.Down()) {
+		if _, derr := rec.Dump(w, err); derr != nil && err == nil {
+			err = fmt.Errorf("core: postmortem dump: %w", derr)
+		}
+	}
 	return w, err
 }
 

@@ -254,6 +254,11 @@ func (l *Layer) Send(p *sim.Proc, m *Message) error {
 	flt := l.net.flt
 	if flt.Active() {
 		if stall, crashed := flt.Checkpoint(m.Src, p.Now()); crashed {
+			// Last event before death: the flight recorder's postmortem shows
+			// exactly where the image hit its crash point.
+			if sh := l.net.shard(p); sh != nil {
+				sh.Record(obs.LayerFabric, obs.OpCrash, -1, 0, 0, p.Now(), p.Now())
+			}
 			m.Release()
 			panic(faults.Crashed{Image: p.ID()})
 		} else if stall > 0 {
@@ -430,6 +435,9 @@ func (l *Layer) absorb(p *sim.Proc, m *Message, matchNS, stallNS int64) {
 	pr := l.net.params
 	if flt := l.net.flt; flt.Active() {
 		if stall, crashed := flt.Checkpoint(p.ID(), p.Now()); crashed {
+			if sh := l.net.shard(p); sh != nil {
+				sh.Record(obs.LayerFabric, obs.OpCrash, -1, 0, 0, p.Now(), p.Now())
+			}
 			m.Release() // match the Send-path crash: don't leak the pooled message
 			panic(faults.Crashed{Image: p.ID()})
 		} else if stall > 0 {

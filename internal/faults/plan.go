@@ -234,11 +234,33 @@ func Canonical(seed uint64) *Plan {
 	}
 }
 
+// CanonicalCrash is Canonical plus a crash point: image 1 dies at 50µs of
+// virtual time. It is the plan the flight-recorder smoke and the CI
+// postmortem-artifact step use — every run of it produces the same
+// signature-stamped bundle.
+func CanonicalCrash(seed uint64) *Plan {
+	p := Canonical(seed)
+	p.Crashes = []CrashPoint{{Image: 1, AtNS: 50_000}}
+	return p
+}
+
 // LoadSpec resolves a -faults flag value: "canonical" or "canonical:SEED"
-// for the built-in 1%-drop plan, anything else as a JSON plan file path.
+// for the built-in 1%-drop plan, "canonical-crash" or "canonical-crash:SEED"
+// for the same plan plus the image-1 crash point, anything else as a JSON
+// plan file path.
 func LoadSpec(spec string) (*Plan, error) {
 	if spec == "canonical" {
 		return Canonical(1), nil
+	}
+	if spec == "canonical-crash" {
+		return CanonicalCrash(1), nil
+	}
+	if rest, ok := strings.CutPrefix(spec, "canonical-crash:"); ok {
+		seed, err := strconv.ParseUint(rest, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad canonical seed %q", ErrInvalid, rest)
+		}
+		return CanonicalCrash(seed), nil
 	}
 	if rest, ok := strings.CutPrefix(spec, "canonical:"); ok {
 		seed, err := strconv.ParseUint(rest, 10, 64)

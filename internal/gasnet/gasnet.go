@@ -380,6 +380,9 @@ func (e *Ep) dispatch(m *fabric.Message) {
 		e.osh.Add(obs.CtrAMsDelivered, 1)
 		// The SRQ stall is the delivery cost beyond the base AM overhead.
 		e.osh.Add(obs.CtrSRQStallNS, extra-c.AMNS)
+		if extra > c.AMNS {
+			e.osh.Add(obs.CtrSRQStalls, 1)
+		}
 	}
 
 	h := e.handlers[m.Ctx]

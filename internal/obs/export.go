@@ -12,20 +12,40 @@ import (
 	"cafmpi/internal/obs/hist"
 )
 
+// CommTopK bounds the per-source peer list exported above
+// DenseCommThreshold images: the K heaviest destinations by byte count.
+const CommTopK = 8
+
+// CommRow summarizes one source image's communication row: aggregate
+// totals plus its top-K destinations by bytes. All-zero rows are omitted
+// from exports entirely, so the comm section scales with traffic, not with
+// world size.
+type CommRow struct {
+	Src   int        `json:"src"`
+	Peers int        `json:"peers"`
+	Count int64      `json:"count"`
+	Bytes int64      `json:"bytes"`
+	Top   []PeerStat `json:"top,omitempty"`
+}
+
 // Snapshot is the merged, read-only view of a World's shards, taken after
 // sim.World.Run has returned. Counters are summed across images; gauges keep
-// the maximum. The communication matrix is indexed [src][dst].
+// the maximum. The dense communication matrices (indexed [src][dst]) are
+// only materialized up to DenseCommThreshold images; Comm carries the
+// scale-oblivious per-row summaries at every world size.
 type Snapshot struct {
-	Images         int                `json:"images"`
-	EventsRecorded uint64             `json:"events_recorded"`
-	EventsDropped  uint64             `json:"events_dropped"`
-	EdgesRecorded  uint64             `json:"edges_recorded"`
-	EdgesDropped   uint64             `json:"edges_dropped"`
-	Counters       map[string]int64   `json:"counters"`
-	CommCount      [][]int64          `json:"comm_count"`
-	CommBytes      [][]int64          `json:"comm_bytes"`
-	Latency        []LatencyStat      `json:"latency,omitempty"`
-	PerImage       []map[string]int64 `json:"per_image,omitempty"`
+	Images           int                `json:"images"`
+	EventsRecorded   uint64             `json:"events_recorded"`
+	EventsDropped    uint64             `json:"events_dropped"`
+	EdgesRecorded    uint64             `json:"edges_recorded"`
+	EdgesDropped     uint64             `json:"edges_dropped"`
+	ObsBytesPerImage int64              `json:"obs_bytes_per_image"`
+	Counters         map[string]int64   `json:"counters"`
+	Comm             []CommRow          `json:"comm,omitempty"`
+	CommCount        [][]int64          `json:"comm_count,omitempty"`
+	CommBytes        [][]int64          `json:"comm_bytes,omitempty"`
+	Latency          []LatencyStat      `json:"latency,omitempty"`
+	PerImage         []map[string]int64 `json:"per_image,omitempty"`
 }
 
 // LatencyStat is the merged latency distribution of one op class
@@ -48,10 +68,13 @@ func (w *World) Snapshot() *Snapshot {
 		return nil
 	}
 	s := &Snapshot{
-		Images:    w.n,
-		Counters:  make(map[string]int64, int(numCounters)),
-		CommCount: make([][]int64, w.n),
-		CommBytes: make([][]int64, w.n),
+		Images:   w.n,
+		Counters: make(map[string]int64, int(numCounters)),
+	}
+	dense := w.n <= DenseCommThreshold
+	if dense {
+		s.CommCount = make([][]int64, w.n)
+		s.CommBytes = make([][]int64, w.n)
 	}
 	for _, c := range Counters() {
 		s.Counters[c.String()] = 0
@@ -61,8 +84,16 @@ func (w *World) Snapshot() *Snapshot {
 		s.EventsDropped += sh.Dropped()
 		s.EdgesRecorded += sh.EdgesRecorded()
 		s.EdgesDropped += sh.EdgesDropped()
-		s.CommCount[i] = append([]int64(nil), sh.matCount...)
-		s.CommBytes[i] = append([]int64(nil), sh.matBytes...)
+		if mem := sh.MemBytes(); mem > s.ObsBytesPerImage {
+			s.ObsBytesPerImage = mem
+		}
+		if dense {
+			s.CommCount[i] = append([]int64(nil), sh.matCount...)
+			s.CommBytes[i] = append([]int64(nil), sh.matBytes...)
+		}
+		if row := commRow(i, sh); row.Peers > 0 {
+			s.Comm = append(s.Comm, row)
+		}
 		for _, c := range Counters() {
 			v := sh.counters[c]
 			if c.IsGauge() {
@@ -73,6 +104,9 @@ func (w *World) Snapshot() *Snapshot {
 				s.Counters[c.String()] += v
 			}
 		}
+	}
+	if v := s.Counters[CtrObsBytesPerImage.String()]; s.ObsBytesPerImage > v {
+		s.Counters[CtrObsBytesPerImage.String()] = s.ObsBytesPerImage
 	}
 	// Latency rows in (layer, op) declaration order: deterministic without
 	// sorting by value.
@@ -147,31 +181,86 @@ func (s *Snapshot) Text() string {
 	return b.String()
 }
 
-// CommMatrixText renders the N×N communication matrix (operation counts,
-// with a bytes matrix below) as aligned text. Rows are sources, columns
-// destinations.
+// commRow builds the bounded summary of one shard's comm row: totals over
+// every peer, plus the CommTopK heaviest destinations by bytes (ties broken
+// by rank for determinism).
+func commRow(src int, sh *Shard) CommRow {
+	entries := sh.CommEntries()
+	row := CommRow{Src: src, Peers: len(entries)}
+	for _, e := range entries {
+		row.Count += e.Count
+		row.Bytes += e.Bytes
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].Bytes != entries[j].Bytes {
+			return entries[i].Bytes > entries[j].Bytes
+		}
+		return entries[i].Dst < entries[j].Dst
+	})
+	if len(entries) > CommTopK {
+		entries = entries[:CommTopK]
+	}
+	row.Top = entries
+	return row
+}
+
+// CommMatrixText renders the communication matrix as aligned text. Up to
+// DenseCommThreshold images it is the familiar full N×N dump (rows are
+// sources, columns destinations, zero rows skipped); beyond that it is one
+// summary line per active source with its top-K destinations, so the output
+// is bounded by traffic rather than by P².
 func (s *Snapshot) CommMatrixText() string {
 	if s == nil {
 		return "(observability disabled)\n"
 	}
 	var b strings.Builder
-	render := func(title string, m [][]int64) {
-		fmt.Fprintf(&b, "%s (rows: src, cols: dst)\n", title)
-		fmt.Fprintf(&b, "%6s", "")
-		for d := 0; d < s.Images; d++ {
-			fmt.Fprintf(&b, " %10d", d)
-		}
-		b.WriteByte('\n')
-		for src, row := range m {
-			fmt.Fprintf(&b, "%6d", src)
-			for _, v := range row {
-				fmt.Fprintf(&b, " %10d", v)
+	if s.CommCount != nil {
+		render := func(title string, m [][]int64) {
+			fmt.Fprintf(&b, "%s (rows: src, cols: dst; zero rows skipped)\n", title)
+			fmt.Fprintf(&b, "%6s", "")
+			for d := 0; d < s.Images; d++ {
+				fmt.Fprintf(&b, " %10d", d)
 			}
 			b.WriteByte('\n')
+			skipped := 0
+			for src, row := range m {
+				zero := true
+				for _, v := range row {
+					if v != 0 {
+						zero = false
+						break
+					}
+				}
+				if zero {
+					skipped++
+					continue
+				}
+				fmt.Fprintf(&b, "%6d", src)
+				for _, v := range row {
+					fmt.Fprintf(&b, " %10d", v)
+				}
+				b.WriteByte('\n')
+			}
+			if skipped > 0 {
+				fmt.Fprintf(&b, "(%d all-zero rows skipped)\n", skipped)
+			}
 		}
+		render("comm matrix: ops", s.CommCount)
+		render("comm matrix: bytes", s.CommBytes)
+		return b.String()
 	}
-	render("comm matrix: ops", s.CommCount)
-	render("comm matrix: bytes", s.CommBytes)
+	fmt.Fprintf(&b, "comm summary: %d images, %d active sources (top-%d peers per source)\n",
+		s.Images, len(s.Comm), CommTopK)
+	for _, row := range s.Comm {
+		fmt.Fprintf(&b, "%6d  peers=%-6d ops=%-10d bytes=%-12d top:", row.Src, row.Peers, row.Count, row.Bytes)
+		for _, p := range row.Top {
+			fmt.Fprintf(&b, " %d(%d ops,%dB)", p.Dst, p.Count, p.Bytes)
+		}
+		b.WriteByte('\n')
+	}
+	if len(s.Comm) == 0 {
+		b.WriteString("(no communication recorded)\n")
+	}
 	return b.String()
 }
 

@@ -1,0 +1,147 @@
+package flightrec
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cafmpi/internal/faults"
+	"cafmpi/internal/obs"
+	"cafmpi/internal/sim"
+)
+
+// populate builds a small world with a crashed image, some recorded
+// telemetry, and a fault log, simulating what a chaos run leaves behind.
+func populate(t *testing.T) *sim.World {
+	t.Helper()
+	w := sim.NewWorld(2)
+	ow := obs.Enable(w, 16)
+	st := faults.Enable(w, faults.CanonicalCrash(3))
+	sh := ow.Shard(0)
+	sh.Record(obs.LayerMPI, obs.OpPut, 1, 64, 0, 10, 20)
+	sh.Add(obs.CtrMsgsSent, 5)
+	sh.Add(obs.CtrPolls, 123) // volatile: must not reach counters.txt
+	ow.Shard(1).Record(obs.LayerFabric, obs.OpCrash, -1, 0, 0, 50, 50)
+	st.Record(0, faults.Event{T: 7, Kind: faults.KindDrop, Layer: "mpi", Src: 0, Dst: 1, Seq: 2})
+	st.Record(0, faults.Event{T: 9, Kind: faults.KindBlackhole, Layer: "mpi", Src: 0, Dst: 1, Seq: 3})
+	st.MarkFailed(1)
+	return w
+}
+
+func TestArmIdempotentAndDumpOnce(t *testing.T) {
+	w := populate(t)
+	dir := t.TempDir()
+	rec := Arm(w, dir)
+	if Arm(w, "elsewhere") != rec {
+		t.Fatal("second Arm created a new recorder")
+	}
+	if Armed(w) != rec {
+		t.Fatal("Armed did not find the recorder")
+	}
+	if Armed(sim.NewWorld(1)) != nil {
+		t.Fatal("Armed invented a recorder on a fresh world")
+	}
+
+	bundle, err := rec.Dump(w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second Dump returns the same path without rewriting anything.
+	marker := filepath.Join(bundle, "MANIFEST.txt")
+	if rmErr := os.Remove(marker); rmErr != nil {
+		t.Fatal(rmErr)
+	}
+	again, err := rec.Dump(w, nil)
+	if err != nil || again != bundle {
+		t.Fatalf("second Dump = (%q, %v), want (%q, nil)", again, err, bundle)
+	}
+	if _, err := os.Stat(marker); !os.IsNotExist(err) {
+		t.Error("second Dump rewrote the bundle")
+	}
+}
+
+func TestDumpContentAndVolatileQuarantine(t *testing.T) {
+	w := populate(t)
+	dir := t.TempDir()
+	bundle, err := Arm(w, dir).Dump(w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := func(name string) string {
+		b, err := os.ReadFile(filepath.Join(bundle, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	log := faults.Enabled(w).Log()
+	hash := faults.SignatureHash(log)
+	if !strings.HasSuffix(bundle, "postmortem-"+hash[:12]) {
+		t.Errorf("bundle dir %q not stamped with signature hash %s", bundle, hash)
+	}
+	man := read("MANIFEST.txt")
+	if !strings.Contains(man, "signature_hash: "+hash) {
+		t.Errorf("MANIFEST missing signature hash:\n%s", man)
+	}
+	if !strings.Contains(man, "failed_image: 1") {
+		t.Errorf("MANIFEST missing failed image:\n%s", man)
+	}
+
+	sig := read("signature.txt")
+	if strings.Contains(sig, "blackhole mpi") {
+		t.Error("signature.txt contains a schedule-dependent blackhole event")
+	}
+	if !strings.Contains(sig, "drop") {
+		t.Errorf("signature.txt missing the drop decision:\n%s", sig)
+	}
+
+	counters := read("counters.txt")
+	if strings.Contains(counters, "polls") {
+		t.Error("volatile counter leaked into counters.txt")
+	}
+	if !strings.Contains(counters, "msgs_sent") {
+		t.Errorf("counters.txt missing msgs_sent:\n%s", counters)
+	}
+
+	vol := read("volatile.txt")
+	if !strings.Contains(vol, "polls") || !strings.Contains(vol, "blackhole") {
+		t.Errorf("volatile.txt missing quarantined state:\n%s", vol)
+	}
+	if !strings.Contains(vol, "obs_bytes_per_image") {
+		t.Errorf("volatile.txt missing the obs self-meter:\n%s", vol)
+	}
+
+	events := read("events.txt")
+	if !strings.Contains(events, "fabric/crash") {
+		t.Errorf("events.txt missing the crash marker:\n%s", events)
+	}
+}
+
+func TestDumpDeterministic(t *testing.T) {
+	mk := func() (string, *sim.World) {
+		w := populate(t)
+		dir := t.TempDir()
+		bundle, err := Arm(w, dir).Dump(w, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bundle, w
+	}
+	a, _ := mk()
+	b, _ := mk()
+	for _, name := range []string{"MANIFEST.txt", "signature.txt", "counters.txt", "events.txt"} {
+		ba, err := os.ReadFile(filepath.Join(a, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := os.ReadFile(filepath.Join(b, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(ba) != string(bb) {
+			t.Errorf("%s differs between two identical dumps", name)
+		}
+	}
+}

@@ -16,13 +16,23 @@
 //     goroutine — lock-free by the same ownership discipline as the virtual
 //     clock. Shards are merged (read) only after sim.World.Run returns,
 //     which the run's WaitGroup orders.
-//   - Events land in a fixed-capacity ring per image: a long run keeps the
+//   - Events land in a fixed-budget ring per image: a long run keeps the
 //     most recent window instead of growing without bound; the drop count
 //     is reported so truncation is never silent.
+//
+// Scale discipline (ROADMAP item 1): nothing in a shard may be O(P). Rings
+// are lazily grown up to their cap, so an idle image costs a struct, not a
+// window; communication rows are dense arrays only up to DenseCommThreshold
+// images and sparse per-peer maps beyond, so per-image memory is O(active
+// peers). The subsystem meters itself — Shard.MemBytes feeds the
+// obs_bytes_per_image gauge — so the scaling probes can prove the bound
+// instead of asserting it.
 package obs
 
 import (
 	"fmt"
+	"sort"
+	"unsafe"
 
 	"cafmpi/internal/obs/hist"
 	"cafmpi/internal/sim"
@@ -75,6 +85,7 @@ const (
 	OpEventNotify               // runtime: event_notify (fence + notification AM)
 	OpEventWait                 // runtime: event_wait blocking span (tag = slot)
 	OpFault                     // fabric: injected fault(s) on a send (drop/retry/dup/delay)
+	OpCrash                     // fabric: image hit a fault-plan crash point (last event before death)
 	numOps
 )
 
@@ -82,7 +93,7 @@ var opNames = [...]string{
 	"inject", "deliver", "rdv_match", "rma_put",
 	"put", "get", "accumulate", "flush", "flush_all", "lock_all",
 	"send", "recv", "am_send", "am_deliver", "barrier", "nbi_sync", "fence",
-	"event_notify", "event_wait", "fault",
+	"event_notify", "event_wait", "fault", "crash",
 }
 
 func (o Op) String() string {
@@ -112,6 +123,7 @@ const (
 	CtrAMsSent
 	CtrAMsDelivered
 	CtrSRQStallNS
+	CtrSRQStalls
 	CtrFlushCalls
 	CtrFlushAllCalls
 	CtrFlushAllScannedOps
@@ -126,6 +138,7 @@ const (
 	CtrFaultRetries         // retransmissions the delivery protocol performed
 	CtrFaultRetryNS         // virtual ns senders spent in ack timeouts and backoff
 	CtrFaultDedupDrops      // duplicate copies suppressed by the receive-side sweep
+	CtrObsBytesPerImage     // gauge: the obs subsystem's own memory on the largest shard
 	numCounters
 )
 
@@ -143,6 +156,7 @@ var counterNames = [...]string{
 	"ams_sent",
 	"ams_delivered",
 	"srq_stall_ns",
+	"srq_stalls",
 	"flush_calls",
 	"flushall_calls",
 	"flushall_scanned_ops",
@@ -157,6 +171,7 @@ var counterNames = [...]string{
 	"fault_retries",
 	"fault_retry_wait_ns",
 	"fault_dedup_drops",
+	"obs_bytes_per_image",
 }
 
 func (c Counter) String() string {
@@ -169,7 +184,17 @@ func (c Counter) String() string {
 // IsGauge reports whether c is a high-water gauge (merged by max) rather
 // than a monotone counter (merged by sum).
 func (c Counter) IsGauge() bool {
-	return c == CtrUnexpectedDepthMax || c == CtrPendingRMAMax || c == CtrPoolBytesInFlightMax
+	return c == CtrUnexpectedDepthMax || c == CtrPendingRMAMax ||
+		c == CtrPoolBytesInFlightMax || c == CtrObsBytesPerImage
+}
+
+// IsVolatile reports whether c depends on goroutine scheduling or host
+// behaviour rather than on the program and fault plan alone. Volatile
+// counters (poll spins, high-water gauges, the obs self-meter) are excluded
+// from artifacts that must be byte-identical across runs, such as the flight
+// recorder's deterministic postmortem sections.
+func (c Counter) IsVolatile() bool {
+	return c.IsGauge() || c == CtrPolls
 }
 
 // Counters returns all counters in declaration order.
@@ -287,6 +312,15 @@ const DefaultRingCap = 4096
 // explicitly enlarged event ring.
 const DefaultEdgeRingCap = 16384
 
+// DenseCommThreshold is the world size at or below which comm rows are
+// plain dense arrays (one int64 pair per destination). Above it a shard
+// tracks peers sparsely, so an image talking to k peers costs O(k) — not
+// O(P) — and the full N×N matrix never materializes anywhere.
+const DenseCommThreshold = 64
+
+// minRingAlloc is the initial backing-slice length of a lazily grown ring.
+const minRingAlloc = 64
+
 const worldKey = "obs.world"
 
 // World is the per-sim.World observability registry: one shard per image.
@@ -301,6 +335,11 @@ type World struct {
 // images booting — return the same registry and ignore ringCap. It must be
 // called before the instrumented layers attach (core.Boot enables it before
 // constructing the substrate), so layers can cache their shard once.
+//
+// Shards start near-empty: rings grow geometrically up to their cap as
+// events arrive, and comm rows above DenseCommThreshold images are sparse
+// maps, so enabling observability on a large, mostly idle world costs
+// per-image kilobytes, not megabytes.
 func Enable(w *sim.World, ringCap int) *World {
 	if ringCap <= 0 {
 		ringCap = DefaultRingCap
@@ -311,13 +350,14 @@ func Enable(w *sim.World, ringCap int) *World {
 	}
 	return w.Shared(worldKey, func() any {
 		ow := &World{n: w.N(), ringCap: ringCap, shards: make([]*Shard, w.N())}
+		dense := w.N() <= DenseCommThreshold
 		for i := range ow.shards {
-			ow.shards[i] = &Shard{
-				ring:     make([]Event, ringCap),
-				edges:    make([]Edge, edgeCap),
-				matCount: make([]int64, w.N()),
-				matBytes: make([]int64, w.N()),
+			sh := &Shard{ringCap: ringCap, edgeCap: edgeCap}
+			if dense {
+				sh.matCount = make([]int64, w.N())
+				sh.matBytes = make([]int64, w.N())
 			}
+			ow.shards[i] = sh
 		}
 		return ow
 	}).(*World)
@@ -358,18 +398,63 @@ func (w *World) Shard(i int) *Shard {
 	return w.shards[i]
 }
 
+// commCell is one sparse comm-row entry: traffic from this shard's image to
+// a single destination.
+type commCell struct {
+	count int64
+	bytes int64
+}
+
+// PeerStat is one exported comm-row entry: traffic from a source image to
+// destination Dst. Exports sort by Dst (and by Count for top-k views), so
+// the rendering is deterministic regardless of map iteration order.
+type PeerStat struct {
+	Dst   int   `json:"dst"`
+	Count int64 `json:"count"`
+	Bytes int64 `json:"bytes"`
+}
+
 // Shard is one image's lock-free recording surface. All mutating methods are
 // nil-safe no-ops and must otherwise be called only from the owning image's
 // goroutine.
+//
+// Rings are lazily grown: they start nil and double from minRingAlloc up to
+// their cap as entries arrive, then wrap. Because growth only happens while
+// total == len(ring), the invariant "total > len(ring) implies len(ring) ==
+// cap" holds, so the drop/retention arithmetic below is oblivious to whether
+// the ring is still growing.
 type Shard struct {
-	ring     []Event
-	total    uint64 // events ever recorded (ring wraps at len(ring))
-	edges    []Edge
-	edgeTot  uint64 // edges ever recorded (ring wraps at len(edges))
-	counters [numCounters]int64
-	matCount []int64 // per-destination message/op count
-	matBytes []int64 // per-destination bytes
-	hists    [numLayers][numOps]*hist.Hist
+	ring      []Event
+	ringCap   int
+	total     uint64 // events ever recorded (ring wraps at ringCap)
+	edges     []Edge
+	edgeCap   int
+	edgeTot   uint64 // edges ever recorded (ring wraps at edgeCap)
+	counters  [numCounters]int64
+	matCount  []int64            // dense: per-destination op count (N <= DenseCommThreshold)
+	matBytes  []int64            // dense: per-destination bytes
+	matSparse map[int32]commCell // sparse: allocated on first CommAdd above the threshold
+	hists     [numLayers][numOps]*hist.Hist
+}
+
+// ringPut appends v to a lazily grown ring and returns the (possibly
+// reallocated) backing slice. The ring doubles from minRingAlloc up to capN
+// while it is still filling, then wraps in place.
+func ringPut[T any](ring []T, total uint64, capN int, v T) []T {
+	if len(ring) < capN && total == uint64(len(ring)) {
+		newLen := len(ring) * 2
+		if newLen < minRingAlloc {
+			newLen = minRingAlloc
+		}
+		if newLen > capN {
+			newLen = capN
+		}
+		grown := make([]T, newLen)
+		copy(grown, ring)
+		ring = grown
+	}
+	ring[total%uint64(len(ring))] = v
+	return ring
 }
 
 // Record appends a structured event to the ring, evicting the oldest entry
@@ -378,11 +463,11 @@ func (s *Shard) Record(layer Layer, op Op, peer, bytes, tag int, start, end int6
 	if s == nil {
 		return
 	}
-	s.ring[s.total%uint64(len(s.ring))] = Event{
+	s.ring = ringPut(s.ring, s.total, s.ringCap, Event{
 		Layer: layer, Op: op,
 		Peer: int32(peer), Tag: int32(tag), Bytes: int64(bytes),
 		Start: start, End: end,
-	}
+	})
 	s.total++
 	h := s.hists[layer][op]
 	if h == nil {
@@ -398,7 +483,7 @@ func (s *Shard) RecordEdge(e Edge) {
 	if s == nil {
 		return
 	}
-	s.edges[s.edgeTot%uint64(len(s.edges))] = e
+	s.edges = ringPut(s.edges, s.edgeTot, s.edgeCap, e)
 	s.edgeTot++
 }
 
@@ -469,13 +554,104 @@ func (s *Shard) Max(c Counter, v int64) {
 }
 
 // CommAdd charges one operation of the given size to the dst column of this
-// image's communication-matrix row.
+// image's communication-matrix row. Below DenseCommThreshold images the row
+// is a dense array; above, a sparse per-peer map allocated on first use, so
+// an image's comm state costs O(peers actually talked to).
 func (s *Shard) CommAdd(dst int, bytes int64) {
 	if s == nil {
 		return
 	}
-	s.matCount[dst]++
-	s.matBytes[dst] += bytes
+	if s.matCount != nil {
+		s.matCount[dst]++
+		s.matBytes[dst] += bytes
+		return
+	}
+	if s.matSparse == nil {
+		s.matSparse = make(map[int32]commCell)
+	}
+	c := s.matSparse[int32(dst)]
+	c.count++
+	c.bytes += bytes
+	s.matSparse[int32(dst)] = c
+}
+
+// CommPeers returns the number of destinations this image has sent to.
+func (s *Shard) CommPeers() int {
+	if s == nil {
+		return 0
+	}
+	if s.matCount != nil {
+		n := 0
+		for _, c := range s.matCount {
+			if c != 0 {
+				n++
+			}
+		}
+		return n
+	}
+	return len(s.matSparse)
+}
+
+// CommEntries returns the image's comm row as a slice of non-zero peer
+// entries sorted by destination rank — the same view regardless of whether
+// the row is stored densely or sparsely. Call only after Run has returned.
+func (s *Shard) CommEntries() []PeerStat {
+	if s == nil {
+		return nil
+	}
+	if s.matCount != nil {
+		out := make([]PeerStat, 0, 8)
+		for dst, c := range s.matCount {
+			if c != 0 || s.matBytes[dst] != 0 {
+				out = append(out, PeerStat{Dst: dst, Count: c, Bytes: s.matBytes[dst]})
+			}
+		}
+		return out
+	}
+	out := make([]PeerStat, 0, len(s.matSparse))
+	for dst, c := range s.matSparse {
+		out = append(out, PeerStat{Dst: int(dst), Count: c.count, Bytes: c.bytes})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dst < out[j].Dst })
+	return out
+}
+
+// RingCap returns the event ring's capacity (its maximum size, not the
+// currently allocated backing length).
+func (s *Shard) RingCap() int {
+	if s == nil {
+		return 0
+	}
+	return s.ringCap
+}
+
+// sparseCellBytes approximates the per-entry footprint of the sparse comm
+// map: key + value plus Go map bucket overhead (~1.5x headroom).
+const sparseCellBytes = int64(unsafe.Sizeof(int32(0))+unsafe.Sizeof(commCell{})) * 3 / 2
+
+// MemBytes returns an accounting estimate of this shard's memory footprint:
+// the struct itself, ring backing arrays at their current (lazily grown)
+// lengths, comm rows (dense arrays or sparse map entries), and allocated
+// histograms. It is the source of the obs_bytes_per_image gauge; the scaling
+// probes use it to demonstrate that per-image obs memory is a function of
+// activity, not of world size.
+func (s *Shard) MemBytes() int64 {
+	if s == nil {
+		return 0
+	}
+	total := int64(unsafe.Sizeof(*s))
+	total += int64(len(s.ring)) * int64(unsafe.Sizeof(Event{}))
+	total += int64(len(s.edges)) * int64(unsafe.Sizeof(Edge{}))
+	total += int64(len(s.matCount)+len(s.matBytes)) * int64(unsafe.Sizeof(int64(0)))
+	total += int64(len(s.matSparse)) * sparseCellBytes
+	for i := range s.hists {
+		for j := range s.hists[i] {
+			if s.hists[i][j] != nil {
+				total += int64(unsafe.Sizeof(hist.Hist{}))
+			}
+		}
+	}
+	return total
 }
 
 // Counter returns the current value of c (0 on a nil shard).

@@ -43,8 +43,8 @@ func TestEnabledOnlyAfterEnable(t *testing.T) {
 	if Enable(w, 9999) != ow {
 		t.Fatal("second Enable created a new registry")
 	}
-	if len(ow.Shard(0).ring) != 8 {
-		t.Fatalf("ring cap = %d, want 8 (first Enable wins)", len(ow.Shard(0).ring))
+	if ow.Shard(0).RingCap() != 8 {
+		t.Fatalf("ring cap = %d, want 8 (first Enable wins)", ow.Shard(0).RingCap())
 	}
 }
 

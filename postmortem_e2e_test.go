@@ -1,0 +1,120 @@
+package cafmpi_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cafmpi/caf"
+	"cafmpi/internal/fabric"
+	"cafmpi/internal/faults"
+)
+
+// crashPingPong bounces an event between images 0 and 1 in strict
+// alternation — a lockstep workload whose virtual-time telemetry is a pure
+// function of the fault plan, which is what makes the dumped bundle
+// byte-comparable across runs. Image 1 hits the plan's crash point mid-run;
+// image 0's wait must unblock with the typed failure instead of hanging.
+func crashPingPong(im *caf.Image) error {
+	evs, err := im.NewEvents(im.World(), 2)
+	if err != nil {
+		return err
+	}
+	if im.ID() > 1 {
+		return nil
+	}
+	for i := 0; i < 400; i++ {
+		if im.ID() == 0 {
+			if err := evs.Notify(1, 0); err != nil {
+				return err
+			}
+			if err := evs.Wait(1); err != nil {
+				return err
+			}
+		} else {
+			if err := evs.Wait(0); err != nil {
+				return err
+			}
+			if err := evs.Notify(0, 1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// postmortemRun executes the crash workload with the flight recorder armed
+// and returns the bundle directory.
+func postmortemRun(t *testing.T, dir string) string {
+	t.Helper()
+	cfg := caf.Config{Substrate: caf.MPI, Platform: fabric.Platform("fusion"),
+		Diag:   caf.Diag{Postmortem: dir},
+		Faults: faults.CanonicalCrash(7)}
+	_, err := caf.RunWorld(4, cfg, crashPingPong)
+	if err == nil {
+		t.Fatal("crash plan completed without error")
+	}
+	if !errors.Is(err, caf.ErrImageFailed) {
+		t.Fatalf("run error %v is not ErrImageFailed", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bundle string
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "postmortem-") {
+			bundle = filepath.Join(dir, e.Name())
+		}
+	}
+	if bundle == "" {
+		t.Fatalf("no postmortem bundle under %s", dir)
+	}
+	return bundle
+}
+
+// TestPostmortemBundleOnCrash: an injected crash auto-dumps a bundle whose
+// manifest names the failed image and carries the fault signature hash.
+func TestPostmortemBundleOnCrash(t *testing.T) {
+	bundle := postmortemRun(t, t.TempDir())
+	man, err := os.ReadFile(filepath.Join(bundle, "MANIFEST.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"status: failed", "failed_image: 1", "signature_hash: "} {
+		if !strings.Contains(string(man), want) {
+			t.Errorf("MANIFEST missing %q:\n%s", want, man)
+		}
+	}
+	for _, name := range []string{"signature.txt", "counters.txt", "events.txt", "volatile.txt"} {
+		if _, err := os.Stat(filepath.Join(bundle, name)); err != nil {
+			t.Errorf("bundle missing %s: %v", name, err)
+		}
+	}
+}
+
+// TestPostmortemBundleDeterministic: two runs of the same chaos plan dump
+// byte-identical bundles (volatile.txt excepted — that file is the
+// designated quarantine for schedule-dependent state).
+func TestPostmortemBundleDeterministic(t *testing.T) {
+	a := postmortemRun(t, t.TempDir())
+	b := postmortemRun(t, t.TempDir())
+	if filepath.Base(a) != filepath.Base(b) {
+		t.Fatalf("bundle names differ: %s vs %s (signature hash not stable)", a, b)
+	}
+	for _, name := range []string{"MANIFEST.txt", "signature.txt", "counters.txt", "events.txt"} {
+		ba, err := os.ReadFile(filepath.Join(a, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := os.ReadFile(filepath.Join(b, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(ba) != string(bb) {
+			t.Errorf("%s differs across two runs of the same chaos plan", name)
+		}
+	}
+}
