@@ -75,6 +75,14 @@ type Config struct {
 	// Platform selects the machine model (fabric.Fusion, fabric.Edison,
 	// fabric.Mira or a custom parameter set). Default: fusion.
 	Platform *fabric.Params
+	// SparseFlush opts into the scalable synchronization mode on whatever
+	// Platform selects: flush-all scans touch only the epoch's dirty peers,
+	// per-peer eager/connection state is allocated on first use, and the
+	// runtime's flat fan-in collectives switch to O(log P) trees. Equivalent
+	// to choosing the platform's "-sparse" variant (fusion-sparse, ...); a
+	// no-op when the platform already has MPI.SparseFlush set. Default off:
+	// the paper-faithful mode with bit-exact clocks.
+	SparseFlush bool
 	// Diag groups the diagnostic subsystems (tracing, observability,
 	// sanitizing).
 	Diag Diag
@@ -168,6 +176,9 @@ func (c *Config) normalize() error {
 	}
 	if c.Platform == nil {
 		c.Platform = fabric.Platform("fusion")
+	}
+	if c.SparseFlush && !c.Platform.SparseSync() {
+		c.Platform = fabric.SparseVariant(c.Platform)
 	}
 	// Fold the deprecated top-level diagnostic fields into Diag: booleans
 	// OR, the ring capacity prefers the Diag value when both are set.

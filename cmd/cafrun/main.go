@@ -4,7 +4,7 @@
 // Usage:
 //
 //	cafrun -app ra|fft|hpl|cgpop|racedemo -np 16 -substrate mpi|gasnet \
-//	       [-platform fusion|edison|mira] [-trace] [-sanitize] [app flags]
+//	       [-platform fusion|edison|mira] [-sparse-flush] [-trace] [-sanitize] [app flags]
 //
 // Examples:
 //
@@ -47,6 +47,7 @@ func main() {
 		rflush   = flag.Bool("rflush", false, "CAF-MPI: use the proposed MPI_WIN_RFLUSH in the notify fence (§5)")
 		atomicEv = flag.Bool("atomic-events", false, "CAF-MPI: use the §3.4 FETCH_AND_OP/CAS event design")
 		noSRQ    = flag.Bool("nosrq", false, "disable the GASNet SRQ model (CAF-GASNet-NOSRQ)")
+		sparse   = flag.Bool("sparse-flush", false, "scalable-sync mode: dirty-peer flush tracking, on-demand per-peer state, hierarchical collectives (equivalent to -platform <name>-sparse)")
 
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON timeline (load in Perfetto) to this file")
 		stats      = flag.Bool("stats", false, "print the aggregated runtime counter snapshot after the run")
@@ -80,6 +81,9 @@ func main() {
 		cp := *pf
 		cp.GASNet.SRQ.Enabled = false
 		pf = &cp
+	}
+	if *sparse && !pf.SparseSync() {
+		pf = fabric.SparseVariant(pf)
 	}
 	if *pprofAddr != "" {
 		// The profiling endpoint observes the real (host) process — goroutine

@@ -143,9 +143,15 @@ func Format(t *Table) string {
 			wide = n
 		}
 	}
+	col := 22
+	for _, s := range series {
+		if n := len(s) + 1; n > col {
+			col = n
+		}
+	}
 	fmt.Fprintf(&b, "%-*s", wide+2, t.XLabel)
 	for _, s := range series {
-		fmt.Fprintf(&b, "%22s", s)
+		fmt.Fprintf(&b, "%*s", col, s)
 	}
 	fmt.Fprintf(&b, "   [%s]\n", t.YLabel)
 	for _, k := range keys {
@@ -156,9 +162,9 @@ func Format(t *Table) string {
 		fmt.Fprintf(&b, "%-*s", wide+2, name)
 		for _, s := range series {
 			if v, ok := cell[k][s]; ok {
-				fmt.Fprintf(&b, "%22.5g", v)
+				fmt.Fprintf(&b, "%*.5g", col, v)
 			} else {
-				fmt.Fprintf(&b, "%22s", "-")
+				fmt.Fprintf(&b, "%*s", col, "-")
 			}
 		}
 		b.WriteByte('\n')

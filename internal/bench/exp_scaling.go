@@ -23,11 +23,15 @@ import (
 // the full acceptance run 4096).
 var ScalingSweep = []int{8, 64, 128, 256, 1024, 4096}
 
-// ScalingPoint is one (substrate, workload, np) measurement.
+// ScalingPoint is one (substrate, workload, mode, np) measurement.
 type ScalingPoint struct {
 	Substrate string `json:"substrate"`
 	Workload  string `json:"workload"`
-	NP        int    `json:"np"`
+	// Mode is "flat" (the paper-faithful default) or "sparse" (the
+	// scalable-sync fast path); every sweep point is measured in both so the
+	// report carries paired curves.
+	Mode string `json:"mode"`
+	NP   int    `json:"np"`
 	// VirtualS is the slowest image's final virtual clock.
 	VirtualS float64 `json:"virtual_s"`
 	// FlushScanShare and SRQStallShare are each component's fraction of the
@@ -42,6 +46,10 @@ type ScalingPoint struct {
 	// image accumulated: the quantity obs memory actually scales with.
 	ActivePeersMax int    `json:"active_peers_max"`
 	EventsRecorded uint64 `json:"events_recorded"`
+	// RuntimeBytesPerImage is the largest image's modeled substrate
+	// footprint (MemoryFootprint): linear in NP with flat preallocated
+	// per-peer state, flat in NP under sparse on-demand connections.
+	RuntimeBytesPerImage int64 `json:"runtime_bytes_per_image"`
 }
 
 // ScalingReport is the BENCH_scaling.json document.
@@ -90,19 +98,24 @@ func scalingPingPong(im *caf.Image, iters int) error {
 	return nil
 }
 
-// scalingPoint runs one probe job and extracts the point's metrics.
-func scalingPoint(o Options, sub caf.Substrate, np int, workload string) (ScalingPoint, error) {
-	pt := ScalingPoint{Substrate: string(sub), Workload: workload, NP: np}
+// scalingPoint runs one probe job and extracts the point's metrics. mode is
+// "flat" (o.Platform as-is) or "sparse" (its scalable-sync variant).
+func scalingPoint(o Options, sub caf.Substrate, np int, workload, mode string) (ScalingPoint, error) {
+	pt := ScalingPoint{Substrate: string(sub), Workload: workload, Mode: mode, NP: np}
 	ra := hpcc.RAConfig{TableBits: 8, UpdatesPerImage: 256, BatchSize: 64}
 	iters := 200
 	if o.Quick {
 		ra.UpdatesPerImage = 64
 		iters = 50
 	}
-	cfg := caf.Config{Substrate: sub, Platform: o.Platform, Observe: true}
+	cfg := caf.Config{Substrate: sub, Platform: o.Platform, SparseFlush: mode == "sparse", Observe: true}
 	clocks := make([]int64, np)
+	mems := make([]int64, np)
 	w, err := caf.RunWorld(np, cfg, func(im *caf.Image) error {
-		defer func() { clocks[im.ID()] = im.Proc().Now() }()
+		defer func() {
+			clocks[im.ID()] = im.Proc().Now()
+			mems[im.ID()] = im.MemoryFootprint()
+		}()
 		switch workload {
 		case "ra":
 			_, err := hpcc.RandomAccess(im, ra)
@@ -123,6 +136,11 @@ func scalingPoint(o Options, sub caf.Substrate, np int, workload string) (Scalin
 		pt.SRQStallShare = float64(tot[obs.CompSRQStall.String()]) / float64(rep.FinishNS)
 	}
 	pt.VirtualS = maxClockSeconds(clocks)
+	for _, m := range mems {
+		if m > pt.RuntimeBytesPerImage {
+			pt.RuntimeBytesPerImage = m
+		}
+	}
 	for i := 0; i < ow.N(); i++ {
 		sh := ow.Shard(i)
 		if mem := sh.MemBytes(); mem > pt.ObsBytesPerImage {
@@ -140,7 +158,7 @@ func scalingExperiment() Experiment {
 	return Experiment{
 		ID:    "scaling",
 		Title: "Scaling pathology probes: flush-scan share, SRQ stall share, obs memory vs P",
-		Paper: "FLUSH_ALL's per-rank scan grows linearly with P on CAF-MPI; GASNet SRQ stalls appear at >=128 processes and grow with P; per-image obs memory stays flat (sparse comm mode) while both pathologies climb.",
+		Paper: "FLUSH_ALL's per-rank scan grows linearly with P on CAF-MPI; GASNet SRQ stalls appear at >=128 processes and grow with P; per-image obs memory stays flat (sparse comm mode) while both pathologies climb. Every point is paired flat-vs-sparse: the scalable-sync mode's dirty-peer flushes collapse the flush-scan share and its on-demand connections flatten the per-image runtime footprint.",
 		Run: func(o Options) (*Table, error) {
 			o = o.withDefaults()
 			report := &ScalingReport{Platform: o.Platform.Name, Quick: o.Quick}
@@ -155,20 +173,34 @@ func scalingExperiment() Experiment {
 				}
 				for _, sub := range []caf.Substrate{caf.MPI, caf.GASNet} {
 					for _, workload := range []string{"ra", "pingpong"} {
-						pt, err := scalingPoint(o, sub, np, workload)
-						if err != nil {
-							return nil, fmt.Errorf("scaling %s/%s np=%d: %w", sub, workload, np, err)
-						}
-						report.Points = append(report.Points, pt)
-						series := fmt.Sprintf("%s-%s", sub, workload)
-						if workload == "ra" {
-							if sub == caf.MPI {
-								t.Rows = append(t.Rows, Row{Series: series + " flush_scan", X: np, Y: pt.FlushScanShare})
-							} else {
-								t.Rows = append(t.Rows, Row{Series: series + " srq_stall", X: np, Y: pt.SRQStallShare})
+						// Each point runs paired: flat (the paper-faithful
+						// O(P) flush scans and preallocated eager pools) vs
+						// sparse (the scalable-sync fast path), so the report
+						// carries before/after curves on both substrates.
+						for _, mode := range []string{"flat", "sparse"} {
+							pt, err := scalingPoint(o, sub, np, workload, mode)
+							if err != nil {
+								return nil, fmt.Errorf("scaling %s/%s/%s np=%d: %w", sub, workload, mode, np, err)
+							}
+							report.Points = append(report.Points, pt)
+							series := fmt.Sprintf("%s-%s-%s", sub, workload, mode)
+							if workload == "ra" {
+								if sub == caf.MPI {
+									t.Rows = append(t.Rows, Row{Series: series + " flush_scan", X: np, Y: pt.FlushScanShare})
+								} else {
+									t.Rows = append(t.Rows, Row{Series: series + " srq_stall", X: np, Y: pt.SRQStallShare})
+								}
+							}
+							if mode == "flat" {
+								t.Rows = append(t.Rows, Row{Series: series + " obsKiB/img", X: np, Y: float64(pt.ObsBytesPerImage) / 1024})
+							}
+							if workload == "pingpong" {
+								// The Figure 1 memory claim, paired: flat
+								// preallocation grows with NP, on-demand
+								// connections track the two active images.
+								t.Rows = append(t.Rows, Row{Series: series + " rtMiB/img", X: np, Y: float64(pt.RuntimeBytesPerImage) / (1 << 20)})
 							}
 						}
-						t.Rows = append(t.Rows, Row{Series: series + " obsKiB/img", X: np, Y: float64(pt.ObsBytesPerImage) / 1024})
 					}
 				}
 			}

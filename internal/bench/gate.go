@@ -17,6 +17,7 @@ import (
 	"cafmpi/internal/fabric"
 	"cafmpi/internal/hpcc"
 	"cafmpi/internal/obs"
+	"cafmpi/internal/obs/critpath"
 )
 
 // GateMetric is one gated quantity of the checked-in baseline. Name is
@@ -158,6 +159,8 @@ func gateProbe(key string, platform *fabric.Params) (map[string]float64, error) 
 		return probeRA(caf.GASNet, 8, platform)
 	case "pingpong/mpi":
 		return probePingPong(caf.MPI, platform)
+	case "scaling-sparse/mpi/np1024":
+		return probeSparseScaling(caf.MPI, 1024, platform)
 	default:
 		return nil, fmt.Errorf("bench: unknown gate probe %q", key)
 	}
@@ -190,6 +193,29 @@ func probeRA(sub caf.Substrate, np int, platform *fabric.Params) (map[string]flo
 		"msgs_sent":      float64(snap.Counters["msgs_sent"]),
 		"flushall_calls": float64(snap.Counters["flushall_calls"]),
 	}, nil
+}
+
+// probeSparseScaling runs the np=1024 RandomAccess scaling point in
+// scalable-sync mode and reports the flush-scan share of the critical path:
+// the dirty-peer flush claim, gated with a hard ceiling so the O(P) scan
+// cannot creep back onto the critical path at scale.
+func probeSparseScaling(sub caf.Substrate, np int, platform *fabric.Params) (map[string]float64, error) {
+	cfg := caf.Config{Substrate: sub, Platform: platform, SparseFlush: true, Observe: true}
+	clocks := make([]int64, np)
+	w, err := caf.RunWorld(np, cfg, func(im *caf.Image) error {
+		defer func() { clocks[im.ID()] = im.Proc().Now() }()
+		_, err := hpcc.RandomAccess(im, hpcc.RAConfig{TableBits: 8, UpdatesPerImage: 64, BatchSize: 64})
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	vals := map[string]float64{"virtual_s": maxClockSeconds(clocks)}
+	if rep := critpath.Analyze(obs.Enabled(w), clocks); rep != nil && rep.FinishNS > 0 {
+		tot := rep.ComponentTotals()
+		vals["flush_scan_share"] = float64(tot[obs.CompFlushScan.String()]) / float64(rep.FinishNS)
+	}
+	return vals, nil
 }
 
 // probePingPong runs the tier-1 EventPingPong configuration (2 images, 200

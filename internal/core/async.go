@@ -123,7 +123,7 @@ func (ca *Coarray) GetAsync(target, off int, into []byte, opts AsyncOpts) error 
 		return nil
 	}
 	// No completion event: `into` is undefined until the next cofence.
-	im.san.NoteDeferredGet(into, "GetAsync")
+	im.san.NoteDeferredGetPeer(into, ca.team.WorldRank(target), "GetAsync")
 	return im.sub.GetDeferred(ca.seg, target, off, into)
 }
 

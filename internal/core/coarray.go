@@ -141,6 +141,6 @@ func (ca *Coarray) GetDeferred(target, off int, into []byte) error {
 	}
 	defer ca.im.tr.Span(trace.CoarrayRead)()
 	ca.im.san.RemoteRead(ca.id, ca.team.WorldRank(target), off, len(into), "GetDeferred")
-	ca.im.san.NoteDeferredGet(into, "GetDeferred")
+	ca.im.san.NoteDeferredGetPeer(into, ca.team.WorldRank(target), "GetDeferred")
 	return ca.im.sub.GetDeferred(ca.seg, target, off, into)
 }

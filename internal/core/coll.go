@@ -326,6 +326,13 @@ func (t *Team) Allgather(send, recv []byte) error {
 	if err := t.im.sub.Allgather(t.ref, send, recv); err != ErrUnsupported {
 		return err
 	}
+	// Scalable-sync mode swaps the rank-0 fan-in (n-1 sequential receives at
+	// the root) for recursive doubling: log2(n) rounds with no funnel rank.
+	// Power-of-two teams and AM-sized blocks only; everything else keeps the
+	// paper-faithful flat construction below.
+	if t.im.sub.Platform().SparseSync() && n > 1 && n&(n-1) == 0 && blk > 0 && blk <= collAMMax {
+		return t.allgatherRD(send, recv, blk)
+	}
 	big := blk > collAMMax
 	if big {
 		if err := t.ensureScratch(blk); err != nil {
@@ -365,6 +372,56 @@ func (t *Team) Allgather(send, recv []byte) error {
 		}
 	}
 	return t.bcast(recv[:blk*n], 0)
+}
+
+// allgatherRD is the recursive-doubling allgather used in scalable-sync
+// mode: in round r each image exchanges its accumulated 2^r blocks with
+// partner rank^2^r, so after log2(n) rounds every image holds all n blocks
+// with no rank-0 incast. Aggregated payloads are chunked to collAMMax-sized
+// active messages, each under its own key — the collective inbox overwrites
+// a reused (key, src) slot, so an unconsumed chunk must never share one.
+// The key window is reserved up front from chunk counts that are a pure
+// function of (n, blk), keeping every member's key generator in step.
+func (t *Team) allgatherRD(send, recv []byte, blk int) error {
+	n := t.Size()
+	me := t.Rank()
+	copy(recv[me*blk:(me+1)*blk], send)
+	total := 0
+	for m := 1; m < n; m <<= 1 {
+		total += (m*blk + collAMMax - 1) / collAMMax
+	}
+	key := t.coll.nextKeys(total)
+	for m := 1; m < n; m <<= 1 {
+		partner := me ^ m
+		ownStart := (me &^ (m - 1)) * blk
+		peerStart := (partner &^ (m - 1)) * blk
+		nbytes := m * blk
+		nchunks := (nbytes + collAMMax - 1) / collAMMax
+		for ci := 0; ci < nchunks; ci++ {
+			lo := ci * collAMMax
+			hi := min(lo+collAMMax, nbytes)
+			if err := t.sendData(partner, key+ci, recv[ownStart+lo:ownStart+hi]); err != nil {
+				return err
+			}
+		}
+		for ci := 0; ci < nchunks; ci++ {
+			var got []byte
+			if err := t.im.pollUntil(func() bool {
+				got = t.coll.take(key+ci, partner)
+				return got != nil
+			}); err != nil {
+				return err
+			}
+			lo := ci * collAMMax
+			hi := min(lo+collAMMax, nbytes)
+			if len(got) != hi-lo {
+				return fmt.Errorf("core: Allgather chunk size mismatch from rank %d (%d vs %d)", partner, len(got), hi-lo)
+			}
+			copy(recv[peerStart+lo:peerStart+hi], got)
+		}
+		key += nchunks
+	}
+	return nil
 }
 
 // Alltoall exchanges equal-size blocks between all pairs: recv block s is

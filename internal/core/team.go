@@ -211,3 +211,17 @@ func (c *collState) nextKey() int {
 	c.gen++
 	return k
 }
+
+// nextKeys reserves enough consecutive key windows for an operation that
+// needs `want` distinct keys (collectives whose chunk count can exceed
+// keysPerOp). Every member computes the same want from collective-uniform
+// arguments, so the generation counters stay agreed team-wide.
+func (c *collState) nextKeys(want int) int {
+	k := c.gen * keysPerOp
+	gens := (want + keysPerOp - 1) / keysPerOp
+	if gens < 1 {
+		gens = 1
+	}
+	c.gen += gens
+	return k
+}

@@ -1,0 +1,111 @@
+package fabric
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestPeerSetRepresentationCrossover(t *testing.T) {
+	var d PeerSet
+	d.Init(DensePeerThreshold)
+	if !d.Dense() {
+		t.Fatalf("n=%d: want dense bitset", DensePeerThreshold)
+	}
+	var s PeerSet
+	s.Init(DensePeerThreshold + 1)
+	if s.Dense() {
+		t.Fatalf("n=%d: want sparse map", DensePeerThreshold+1)
+	}
+}
+
+func TestPeerSetBasics(t *testing.T) {
+	for _, n := range []int{8, 64, 65, 4096} {
+		var s PeerSet
+		s.Init(n)
+		if !s.Add(n - 1) {
+			t.Fatalf("n=%d: first Add(%d) should be new", n, n-1)
+		}
+		if s.Add(n - 1) {
+			t.Fatalf("n=%d: second Add(%d) should not be new", n, n-1)
+		}
+		s.Add(0)
+		s.Add(n / 2)
+		if got := s.Len(); got != 3 {
+			t.Fatalf("n=%d: Len=%d, want 3", n, got)
+		}
+		if !s.Has(0) || !s.Has(n/2) || !s.Has(n-1) || s.Has(1) {
+			t.Fatalf("n=%d: membership wrong", n)
+		}
+		// Out-of-range ranks are rejected, never counted.
+		if s.Add(-1) || s.Add(n) || s.Has(-1) || s.Has(n) {
+			t.Fatalf("n=%d: out-of-range ranks must be rejected", n)
+		}
+		s.Remove(n / 2)
+		if s.Has(n/2) || s.Len() != 2 {
+			t.Fatalf("n=%d: Remove(%d) failed", n, n/2)
+		}
+		s.Remove(n / 2) // idempotent
+		if s.Len() != 2 {
+			t.Fatalf("n=%d: double Remove changed Len", n)
+		}
+		s.Clear()
+		if s.Len() != 0 || s.Has(0) || s.Has(n-1) {
+			t.Fatalf("n=%d: Clear left members behind", n)
+		}
+		if !s.Add(0) {
+			t.Fatalf("n=%d: Add after Clear should be new", n)
+		}
+	}
+}
+
+func TestPeerSetAppendSortedAscending(t *testing.T) {
+	// Sorted iteration is load-bearing for clock determinism: insert in a
+	// scrambled order and demand ascending output in both representations.
+	for _, n := range []int{64, 4096} {
+		var s PeerSet
+		s.Init(n)
+		ranks := []int{n - 1, 3, 0, n / 2, 17 % n, n - 2}
+		for _, r := range ranks {
+			s.Add(r)
+		}
+		want := append([]int(nil), ranks...)
+		sort.Ints(want)
+		// Dedup (17%n may collide for small n).
+		uniq := want[:0]
+		for i, r := range want {
+			if i == 0 || r != want[i-1] {
+				uniq = append(uniq, r)
+			}
+		}
+		prefix := []int{-7}
+		got := s.AppendSorted(prefix)
+		if !reflect.DeepEqual(got[:1], []int{-7}) {
+			t.Fatalf("n=%d: AppendSorted clobbered the prefix: %v", n, got)
+		}
+		if !reflect.DeepEqual(got[1:], uniq) {
+			t.Fatalf("n=%d: AppendSorted=%v, want %v", n, got[1:], uniq)
+		}
+	}
+}
+
+func TestSparseVariantPresets(t *testing.T) {
+	for _, name := range []string{"fusion", "edison", "mira"} {
+		base := Platform(name)
+		sp := Platform(name + "-sparse")
+		if sp == nil {
+			t.Fatalf("missing preset %q", name+"-sparse")
+		}
+		if !sp.SparseSync() || base.SparseSync() {
+			t.Fatalf("%s: SparseSync flags wrong (sparse=%v base=%v)",
+				name, sp.SparseSync(), base.SparseSync())
+		}
+		// The variant must differ only in Name and the mode switch.
+		cp := *sp
+		cp.Name = base.Name
+		cp.MPI.SparseFlush = false
+		if !reflect.DeepEqual(cp, *base) {
+			t.Fatalf("%s-sparse diverged from %s beyond the mode switch", name, name)
+		}
+	}
+}

@@ -84,6 +84,17 @@ type Ep struct {
 	nbiRemote int64
 	nbiCount  int
 
+	// Scalable-sync mode (fabric.Params.SparseSync): per-peer segment
+	// registration metadata is charged on first contact instead of for the
+	// whole world at Attach, and nbiDirty tracks which peers the current
+	// NBI access region touched so SyncNBIAll can fence exactly those for
+	// the sanitizer. worldScratch is the reusable sorted-rank buffer.
+	sparse       bool
+	connected    fabric.PeerSet
+	nbiDirty     fabric.PeerSet
+	peerBytes    int64
+	worldScratch []int
+
 	barrierGen int
 	footprint  int64
 
@@ -152,8 +163,20 @@ func Attach(p *sim.Proc, net *fabric.Net, segSize int, handlers ...HandlerEntry)
 		}
 	}
 
+	// Per-peer segment registration metadata: the conduit normally pins and
+	// exchanges rkeys for every peer's segment at attach (footprint grows
+	// with the world, Figure 1); scalable-sync mode registers peers on
+	// first contact instead.
 	c := net.Params().GASNet
-	e.footprint = c.BaseFootprint + int64(p.N()*c.PeerBytes) + int64(segSize)
+	e.sparse = net.Params().SparseSync()
+	if e.sparse {
+		e.connected.Init(p.N())
+		e.nbiDirty.Init(p.N())
+		e.peerBytes = int64(c.PeerBytes)
+		e.footprint = c.BaseFootprint + int64(segSize)
+	} else {
+		e.footprint = c.BaseFootprint + int64(p.N()*c.PeerBytes) + int64(segSize)
+	}
 
 	// Everyone must see every segment before one-sided traffic starts.
 	if err := e.Barrier(); err != nil {
@@ -266,8 +289,21 @@ func (e *Ep) AMRequestLong(dst int, h HandlerID, payload []byte, dstOff int, arg
 	return nil
 }
 
+// connect charges per-peer segment registration metadata for dst on first
+// contact (scalable-sync mode only; no-op otherwise). All AM and RDMA
+// issue paths funnel through it.
+func (e *Ep) connect(dst int) {
+	if !e.sparse || dst == e.p.ID() {
+		return
+	}
+	if e.connected.Add(dst) {
+		e.footprint += e.peerBytes
+	}
+}
+
 // noteAMSent records an AM-send event and counter.
 func (e *Ep) noteAMSent(dst, plen int, h HandlerID, t0 int64) {
+	e.connect(dst)
 	if e.osh == nil {
 		return
 	}
@@ -468,6 +504,7 @@ func (e *Ep) PutNB(dst, dstOff int, src []byte) (*Handle, error) {
 	if err := e.checkSeg(dst, dstOff, len(src), "put"); err != nil {
 		return nil, err
 	}
+	e.connect(dst)
 	t0 := e.p.Now()
 	done := e.layer.RMAPut(e.p, dst, len(src), e.costs().PutNS)
 	copy(e.seg(dst)[dstOff:], src)
@@ -485,7 +522,7 @@ func (e *Ep) PutNBI(dst, dstOff int, src []byte) error {
 	if err != nil {
 		return err
 	}
-	e.noteNBI(h)
+	e.noteNBI(h, dst)
 	return nil
 }
 
@@ -506,6 +543,7 @@ func (e *Ep) GetNB(dst, dstOff int, into []byte) (*Handle, error) {
 	if err := e.checkSeg(dst, dstOff, len(into), "get"); err != nil {
 		return nil, err
 	}
+	e.connect(dst)
 	t0 := e.p.Now()
 	e.p.Advance(e.costs().GetNS)
 	copy(into, e.seg(dst)[dstOff:])
@@ -532,15 +570,21 @@ func (e *Ep) GetNBI(dst, dstOff int, into []byte) error {
 	if err != nil {
 		return err
 	}
-	e.noteNBI(h)
+	e.noteNBI(h, dst)
 	return nil
 }
 
-func (e *Ep) noteNBI(h *Handle) {
+// noteNBI folds a handle into the implicit access region. dst feeds the
+// sparse mode's dirty set so SyncNBIAll knows which peers' deferred gets
+// it actually completes.
+func (e *Ep) noteNBI(h *Handle, dst int) {
 	if h.remoteT > e.nbiRemote {
 		e.nbiRemote = h.remoteT
 	}
 	e.nbiCount++
+	if e.sparse {
+		e.nbiDirty.Add(dst)
+	}
 }
 
 // SyncNB blocks until the explicit handle's operation completes locally.
@@ -570,7 +614,16 @@ func (e *Ep) SyncNBIAll() {
 	e.nbiCount = 0
 	e.nbiRemote = 0
 	// NBI sync completes implicit gets: their destinations become defined.
-	e.san.FenceLocal()
+	// In scalable-sync mode only the peers the access region touched gain
+	// the happens-before edge; gets from untouched peers stay undefined so
+	// the sanitizer still catches reads racing with them.
+	if e.sparse {
+		e.worldScratch = e.nbiDirty.AppendSorted(e.worldScratch[:0])
+		e.san.FenceLocalPeers(e.worldScratch)
+		e.nbiDirty.Clear()
+	} else {
+		e.san.FenceLocal()
+	}
 	if e.osh != nil {
 		end := e.p.Now()
 		e.osh.Record(obs.LayerGASNet, obs.OpNBISync, -1, 0, synced, t0, end)
@@ -678,6 +731,7 @@ func (e *Ep) PutRegisteredNB(dst int, mem []byte, off int, src []byte) (*Handle,
 	if err := e.checkReg(dst, off, len(src), mem, "put"); err != nil {
 		return nil, err
 	}
+	e.connect(dst)
 	t0 := e.p.Now()
 	done := e.layer.RMAPut(e.p, dst, len(src), e.costs().PutNS)
 	copy(mem[off:], src)
@@ -705,7 +759,7 @@ func (e *Ep) PutRegisteredNBI(dst int, mem []byte, off int, src []byte) error {
 	if err != nil {
 		return err
 	}
-	e.noteNBI(h)
+	e.noteNBI(h, dst)
 	return nil
 }
 
@@ -715,6 +769,7 @@ func (e *Ep) GetRegisteredNB(dst int, mem []byte, off int, into []byte) (*Handle
 	if err := e.checkReg(dst, off, len(into), mem, "get"); err != nil {
 		return nil, err
 	}
+	e.connect(dst)
 	t0 := e.p.Now()
 	e.p.Advance(e.costs().GetNS)
 	copy(into, mem[off:])
@@ -740,6 +795,6 @@ func (e *Ep) GetRegisteredNBI(dst int, mem []byte, off int, into []byte) error {
 	if err != nil {
 		return err
 	}
-	e.noteNBI(h)
+	e.noteNBI(h, dst)
 	return nil
 }

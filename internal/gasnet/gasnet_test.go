@@ -466,6 +466,52 @@ func TestMemoryFootprint(t *testing.T) {
 	}
 }
 
+// TestSparseOnDemandConnections: in scalable-sync mode Attach charges no
+// per-peer rkey table — the footprint is base plus segment, independent of
+// world size — and each peer's connection state is charged at first
+// contact, so an image pays for the peers it talks to, not for the job.
+func TestSparseOnDemandConnections(t *testing.T) {
+	sparse := fabric.SparseVariant(tp())
+	const segSize = 128
+	const touch = 2
+	foot := func(n int) (base, after int64) {
+		w := sim.NewWorld(n)
+		if err := w.Run(func(p *sim.Proc) error {
+			e, err := Attach(p, fabric.AttachNet(p.World(), sparse), segSize)
+			if err != nil {
+				return err
+			}
+			if p.ID() == 0 {
+				base = e.MemoryFootprint()
+				for i := 1; i <= touch; i++ {
+					if err := e.Put(i, 0, []byte{byte(i)}); err != nil {
+						return err
+					}
+				}
+				// Second contact with a connected peer charges nothing.
+				if err := e.Put(1, 4, []byte{9}); err != nil {
+					return err
+				}
+				after = e.MemoryFootprint()
+			}
+			e.Barrier()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return base, after
+	}
+	costs := tp().GASNet
+	b4, a4 := foot(4)
+	b64, a64 := foot(64)
+	if want := costs.BaseFootprint + segSize; b4 != want || b64 != want {
+		t.Errorf("sparse attach footprint = %d, %d (P=4, P=64); want %d at both — no preallocated peer table", b4, b64, want)
+	}
+	if d4, d64 := a4-b4, a64-b64; d4 != touch*int64(costs.PeerBytes) || d4 != d64 {
+		t.Errorf("on-demand connection deltas = %d, %d bytes (P=4, P=64); want %d at both", d4, d64, touch*int64(costs.PeerBytes))
+	}
+}
+
 func TestHandlerPanicSurfacesAsImagePanic(t *testing.T) {
 	w := sim.NewWorld(2)
 	err := w.Run(func(p *sim.Proc) error {

@@ -160,11 +160,14 @@ func (c *Comm) Gather(sendBuf, recvBuf []byte, dt Datatype, root int) error {
 		return err
 	}
 	blk := len(sendBuf)
+	if c.myRank == root && len(recvBuf) < blk*c.Size() {
+		return fmt.Errorf("mpi: Gather recv buffer too small (%d < %d)", len(recvBuf), blk*c.Size())
+	}
+	if c.hier() {
+		return c.gatherTree(sendBuf, recvBuf, root)
+	}
 	if c.myRank != root {
 		return c.csend(sendBuf, root, tagGather)
-	}
-	if len(recvBuf) < blk*c.Size() {
-		return fmt.Errorf("mpi: Gather recv buffer too small (%d < %d)", len(recvBuf), blk*c.Size())
 	}
 	copy(recvBuf[root*blk:], sendBuf)
 	for r := 0; r < c.Size(); r++ {
@@ -179,13 +182,17 @@ func (c *Comm) Gather(sendBuf, recvBuf []byte, dt Datatype, root int) error {
 }
 
 // Allgather collects equal-size blocks from every rank into every rank's
-// recvBuf (ring algorithm: n-1 neighbor exchanges).
+// recvBuf (ring algorithm: n-1 neighbor exchanges; gather+broadcast trees
+// with O(log n) rounds in scalable-sync mode).
 func (c *Comm) Allgather(sendBuf, recvBuf []byte, dt Datatype) error {
 	c.env.checkLive()
 	n := c.Size()
 	blk := len(sendBuf)
 	if len(recvBuf) < blk*n {
 		return fmt.Errorf("mpi: Allgather recv buffer too small (%d < %d)", len(recvBuf), blk*n)
+	}
+	if c.hier() {
+		return c.allgatherTree(sendBuf, recvBuf, dt)
 	}
 	copy(recvBuf[c.myRank*blk:], sendBuf)
 	right := (c.myRank + 1) % n
@@ -210,12 +217,15 @@ func (c *Comm) Scatter(sendBuf, recvBuf []byte, dt Datatype, root int) error {
 		return err
 	}
 	blk := len(recvBuf)
+	if c.myRank == root && len(sendBuf) < blk*c.Size() {
+		return fmt.Errorf("mpi: Scatter send buffer too small (%d < %d)", len(sendBuf), blk*c.Size())
+	}
+	if c.hier() {
+		return c.scatterTree(sendBuf, recvBuf, root)
+	}
 	if c.myRank != root {
 		_, err := c.crecv(recvBuf, root, tagScatter)
 		return err
-	}
-	if len(sendBuf) < blk*c.Size() {
-		return fmt.Errorf("mpi: Scatter send buffer too small (%d < %d)", len(sendBuf), blk*c.Size())
 	}
 	for r := 0; r < c.Size(); r++ {
 		if r == root {

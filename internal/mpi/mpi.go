@@ -82,6 +82,15 @@ type Env struct {
 	// error instead of hanging.
 	flt *faults.State
 
+	// On-demand connection model (scalable-sync mode): instead of
+	// preallocating per-peer eager pools and connection state for the whole
+	// world at Init, each peer's share (perPeerBytes) is charged to the
+	// footprint when that peer is first messaged — MVAPICH-style on-demand
+	// connections. connected tracks world ranks already established.
+	onDemand     bool
+	connected    fabric.PeerSet
+	perPeerBytes int64
+
 	footprint int64
 	finalized bool
 }
@@ -116,11 +125,34 @@ func Init(p *sim.Proc, net *fabric.Net) *Env {
 
 	// Connection state and per-peer eager buffer pools: MPICH derivatives
 	// preallocate these, which is what makes the MPI runtime's memory
-	// footprint grow with job size (Figure 1).
+	// footprint grow with job size (Figure 1). The scalable-sync mode
+	// switches to on-demand connections: only BaseFootprint up front, each
+	// peer's share charged at first contact (see connect), keeping the
+	// per-image footprint proportional to the communication graph degree.
 	c := net.Params().MPI
-	env.footprint = c.BaseFootprint +
-		int64(p.N())*int64(c.EagerSlotsPerPeer*c.EagerSlotBytes+c.PeerStateBytes)
+	perPeer := int64(c.EagerSlotsPerPeer*c.EagerSlotBytes + c.PeerStateBytes)
+	if c.SparseFlush {
+		env.onDemand = true
+		env.perPeerBytes = perPeer
+		env.connected.Init(p.N())
+		env.footprint = c.BaseFootprint
+	} else {
+		env.footprint = c.BaseFootprint + int64(p.N())*perPeer
+	}
 	return env
+}
+
+// connect charges per-peer connection state for world rank dst on first
+// contact (on-demand mode only; no-op otherwise). Every path that first
+// talks to a peer funnels through here: two-sided sends (isendCtx) and
+// RMA issue (epoch.touch).
+func (e *Env) connect(dst int) {
+	if !e.onDemand || dst == e.p.ID() {
+		return
+	}
+	if e.connected.Add(dst) {
+		atomic.AddInt64(&e.footprint, e.perPeerBytes)
+	}
 }
 
 // Proc returns the owning simulated image.

@@ -203,6 +203,7 @@ func (c *Comm) Isend(buf []byte, dest, tag int) (*Request, error) {
 
 func (c *Comm) isendCtx(buf []byte, dest, tag, ctx int) *Request {
 	r := newRequest(c.env, reqSend, c)
+	c.env.connect(c.ranks[dest])
 	t0 := c.env.p.Now()
 	m := fabric.NewMessage()
 	m.Dst = c.ranks[dest]

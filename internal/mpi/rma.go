@@ -19,26 +19,17 @@ type winShared struct {
 // Win is an MPI-3 window as seen by one image. RMA operations require an
 // access epoch (Lock/LockAll); CAF-MPI lock_alls every window at coarray
 // allocation and keeps the epoch open for the window's lifetime (§3.1).
+//
+// The embedded epoch carries the origin-side completion tracking whose
+// linear FlushAll scan is the MPICH behaviour dominating the paper's
+// Figure 4 — and, in scalable-sync mode, the dirty-peer set that fixes it.
 type Win struct {
-	env  *Env
-	comm *Comm
+	epoch
 	sh   *winShared
 	size int
 
 	lockedAll bool
 	locked    []bool
-
-	// Origin-side completion tracking per target (comm rank): the latest
-	// remote-completion timestamp of issued operations, and whether any
-	// operation is unflushed. FlushAll's linear scan over these is the
-	// MPICH behaviour that dominates the paper's Figure 4.
-	pendingT   []int64
-	hasPending []bool
-
-	// pendingOps counts unflushed operations per target; pendingTotal is
-	// their sum, feeding the pending_rma_max high-water gauge.
-	pendingOps   []int64
-	pendingTotal int64
 
 	shared bool // created by WinAllocateShared
 	freed  bool
@@ -68,15 +59,11 @@ func WinAllocate(c *Comm, size int) (*Win, error) {
 	ws.winsMu.Unlock()
 
 	w := &Win{
-		env:        c.env,
-		comm:       c,
-		sh:         sh,
-		size:       size,
-		locked:     make([]bool, c.Size()),
-		pendingT:   make([]int64, c.Size()),
-		hasPending: make([]bool, c.Size()),
-		pendingOps: make([]int64, c.Size()),
+		sh:     sh,
+		size:   size,
+		locked: make([]bool, c.Size()),
 	}
+	w.epInit(c.env, c)
 	c.env.p.Advance(c.env.costs().WinSetupNS * int64(c.Size()))
 	atomic.AddInt64(&c.env.footprint, int64(size))
 	// The barrier both orders window-memory publication (every base set
@@ -120,16 +107,7 @@ func (w *Win) LockAll() error {
 		return fmt.Errorf("mpi: LockAll inside an existing lock-all epoch")
 	}
 	w.lockedAll = true
-	t0 := w.env.p.Now()
-	w.env.p.Advance(w.env.costs().FlushScanNS * int64(w.comm.Size()))
-	if sh := w.env.sh; sh != nil {
-		sh.Record(obs.LayerMPI, obs.OpLockAll, -1, 0, w.comm.Size(), t0, w.env.p.Now())
-		sh.Add(obs.CtrLockAllCalls, 1)
-		e := obs.Edge{Layer: obs.LayerMPI, Op: obs.OpLockAll,
-			Peer: -1, Start: t0, End: w.env.p.Now()}
-		e.AddComp(obs.CompFlushScan, w.env.costs().FlushScanNS*int64(w.comm.Size()))
-		sh.RecordEdge(e)
-	}
+	w.lockAllEpoch()
 	return nil
 }
 
@@ -201,24 +179,6 @@ func (w *Win) checkRange(target, disp, n int, what string) error {
 		return fmt.Errorf("mpi: %s range [%d,%d) outside window of size %d", what, disp, disp+n, len(w.sh.bases[target]))
 	}
 	return nil
-}
-
-// notePending records a remote completion timestamp for target.
-func (w *Win) notePending(target int, t int64) {
-	if t > w.pendingT[target] {
-		w.pendingT[target] = t
-	}
-	w.hasPending[target] = true
-	w.pendingOps[target]++
-	w.pendingTotal++
-	w.env.sh.Max(obs.CtrPendingRMAMax, w.pendingTotal)
-}
-
-// clearPending marks target flushed, releasing its outstanding-op count.
-func (w *Win) clearPending(target int) {
-	w.hasPending[target] = false
-	w.pendingTotal -= w.pendingOps[target]
-	w.pendingOps[target] = 0
 }
 
 // Put copies buf into the target's window at byte displacement disp
@@ -295,6 +255,9 @@ func (w *Win) Rget(buf []byte, target, disp int) (*Request, error) {
 	w.env.p.Advance(w.env.costs().GetNS)
 	copy(buf, w.sh.bases[target][disp:])
 	done := w.env.p.Now() + 2*pr.PathLatency(w.env.p.ID(), worldDst) + pr.PathWireTime(w.env.p.ID(), worldDst, len(buf))
+	// Rget completes through its request, not a flush, but the epoch still
+	// touched this peer: sparse flushes must cover its happens-before edge.
+	w.touch(target)
 	if sh := w.env.sh; sh != nil {
 		sh.Record(obs.LayerMPI, obs.OpGet, worldDst, len(buf), 0, t0, w.env.p.Now())
 		sh.Add(obs.CtrRDMAGets, 1)
@@ -423,33 +386,7 @@ func (w *Win) Flush(target int) error {
 	if err := w.checkAccess(target, "Flush"); err != nil {
 		return err
 	}
-	c := w.env.costs()
-	t0 := w.env.p.Now()
-	var waited int64
-	pending := w.hasPending[target]
-	if pending {
-		w.env.p.AdvanceTo(w.pendingT[target])
-		waited = w.env.p.Now() - t0
-		w.env.p.Advance(c.FlushNS)
-		w.clearPending(target)
-	} else {
-		w.env.p.Advance(c.FlushScanNS)
-	}
-	if sh := w.env.sh; sh != nil {
-		end := w.env.p.Now()
-		sh.Record(obs.LayerMPI, obs.OpFlush, w.comm.ranks[target], 0, 0, t0, end)
-		sh.Add(obs.CtrFlushCalls, 1)
-		e := obs.Edge{Layer: obs.LayerMPI, Op: obs.OpFlush,
-			Peer: int32(w.comm.ranks[target]), Start: t0, End: end}
-		if pending {
-			e.AddComp(obs.CompFlushWait, waited)
-			e.AddComp(obs.CompOverhead, c.FlushNS)
-		} else {
-			e.AddComp(obs.CompFlushScan, c.FlushScanNS)
-		}
-		sh.RecordEdge(e)
-	}
-	w.env.san.FenceLocal()
+	w.flushTarget(target)
 	return nil
 }
 
@@ -492,37 +429,7 @@ func (w *Win) FlushAll() error {
 			return fmt.Errorf("mpi: FlushAll outside a lock-all epoch")
 		}
 	}
-	c := w.env.costs()
-	t0 := w.env.p.Now()
-	var waited int64
-	flushed := 0
-	for t := 0; t < w.comm.Size(); t++ {
-		w.env.p.Advance(c.FlushScanNS)
-		if w.hasPending[t] {
-			pre := w.env.p.Now()
-			w.env.p.AdvanceTo(w.pendingT[t])
-			waited += w.env.p.Now() - pre
-			w.env.p.Advance(c.FlushNS)
-			w.clearPending(t)
-			flushed++
-		}
-	}
-	if sh := w.env.sh; sh != nil {
-		end := w.env.p.Now()
-		sh.Record(obs.LayerMPI, obs.OpFlushAll, -1, 0, w.comm.Size(), t0, end)
-		sh.Add(obs.CtrFlushAllCalls, 1)
-		sh.Add(obs.CtrFlushAllScannedOps, int64(w.comm.Size()))
-		// The linear scan over every rank of the communicator is the §4.1
-		// bottleneck; the blame table separates it from genuine completion
-		// waits so the scan cost is visible even when nothing was pending.
-		e := obs.Edge{Layer: obs.LayerMPI, Op: obs.OpFlushAll,
-			Peer: -1, Start: t0, End: end}
-		e.AddComp(obs.CompFlushScan, c.FlushScanNS*int64(w.comm.Size()))
-		e.AddComp(obs.CompFlushWait, waited)
-		e.AddComp(obs.CompOverhead, c.FlushNS*int64(flushed))
-		sh.RecordEdge(e)
-	}
-	w.env.san.FenceLocal()
+	w.flushAllEpoch()
 	return nil
 }
 
@@ -556,43 +463,11 @@ func (w *Win) RflushAll() (*Request, error) {
 	if w.freed {
 		return nil, fmt.Errorf("mpi: RflushAll on freed window")
 	}
-	c := w.env.costs()
-	done := w.env.p.Now()
 	// Unlike the blocking FlushAll, the request-generating form lets the
 	// implementation complete only the targets with outstanding operations
 	// (it hands back a handle instead of scanning the communicator), which
 	// is precisely the scalability fix the paper argues for in §5.
-	t0 := w.env.p.Now()
-	any := false
-	scanned := 0
-	for t := 0; t < w.comm.Size(); t++ {
-		if w.hasPending[t] {
-			any = true
-			scanned++
-			w.env.p.Advance(c.FlushScanNS)
-			if tt := w.pendingT[t] + c.FlushNS; tt > done {
-				done = tt
-			}
-			w.clearPending(t)
-		}
-	}
-	if any {
-		if lat := w.env.p.Now() + w.env.net.Params().LatencyNS; lat > done {
-			done = lat
-		}
-	}
-	if sh := w.env.sh; sh != nil {
-		end := w.env.p.Now()
-		sh.Record(obs.LayerMPI, obs.OpFlushAll, -1, 0, scanned, t0, end)
-		sh.Add(obs.CtrRflushAllCalls, 1)
-		sh.Add(obs.CtrFlushAllScannedOps, int64(scanned))
-		if end > t0 {
-			e := obs.Edge{Layer: obs.LayerMPI, Op: obs.OpFlushAll,
-				Peer: -1, Start: t0, End: end}
-			e.AddComp(obs.CompFlushScan, c.FlushScanNS*int64(scanned))
-			sh.RecordEdge(e)
-		}
-	}
+	done := w.rflushAllEpoch()
 	r := newRequest(w.env, reqRMA, nil)
 	r.completeT = done
 	r.done.Store(true)

@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"cafmpi/internal/obs"
 )
@@ -27,20 +28,21 @@ type dynShared struct {
 	atomMu  []sync.Mutex
 }
 
-// DynWin is a dynamic window as seen by one image.
+// DynWin is a dynamic window as seen by one image. Completion tracking and
+// the flush scan/blame sequences live in the shared epoch (see epoch.go).
 type DynWin struct {
-	env  *Env
-	comm *Comm
-	sh   *dynShared
+	epoch
+	sh *dynShared
 
 	lockedAll bool
 	nextKey   int64
 	attached  map[int64][]byte
 
-	pendingT   []int64
-	hasPending []bool
-
-	footprint int64
+	// attachedBytes is the sum of currently attached region sizes; each
+	// region also carries PeerStateBytes of registration metadata. Both are
+	// charged to the image's modeled footprint at Attach and released at
+	// Detach/Free.
+	attachedBytes int64
 }
 
 // WinCreateDynamic collectively creates a window with no memory attached.
@@ -58,13 +60,10 @@ func WinCreateDynamic(c *Comm) (*DynWin, error) {
 	ws.winsMu.Unlock()
 
 	w := &DynWin{
-		env:        c.env,
-		comm:       c,
-		sh:         shAny,
-		attached:   make(map[int64][]byte),
-		pendingT:   make([]int64, c.Size()),
-		hasPending: make([]bool, c.Size()),
+		sh:       shAny,
+		attached: make(map[int64][]byte),
 	}
+	w.epInit(c.env, c)
 	c.env.p.Advance(c.env.costs().WinSetupNS) // no per-rank memory exchange
 	if err := c.Barrier(); err != nil {
 		return nil, err
@@ -87,8 +86,22 @@ func (w *DynWin) Attach(mem []byte) (DynRegion, error) {
 	w.sh.regions[reg] = mem
 	w.sh.mu.Unlock()
 	w.env.p.Advance(w.env.costs().WinSetupNS) // registration cost
-	w.footprint += int64(len(mem))
+	w.chargeRegion(int64(len(mem)))
 	return reg, nil
+}
+
+// chargeRegion adjusts the image's modeled footprint for one attached
+// region: its memory plus PeerStateBytes of registration metadata
+// (pinning/rkey state the NIC holds per registration). Negative delta on
+// detach releases both — the leak this used to have was charging into a
+// window-local counter that fed nothing and never shrank the image total.
+func (w *DynWin) chargeRegion(delta int64) {
+	meta := int64(w.env.costs().PeerStateBytes)
+	if delta < 0 {
+		meta = -meta
+	}
+	w.attachedBytes += delta
+	atomic.AddInt64(&w.env.footprint, delta+meta)
 }
 
 // Detach withdraws a region (MPI_WIN_DETACH).
@@ -101,7 +114,7 @@ func (w *DynWin) Detach(reg DynRegion) error {
 		return fmt.Errorf("mpi: region %v not attached", reg)
 	}
 	delete(w.attached, reg.Key)
-	w.footprint -= int64(len(mem))
+	w.chargeRegion(-int64(len(mem)))
 	w.sh.mu.Lock()
 	delete(w.sh.regions, reg)
 	w.sh.mu.Unlock()
@@ -114,12 +127,7 @@ func (w *DynWin) LockAll() error {
 		return fmt.Errorf("mpi: LockAll inside an existing epoch")
 	}
 	w.lockedAll = true
-	t0 := w.env.p.Now()
-	w.env.p.Advance(w.env.costs().FlushScanNS * int64(w.comm.Size()))
-	if sh := w.env.sh; sh != nil {
-		sh.Record(obs.LayerMPI, obs.OpLockAll, -1, 0, w.comm.Size(), t0, w.env.p.Now())
-		sh.Add(obs.CtrLockAllCalls, 1)
-	}
+	w.lockAllEpoch()
 	return nil
 }
 
@@ -152,13 +160,6 @@ func (w *DynWin) resolve(reg DynRegion, disp, n int, what string) ([]byte, error
 		return nil, fmt.Errorf("mpi: %s range [%d,%d) outside region of %d bytes", what, disp, disp+n, len(mem))
 	}
 	return mem, nil
-}
-
-func (w *DynWin) notePending(target int, t int64) {
-	if t > w.pendingT[target] {
-		w.pendingT[target] = t
-	}
-	w.hasPending[target] = true
 }
 
 // Put writes buf into the target's attached region at disp.
@@ -221,57 +222,32 @@ func (w *DynWin) Flush(target int) error {
 	if err := w.comm.checkRank(target, "Flush"); err != nil {
 		return err
 	}
-	c := w.env.costs()
-	t0 := w.env.p.Now()
-	if w.hasPending[target] {
-		w.env.p.AdvanceTo(w.pendingT[target])
-		w.env.p.Advance(c.FlushNS)
-		w.hasPending[target] = false
-	} else {
-		w.env.p.Advance(c.FlushScanNS)
-	}
-	if sh := w.env.sh; sh != nil {
-		sh.Record(obs.LayerMPI, obs.OpFlush, w.comm.ranks[target], 0, 0, t0, w.env.p.Now())
-		sh.Add(obs.CtrFlushCalls, 1)
-	}
+	w.flushTarget(target)
 	return nil
 }
 
 // FlushAll completes outstanding operations to every target (the same
-// per-rank MPICH scan as fixed windows).
+// per-rank MPICH scan — or dirty-peer walk — as fixed windows).
 func (w *DynWin) FlushAll() error {
 	if !w.lockedAll {
 		return fmt.Errorf("mpi: FlushAll outside an access epoch")
 	}
-	c := w.env.costs()
-	t0 := w.env.p.Now()
-	for t := 0; t < w.comm.Size(); t++ {
-		w.env.p.Advance(c.FlushScanNS)
-		if w.hasPending[t] {
-			w.env.p.AdvanceTo(w.pendingT[t])
-			w.env.p.Advance(c.FlushNS)
-			w.hasPending[t] = false
-		}
-	}
-	if sh := w.env.sh; sh != nil {
-		sh.Record(obs.LayerMPI, obs.OpFlushAll, -1, 0, w.comm.Size(), t0, w.env.p.Now())
-		sh.Add(obs.CtrFlushAllCalls, 1)
-		sh.Add(obs.CtrFlushAllScannedOps, int64(w.comm.Size()))
-	}
+	w.flushAllEpoch()
 	return nil
 }
 
-// Free releases the window collectively; attached regions are detached.
+// Free releases the window collectively; attached regions are detached and
+// their memory plus registration metadata released from the footprint.
 func (w *DynWin) Free() error {
 	if err := w.comm.Barrier(); err != nil {
 		return err
 	}
 	w.sh.mu.Lock()
-	for key := range w.attached {
+	for key, mem := range w.attached {
 		delete(w.sh.regions, DynRegion{Rank: w.comm.myRank, Key: key})
+		w.chargeRegion(-int64(len(mem)))
 	}
 	w.sh.mu.Unlock()
 	w.attached = map[int64][]byte{}
-	w.footprint = 0
 	return nil
 }

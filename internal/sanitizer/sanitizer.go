@@ -274,11 +274,16 @@ func (w *World) reportLocked(r *Report) {
 	w.reports = append(w.reports, r)
 }
 
-// bufRange tracks a deferred-get destination buffer by host address.
+// bufRange tracks a deferred-get destination buffer by host address. peer
+// is the world rank the get reads from (-1 when unknown): a peer-scoped
+// fence (sparse FlushAll, which only synchronizes the epoch's dirty peers)
+// completes exactly the buffers whose peer it covers, and unknown-peer
+// buffers only complete at a full FenceLocal.
 type bufRange struct {
 	lo, hi uintptr
 	op     string
 	t      int64
+	peer   int32
 }
 
 // Image is one image's sanitizer handle. All methods are nil-safe.
@@ -540,11 +545,18 @@ func (i *Image) CollExit(team uint64, round uint64, acquire bool) {
 // the destination of an implicitly synchronized get (§3.5 — MPI_GET whose
 // result is unreadable before MPI_WIN_FLUSH).
 func (i *Image) NoteDeferredGet(buf []byte, op string) {
+	i.NoteDeferredGetPeer(buf, -1, op)
+}
+
+// NoteDeferredGetPeer is NoteDeferredGet carrying the world rank the get
+// reads from, so a peer-scoped fence can complete it precisely.
+func (i *Image) NoteDeferredGetPeer(buf []byte, peer int, op string) {
 	if i == nil || len(buf) == 0 {
 		return
 	}
 	lo := uintptr(unsafe.Pointer(&buf[0]))
-	i.pendingGets = append(i.pendingGets, bufRange{lo: lo, hi: lo + uintptr(len(buf)), op: op, t: i.now()})
+	i.pendingGets = append(i.pendingGets, bufRange{
+		lo: lo, hi: lo + uintptr(len(buf)), op: op, t: i.now(), peer: int32(peer)})
 }
 
 // CheckRead reports a use of buf while it is still an unfenced get target.
@@ -577,6 +589,33 @@ func (i *Image) FenceLocal() {
 		return
 	}
 	i.pendingGets = i.pendingGets[:0]
+}
+
+// FenceLocalPeers completes implicitly synchronized gets from the given
+// world ranks only. A sparse FlushAll establishes happens-before edges to
+// the epoch's dirty peers alone, so gets from untouched peers (and gets
+// noted without a peer) stay undefined — a read racing with one is still
+// reported by CheckRead.
+func (i *Image) FenceLocalPeers(peers []int) {
+	if i == nil || len(i.pendingGets) == 0 {
+		return
+	}
+	kept := i.pendingGets[:0]
+	for _, g := range i.pendingGets {
+		fenced := false
+		if g.peer >= 0 {
+			for _, p := range peers {
+				if int32(p) == g.peer {
+					fenced = true
+					break
+				}
+			}
+		}
+		if !fenced {
+			kept = append(kept, g)
+		}
+	}
+	i.pendingGets = kept
 }
 
 // RMAViolation files an MPI-level RMA usage violation (access outside an

@@ -1,0 +1,74 @@
+package sanitizer_test
+
+import (
+	"testing"
+
+	"cafmpi/caf"
+	"cafmpi/internal/sanitizer"
+)
+
+// deferredGetThenForeignFlush is the probe program: image 0 starts a
+// deferred get from image 1, then issues a blocking put to image 2 (whose
+// flush covers peer 2 only in sparse mode), then misuses the still-pending
+// get destination, then does it correctly after a cofence.
+func deferredGetThenForeignFlush(im *caf.Image) error {
+	co, err := im.AllocCoarray(im.World(), 64)
+	if err != nil {
+		return err
+	}
+	if im.ID() == 0 {
+		buf := make([]byte, 8)
+		if err := co.GetDeferred(1, 0, buf); err != nil {
+			return err
+		}
+		// Blocking put to a different peer: its flush completes (and
+		// fences) operations to peer 2 only.
+		if err := co.Put(2, 0, make([]byte, 8)); err != nil {
+			return err
+		}
+		// Bug: flushing peer 2 says nothing about the get from peer 1, so
+		// buf is still undefined here.
+		if err := co.Put(2, 16, buf); err != nil {
+			return err
+		}
+		if err := im.Cofence(); err != nil {
+			return err
+		}
+		// Correct: the cofence completed every implicit operation.
+		if err := co.Put(2, 32, buf); err != nil {
+			return err
+		}
+	}
+	return co.Free()
+}
+
+// TestSparseFlushKeepsUntouchedPeerPending: the sparse flush's
+// happens-before edge must reach exactly the flushed peers. A deferred get
+// from an untouched peer stays pending across a foreign targeted flush, so
+// misusing its destination is still an rma-order finding. The flat mode's
+// full fence over-approximates: the same program passes silently there —
+// which is precisely the precision the peer-scoped fence buys, and this
+// test pins both behaviours so neither regresses quietly.
+func TestSparseFlushKeepsUntouchedPeerPending(t *testing.T) {
+	run := func(sparse bool) *sanitizer.World {
+		t.Helper()
+		w, err := caf.RunWorld(3, caf.Config{Substrate: caf.MPI, Sanitize: true, SparseFlush: sparse},
+			deferredGetThenForeignFlush)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sanitizer.Enabled(w)
+	}
+	t.Run("sparse-catches", func(t *testing.T) {
+		sw := run(true)
+		reps := sw.Reports()
+		if len(reps) != 1 || reps[0].Class != "rma-order" {
+			t.Fatalf("want exactly 1 rma-order finding, got %d:\n%s", len(reps), sw.Text())
+		}
+	})
+	t.Run("flat-overfences", func(t *testing.T) {
+		if sw := run(false); sw.Count() != 0 {
+			t.Fatalf("flat mode's full fence historically completes the get; findings changed:\n%s", sw.Text())
+		}
+	})
+}

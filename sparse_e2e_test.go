@@ -1,0 +1,88 @@
+package cafmpi_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"cafmpi/caf"
+	"cafmpi/internal/fabric"
+	"cafmpi/internal/faults"
+	"cafmpi/internal/hpcc"
+)
+
+// sparseAllgatherCase runs a world-team Allgather of blk bytes per image
+// under cfg and checks every image sees every contribution in rank order.
+func sparseAllgatherCase(t *testing.T, cfg caf.Config, n, blk int) {
+	t.Helper()
+	err := caf.Run(n, cfg, func(im *caf.Image) error {
+		mine := bytes.Repeat([]byte{byte(im.ID() + 1)}, blk)
+		all := make([]byte, blk*n)
+		if err := im.World().Allgather(mine, all); err != nil {
+			return err
+		}
+		for r := 0; r < n; r++ {
+			want := bytes.Repeat([]byte{byte(r + 1)}, blk)
+			if !bytes.Equal(all[r*blk:(r+1)*blk], want) {
+				return errors.New("allgather block mismatch")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("n=%d blk=%d: %v", n, blk, err)
+	}
+}
+
+// TestSparseAllgatherMatchesFlat: the recursive-doubling allgather behind
+// the scalable-sync switch (the CAF-GASNet path, where the runtime has no
+// native collectives) must deliver the same data as the flat fan-in, across
+// the dispatch boundaries: power-of-two vs not, AM-sized blocks vs bulk
+// blocks that chunk through the scratch coarray.
+func TestSparseAllgatherMatchesFlat(t *testing.T) {
+	for _, sub := range []caf.Substrate{caf.MPI, caf.GASNet} {
+		for _, sparse := range []bool{false, true} {
+			cfg := caf.Config{Substrate: sub, Platform: fabric.Platform("fusion"), SparseFlush: sparse}
+			for _, tc := range []struct{ n, blk int }{
+				{8, 8},    // power of two, AM-sized: the recursive-doubling path
+				{8, 1500}, // power of two, multi-chunk payloads per round
+				{8, 5000}, // bulk: falls back to the scratch-coarray path
+				{6, 8},    // non-power-of-two: falls back to flat
+				{1, 8}, {2, 1},
+			} {
+				sparseAllgatherCase(t, cfg, tc.n, tc.blk)
+			}
+		}
+	}
+}
+
+// TestChaosSparseRandomAccess: the sparse-flush fast path under the PR 5
+// canonical 1%-drop plan — verified RandomAccess must still complete
+// correctly (resilient delivery composes with dirty-peer flushing) with a
+// bit-reproducible injected-fault signature.
+func TestChaosSparseRandomAccess(t *testing.T) {
+	run := func(sub caf.Substrate) string {
+		t.Helper()
+		cfg := caf.Config{Substrate: sub, Platform: fabric.Platform("fusion"),
+			SparseFlush: true, Faults: faults.Canonical(1)}
+		w, err := caf.RunWorld(8, cfg, func(im *caf.Image) error {
+			res, err := hpcc.RandomAccess(im, hpcc.RAConfig{TableBits: 8, UpdatesPerImage: 512, BatchSize: 128, Verify: true})
+			if err != nil {
+				return err
+			}
+			if res.Errors != 0 {
+				return errors.New("RandomAccess table verification failed under fault plan")
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", sub, err)
+		}
+		return faults.SignatureHash(faults.Enabled(w).Log())
+	}
+	for _, sub := range []caf.Substrate{caf.MPI, caf.GASNet} {
+		if s1, s2 := run(sub), run(sub); s1 != s2 {
+			t.Fatalf("%s: sparse-mode fault signature not deterministic: %s vs %s", sub, s1, s2)
+		}
+	}
+}
