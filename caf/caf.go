@@ -66,6 +66,12 @@ type Diag struct {
 	// effect on virtual time). Read the findings after the run with
 	// sanitizer.Enabled(world) on the world returned by RunWorld.
 	Sanitize bool
+	// WallProf enables the wall-clock profiling plane: sampled host-time
+	// accounting per runtime component, pprof goroutine labels (image rank
+	// + op class), and a runtime/metrics host sampler. Clock-pure. Read
+	// the divergence report after the run with wallprof.Enabled(world) on
+	// the world returned by RunWorld.
+	WallProf bool
 }
 
 // Config configures a CAF job.
@@ -201,7 +207,7 @@ func (c *Config) coreConfig() (core.Config, error) {
 	if err := c.normalize(); err != nil {
 		return core.Config{}, err
 	}
-	cc := core.Config{Trace: c.Diag.Trace, Observe: c.Diag.Observe, ObsRingCap: c.Diag.ObsRingCap, Sanitize: c.Diag.Sanitize, Faults: c.Faults, Postmortem: c.Diag.Postmortem}
+	cc := core.Config{Trace: c.Diag.Trace, Observe: c.Diag.Observe, ObsRingCap: c.Diag.ObsRingCap, Sanitize: c.Diag.Sanitize, Faults: c.Faults, Postmortem: c.Diag.Postmortem, WallProf: c.Diag.WallProf}
 	switch c.Substrate {
 	case MPI:
 		opt := c.MPIOptions

@@ -34,6 +34,7 @@ func main() {
 		csvOut   = flag.String("csv", "", "also append CSV rows to this file")
 		statsOut = flag.String("stats-out", "", "append one JSON line of runtime counters per job to this file")
 		scaleOut = flag.String("scaling-out", "", "write the scaling experiment's ScalingReport JSON (BENCH_scaling.json) to this file")
+		parOut   = flag.String("parallel-out", "", "write the parallel experiment's ParallelReport JSON (wall-clock vs GOMAXPROCS curves) to this file")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		baseline = flag.String("baseline", "", "BENCH_*.json baseline file with a \"gate\" section")
 		gate     = flag.Bool("gate", false, "run regression gate probes against -baseline and exit nonzero on regression")
@@ -76,7 +77,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchsuite: unknown platform %q\n", *platform)
 		os.Exit(2)
 	}
-	opts := bench.Options{Platform: pf, MaxP: *maxP, Quick: *quick, ScalingOut: *scaleOut}
+	opts := bench.Options{Platform: pf, MaxP: *maxP, Quick: *quick, ScalingOut: *scaleOut, ParallelOut: *parOut}
 
 	var ids []string
 	if *expFlag == "all" {

@@ -15,11 +15,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"path/filepath"
+	hostpprof "runtime/pprof"
 	"runtime/metrics"
 	"sort"
 
@@ -31,6 +34,7 @@ import (
 	"cafmpi/internal/obs"
 	"cafmpi/internal/obs/critpath"
 	"cafmpi/internal/obs/flightrec"
+	"cafmpi/internal/obs/wallprof"
 	"cafmpi/internal/rtmpi"
 	"cafmpi/internal/sanitizer"
 	"cafmpi/internal/trace"
@@ -60,6 +64,9 @@ func main() {
 		faultLog   = flag.Bool("fault-log", false, "print the injected-fault decision log after the run (implies reproducible ordering)")
 		postmortem = flag.String("postmortem", "", "arm the crash-triggered flight recorder: write a deterministic signature-stamped bundle under this directory when an image crashes or the job fails")
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060) and dump runtime/metrics after the run")
+		wallprofOn = flag.Bool("wallprof", false, "host wall-clock profiling plane: per-component host-time blame with a wall-vs-virtual divergence report (clock-pure: virtual results are bit-identical with or without it)")
+		wallOut    = flag.String("wallprof-out", "", "write cpu.pprof, mutex.pprof, block.pprof and wallprof.json into this directory (implies -wallprof)")
+		wallCont   = flag.Bool("wallprof-contention", false, "enable mutex/block profiling rates for the run (host-side contention capture; implies -wallprof)")
 
 		raBits    = flag.Int("ra-bits", 10, "ra: log2 of per-image table entries")
 		raUpdates = flag.Int("ra-updates", 4096, "ra: updates per image")
@@ -95,7 +102,28 @@ func main() {
 		}()
 		fmt.Printf("pprof: serving http://%s/debug/pprof/\n", *pprofAddr)
 	}
-	observe := *traceOut != "" || *stats || *commMatrix || *critPath || *histFlag
+	wallprofEnabled := *wallprofOn || *wallOut != "" || *wallCont
+	// The divergence report needs the virtual-time blame table, so wallprof
+	// implies the observability plane.
+	observe := *traceOut != "" || *stats || *commMatrix || *critPath || *histFlag || wallprofEnabled
+	if *wallCont {
+		restore := wallprof.EnableContention()
+		defer restore()
+	}
+	var cpuProf *os.File
+	if *wallOut != "" {
+		if err := os.MkdirAll(*wallOut, 0o755); err != nil {
+			fail("%v", err)
+		}
+		f, err := os.Create(filepath.Join(*wallOut, "cpu.pprof"))
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := hostpprof.StartCPUProfile(f); err != nil {
+			fail("starting CPU profile: %v", err)
+		}
+		cpuProf = f
+	}
 	var plan *faults.Plan
 	if *faultsSpec != "" {
 		var err error
@@ -107,7 +135,7 @@ func main() {
 		}
 	}
 	cfg := caf.Config{Substrate: caf.Substrate(*sub), Platform: pf,
-		Diag:       caf.Diag{Trace: *trc, Observe: observe, ObsRingCap: *obsRing, Sanitize: *sanitize, Postmortem: *postmortem},
+		Diag:       caf.Diag{Trace: *trc, Observe: observe, ObsRingCap: *obsRing, Sanitize: *sanitize, Postmortem: *postmortem, WallProf: wallprofEnabled},
 		Faults:     plan,
 		MPIOptions: rtmpi.Options{UseRflush: *rflush, AtomicEvents: *atomicEv}}
 
@@ -224,11 +252,24 @@ func main() {
 	}
 
 	if ow := obs.Enabled(w); ow != nil {
+		// Post-run gauges must land before the snapshot is taken: the
+		// sanitizer's self-metered shadow-state footprint and the wallprof
+		// host metrics are volatile gauges merged by max into shard 0.
+		wpw := wallprof.Enabled(w)
+		if wpw != nil {
+			wpw.Finish()
+			wpw.DepositGauges(ow)
+		}
+		if sw := sanitizer.Enabled(w); sw != nil {
+			ow.Shard(0).Max(obs.CtrSanBytesPerImage, sw.MemMaxBytes())
+		}
 		snap := ow.Snapshot()
 		var rep *critpath.Report
-		if *critPath {
+		if *critPath || wpw != nil {
 			rep = critpath.Analyze(ow, clocks)
-			fmt.Print(rep.BlameTable())
+			if *critPath {
+				fmt.Print(rep.BlameTable())
+			}
 		}
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
@@ -258,6 +299,53 @@ func main() {
 		if *commMatrix {
 			fmt.Print(snap.CommMatrixText())
 		}
+		if wpw != nil {
+			var virt map[string]int64
+			var finish int64
+			if rep != nil {
+				virt, finish = rep.ComponentTotals(), rep.FinishNS
+			}
+			wrep := wpw.Analyze(virt, finish)
+			fmt.Print(wrep.Text())
+			if *wallOut != "" {
+				if cpuProf != nil {
+					hostpprof.StopCPUProfile()
+					cpuProf.Close()
+					cpuProf = nil
+				}
+				writeProfile := func(name, file string) {
+					p := hostpprof.Lookup(name)
+					if p == nil {
+						return
+					}
+					f, err := os.Create(filepath.Join(*wallOut, file))
+					if err != nil {
+						fail("%v", err)
+					}
+					if err := p.WriteTo(f, 0); err != nil {
+						f.Close()
+						fail("writing %s: %v", file, err)
+					}
+					f.Close()
+				}
+				writeProfile("mutex", "mutex.pprof")
+				writeProfile("block", "block.pprof")
+				js, err := json.MarshalIndent(wrep, "", "  ")
+				if err != nil {
+					fail("%v", err)
+				}
+				if err := os.WriteFile(filepath.Join(*wallOut, "wallprof.json"), append(js, '\n'), 0o644); err != nil {
+					fail("%v", err)
+				}
+				fmt.Printf("wallprof: wrote cpu.pprof, mutex.pprof, block.pprof, wallprof.json to %s\n", *wallOut)
+			}
+		}
+	}
+	if cpuProf != nil {
+		// -wallprof-out with a run that never reached the report (should not
+		// happen on success, but keep the profile coherent).
+		hostpprof.StopCPUProfile()
+		cpuProf.Close()
 	}
 	if st := faults.Enabled(w); st.Active() {
 		evs := st.Log()

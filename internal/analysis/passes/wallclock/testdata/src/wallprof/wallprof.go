@@ -1,0 +1,26 @@
+// Package wallprof mirrors internal/obs/wallprof for the analyzer tests:
+// the sanctioned host-clock home still requires the annotation on every
+// read — only the diagnostic's wording changes.
+package wallprof
+
+import "time"
+
+var base = time.Now() //caflint:allow wallclock -- process-start epoch for monotonic deltas
+
+// nowNS is the annotated idiom the real package uses: legal.
+func nowNS() int64 {
+	return int64(time.Since(base)) //caflint:allow wallclock -- sampled host-time read
+}
+
+// sneaky shows that the package-scoped allowance is not blanket: an
+// un-annotated read fails with the wallprof-specific message.
+func sneaky() int64 {
+	t0 := time.Now() // want `un-annotated wall-clock time\.Now in the wallprof plane`
+	_ = nowNS()
+	return int64(time.Since(t0)) // want `un-annotated wall-clock time\.Since in the wallprof plane`
+}
+
+// ticker shows scheduling primitives need the annotation too.
+func ticker() {
+	_ = time.NewTicker(time.Millisecond) // want `un-annotated wall-clock time\.NewTicker in the wallprof plane`
+}

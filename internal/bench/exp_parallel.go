@@ -1,0 +1,155 @@
+// The GOMAXPROCS scaling probes: the one experiment in the suite whose
+// y-axis is HOST wall-clock time, not virtual time. The simulator is a
+// goroutine-per-image machine, so the interesting engineering question —
+// does the runtime actually exploit host parallelism, or does one lock
+// serialize the world? — is answered by sweeping GOMAXPROCS over fixed
+// workloads and watching the wall-clock curve. Virtual time is bit-exact
+// at GOMAXPROCS=1 (the golden / gate configuration); above it, host
+// scheduling perturbs tie-breaking at shared queues, so each point also
+// records its virtual-time jitter relative to the single-thread run —
+// structurally small, and a regression canary for ordering bugs.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"cafmpi/caf"
+	"cafmpi/internal/hpcc"
+)
+
+// ParallelGMP is the GOMAXPROCS schedule of the parallel experiment.
+var ParallelGMP = []int{1, 2, 4, 8}
+
+// ParallelPoint is one (substrate, workload, GOMAXPROCS) measurement.
+type ParallelPoint struct {
+	Substrate  string `json:"substrate"`
+	Workload   string `json:"workload"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NP         int    `json:"np"`
+	// WallMS is the host wall-clock time of the job (milliseconds).
+	WallMS float64 `json:"wall_ms"`
+	// VirtualS is the slowest image's final virtual clock. Bit-exact at
+	// GOMAXPROCS=1; above it host scheduling perturbs queue tie-breaking.
+	VirtualS float64 `json:"virtual_s"`
+	// VirtJitter is |VirtualS/VirtualS(GOMAXPROCS=1) - 1| within the same
+	// (substrate, workload) curve: how far the interleaving drifted.
+	VirtJitter float64 `json:"virt_jitter"`
+	// Speedup is WallMS(GOMAXPROCS=1) / WallMS at this point, within the
+	// same (substrate, workload) curve.
+	Speedup float64 `json:"speedup"`
+}
+
+// ParallelReport is the -parallel-out JSON document.
+type ParallelReport struct {
+	Platform string          `json:"platform"`
+	Quick    bool            `json:"quick"`
+	HostCPUs int             `json:"host_cpus"`
+	Points   []ParallelPoint `json:"points"`
+}
+
+// parallelJob runs one workload once and returns (wall ms, virtual s).
+func parallelJob(o Options, sub caf.Substrate, workload string) (float64, float64, int, error) {
+	ra := hpcc.RAConfig{TableBits: 8, UpdatesPerImage: 512, BatchSize: 128}
+	fftLog := 12
+	iters := 200
+	np := 8
+	if o.Quick {
+		ra.UpdatesPerImage = 128
+		fftLog = 10
+		iters = 50
+	}
+	if workload == "pingpong" {
+		np = 2
+	}
+	cfg := caf.Config{Substrate: sub, Platform: o.Platform}
+	clocks := make([]int64, np)
+	start := time.Now() //caflint:allow wallclock -- the experiment's y-axis IS host wall time
+	_, err := caf.RunWorld(np, cfg, func(im *caf.Image) error {
+		defer func() { clocks[im.ID()] = im.Proc().Now() }()
+		switch workload {
+		case "ra":
+			_, err := hpcc.RandomAccess(im, ra)
+			return err
+		case "pingpong":
+			return scalingPingPong(im, iters)
+		case "fft":
+			_, err := hpcc.FFT(im, hpcc.FFTConfig{LogSize: fftLog, Verify: true})
+			return err
+		default:
+			return fmt.Errorf("bench: unknown parallel workload %q", workload)
+		}
+	})
+	wallMS := float64(time.Since(start)) / 1e6 //caflint:allow wallclock -- host wall time of the job
+	if err != nil {
+		return 0, 0, np, err
+	}
+	return wallMS, maxClockSeconds(clocks), np, nil
+}
+
+func parallelExperiment() Experiment {
+	return Experiment{
+		ID:    "parallel",
+		Title: "GOMAXPROCS scaling probes: host wall-clock vs host threads",
+		Paper: "Not a paper figure — a wall-clock sanity plane for the simulator itself: fixed workloads swept over GOMAXPROCS in {1,2,4,8} on both substrates. Virtual time is bit-exact at GOMAXPROCS=1 (the golden configuration); each multi-thread point records its virtual-time jitter vs the single-thread run as an ordering-bug canary.",
+		Run: func(o Options) (*Table, error) {
+			o = o.withDefaults()
+			report := &ParallelReport{Platform: o.Platform.Name, Quick: o.Quick, HostCPUs: runtime.NumCPU()}
+			t := &Table{ID: "parallel",
+				Title:  "GOMAXPROCS scaling probes (host wall-clock)",
+				XLabel: "GOMAXPROCS", YLabel: "wall ms / speedup vs 1",
+				Notes: fmt.Sprintf("platform=%s host_cpus=%d; virtual time bit-exact at GOMAXPROCS=1, jitter tracked above",
+					o.Platform.Name, runtime.NumCPU())}
+			prev := runtime.GOMAXPROCS(0)
+			defer runtime.GOMAXPROCS(prev)
+			for _, sub := range []caf.Substrate{caf.MPI, caf.GASNet} {
+				for _, workload := range []string{"ra", "pingpong", "fft"} {
+					var wall1, virt0 float64
+					for gi, g := range ParallelGMP {
+						runtime.GOMAXPROCS(g)
+						wallMS, virtS, np, err := parallelJob(o, sub, workload)
+						if err != nil {
+							runtime.GOMAXPROCS(prev)
+							return nil, fmt.Errorf("parallel %s/%s gomaxprocs=%d: %w", sub, workload, g, err)
+						}
+						if gi == 0 {
+							wall1, virt0 = wallMS, virtS
+						}
+						pt := ParallelPoint{Substrate: string(sub), Workload: workload,
+							GOMAXPROCS: g, NP: np, WallMS: wallMS, VirtualS: virtS}
+						if virt0 > 0 {
+							pt.VirtJitter = virtS/virt0 - 1
+							if pt.VirtJitter < 0 {
+								pt.VirtJitter = -pt.VirtJitter
+							}
+						}
+						if wallMS > 0 {
+							pt.Speedup = wall1 / wallMS
+						}
+						report.Points = append(report.Points, pt)
+						series := fmt.Sprintf("%s-%s", sub, workload)
+						t.Rows = append(t.Rows, Row{Series: series + " wall_ms", X: g, Y: wallMS})
+						t.Rows = append(t.Rows, Row{Series: series + " speedup", X: g, Y: pt.Speedup})
+					}
+				}
+			}
+			if o.ParallelOut != "" {
+				blob, err := json.MarshalIndent(report, "", "  ")
+				if err != nil {
+					return nil, err
+				}
+				if err := os.WriteFile(o.ParallelOut, append(blob, '\n'), 0o644); err != nil {
+					return nil, fmt.Errorf("parallel: writing %s: %w", o.ParallelOut, err)
+				}
+			}
+			return t, nil
+		},
+	}
+}
+
+func init() {
+	register(parallelExperiment())
+}

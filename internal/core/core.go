@@ -9,6 +9,7 @@ import (
 	"cafmpi/internal/faults"
 	"cafmpi/internal/obs"
 	"cafmpi/internal/obs/flightrec"
+	"cafmpi/internal/obs/wallprof"
 	"cafmpi/internal/sanitizer"
 	"cafmpi/internal/sim"
 	"cafmpi/internal/trace"
@@ -62,6 +63,12 @@ type Config struct {
 	// directory. Implies Observe — the obs shards are the recorder's
 	// black box.
 	Postmortem string
+	// WallProf enables the wall-clock profiling plane (internal/obs/
+	// wallprof): sampled host-time accounting per component, pprof label
+	// propagation, and the runtime/metrics host sampler. Clock-pure —
+	// virtual time and all goldens are unaffected. Read the divergence
+	// report after the run via wallprof.Enabled(world).Analyze.
+	WallProf bool
 }
 
 // SpawnFunc is a shippable function (CAF 2.0 function shipping). It runs on
@@ -176,6 +183,13 @@ func Boot(p *sim.Proc, cfg Config) (*Image, error) {
 	}
 	if cfg.Postmortem != "" {
 		flightrec.Arm(p.World(), cfg.Postmortem)
+	}
+	if cfg.WallProf {
+		// Must precede the Factory call for the same reason as obs.Enable;
+		// LabelImage runs here, on the image's own goroutine, so the pprof
+		// labels tag the right G.
+		wallprof.Enable(p.World())
+		wallprof.LabelImage(p)
 	}
 	im.osh = obs.For(p)
 	// Like obs.Enable, this must precede the Factory call (the fabric caches

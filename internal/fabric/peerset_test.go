@@ -89,6 +89,82 @@ func TestPeerSetAppendSortedAscending(t *testing.T) {
 	}
 }
 
+// TestPeerSetBoundary63_64_65 pins the dense-bitset↔sparse-map switch at
+// world sizes 63, 64 and 65: n=64 is the last dense world and its top rank
+// (63) lives in the bitset's most significant bit — the off-by-one a shift
+// bug would hit — while n=65 is the first sparse one. Insert, duplicate
+// insert, remove, clear, refill and AppendSorted must behave identically
+// on both sides of the representation switch.
+func TestPeerSetBoundary63_64_65(t *testing.T) {
+	for _, n := range []int{63, 64, 65} {
+		wantDense := n <= DensePeerThreshold
+		var s PeerSet
+		s.Init(n)
+		if s.Dense() != wantDense {
+			t.Fatalf("n=%d: Dense()=%v, want %v", n, s.Dense(), wantDense)
+		}
+
+		// Boundary-sensitive members: rank 0, the top valid rank, a middle
+		// one. Duplicates must report not-added in both representations.
+		hi := n - 1
+		for _, r := range []int{0, hi, 17} {
+			if !s.Add(r) {
+				t.Fatalf("n=%d: Add(%d) = false on first insert", n, r)
+			}
+			if s.Add(r) {
+				t.Fatalf("n=%d: Add(%d) = true on duplicate", n, r)
+			}
+		}
+		if s.Len() != 3 || !s.Has(hi) {
+			t.Fatalf("n=%d: Len=%d Has(%d)=%v after inserts", n, s.Len(), hi, s.Has(hi))
+		}
+		if got, want := s.AppendSorted(nil), []int{0, 17, hi}; !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: AppendSorted=%v, want %v", n, got, want)
+		}
+
+		// Remove the top rank (bit 63 in the n=64 world).
+		s.Remove(hi)
+		if s.Has(hi) || s.Len() != 2 {
+			t.Fatalf("n=%d: Remove(%d) left Has=%v Len=%d", n, hi, s.Has(hi), s.Len())
+		}
+
+		// Clear keeps the representation; refill must not resurrect stale
+		// members or miscount.
+		s.Clear()
+		if s.Len() != 0 || s.Dense() != wantDense {
+			t.Fatalf("n=%d: after Clear Len=%d Dense=%v, want 0/%v", n, s.Len(), s.Dense(), wantDense)
+		}
+		if out := s.AppendSorted(nil); len(out) != 0 {
+			t.Fatalf("n=%d: AppendSorted after Clear = %v", n, out)
+		}
+		if !s.Add(hi) || !s.Has(hi) || s.Len() != 1 {
+			t.Fatalf("n=%d: refill after Clear broken", n)
+		}
+	}
+}
+
+// TestPeerSetFullWorldSweep crosses the boundary with every rank present:
+// the sorted walk over a full set must be exactly [0..n) on both sides of
+// the switch, regardless of insertion order.
+func TestPeerSetFullWorldSweep(t *testing.T) {
+	for _, n := range []int{63, 64, 65} {
+		var s PeerSet
+		s.Init(n)
+		for r := n - 1; r >= 0; r-- { // reverse insert: order must not matter
+			s.Add(r)
+		}
+		if s.Len() != n {
+			t.Fatalf("n=%d: Len=%d after full fill", n, s.Len())
+		}
+		out := s.AppendSorted(nil)
+		for r := 0; r < n; r++ {
+			if out[r] != r {
+				t.Fatalf("n=%d: AppendSorted[%d]=%d, want %d", n, r, out[r], r)
+			}
+		}
+	}
+}
+
 func TestSparseVariantPresets(t *testing.T) {
 	for _, name := range []string{"fusion", "edison", "mira"} {
 		base := Platform(name)

@@ -21,6 +21,7 @@ import (
 	"cafmpi/internal/fabric"
 	"cafmpi/internal/faults"
 	"cafmpi/internal/obs"
+	"cafmpi/internal/obs/wallprof"
 	"cafmpi/internal/sanitizer"
 	"cafmpi/internal/sim"
 )
@@ -116,6 +117,7 @@ type Ep struct {
 	osh *obs.Shard
 	san *sanitizer.Image // nil when sanitizing is off (methods are nil-safe)
 	flt *faults.State    // world failure latch, nil-safe when faults are off
+	wp  *wallprof.Rec    // wall-clock recorder, nil when wallprof is off
 }
 
 // HandlerEntry binds a handler id to its function for Attach, mirroring
@@ -150,6 +152,7 @@ func Attach(p *sim.Proc, net *fabric.Net, segSize int, handlers ...HandlerEntry)
 	e.osh = obs.For(p)
 	e.san = sanitizer.For(p)
 	e.flt = faults.Enabled(p.World())
+	e.wp = wallprof.For(p)
 	e.amSpec = fabric.MatchSpec{Classes: fabric.Classes(clsAMRequest, clsAMReply), Src: fabric.AnySrc}
 	e.brSpec = fabric.MatchSpec{Classes: fabric.Classes(clsAMRequest, clsAMReply, clsBarrier), Src: fabric.AnySrc, Filter: e.barrierFilter}
 	e.segment = make([]byte, segSize)
@@ -425,6 +428,10 @@ func (e *Ep) dispatch(m *fabric.Message) {
 	if h == nil {
 		panic(fmt.Sprintf("gasnet: image %d received AM for unregistered handler %d", e.p.ID(), m.Ctx))
 	}
+	// Host-time blame for handler execution only (wallprof SiteGASNetAM):
+	// the absorb above is already covered by SiteFabricAbsorb, so the two
+	// sites stay disjoint for the divergence report's residual math.
+	wt := e.wp.Begin(wallprof.SiteGASNetAM)
 	tk := &Token{ep: e, src: m.Src}
 	switch m.Tag {
 	case catShort:
@@ -435,6 +442,7 @@ func (e *Ep) dispatch(m *fabric.Message) {
 		off, ln := int(m.Args[0]), int(m.Args[1])
 		h(tk, m.Args[2:], e.segment[off:off+ln])
 	}
+	e.wp.End(wallprof.SiteGASNetAM, wt)
 	// GASNet handlers may not retain args or payload past their return
 	// (medium payloads are explicitly scratch), so the message recycles here.
 	m.Release()

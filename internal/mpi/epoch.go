@@ -3,6 +3,7 @@ package mpi
 import (
 	"cafmpi/internal/fabric"
 	"cafmpi/internal/obs"
+	"cafmpi/internal/obs/wallprof"
 )
 
 // epoch is the origin-side completion state of one window's access epoch,
@@ -114,6 +115,7 @@ func (ep *epoch) worldRanks(peers ...int) []int {
 // DynWin.Flush, and the Unlock paths; callers have already validated the
 // epoch.
 func (ep *epoch) flushTarget(target int) {
+	wt := ep.env.wp.Begin(wallprof.SiteMPIFlush)
 	c := ep.env.costs()
 	p := ep.env.p
 	t0 := p.Now()
@@ -152,6 +154,7 @@ func (ep *epoch) flushTarget(target int) {
 	} else {
 		ep.env.san.FenceLocal()
 	}
+	ep.env.wp.End(wallprof.SiteMPIFlush, wt)
 }
 
 // flushAllEpoch charges the MPI_WIN_FLUSH_ALL sequence. Default mode scans
@@ -159,6 +162,7 @@ func (ep *epoch) flushTarget(target int) {
 // the dirty set in ascending rank order and clears it — cost proportional
 // to what the epoch touched, not to world size.
 func (ep *epoch) flushAllEpoch() {
+	wt := ep.env.wp.Begin(wallprof.SiteMPIFlush)
 	c := ep.env.costs()
 	p := ep.env.p
 	t0 := p.Now()
@@ -220,6 +224,7 @@ func (ep *epoch) flushAllEpoch() {
 	} else {
 		ep.env.san.FenceLocal()
 	}
+	ep.env.wp.End(wallprof.SiteMPIFlush, wt)
 }
 
 // rflushAllEpoch charges the request-generating flush-all (the paper's §5
@@ -228,6 +233,7 @@ func (ep *epoch) flushAllEpoch() {
 // mode; sparse mode additionally clears the dirty set, closing the epoch
 // window the request covers.
 func (ep *epoch) rflushAllEpoch() int64 {
+	wt := ep.env.wp.Begin(wallprof.SiteMPIFlush)
 	c := ep.env.costs()
 	p := ep.env.p
 	done := p.Now()
@@ -273,6 +279,7 @@ func (ep *epoch) rflushAllEpoch() int64 {
 			sh.RecordEdge(e)
 		}
 	}
+	ep.env.wp.End(wallprof.SiteMPIFlush, wt)
 	return done
 }
 
@@ -281,6 +288,7 @@ func (ep *epoch) rflushAllEpoch() int64 {
 // defers per-peer acquisition to first use, so opening is O(1). Also the
 // dirty set's epoch-boundary reset.
 func (ep *epoch) lockAllEpoch() {
+	wt := ep.env.wp.Begin(wallprof.SiteMPIFlush)
 	c := ep.env.costs()
 	p := ep.env.p
 	t0 := p.Now()
@@ -299,6 +307,7 @@ func (ep *epoch) lockAllEpoch() {
 		e.AddComp(obs.CompFlushScan, c.FlushScanNS*int64(scanned))
 		sh.RecordEdge(e)
 	}
+	ep.env.wp.End(wallprof.SiteMPIFlush, wt)
 }
 
 // dirtyCount exposes the dirty-set size for tests; -1 in default mode.

@@ -21,6 +21,7 @@ import (
 	"cafmpi/internal/fabric"
 	"cafmpi/internal/faults"
 	"cafmpi/internal/obs"
+	"cafmpi/internal/obs/wallprof"
 	"cafmpi/internal/sanitizer"
 	"cafmpi/internal/sim"
 )
@@ -77,6 +78,10 @@ type Env struct {
 	// nil-safe); cached at Init like sh.
 	san *sanitizer.Image
 
+	// wp is this image's wall-clock recorder, nil when wallprof is off
+	// (methods nil-safe); cached at Init like sh.
+	wp *wallprof.Rec
+
 	// flt is the world failure latch (nil-safe when faults are off); every
 	// blocking loop consults it so waits on a crashed peer return a typed
 	// error instead of hanging.
@@ -114,6 +119,7 @@ func Init(p *sim.Proc, net *fabric.Net) *Env {
 	env.ep = env.layer.Endpoint(p.ID())
 	env.sh = obs.For(p)
 	env.san = sanitizer.For(p)
+	env.wp = wallprof.For(p)
 	env.flt = faults.Enabled(p.World())
 	env.progSpec = fabric.MatchSpec{Classes: fabric.Classes(clsP2P), Src: fabric.AnySrc, Filter: env.postedFilter}
 

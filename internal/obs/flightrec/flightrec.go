@@ -23,6 +23,7 @@ import (
 
 	"cafmpi/internal/faults"
 	"cafmpi/internal/obs"
+	"cafmpi/internal/obs/wallprof"
 	"cafmpi/internal/sim"
 )
 
@@ -85,12 +86,23 @@ func (r *Recorder) Dump(w *sim.World, runErr error) (string, error) {
 	if err := os.MkdirAll(bundle, 0o755); err != nil {
 		return "", err
 	}
+	// The wallprof summary rides along when the profiling plane is on: host
+	// wall time is inherently schedule-dependent, so it lands in
+	// volatile.txt, outside the determinism contract. No virtual blame is
+	// attached here — a crashed run has no trustworthy critical path.
+	var wallSummary string
+	if wpw := wallprof.Enabled(w); wpw != nil {
+		wpw.Finish()
+		if wrep := wpw.Analyze(nil, 0); wrep != nil {
+			wallSummary = wrep.Text()
+		}
+	}
 	files := map[string]string{
 		"MANIFEST.txt":  manifest(w, st, hash, runErr),
 		"signature.txt": signatureFile(log, hash),
 		"counters.txt":  countersFile(ow, false),
 		"events.txt":    eventsFile(ow),
-		"volatile.txt":  volatileFile(ow, log),
+		"volatile.txt":  volatileFile(ow, log, wallSummary),
 	}
 	for name, body := range files {
 		if err := os.WriteFile(filepath.Join(bundle, name), []byte(body), 0o644); err != nil {
@@ -187,9 +199,10 @@ func eventsFile(ow *obs.World) string {
 }
 
 // volatileFile quarantines everything schedule-dependent: volatile
-// counters/gauges, the obs self-meter, and the raw fault log with
-// timestamps and blackhole events included.
-func volatileFile(ow *obs.World, log []faults.Event) string {
+// counters/gauges, the obs self-meter, the wallprof host-time summary (when
+// profiling was on), and the raw fault log with timestamps and blackhole
+// events included.
+func volatileFile(ow *obs.World, log []faults.Event, wallSummary string) string {
 	var b strings.Builder
 	b.WriteString("# schedule-dependent state; excluded from the determinism contract\n")
 	b.WriteString(countersFile(ow, true))
@@ -200,6 +213,10 @@ func volatileFile(ow *obs.World, log []faults.Event) string {
 		}
 	}
 	fmt.Fprintf(&b, "%-24s %14d\n", obs.CtrObsBytesPerImage.String(), obsMax)
+	if wallSummary != "" {
+		b.WriteString("# wallprof host-time summary (wall clock; schedule-dependent by nature)\n")
+		b.WriteString(wallSummary)
+	}
 	b.WriteString("# raw fault log (timestamps and blackholes included)\n")
 	for _, ev := range log {
 		b.WriteString(ev.String())

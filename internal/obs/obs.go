@@ -139,6 +139,10 @@ const (
 	CtrFaultRetryNS         // virtual ns senders spent in ack timeouts and backoff
 	CtrFaultDedupDrops      // duplicate copies suppressed by the receive-side sweep
 	CtrObsBytesPerImage     // gauge: the obs subsystem's own memory on the largest shard
+	CtrSanBytesPerImage     // gauge: the sanitizer's shadow-state memory on the largest image
+	CtrHostGCPauseNS        // gauge: summed host GC stop-the-world pause (wallprof)
+	CtrHostSchedLatP99NS    // gauge: host scheduler p99 runnable-wait (wallprof)
+	CtrHostGoroutineMax     // gauge: peak live goroutines during the run (wallprof)
 	numCounters
 )
 
@@ -172,6 +176,10 @@ var counterNames = [...]string{
 	"fault_retry_wait_ns",
 	"fault_dedup_drops",
 	"obs_bytes_per_image",
+	"san_bytes_per_image",
+	"host_gc_pause_ns",
+	"host_sched_p99_ns",
+	"host_goroutines_max",
 }
 
 func (c Counter) String() string {
@@ -185,7 +193,9 @@ func (c Counter) String() string {
 // than a monotone counter (merged by sum).
 func (c Counter) IsGauge() bool {
 	return c == CtrUnexpectedDepthMax || c == CtrPendingRMAMax ||
-		c == CtrPoolBytesInFlightMax || c == CtrObsBytesPerImage
+		c == CtrPoolBytesInFlightMax || c == CtrObsBytesPerImage ||
+		c == CtrSanBytesPerImage || c == CtrHostGCPauseNS ||
+		c == CtrHostSchedLatP99NS || c == CtrHostGoroutineMax
 }
 
 // IsVolatile reports whether c depends on goroutine scheduling or host

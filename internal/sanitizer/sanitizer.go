@@ -49,6 +49,7 @@ import (
 	"sync"
 	"unsafe"
 
+	"cafmpi/internal/obs/wallprof"
 	"cafmpi/internal/sim"
 )
 
@@ -140,7 +141,10 @@ type collKey struct {
 }
 
 type collRound struct {
-	clocks [][]uint64
+	clocks []*vclock
+	// joined is the round's materialized shared base (full-world rounds
+	// above the dense threshold only), built once on first acquiring exit.
+	joined *baseClock
 	exits  int
 	size   int
 }
@@ -159,12 +163,13 @@ type World struct {
 	// notifier's clock and miss the true edge — a false positive). The
 	// running join errs only toward extra edges: it can hide a race between
 	// two notifiers of a shared slot, never invent one.
-	slotVCs map[slotKey][]uint64   // guarded by mu
-	amVCs   map[pairKey][][]uint64 // FIFO of release clocks per AM channel; guarded by mu
+	slotVCs map[slotKey]*vclock    // guarded by mu
+	amVCs   map[pairKey][]*vclock  // FIFO of release clocks per AM channel; guarded by mu
 	rounds  map[collKey]*collRound // guarded by mu
 	reports []*Report              // guarded by mu
 	seen    map[string]bool        // guarded by mu
 	evicted int64
+	baseSeq uint64 // orders materialized baseClocks; guarded by mu
 }
 
 // Enable returns the world's sanitizer registry, creating it on first call.
@@ -175,18 +180,17 @@ func Enable(w *sim.World) *World {
 		sw := &World{
 			n:       w.N(),
 			cells:   make(map[cellKey]*cell),
-			slotVCs: make(map[slotKey][]uint64),
-			amVCs:   make(map[pairKey][][]uint64),
+			slotVCs: make(map[slotKey]*vclock),
+			amVCs:   make(map[pairKey][]*vclock),
 			rounds:  make(map[collKey]*collRound),
 			seen:    make(map[string]bool),
 		}
 		sw.images = make([]*Image, w.N())
 		for i := range sw.images {
-			vc := make([]uint64, w.N())
-			// Component i starts at 1 so a fresh image's accesses are NOT
-			// happens-before-ordered for peers whose clocks still hold 0.
-			vc[i] = 1
-			sw.images[i] = &Image{w: sw, id: i, vc: vc, collSeq: make(map[uint64]uint64)}
+			// Dense clock at or below denseClockThreshold (historical
+			// behaviour, bit-exact); base+delta sparse clock above, so a
+			// fresh image owns O(1) clock state regardless of world size.
+			sw.images[i] = &Image{w: sw, id: i, vc: newVClock(w.N(), i), collSeq: make(map[uint64]uint64)}
 		}
 		return sw
 	}).(*World)
@@ -212,6 +216,7 @@ func For(p *sim.Proc) *Image {
 	}
 	im := sw.images[p.ID()]
 	im.p = p
+	im.wp = wallprof.For(p)
 	return im
 }
 
@@ -294,8 +299,14 @@ type Image struct {
 
 	// vc is this image's vector clock; component j counts image j's
 	// releases this image has acquired. Touched only from the owning
-	// image's goroutine; snapshots are published under w.mu.
-	vc []uint64
+	// image's goroutine; snapshots are published under w.mu. Dense array
+	// in small worlds, shared-base + private-delta above the threshold
+	// (see vclock.go).
+	vc *vclock
+
+	// wp is the wall-clock recorder for SiteSanitizer blame, nil when the
+	// wallprof plane is off (methods nil-safe).
+	wp *wallprof.Rec
 
 	// collSeq numbers this image's collectives per team; collective
 	// semantics make the numbering agree across members.
@@ -313,26 +324,21 @@ func (i *Image) now() int64 {
 	return 0
 }
 
-func (i *Image) snapshot() []uint64 {
-	return append([]uint64(nil), i.vc...)
-}
-
-func (i *Image) join(other []uint64) {
-	for j, v := range other {
-		if v > i.vc[j] {
-			i.vc[j] = v
-		}
-	}
-}
-
 // access records one window access and reports conflicts with every stored
-// access not ordered before it by happens-before.
+// access not ordered before it by happens-before. The wallprof hook wraps
+// the shadow-state work, the dominant sanitizer host cost.
 func (i *Image) access(co uint64, owner, off, n int, kind uint8, op string) {
 	if i == nil || n <= 0 {
 		return
 	}
+	wt := i.wp.Begin(wallprof.SiteSanitizer)
+	i.accessImpl(co, owner, off, n, kind, op)
+	i.wp.End(wallprof.SiteSanitizer, wt)
+}
+
+func (i *Image) accessImpl(co uint64, owner, off, n int, kind uint8, op string) {
 	w := i.w
-	cur := rec{img: int32(i.id), kind: kind, epoch: i.vc[i.id], off: off, end: off + n, t: i.now(), op: op}
+	cur := rec{img: int32(i.id), kind: kind, epoch: i.vc.get(i.id), off: off, end: off + n, t: i.now(), op: op}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	key := cellKey{co: co, owner: int32(owner)}
@@ -352,7 +358,7 @@ func (i *Image) access(co uint64, owner, off, n int, kind uint8, op string) {
 		if cur.kind&kindWrite == 0 && r.kind&kindWrite == 0 {
 			continue // read/read
 		}
-		if i.vc[r.img] >= r.epoch {
+		if i.vc.get(int(r.img)) >= r.epoch {
 			continue // ordered: r happens-before cur
 		}
 		w.reportLocked(&Report{
@@ -421,19 +427,14 @@ func (i *Image) EventPublish(evs uint64, owner, slot int) {
 	if i == nil {
 		return
 	}
-	snap := i.snapshot()
-	i.vc[i.id]++
+	snap := i.vc.clone()
+	i.vc.bump(i.id)
 	key := slotKey{evs: evs, owner: int32(owner), slot: int32(slot)}
 	i.w.mu.Lock()
-	sv := i.w.slotVCs[key]
-	if sv == nil {
-		sv = make([]uint64, len(snap))
-		i.w.slotVCs[key] = sv
-	}
-	for j, v := range snap {
-		if v > sv[j] {
-			sv[j] = v
-		}
+	if sv := i.w.slotVCs[key]; sv == nil {
+		i.w.slotVCs[key] = snap // first publish owns the slot clock
+	} else {
+		sv.join(snap)
 	}
 	i.w.mu.Unlock()
 }
@@ -446,10 +447,13 @@ func (i *Image) EventAcquire(evs uint64, owner, slot int) {
 	}
 	key := slotKey{evs: evs, owner: int32(owner), slot: int32(slot)}
 	i.w.mu.Lock()
-	snap := append([]uint64(nil), i.w.slotVCs[key]...)
+	var snap *vclock
+	if sv := i.w.slotVCs[key]; sv != nil {
+		snap = sv.clone() // joined outside the lock
+	}
 	i.w.mu.Unlock()
 	if snap != nil {
-		i.join(snap)
+		i.vc.join(snap)
 	}
 }
 
@@ -460,8 +464,8 @@ func (i *Image) AMPublish(dst int) {
 	if i == nil {
 		return
 	}
-	snap := i.snapshot()
-	i.vc[i.id]++
+	snap := i.vc.clone()
+	i.vc.bump(i.id)
 	key := pairKey{src: int32(i.id), dst: int32(dst)}
 	i.w.mu.Lock()
 	i.w.amVCs[key] = append(i.w.amVCs[key], snap)
@@ -475,14 +479,14 @@ func (i *Image) AMAcquire(src int) {
 	}
 	key := pairKey{src: int32(src), dst: int32(i.id)}
 	i.w.mu.Lock()
-	var snap []uint64
+	var snap *vclock
 	if q := i.w.amVCs[key]; len(q) > 0 {
 		snap = q[0]
 		i.w.amVCs[key] = q[1:]
 	}
 	i.w.mu.Unlock()
 	if snap != nil {
-		i.join(snap)
+		i.vc.join(snap)
 	}
 }
 
@@ -506,8 +510,8 @@ func (i *Image) CollEnter(team uint64, size int, contribute bool) uint64 {
 		i.w.rounds[key] = cr
 	}
 	if contribute {
-		snap := i.snapshot()
-		i.vc[i.id]++
+		snap := i.vc.clone()
+		i.vc.bump(i.id)
 		cr.clocks = append(cr.clocks, snap)
 	}
 	i.w.mu.Unlock()
@@ -525,10 +529,24 @@ func (i *Image) CollExit(team uint64, round uint64, acquire bool) {
 	key := collKey{team: team, round: round}
 	i.w.mu.Lock()
 	cr := i.w.rounds[key]
-	var clocks [][]uint64
+	var clocks []*vclock
+	var joined *baseClock
 	if cr != nil {
 		if acquire {
-			clocks = append(clocks, cr.clocks...)
+			if i.vc.sparseMode() && cr.size == i.w.n && len(cr.clocks) == cr.size {
+				// Full-world round in sparse mode: materialize one shared
+				// base (once per round) instead of joining P private
+				// clocks, and rebase onto it below. This is the epoch
+				// compression that keeps per-image clock memory O(1)
+				// across barriers: everyone's floor becomes one shared
+				// array.
+				if cr.joined == nil {
+					cr.joined = i.w.materializeLocked(cr.clocks)
+				}
+				joined = cr.joined
+			} else {
+				clocks = append(clocks, cr.clocks...)
+			}
 		}
 		cr.exits++
 		if cr.exits >= cr.size {
@@ -536,8 +554,15 @@ func (i *Image) CollExit(team uint64, round uint64, acquire bool) {
 		}
 	}
 	i.w.mu.Unlock()
+	if joined != nil {
+		// Sound and lossless: this image's own deposit (which dominates
+		// its base) is folded into joined, so rebaseJoin's domination
+		// precondition holds and only post-snapshot delta entries survive.
+		i.vc.rebaseJoin(joined)
+		return
+	}
 	for _, c := range clocks {
-		i.join(c)
+		i.vc.join(c)
 	}
 }
 
@@ -627,4 +652,37 @@ func (i *Image) RMAViolation(detail string) {
 	i.w.mu.Lock()
 	i.w.reportLocked(&Report{Class: "rma-order", Owner: -1, Detail: detail})
 	i.w.mu.Unlock()
+}
+
+// MemBytes is an accounting estimate of this image's owned sanitizer
+// state: the handle, its vector clock (shared bases counted as pointers —
+// see vclock.memBytes), collective numbering, and pending-get tracking.
+// It is the source of the san_bytes_per_image gauge; the np=128→1024
+// flatness test uses it to prove per-image sanitizer memory is a function
+// of activity, not of world size. Read it from the owning goroutine or
+// after the run.
+func (i *Image) MemBytes() int64 {
+	if i == nil {
+		return 0
+	}
+	total := int64(unsafe.Sizeof(*i))
+	total += i.vc.memBytes()
+	total += int64(len(i.collSeq)) * clockEntryBytes
+	total += int64(cap(i.pendingGets)) * int64(unsafe.Sizeof(bufRange{}))
+	return total
+}
+
+// MemMaxBytes returns the largest per-image footprint (0 on nil). Post-run
+// only: it reads every image's owner-private state.
+func (w *World) MemMaxBytes() int64 {
+	if w == nil {
+		return 0
+	}
+	var max int64
+	for _, im := range w.images {
+		if b := im.MemBytes(); b > max {
+			max = b
+		}
+	}
+	return max
 }

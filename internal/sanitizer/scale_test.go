@@ -1,0 +1,147 @@
+package sanitizer
+
+// Large-world scale tests, mirroring internal/obs/scale_test.go: per-image
+// sanitizer memory must be a function of activity, not of world size. The
+// world-rank-sized structures the sanitizer used to own — the dense
+// per-image vector clock above all — go sparse above denseClockThreshold,
+// with full-world collective rounds compressed into one shared base clock
+// (vclock.go), killing ROADMAP item 1's last at-scale O(P) structure.
+
+import (
+	"testing"
+
+	"cafmpi/internal/sim"
+)
+
+// drive runs an identical per-image activity pattern on a world of n
+// images and returns the registry: shadow accesses, event edges, AM edges
+// to fixed nearby peers, and one full-world barrier (every image
+// contributes and acquires), which is exactly the pattern that used to
+// densify every clock.
+func drive(t *testing.T, n int) *World {
+	t.Helper()
+	w := sim.NewWorld(n)
+	sw := Enable(w)
+	for id := 0; id < n; id++ {
+		im := sw.images[id]
+		peer := (id + 1) % n
+		for k := 0; k < 16; k++ {
+			im.LocalAccess(7, 8*k, 8, k%2 == 0, "local")
+			im.RemoteWrite(7, peer, 8*k, 8, "Put")
+		}
+		im.EventPublish(3, peer, 0)
+		im.AMPublish(peer)
+	}
+	for id := 0; id < n; id++ {
+		im := sw.images[id]
+		im.EventAcquire(3, id, 0)
+		im.AMAcquire((id + n - 1) % n)
+	}
+	// Full-world barrier: everyone contributes, everyone acquires.
+	rounds := make([]uint64, n)
+	for id := 0; id < n; id++ {
+		rounds[id] = sw.images[id].CollEnter(1, n, true)
+	}
+	for id := 0; id < n; id++ {
+		sw.images[id].CollExit(1, rounds[id], true)
+	}
+	return sw
+}
+
+// TestImageMemoryIndependentOfWorldSize is the satellite's acceptance
+// check: identical activity at np=128 and np=1024 must cost identical
+// per-image bytes — no structure sized by rank count survives.
+func TestImageMemoryIndependentOfWorldSize(t *testing.T) {
+	small := drive(t, 128).MemMaxBytes()
+	big := drive(t, 1024).MemMaxBytes()
+	if small == 0 || big == 0 {
+		t.Fatalf("self-metering returned zero (small=%d big=%d)", small, big)
+	}
+	if big != small {
+		t.Fatalf("per-image sanitizer memory scales with world size: np=128 -> %d B, np=1024 -> %d B", small, big)
+	}
+}
+
+// TestSparseClockStillDetectsRaces: the representation change must not
+// change verdicts. Above the threshold, an unsynchronized overlapping
+// write pair is a race; the same pair ordered by an event edge is not.
+func TestSparseClockStillDetectsRaces(t *testing.T) {
+	n := denseClockThreshold + 1 // smallest sparse world
+
+	racy := func() *World {
+		w := sim.NewWorld(n)
+		sw := Enable(w)
+		sw.images[1].RemoteWrite(9, 0, 0, 16, "Put")
+		sw.images[2].RemoteWrite(9, 0, 8, 16, "Put")
+		return sw
+	}
+	if got := racy().Count(); got != 1 {
+		t.Fatalf("unsynchronized overlapping writes in sparse mode: %d finding(s), want 1", got)
+	}
+
+	ordered := func() *World {
+		w := sim.NewWorld(n)
+		sw := Enable(w)
+		sw.images[1].RemoteWrite(9, 0, 0, 16, "Put")
+		sw.images[1].EventPublish(4, 2, 0)
+		sw.images[2].EventAcquire(4, 2, 0)
+		sw.images[2].RemoteWrite(9, 0, 8, 16, "Put")
+		return sw
+	}
+	if got := ordered().Count(); got != 0 {
+		t.Fatalf("event-ordered writes in sparse mode: %d finding(s), want 0", got)
+	}
+}
+
+// TestSparseBarrierOrdersAccesses exercises the shared-base compression
+// path end to end: a full-world barrier must order accesses on either
+// side of it (no false positive after the rebase), while leaving the
+// clocks sparse.
+func TestSparseBarrierOrdersAccesses(t *testing.T) {
+	n := denseClockThreshold + 1
+	w := sim.NewWorld(n)
+	sw := Enable(w)
+	sw.images[1].RemoteWrite(9, 0, 0, 16, "Put")
+	rounds := make([]uint64, n)
+	for id := 0; id < n; id++ {
+		rounds[id] = sw.images[id].CollEnter(1, n, true)
+	}
+	for id := 0; id < n; id++ {
+		sw.images[id].CollExit(1, rounds[id], true)
+	}
+	sw.images[2].RemoteWrite(9, 0, 8, 16, "Put")
+	if got := sw.Count(); got != 0 {
+		t.Fatalf("barrier-ordered writes flagged: %d finding(s), want 0", got)
+	}
+	for id := 0; id < n; id++ {
+		vc := sw.images[id].vc
+		if !vc.sparseMode() {
+			t.Fatalf("image %d clock densified", id)
+		}
+		if vc.base == nil {
+			t.Fatalf("image %d did not rebase onto the round's shared base", id)
+		}
+		if len(vc.m) > 2 {
+			t.Fatalf("image %d delta grew to %d entries after rebase", id, len(vc.m))
+		}
+	}
+}
+
+// TestDenseModeUnchangedAtThreshold pins the boundary: at exactly the
+// threshold the clock is dense (historical behaviour), one above it is
+// sparse, and both representations agree on a verdict.
+func TestDenseModeUnchangedAtThreshold(t *testing.T) {
+	for _, n := range []int{denseClockThreshold, denseClockThreshold + 1} {
+		w := sim.NewWorld(n)
+		sw := Enable(w)
+		wantSparse := n > denseClockThreshold
+		if got := sw.images[0].vc.sparseMode(); got != wantSparse {
+			t.Fatalf("n=%d sparseMode=%v, want %v", n, got, wantSparse)
+		}
+		sw.images[1].RemoteWrite(9, 0, 0, 16, "Put")
+		sw.images[2].RemoteWrite(9, 0, 8, 16, "Put")
+		if got := sw.Count(); got != 1 {
+			t.Fatalf("n=%d: %d finding(s), want 1", n, got)
+		}
+	}
+}
