@@ -1,7 +1,10 @@
 // Command caflint is the repository's multichecker: a suite of static
 // analyzers enforcing CAF-runtime invariants that ordinary go vet cannot
-// know about (virtual-clock purity, mutex guard annotations, fabric pool
-// buffer lifetimes, observability coverage, shadowed variables).
+// know about. Six intraprocedural passes (virtual-clock purity, mutex guard
+// annotations, fabric pool buffer lifetimes, observability coverage,
+// shadowed variables) are joined by three interprocedural sync-discipline
+// verifiers built on exported facts (barrier matching, RMA epoch checking,
+// lock-order certification).
 //
 // It speaks the cmd/go vet-tool protocol, so both forms work:
 //
@@ -13,14 +16,20 @@
 //	go run ./cmd/caflint ./...
 //
 // which re-executes itself through `go vet -vettool`. Individual analyzers
-// can be disabled with -<name>=false. Findings are suppressed in source with
-// `//caflint:allow <analyzer> [-- reason]` (see internal/analysis).
+// can be disabled with -<name>=false; -json switches to machine-readable
+// output (one object per finding: file/line/col/pass/message/suppressed,
+// with allow-silenced findings included for auditability). Findings are
+// suppressed in source with `//caflint:allow <analyzer> [-- reason]` (see
+// internal/analysis).
 package main
 
 import (
 	"cafmpi/internal/analysis"
+	"cafmpi/internal/analysis/passes/barriermatch"
 	"cafmpi/internal/analysis/passes/clockpure"
+	"cafmpi/internal/analysis/passes/epochcheck"
 	"cafmpi/internal/analysis/passes/guardedby"
+	"cafmpi/internal/analysis/passes/lockorder"
 	"cafmpi/internal/analysis/passes/obsedge"
 	"cafmpi/internal/analysis/passes/poolescape"
 	"cafmpi/internal/analysis/passes/shadow"
@@ -36,6 +45,9 @@ var Suite = []*analysis.Analyzer{
 	poolescape.Analyzer,
 	obsedge.Analyzer,
 	shadow.Analyzer,
+	barriermatch.Analyzer,
+	epochcheck.Analyzer,
+	lockorder.Analyzer,
 }
 
 func main() {

@@ -40,7 +40,18 @@ type Analyzer struct {
 	// Run applies the analyzer to one package, reporting findings through
 	// pass.Report.
 	Run func(pass *Pass) error
+	// FactTypes lists prototype values of every Fact type the analyzer
+	// exports or imports. An analyzer with FactTypes is interprocedural:
+	// drivers run it over dependency packages too (facts-only, no
+	// diagnostics) so summaries flow bottom-up through the import graph.
+	FactTypes []Fact
 }
+
+// Fact is a serializable summary an analyzer attaches to a function or a
+// package, the stdlib counterpart of go/analysis facts. Facts cross package
+// boundaries through the vet-tool facts file (internal/analysis/unit), so
+// every Fact type must round-trip through encoding/json.
+type Fact interface{ AFact() }
 
 // Pass carries one package's parsed and type-checked state to an analyzer.
 type Pass struct {
@@ -50,6 +61,12 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// KeepSuppressed forwards allow-silenced diagnostics to the reporter
+	// with Suppressed set instead of dropping them (the -json audit view).
+	KeepSuppressed bool
+
+	// facts is the shared per-run store; nil in fact-less drivers.
+	facts *FactStore
 	// report receives every non-suppressed diagnostic.
 	report func(Diagnostic)
 	// allows indexes the //caflint:allow annotations of every file.
@@ -61,25 +78,77 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Message  string
 	Analyzer string
+	// Suppressed marks a diagnostic silenced by a //caflint:allow
+	// annotation; only reported when Pass.KeepSuppressed is set.
+	Suppressed bool
 }
 
 // Reportf reports a finding at pos unless an allow annotation covers it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	d := Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name}
 	if p.allows != nil && p.allows.allowed(p.Fset, pos, p.Analyzer.Name) {
+		if !p.KeepSuppressed {
+			return
+		}
+		d.Suppressed = true
+	}
+	p.report(d)
+}
+
+// ExportFunctionFact attaches fact to fn, visible to later analysis of any
+// package that can name fn. No-op without a fact store.
+func (p *Pass) ExportFunctionFact(fn *types.Func, fact Fact) {
+	if p.facts == nil || fn == nil {
 		return
 	}
-	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+	p.facts.set(p.Analyzer.Name, funcKey(fn), fact)
 }
+
+// ImportFunctionFact copies fn's fact (exported here or by a dependency
+// package's run) into fact, reporting whether one was found.
+func (p *Pass) ImportFunctionFact(fn *types.Func, fact Fact) bool {
+	if p.facts == nil || fn == nil {
+		return false
+	}
+	return p.facts.get(p.Analyzer.Name, funcKey(fn), fact)
+}
+
+// ExportPackageFact attaches fact to the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if p.facts == nil {
+		return
+	}
+	p.facts.set(p.Analyzer.Name, pkgKey(p.Pkg.Path()), fact)
+}
+
+// ImportPackageFact copies the named package's fact into fact, reporting
+// whether one was found. Path is an import path ("cafmpi/internal/fabric").
+func (p *Pass) ImportPackageFact(path string, fact Fact) bool {
+	if p.facts == nil {
+		return false
+	}
+	return p.facts.get(p.Analyzer.Name, pkgKey(path), fact)
+}
+
+// funcKey is the stable cross-package identity of a function object:
+// types.Func.FullName includes the package path for both functions
+// ("cafmpi/internal/mpi.WinAllocate") and methods
+// ("(*cafmpi/internal/mpi.Win).Put").
+func funcKey(fn *types.Func) string { return "fn:" + fn.FullName() }
+
+func pkgKey(path string) string { return "pkg:" + path }
 
 // NewPass builds a Pass over a type-checked package; drivers (the vet-config
 // unitchecker, the test harness) construct one per (package, analyzer).
-func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, report func(Diagnostic)) *Pass {
+// facts may be nil for drivers that run purely intraprocedural suites.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *FactStore, report func(Diagnostic)) *Pass {
 	return &Pass{
 		Analyzer:  a,
 		Fset:      fset,
 		Files:     files,
 		Pkg:       pkg,
 		TypesInfo: info,
+		facts:     facts,
 		report:    report,
 		allows:    buildAllowIndex(fset, files),
 	}

@@ -13,6 +13,16 @@
 // be claimed by a want. Fixtures therefore pin both the positive and the
 // negative behaviour of an analyzer: deleting the analyzer's check makes
 // the fixture's wants unmatched and the test fail.
+//
+// Interprocedural analyzers (Analyzer.FactTypes non-empty) get the same
+// treatment go vet gives them: fixture packages imported by the package
+// under test are analyzed first, sharing one fact store, so exported
+// function/package facts flow across fixture package boundaries exactly as
+// they do across real ones through the unit protocol.
+//
+// AnalyzeRepo applies an analyzer to the repository's real packages
+// (resolving module-path imports from the working tree), for tests that pin
+// whole-tree properties — the lockorder partial-order golden, for one.
 package analysistest
 
 import (
@@ -48,33 +58,41 @@ func TestData() string {
 // diagnostics to the fixtures' want comments.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
-	ld := &loader{
-		testdata: testdata,
-		fset:     token.NewFileSet(),
-		pkgs:     make(map[string]*loaded),
-	}
-	ld.std = importer.ForCompiler(ld.fset, "source", nil)
+	ld := newLoader(testdata, "", "")
 	for _, pkg := range pkgs {
 		runPkg(t, ld, a, pkg)
 	}
 }
 
+// AnalyzeRepo runs a over the repository's real packages (and, for
+// interprocedural analyzers, over their in-repo dependencies first, so
+// facts flow). repoRoot is the module root directory, modPath its module
+// path; pkgs are import paths relative to modPath ("internal/fabric").
+// It returns the diagnostics per requested package and the shared fact
+// store.
+func AnalyzeRepo(a *analysis.Analyzer, repoRoot, modPath string, pkgs ...string) (map[string][]analysis.Diagnostic, *analysis.FactStore, error) {
+	ld := newLoader("", repoRoot, modPath)
+	out := make(map[string][]analysis.Diagnostic)
+	for _, pkg := range pkgs {
+		path := modPath + "/" + pkg
+		diags, err := ld.analyze(a, path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("analyzing %s: %w", path, err)
+		}
+		out[pkg] = diags
+	}
+	return out, ld.facts, nil
+}
+
 func runPkg(t *testing.T, ld *loader, a *analysis.Analyzer, pkgPath string) {
 	t.Helper()
-	lp, err := ld.load(pkgPath)
+	diags, err := ld.analyze(a, pkgPath)
 	if err != nil {
-		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+		t.Fatalf("analyzing fixture %s: %v", pkgPath, err)
 	}
+	lp := ld.pkgs[pkgPath]
 
 	wants := collectWants(t, ld.fset, lp.files)
-
-	var diags []analysis.Diagnostic
-	pass := analysis.NewPass(a, ld.fset, lp.files, lp.pkg, lp.info, func(d analysis.Diagnostic) {
-		diags = append(diags, d)
-	})
-	if err := a.Run(pass); err != nil {
-		t.Fatalf("analyzer %s on %s: %v", a.Name, pkgPath, err)
-	}
 
 	// Claim each diagnostic against a want on its line.
 	for _, d := range diags {
@@ -182,27 +200,101 @@ type loaded struct {
 	info  *types.Info
 }
 
-// loader resolves fixture packages from testdata/src and everything else
-// from the standard library's source.
+// loader resolves packages from testdata/src (fixture mode) or from the
+// repository working tree (repo mode), and everything else from the
+// standard library's source. One loader holds one fact store, shared by
+// every package it analyzes.
 type loader struct {
-	testdata string
+	testdata string // fixture mode: testdata dir (testdata/src/<path>)
+	repoRoot string // repo mode: module root directory
+	modPath  string // repo mode: module path prefix
 	fset     *token.FileSet
 	std      types.Importer
 	pkgs     map[string]*loaded
+	facts    *analysis.FactStore
+	diags    map[string][]analysis.Diagnostic
+}
+
+func newLoader(testdata, repoRoot, modPath string) *loader {
+	ld := &loader{
+		testdata: testdata,
+		repoRoot: repoRoot,
+		modPath:  modPath,
+		fset:     token.NewFileSet(),
+		pkgs:     make(map[string]*loaded),
+		facts:    analysis.NewFactStore(),
+		diags:    make(map[string][]analysis.Diagnostic),
+	}
+	ld.std = importer.ForCompiler(ld.fset, "source", nil)
+	return ld
+}
+
+// dirOf maps an import path to a local source directory, or "" when the
+// path resolves to the standard library.
+func (ld *loader) dirOf(path string) string {
+	if ld.repoRoot != "" {
+		if path == ld.modPath {
+			return ld.repoRoot
+		}
+		if rest, ok := strings.CutPrefix(path, ld.modPath+"/"); ok {
+			return filepath.Join(ld.repoRoot, filepath.FromSlash(rest))
+		}
+		return ""
+	}
+	dir := filepath.Join(ld.testdata, "src", filepath.FromSlash(path))
+	if _, err := os.Stat(dir); err != nil {
+		return ""
+	}
+	return dir
+}
+
+// analyze loads path, analyzes its locally-resolved imports first when the
+// analyzer is interprocedural, then runs the analyzer, memoizing results.
+func (ld *loader) analyze(a *analysis.Analyzer, path string) ([]analysis.Diagnostic, error) {
+	if diags, ok := ld.diags[path]; ok {
+		return diags, nil
+	}
+	lp, err := ld.load(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(a.FactTypes) > 0 {
+		for _, imp := range lp.pkg.Imports() {
+			if ld.dirOf(imp.Path()) == "" {
+				continue
+			}
+			if _, err := ld.analyze(a, imp.Path()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	var diags []analysis.Diagnostic
+	pass := analysis.NewPass(a, ld.fset, lp.files, lp.pkg, lp.info, ld.facts, func(d analysis.Diagnostic) {
+		diags = append(diags, d)
+	})
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	ld.diags[path] = diags
+	return diags, nil
 }
 
 func (ld *loader) load(path string) (*loaded, error) {
 	if lp, ok := ld.pkgs[path]; ok {
 		return lp, nil
 	}
-	dir := filepath.Join(ld.testdata, "src", filepath.FromSlash(path))
+	dir := ld.dirOf(path)
+	if dir == "" {
+		return nil, fmt.Errorf("package %s resolves outside the local tree", path)
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
 	var files []*ast.File
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
 			continue
 		}
 		f, perr := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil,
@@ -223,7 +315,7 @@ func (ld *loader) load(path string) (*loaded, error) {
 		Implicits:  make(map[ast.Node]types.Object),
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
-	cfg := &types.Config{Importer: (*fixtureImporter)(ld)}
+	cfg := &types.Config{Importer: (*localImporter)(ld)}
 	pkg, err := cfg.Check(path, ld.fset, files, info)
 	if err != nil {
 		return nil, err
@@ -233,12 +325,16 @@ func (ld *loader) load(path string) (*loaded, error) {
 	return lp, nil
 }
 
-// fixtureImporter prefers testdata/src packages over the standard library.
-type fixtureImporter loader
+// localImporter prefers locally-resolved packages (fixture or repo) over
+// the standard library.
+type localImporter loader
 
-func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
-	ld := (*loader)(fi)
-	if _, err := os.Stat(filepath.Join(ld.testdata, "src", filepath.FromSlash(path))); err == nil {
+func (li *localImporter) Import(path string) (*types.Package, error) {
+	ld := (*loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if ld.dirOf(path) != "" {
 		lp, err := ld.load(path)
 		if err != nil {
 			return nil, err

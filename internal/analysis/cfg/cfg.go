@@ -1,0 +1,452 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies — the stdlib-only counterpart of golang.org/x/tools/go/cfg,
+// sized for caflint's dataflow passes (epoch tracking, deferred-handle
+// liveness). Nodes are statements and the controlling expressions of
+// branches, in source order; a dataflow pass transfers its state across a
+// block's Nodes and joins at block boundaries.
+//
+// The builder understands if/else, for (including range), switch, type
+// switch, select, labeled statements, break/continue (labeled and bare),
+// goto, fallthrough, and return. Calls that provably never return — panic,
+// os.Exit, log.Fatal*, runtime.Goexit, (*testing.T).Fatal* — terminate
+// their block with an edge to Exit, so state after them is unreachable.
+// Defer is treated as an ordinary node at its lexical position: caflint's
+// passes special-case the deferred calls they care about, as the guardedby
+// analyzer already does.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Block is a maximal straight-line run of nodes. Execution enters at
+// Nodes[0] and, after the last node, continues at one of Succs.
+type Block struct {
+	// Index is the block's position in Graph.Blocks (stable across builds
+	// of the same body).
+	Index int
+	// Nodes holds statements and branch-condition expressions in execution
+	// order.
+	Nodes []ast.Node
+	// Succs are the possible successor blocks.
+	Succs []*Block
+}
+
+// Graph is one function body's CFG.
+type Graph struct {
+	Blocks []*Block
+	// Entry is the function's first block; Exit is the single synthetic
+	// block every return/panic/fallthrough-to-end reaches. Exit has no
+	// nodes and no successors.
+	Entry, Exit *Block
+}
+
+// New builds the CFG of a function body.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{}
+	b.graph = &Graph{}
+	b.graph.Entry = b.newBlock()
+	b.graph.Exit = b.newBlock()
+	b.cur = b.graph.Entry
+	b.stmts(body.List)
+	b.edge(b.cur, b.graph.Exit)
+	b.patchGotos()
+	return b.graph
+}
+
+// RPO returns the blocks in reverse postorder from Entry — the iteration
+// order that makes forward dataflow converge fastest.
+func (g *Graph) RPO() []*Block {
+	seen := make([]bool, len(g.Blocks))
+	var post []*Block
+	var walk func(*Block)
+	walk = func(b *Block) {
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				walk(s)
+			}
+		}
+		post = append(post, b)
+	}
+	walk(g.Entry)
+	// Reverse.
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Preds computes the predecessor lists of every block (indexed like Blocks).
+func (g *Graph) Preds() [][]*Block {
+	preds := make([][]*Block, len(g.Blocks))
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s.Index] = append(preds[s.Index], b)
+		}
+	}
+	return preds
+}
+
+type loopFrame struct {
+	label          string
+	brk, cont      *Block
+	isSwitchSelect bool // break targets it, continue does not
+}
+
+type builder struct {
+	graph *Graph
+	cur   *Block
+	loops []loopFrame
+	// labels maps a label name to its statement's entry block (for goto).
+	labels map[string]*Block
+	// pendingGotos are goto statements seen before their label.
+	pendingGotos []pendingGoto
+	// pendingLabel is the label of the LabeledStmt being entered, consumed
+	// by the loop/switch/select it wraps.
+	pendingLabel string
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.graph.Blocks)}
+	b.graph.Blocks = append(b.graph.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	if from == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// startBlock seals cur with an edge into next and makes next current.
+func (b *builder) startBlock(next *Block) {
+	b.edge(b.cur, next)
+	b.cur = next
+}
+
+// deadBlock makes the current block an unreachable continuation (after
+// return/break/...). The block exists so later statements still get nodes
+// (a pass may want them), but nothing flows in.
+func (b *builder) deadBlock() {
+	b.cur = b.newBlock()
+}
+
+func (b *builder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		condBlk := b.cur
+		join := b.newBlock()
+		thenBlk := b.newBlock()
+		b.edge(condBlk, thenBlk)
+		b.cur = thenBlk
+		b.stmts(s.Body.List)
+		b.edge(b.cur, join)
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			b.edge(condBlk, elseBlk)
+			b.cur = elseBlk
+			b.stmt(s.Else)
+			b.edge(b.cur, join)
+		} else {
+			b.edge(condBlk, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		lbl := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		post := b.newBlock()
+		join := b.newBlock()
+		b.startBlock(head)
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.edge(head, join)
+		}
+		// (cond == nil: only break exits the loop.)
+		b.edge(head, body)
+		b.cur = body
+		b.pushLoop(lbl, join, post, false)
+		b.stmts(s.Body.List)
+		b.popLoop()
+		b.startBlock(post)
+		if s.Post != nil {
+			b.stmt(s.Post)
+		}
+		b.edge(b.cur, head)
+		b.cur = join
+
+	case *ast.RangeStmt:
+		lbl := b.takeLabel()
+		b.add(s.X)
+		head := b.newBlock()
+		body := b.newBlock()
+		join := b.newBlock()
+		b.startBlock(head)
+		if s.Key != nil || s.Value != nil {
+			b.add(s) // the per-iteration key/value assignment
+		}
+		b.edge(head, body)
+		b.edge(head, join)
+		b.cur = body
+		b.pushLoop(lbl, join, head, false)
+		b.stmts(s.Body.List)
+		b.popLoop()
+		b.edge(b.cur, head)
+		b.cur = join
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		lbl := b.takeLabel()
+		var init ast.Stmt
+		var tag ast.Node
+		var clauses []ast.Stmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			init, tag, clauses = sw.Init, sw.Tag, sw.Body.List
+		case *ast.TypeSwitchStmt:
+			init, tag, clauses = sw.Init, sw.Assign, sw.Body.List
+		}
+		if init != nil {
+			b.stmt(init)
+		}
+		if tag != nil {
+			b.add(tag)
+		}
+		head := b.cur
+		join := b.newBlock()
+		b.pushLoop(lbl, join, nil, true)
+		// Pre-create case blocks so fallthrough can target the next one.
+		bodies := make([]*Block, len(clauses))
+		hasDefault := false
+		for i := range clauses {
+			bodies[i] = b.newBlock()
+		}
+		for i, cs := range clauses {
+			cc := cs.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			b.edge(head, bodies[i])
+			b.cur = bodies[i]
+			for _, e := range cc.List {
+				b.add(e)
+			}
+			var ft *Block
+			if i+1 < len(bodies) {
+				ft = bodies[i+1]
+			}
+			b.caseBody(cc.Body, ft, join)
+		}
+		b.popLoop()
+		if !hasDefault {
+			b.edge(head, join)
+		}
+		b.cur = join
+
+	case *ast.SelectStmt:
+		lbl := b.takeLabel()
+		head := b.cur
+		join := b.newBlock()
+		b.pushLoop(lbl, join, nil, true)
+		for _, cs := range s.Body.List {
+			cc := cs.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(head, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmts(cc.Body)
+			b.edge(b.cur, join)
+		}
+		b.popLoop()
+		b.cur = join
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.graph.Exit)
+		b.deadBlock()
+
+	case *ast.BranchStmt:
+		b.add(s)
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findBreak(label); t != nil {
+				b.edge(b.cur, t)
+			} else {
+				b.edge(b.cur, b.graph.Exit)
+			}
+			b.deadBlock()
+		case token.CONTINUE:
+			if t := b.findContinue(label); t != nil {
+				b.edge(b.cur, t)
+			} else {
+				b.edge(b.cur, b.graph.Exit)
+			}
+			b.deadBlock()
+		case token.GOTO:
+			if t, ok := b.labels[label]; ok {
+				b.edge(b.cur, t)
+			} else {
+				b.pendingGotos = append(b.pendingGotos, pendingGoto{from: b.cur, label: label})
+			}
+			b.deadBlock()
+		case token.FALLTHROUGH:
+			// Handled by caseBody; a stray fallthrough falls off the block.
+		}
+
+	case *ast.LabeledStmt:
+		target := b.newBlock()
+		b.startBlock(target)
+		if b.labels == nil {
+			b.labels = make(map[string]*Block)
+		}
+		b.labels[s.Label.Name] = target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	default:
+		// Expression statements, assignments, declarations, sends, defers,
+		// go statements, incdec, empty: one node, may terminate the block.
+		b.add(s)
+		if es, ok := s.(*ast.ExprStmt); ok {
+			if call, ok := ast.Unparen(es.X).(*ast.CallExpr); ok && Terminates(call) {
+				b.edge(b.cur, b.graph.Exit)
+				b.deadBlock()
+			}
+		}
+	}
+}
+
+// caseBody emits one case clause's statements, wiring a trailing
+// fallthrough to the next case body and a normal fall-off to join.
+func (b *builder) caseBody(body []ast.Stmt, fallTarget, join *Block) {
+	for i, s := range body {
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && i == len(body)-1 {
+			if fallTarget != nil {
+				b.edge(b.cur, fallTarget)
+			}
+			b.deadBlock()
+			return
+		}
+		b.stmt(s)
+	}
+	b.edge(b.cur, join)
+	b.deadBlock()
+}
+
+func (b *builder) pushLoop(label string, brk, cont *Block, sw bool) {
+	b.loops = append(b.loops, loopFrame{label: label, brk: brk, cont: cont, isSwitchSelect: sw})
+}
+
+func (b *builder) popLoop() { b.loops = b.loops[:len(b.loops)-1] }
+
+func (b *builder) findBreak(label string) *Block {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		f := b.loops[i]
+		if label == "" || f.label == label {
+			return f.brk
+		}
+	}
+	return nil
+}
+
+func (b *builder) findContinue(label string) *Block {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		f := b.loops[i]
+		if f.isSwitchSelect {
+			continue // continue skips switch/select frames
+		}
+		if label == "" || f.label == label {
+			return f.cont
+		}
+	}
+	return nil
+}
+
+func (b *builder) patchGotos() {
+	for _, g := range b.pendingGotos {
+		if t, ok := b.labels[g.label]; ok {
+			b.edge(g.from, t)
+		} else {
+			// Unresolvable (label in a scope we didn't see): be safe.
+			b.edge(g.from, b.graph.Exit)
+		}
+	}
+}
+
+// takeLabel consumes the label of the enclosing LabeledStmt, if the
+// statement being built is its direct child (Go attaches loop labels that
+// way), so labeled break/continue resolve to the right frame.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// Terminates reports whether a call expression provably never returns:
+// panic, os.Exit, log.Fatal/Fatalf/Fatalln, runtime.Goexit, and testing's
+// FailNow/Fatal/Fatalf/Skip* methods.
+func Terminates(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := ast.Unparen(fun.X).(*ast.Ident)
+		name := fun.Sel.Name
+		if ok {
+			switch pkg.Name {
+			case "os":
+				return name == "Exit"
+			case "log":
+				return strings.HasPrefix(name, "Fatal") || strings.HasPrefix(name, "Panic")
+			case "runtime":
+				return name == "Goexit"
+			}
+		}
+		switch name {
+		case "Fatal", "Fatalf", "FailNow", "SkipNow":
+			return true // (*testing.T)-shaped receivers; harmless elsewhere
+		}
+	}
+	return false
+}

@@ -1,0 +1,294 @@
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// build parses src as a function body and returns its graph.
+func build(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := f.Decls[0].(*ast.FuncDecl)
+	return New(fn.Body)
+}
+
+// reachableExit reports whether Exit is reachable from Entry.
+func reachableExit(g *Graph) bool {
+	seen := map[*Block]bool{}
+	var walk func(*Block) bool
+	walk = func(b *Block) bool {
+		if b == g.Exit {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(g.Entry)
+}
+
+// callsOnPath returns the set of call names on blocks reachable from Entry.
+func reachableCalls(g *Graph) []string {
+	seen := map[*Block]bool{}
+	var names []string
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, n := range b.Nodes {
+			ast.Inspect(n, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok {
+						names = append(names, id.Name)
+					}
+				}
+				return true
+			})
+		}
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	sort.Strings(names)
+	return names
+}
+
+func TestIfJoin(t *testing.T) {
+	g := build(t, `
+	if cond() {
+		a()
+	} else {
+		b()
+	}
+	c()`)
+	if !reachableExit(g) {
+		t.Fatal("exit unreachable")
+	}
+	got := strings.Join(reachableCalls(g), " ")
+	if got != "a b c cond" {
+		t.Fatalf("reachable calls = %q", got)
+	}
+}
+
+func TestReturnTerminatesPath(t *testing.T) {
+	g := build(t, `
+	if cond() {
+		return
+	}
+	after()`)
+	// after() must be reachable only through the false edge: the block
+	// holding the return must have Exit as its sole successor.
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				if len(b.Succs) != 1 || b.Succs[0] != g.Exit {
+					t.Fatalf("return block succs = %v", b.Succs)
+				}
+			}
+		}
+	}
+}
+
+func TestPanicTerminates(t *testing.T) {
+	g := build(t, `
+	panic("boom")
+	never()`)
+	for _, name := range reachableCalls(g) {
+		if name == "never" {
+			t.Fatal("statement after panic still reachable")
+		}
+	}
+}
+
+func TestForLoopBackEdge(t *testing.T) {
+	g := build(t, `
+	for i := 0; i < n; i++ {
+		body()
+	}
+	after()`)
+	// The loop head must appear on a cycle: some block reaches itself.
+	found := false
+	for _, b := range g.Blocks {
+		seen := map[*Block]bool{}
+		var walk func(x *Block) bool
+		walk = func(x *Block) bool {
+			for _, s := range x.Succs {
+				if s == b {
+					return true
+				}
+				if !seen[s] {
+					seen[s] = true
+					if walk(s) {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		if walk(b) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no back edge in for loop")
+	}
+	if !reachableExit(g) {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestBreakLeavesLoop(t *testing.T) {
+	g := build(t, `
+	for {
+		if cond() {
+			break
+		}
+		body()
+	}
+	after()`)
+	got := strings.Join(reachableCalls(g), " ")
+	if !strings.Contains(got, "after") {
+		t.Fatalf("after() unreachable through break; calls = %q", got)
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := build(t, `
+outer:
+	for {
+		for {
+			break outer
+		}
+	}
+	after()`)
+	got := strings.Join(reachableCalls(g), " ")
+	if !strings.Contains(got, "after") {
+		t.Fatalf("after() unreachable through labeled break; calls = %q", got)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := build(t, `
+	switch v() {
+	case 1:
+		a()
+		fallthrough
+	case 2:
+		b()
+	default:
+		c()
+	}
+	after()`)
+	got := strings.Join(reachableCalls(g), " ")
+	for _, want := range []string{"a", "b", "c", "after"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("%s() unreachable; calls = %q", want, got)
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	g := build(t, `
+	select {
+	case <-ch1:
+		a()
+	case <-ch2:
+		b()
+	}
+	after()`)
+	got := strings.Join(reachableCalls(g), " ")
+	for _, want := range []string{"a", "b", "after"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("%s() unreachable; calls = %q", want, got)
+		}
+	}
+}
+
+func TestRPOStartsAtEntry(t *testing.T) {
+	g := build(t, `
+	if cond() {
+		a()
+	}
+	b()`)
+	rpo := g.RPO()
+	if len(rpo) == 0 || rpo[0] != g.Entry {
+		t.Fatal("RPO must start at entry")
+	}
+	// Every reachable block appears exactly once.
+	seen := map[int]bool{}
+	for _, b := range rpo {
+		if seen[b.Index] {
+			t.Fatalf("block %d repeated in RPO", b.Index)
+		}
+		seen[b.Index] = true
+	}
+}
+
+func TestGotoBackward(t *testing.T) {
+	g := build(t, `
+	i := 0
+loop:
+	i++
+	if i < 10 {
+		goto loop
+	}
+	after()`)
+	if !reachableExit(g) {
+		t.Fatal("exit unreachable")
+	}
+	got := strings.Join(reachableCalls(g), " ")
+	if !strings.Contains(got, "after") {
+		t.Fatalf("after() unreachable; calls = %q", got)
+	}
+}
+
+func TestPredsMatchSuccs(t *testing.T) {
+	g := build(t, `
+	for i := range xs {
+		if i > 0 {
+			a()
+		}
+	}`)
+	preds := g.Preds()
+	count := 0
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			ok := false
+			for _, p := range preds[s.Index] {
+				if p == b {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatalf("missing pred edge %d -> %d", b.Index, s.Index)
+			}
+			count++
+		}
+	}
+	if count == 0 {
+		t.Fatal("graph has no edges")
+	}
+	_ = fmt.Sprint(count)
+}

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sort"
+)
+
+// FactStore holds every fact of one analysis run: summaries imported from
+// dependency packages' facts files plus those exported while analyzing the
+// current package. It is the payload of the vet-tool protocol's .vetx files
+// (internal/analysis/unit re-exports imported facts, so summaries flow
+// transitively without cmd/go having to list indirect dependencies).
+//
+// Facts are stored marshaled: export serializes immediately, import
+// deserializes into the caller's value. That makes the store's contents
+// independent of in-process pointer identity — exactly what the
+// export → encode → decode → import round trip of the unit protocol needs —
+// and lets one store serve every analyzer (entries are namespaced by
+// analyzer name, then keyed by object identity).
+type FactStore struct {
+	// entries: analyzer -> object key -> marshaled fact.
+	entries map[string]map[string]factEntry
+}
+
+// factEntry is one serialized fact. Type pins the concrete Go type name so
+// a decode into a mismatched prototype is an error, not silent corruption.
+type factEntry struct {
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data"`
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{entries: make(map[string]map[string]factEntry)}
+}
+
+func factTypeName(f Fact) string {
+	t := reflect.TypeOf(f)
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	return t.Name()
+}
+
+func (s *FactStore) set(analyzer, key string, f Fact) {
+	data, err := json.Marshal(f)
+	if err != nil {
+		panic(fmt.Sprintf("analysis: unencodable fact %T: %v", f, err))
+	}
+	m := s.entries[analyzer]
+	if m == nil {
+		m = make(map[string]factEntry)
+		s.entries[analyzer] = m
+	}
+	m[key] = factEntry{Type: factTypeName(f), Data: data}
+}
+
+func (s *FactStore) get(analyzer, key string, f Fact) bool {
+	e, ok := s.entries[analyzer][key]
+	if !ok || e.Type != factTypeName(f) {
+		return false
+	}
+	return json.Unmarshal(e.Data, f) == nil
+}
+
+// Get decodes the fact stored under (analyzer, key) into f, reporting
+// whether a fact of f's exact type was present. Keys follow the exporters'
+// conventions: "fn:<types.Func.FullName>" for function facts and
+// "pkg:<import path>" for package facts.
+func (s *FactStore) Get(analyzer, key string, f Fact) bool {
+	return s.get(analyzer, key, f)
+}
+
+// Len reports the number of stored facts across all analyzers.
+func (s *FactStore) Len() int {
+	n := 0
+	for _, m := range s.entries {
+		n += len(m)
+	}
+	return n
+}
+
+// Merge copies every fact of other into s (other wins on key collisions).
+func (s *FactStore) Merge(other *FactStore) {
+	if other == nil {
+		return
+	}
+	for analyzer, m := range other.entries {
+		dst := s.entries[analyzer]
+		if dst == nil {
+			dst = make(map[string]factEntry, len(m))
+			s.entries[analyzer] = dst
+		}
+		for k, e := range m {
+			dst[k] = e
+		}
+	}
+}
+
+// factsFile is the serialized shape: {"version":1,"facts":{analyzer:{key:entry}}}.
+type factsFile struct {
+	Version int                             `json:"version"`
+	Facts   map[string]map[string]factEntry `json:"facts"`
+}
+
+// Encode serializes the store deterministically (sorted keys, so identical
+// stores produce identical bytes — build caching and golden tests rely on
+// this).
+func (s *FactStore) Encode() ([]byte, error) {
+	// json.Marshal already sorts map keys; wrap and emit.
+	return json.Marshal(factsFile{Version: 1, Facts: s.entries})
+}
+
+// DecodeFacts parses bytes produced by Encode. Empty input yields an empty
+// store (pre-facts caflint versions wrote zero-length placeholder files).
+func DecodeFacts(data []byte) (*FactStore, error) {
+	s := NewFactStore()
+	if len(data) == 0 {
+		return s, nil
+	}
+	var f factsFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("analysis: corrupt facts file: %w", err)
+	}
+	if f.Version != 1 {
+		return nil, fmt.Errorf("analysis: facts file version %d not supported", f.Version)
+	}
+	if f.Facts != nil {
+		s.entries = f.Facts
+	}
+	return s, nil
+}
+
+// Keys returns the sorted object keys holding facts for analyzer — the
+// audit/debug view (and the round-trip test's equality probe).
+func (s *FactStore) Keys(analyzer string) []string {
+	var keys []string
+	for k := range s.entries[analyzer] {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"bytes"
+	"testing"
+)
+
+type testFact struct {
+	Calls []string `json:"calls"`
+	N     int      `json:"n"`
+}
+
+func (*testFact) AFact() {}
+
+type otherFact struct {
+	Flag bool `json:"flag"`
+}
+
+func (*otherFact) AFact() {}
+
+// TestFactsRoundTrip pins the unit protocol's core property: export → encode
+// → decode → import yields identical summaries.
+func TestFactsRoundTrip(t *testing.T) {
+	s := NewFactStore()
+	s.set("barriermatch", "fn:(*cafmpi/internal/core.Team).Barrier", &testFact{Calls: []string{"a", "b"}, N: 2})
+	s.set("barriermatch", "pkg:cafmpi/internal/core", &testFact{N: 7})
+	s.set("lockorder", "pkg:cafmpi/internal/mpi", &otherFact{Flag: true})
+
+	enc, err := s.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	dec, err := DecodeFacts(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+
+	if got, want := dec.Len(), s.Len(); got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	for _, analyzer := range []string{"barriermatch", "lockorder"} {
+		a, b := s.Keys(analyzer), dec.Keys(analyzer)
+		if len(a) != len(b) {
+			t.Fatalf("%s keys: %v vs %v", analyzer, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s keys: %v vs %v", analyzer, a, b)
+			}
+		}
+	}
+
+	var f testFact
+	if !dec.get("barriermatch", "fn:(*cafmpi/internal/core.Team).Barrier", &f) {
+		t.Fatal("function fact lost in round trip")
+	}
+	if f.N != 2 || len(f.Calls) != 2 || f.Calls[0] != "a" || f.Calls[1] != "b" {
+		t.Fatalf("fact corrupted: %+v", f)
+	}
+
+	// Type pinning: decoding into a mismatched prototype must fail, not
+	// silently corrupt.
+	var wrong otherFact
+	if dec.get("barriermatch", "fn:(*cafmpi/internal/core.Team).Barrier", &wrong) {
+		t.Fatal("mismatched fact type imported")
+	}
+
+	// Determinism: encoding the decoded store reproduces the bytes (build
+	// caching hashes them).
+	enc2, err := dec.Encode()
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatalf("encoding not deterministic:\n%s\nvs\n%s", enc, enc2)
+	}
+}
+
+// TestDecodeFactsEmpty: pre-facts caflint wrote zero-length placeholder vetx
+// files; they must decode as empty stores.
+func TestDecodeFactsEmpty(t *testing.T) {
+	s, err := DecodeFacts(nil)
+	if err != nil {
+		t.Fatalf("decode empty: %v", err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("empty input produced %d facts", s.Len())
+	}
+}
+
+// TestFactsMerge: dependency stores merge transitively, other wins on
+// collision.
+func TestFactsMerge(t *testing.T) {
+	a := NewFactStore()
+	a.set("p", "fn:x", &testFact{N: 1})
+	b := NewFactStore()
+	b.set("p", "fn:x", &testFact{N: 2})
+	b.set("p", "fn:y", &testFact{N: 3})
+	a.Merge(b)
+	var f testFact
+	if !a.get("p", "fn:x", &f) || f.N != 2 {
+		t.Fatalf("merge collision: %+v", f)
+	}
+	if !a.get("p", "fn:y", &f) || f.N != 3 {
+		t.Fatalf("merged key lost: %+v", f)
+	}
+	if a.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", a.Len())
+	}
+}

@@ -1,0 +1,504 @@
+// Package barriermatch defines an interprocedural structural barrier-matching
+// checker. Collectives (core.Team barriers/broadcasts/co_* intrinsics,
+// mpi.Comm collectives, gasnet barriers, collective window lifecycle) must be
+// reached by every image of the team in the same order; a collective that is
+// reachable only when `im.ID() == 0` — or that sits in a loop whose bounds
+// depend on the rank — deadlocks the other images. The dynamic sanitizer only
+// sees schedules that run; this pass flags the structure itself.
+//
+// The analysis is two-layered:
+//
+//   - Summaries: every function that (transitively) reaches a collective gets
+//     a CollectiveFact, exported through the unit protocol so callers in
+//     other packages see it. Within a package, summaries are computed to a
+//     fixpoint over the local call graph.
+//
+//   - Reporting: each function body is walked with a taint set of
+//     rank-derived locals (values flowing from im.ID(), Team.Rank(),
+//     Comm.Rank(), Proc.ID()). A collective call — or a call to a function
+//     with a CollectiveFact — inside an if/switch guarded by tainted data is
+//     flagged unless every alternative of the branch also reaches a
+//     collective (the symmetric split every rank takes one arm of). Loops
+//     with rank-dependent bounds always flag: iteration counts differ per
+//     image, so collectives inside cannot pair up.
+//
+// The pass also enforces the PR 5 failure-latch contract on collectives:
+// their error results must not be discarded — a swallowed Barrier error
+// desynchronizes the latch.
+//
+// What it cannot prove: value-dependent matching (two collectives paired
+// across different call sites by runtime counters) and collectives hidden
+// behind function values. Those remain the dynamic sanitizer's job.
+package barriermatch
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cafmpi/internal/analysis"
+	"cafmpi/internal/analysis/cafmodel"
+)
+
+// CollectiveFact marks a function that (transitively) reaches a collective
+// operation on some path.
+type CollectiveFact struct{}
+
+func (*CollectiveFact) AFact() {}
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "barriermatch",
+	Doc:       "collectives must not be guarded by rank-dependent control flow, and their errors must be checked",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*CollectiveFact)(nil)},
+}
+
+func run(pass *analysis.Pass) error {
+	s := &state{pass: pass, reaches: make(map[*types.Func]bool)}
+	s.computeSummaries()
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			s.checkFunc(fd)
+		}
+	}
+	return nil
+}
+
+type state struct {
+	pass *analysis.Pass
+	// reaches memoizes, for this package's functions, whether they reach a
+	// collective (the exported summary).
+	reaches map[*types.Func]bool
+}
+
+// funcObj resolves a declaration to its types.Func.
+func (s *state) funcObj(fd *ast.FuncDecl) *types.Func {
+	fn, _ := s.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	return fn
+}
+
+// callReaches reports whether one call expression reaches a collective:
+// directly (model table), via a local summary, or via an imported fact.
+func (s *state) callReaches(call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(s.pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	if cafmodel.Collectives[cafmodel.KeyOf(fn)] {
+		return true
+	}
+	if r, ok := s.reaches[fn]; ok {
+		return r
+	}
+	return s.pass.ImportFunctionFact(fn, &CollectiveFact{})
+}
+
+// computeSummaries fixpoints the reaches-a-collective property over the
+// package's call graph and exports a CollectiveFact per positive function.
+func (s *state) computeSummaries() {
+	type fnDecl struct {
+		fn   *types.Func
+		body *ast.BlockStmt
+	}
+	var decls []fnDecl
+	for _, f := range s.pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn := s.funcObj(fd); fn != nil {
+					decls = append(decls, fnDecl{fn, fd.Body})
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			if s.reaches[d.fn] {
+				continue
+			}
+			hit := false
+			ast.Inspect(d.body, func(n ast.Node) bool {
+				if hit {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok && s.callReaches(call) {
+					hit = true
+				}
+				return !hit
+			})
+			if hit {
+				s.reaches[d.fn] = true
+				changed = true
+			}
+		}
+	}
+	for _, d := range decls {
+		if s.reaches[d.fn] {
+			s.pass.ExportFunctionFact(d.fn, &CollectiveFact{})
+		}
+	}
+}
+
+// render names a model key for diagnostics ("core.Team.Barrier").
+func render(k cafmodel.Key) string {
+	if k.Recv == "" {
+		return k.Pkg + "." + k.Name
+	}
+	return k.Pkg + "." + k.Recv + "." + k.Name
+}
+
+// describe names a call for diagnostics: the model key when the callee is a
+// known collective, otherwise the callee's name with a summary note.
+func (s *state) describe(call *ast.CallExpr) string {
+	fn := analysis.CalleeFunc(s.pass.TypesInfo, call)
+	if fn == nil {
+		return "collective"
+	}
+	k := cafmodel.KeyOf(fn)
+	if cafmodel.Collectives[k] {
+		return "collective " + render(k)
+	}
+	return "call to " + fn.Name() + " (reaches a collective)"
+}
+
+// checkFunc taints rank-derived locals, then walks the body flagging
+// collectives in rank-dependent asymmetric contexts.
+func (s *state) checkFunc(fd *ast.FuncDecl) {
+	c := &checker{state: s, tainted: make(map[types.Object]bool)}
+	c.taint(fd.Body)
+	c.visit(fd.Body, false)
+}
+
+type checker struct {
+	*state
+	// tainted holds locals whose value derives from a rank source.
+	tainted map[types.Object]bool
+}
+
+// taint fixpoints the rank-derived set over assignments and declarations.
+func (c *checker) taint(body *ast.BlockStmt) {
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range st.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					var rhs ast.Expr
+					if len(st.Rhs) == len(st.Lhs) {
+						rhs = st.Rhs[i]
+					} else if len(st.Rhs) == 1 {
+						rhs = st.Rhs[0]
+					}
+					if rhs != nil && c.rankDep(rhs) {
+						obj := c.pass.TypesInfo.Defs[id]
+						if obj == nil {
+							obj = c.pass.TypesInfo.Uses[id]
+						}
+						if obj != nil && !c.tainted[obj] {
+							c.tainted[obj] = true
+							changed = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, id := range st.Names {
+					if id.Name == "_" || i >= len(st.Values) {
+						continue
+					}
+					if c.rankDep(st.Values[i]) {
+						if obj := c.pass.TypesInfo.Defs[id]; obj != nil && !c.tainted[obj] {
+							c.tainted[obj] = true
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// rankDep reports whether expr's value depends on the calling image's rank.
+func (c *checker) rankDep(expr ast.Expr) bool {
+	if expr == nil {
+		return false
+	}
+	dep := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if dep {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			fn := analysis.CalleeFunc(c.pass.TypesInfo, x)
+			if fn != nil && cafmodel.RankSources[cafmodel.KeyOf(fn)] {
+				dep = true
+			}
+		case *ast.Ident:
+			if obj := c.pass.TypesInfo.Uses[x]; obj != nil && c.tainted[obj] {
+				dep = true
+			}
+		}
+		return !dep
+	})
+	return dep
+}
+
+// stmtRankDep reports rank dependence of a loop header.
+func (c *checker) stmtRankDep(s ast.Stmt) bool {
+	if s == nil {
+		return false
+	}
+	dep := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && c.rankDep(e) {
+			dep = true
+		}
+		return !dep
+	})
+	return dep
+}
+
+// hasCollective reports whether a subtree reaches a collective.
+func (c *checker) hasCollective(n ast.Node) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := x.(*ast.CallExpr); ok && c.callReaches(call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// visit walks stmts flagging collectives. hot marks a rank-dependent
+// asymmetric context: any collective reached under it is a structural
+// mismatch.
+func (c *checker) visit(n ast.Node, hot bool) {
+	switch st := n.(type) {
+	case nil:
+		return
+
+	case *ast.BlockStmt:
+		for i, s := range st.List {
+			if ifs, ok := s.(*ast.IfStmt); ok {
+				c.visitIf(ifs, st.List[i+1:], hot)
+				continue
+			}
+			c.visit(s, hot)
+		}
+
+	case *ast.IfStmt:
+		c.visitIf(st, nil, hot)
+
+	case *ast.ForStmt:
+		loopHot := hot || c.rankDep(st.Cond) || c.stmtRankDep(st.Init) || c.stmtRankDep(st.Post)
+		if st.Init != nil {
+			c.visit(st.Init, hot)
+		}
+		if st.Post != nil {
+			c.visit(st.Post, loopHot)
+		}
+		c.visit(st.Body, loopHot)
+
+	case *ast.RangeStmt:
+		c.visit(st.Body, hot || c.rankDep(st.X))
+
+	case *ast.SwitchStmt:
+		c.checkExprCalls(st.Tag, hot)
+		if c.rankDep(st.Tag) || c.stmtRankDep(st.Init) {
+			c.visitSwitchArms(st.Body, hot)
+		} else {
+			c.visit(st.Body, hot)
+		}
+
+	case *ast.TypeSwitchStmt:
+		c.visit(st.Body, hot)
+
+	case *ast.CaseClause:
+		for _, s := range st.Body {
+			c.visit(s, hot)
+		}
+
+	case *ast.CommClause:
+		for _, s := range st.Body {
+			c.visit(s, hot)
+		}
+
+	case *ast.SelectStmt:
+		// Which arm runs is schedule-dependent; a collective inside is
+		// reached on some schedules only.
+		for _, cl := range st.Body.List {
+			cc := cl.(*ast.CommClause)
+			for _, s := range cc.Body {
+				c.visit(s, true)
+			}
+		}
+
+	case *ast.LabeledStmt:
+		c.visit(st.Stmt, hot)
+
+	case *ast.ExprStmt:
+		// A collective used as a bare statement discards its error: the
+		// failure latch (PR 5) depends on every collective error being
+		// checked.
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if fn := analysis.CalleeFunc(c.pass.TypesInfo, call); fn != nil {
+				k := cafmodel.KeyOf(fn)
+				if cafmodel.Collectives[k] && returnsError(fn) {
+					c.pass.Reportf(call.Pos(), "%s error discarded; the failure latch requires every collective error checked", render(k))
+				}
+			}
+		}
+		c.checkExprCalls(st.X, hot)
+
+	case *ast.GoStmt:
+		c.checkExprCalls(st.Call, hot)
+
+	case *ast.DeferStmt:
+		c.checkExprCalls(st.Call, hot)
+
+	case ast.Stmt:
+		ast.Inspect(st, func(x ast.Node) bool {
+			switch y := x.(type) {
+			case *ast.CallExpr:
+				c.reportIfHot(y, hot)
+			case *ast.FuncLit:
+				c.visit(y.Body, hot)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// visitIf handles a conditional. rest is the tail of the enclosing block: a
+// rank-dependent `if { ...; return }` with no else makes the continuation the
+// effective else arm, so `if id == 0 { return t.Barrier() }; return
+// t.Barrier()` counts as a symmetric split.
+func (c *checker) visitIf(st *ast.IfStmt, rest []ast.Stmt, hot bool) {
+	if st.Init != nil {
+		c.visit(st.Init, hot)
+	}
+	c.checkExprCalls(st.Cond, hot)
+	if !c.rankDep(st.Cond) {
+		c.visit(st.Body, hot)
+		c.visit(st.Else, hot)
+		return
+	}
+	thenHas := c.hasCollective(st.Body)
+	elseHas := c.hasCollective(st.Else)
+	if st.Else == nil && terminates(st.Body) {
+		for _, s := range rest {
+			if c.hasCollective(s) {
+				elseHas = true
+			}
+		}
+	}
+	// Symmetric split — both arms synchronize — stays cold: every image
+	// takes one arm and reaches a collective. Asymmetric arms go hot.
+	symmetric := thenHas && elseHas
+	c.visit(st.Body, hot || (thenHas && !symmetric))
+	if st.Else != nil {
+		c.visit(st.Else, hot || (elseHas && !symmetric))
+	}
+}
+
+// terminates reports whether a block always leaves the function (ends in
+// return or panic-like call).
+func terminates(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// visitSwitchArms handles a rank-dependent switch: arms that synchronize are
+// hot unless every arm (and a default) synchronizes.
+func (c *checker) visitSwitchArms(body *ast.BlockStmt, hot bool) {
+	allSync := true
+	hasDefault := false
+	for _, cl := range body.List {
+		cc := cl.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		armHas := false
+		for _, s := range cc.Body {
+			if c.hasCollective(s) {
+				armHas = true
+			}
+		}
+		if !armHas {
+			allSync = false
+		}
+	}
+	symmetric := allSync && hasDefault
+	for _, cl := range body.List {
+		cc := cl.(*ast.CaseClause)
+		for _, s := range cc.Body {
+			c.visit(s, hot || !symmetric)
+		}
+	}
+}
+
+// checkExprCalls scans an expression's calls (and function literals) under
+// the current heat.
+func (c *checker) checkExprCalls(e ast.Expr, hot bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(x ast.Node) bool {
+		switch y := x.(type) {
+		case *ast.CallExpr:
+			c.reportIfHot(y, hot)
+		case *ast.FuncLit:
+			c.visit(y.Body, hot)
+			return false
+		}
+		return true
+	})
+}
+
+func (c *checker) reportIfHot(call *ast.CallExpr, hot bool) {
+	if hot && c.callReaches(call) {
+		c.pass.Reportf(call.Pos(), "%s is reachable only under rank-dependent control flow; every image must reach it", c.describe(call))
+	}
+}
+
+// returnsError reports whether fn's last result is error.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}

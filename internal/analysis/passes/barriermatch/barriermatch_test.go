@@ -1,0 +1,12 @@
+package barriermatch_test
+
+import (
+	"testing"
+
+	"cafmpi/internal/analysis/analysistest"
+	"cafmpi/internal/analysis/passes/barriermatch"
+)
+
+func TestBarrierMatch(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), barriermatch.Analyzer, "a", "b")
+}

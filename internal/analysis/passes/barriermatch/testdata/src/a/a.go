@@ -1,0 +1,97 @@
+package a
+
+import "core"
+
+// rankBranched is the classic structural deadlock: only image 0 reaches the
+// barrier.
+func rankBranched(im *core.Image) error {
+	t := im.World()
+	if im.ID() == 0 {
+		if err := t.Barrier(); err != nil { // want `collective core\.Team\.Barrier is reachable only under rank-dependent control flow`
+			return err
+		}
+	}
+	return nil
+}
+
+// taintedLocal: the rank flows through a local before guarding the branch.
+func taintedLocal(im *core.Image, t *core.Team) error {
+	me := im.ID()
+	root := me == 0
+	if root {
+		return t.Bcast(nil, 0) // want `collective core\.Team\.Bcast is reachable only under rank-dependent control flow`
+	}
+	return nil
+}
+
+// symmetric splits where both arms synchronize are every-image patterns.
+func symmetric(im *core.Image, t *core.Team) error {
+	if im.ID() == 0 {
+		return t.Barrier()
+	}
+	return t.Barrier()
+}
+
+// symmetricElse: explicit else arm, both collective.
+func symmetricElse(im *core.Image, t *core.Team) error {
+	if im.ID()%2 == 0 {
+		return t.Bcast(nil, 0)
+	} else {
+		return t.Allgather(nil, nil)
+	}
+}
+
+// coldBranchThenCollective: rank-dependent work before an unconditional
+// collective is the normal root pattern and stays quiet.
+func coldBranchThenCollective(im *core.Image, t *core.Team, buf []byte) error {
+	if im.ID() == 0 {
+		buf[0] = 1
+	}
+	return t.Bcast(buf, 0)
+}
+
+// rankBoundedLoop: iteration counts differ per image, so the collectives
+// inside cannot pair up.
+func rankBoundedLoop(im *core.Image, t *core.Team) error {
+	for i := 0; i < im.ID(); i++ {
+		if err := t.Barrier(); err != nil { // want `collective core\.Team\.Barrier is reachable only under rank-dependent control flow`
+			return err
+		}
+	}
+	return nil
+}
+
+// uniformLoop: same bounds everywhere — fine.
+func uniformLoop(im *core.Image, t *core.Team) error {
+	for i := 0; i < im.N(); i++ {
+		if err := t.Barrier(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// discarded: a collective used as a bare statement swallows its error.
+func discarded(t *core.Team) {
+	t.Barrier() // want `core\.Team\.Barrier error discarded`
+}
+
+// localSummary: the collective hides one local call away; the summary still
+// reaches it.
+func localSummary(im *core.Image, t *core.Team) {
+	if im.ID() == 0 {
+		_ = syncEverybody(t) // want `call to syncEverybody \(reaches a collective\) is reachable only under rank-dependent control flow`
+	}
+}
+
+func syncEverybody(t *core.Team) error {
+	return t.Barrier()
+}
+
+// intrinsics count as collectives too.
+func rankBranchedIntrinsic(t *core.Team, v []float64) error {
+	if t.Rank() == 0 {
+		return t.CoSumF64(v) // want `collective core\.Team\.CoSumF64 is reachable only under rank-dependent control flow`
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+// Package b exercises the interprocedural half: the collectives live in
+// package collhelper, visible here only through exported CollectiveFacts.
+package b
+
+import (
+	"collhelper"
+	"core"
+)
+
+func rankBranchedCross(im *core.Image, t *core.Team) {
+	if im.ID() == 0 {
+		_ = collhelper.Sync(t) // want `call to Sync \(reaches a collective\) is reachable only under rank-dependent control flow`
+	}
+}
+
+func twoHops(im *core.Image, t *core.Team, v []float64) {
+	if im.ID() != 0 {
+		_ = collhelper.Reduce(t, v) // want `call to Reduce \(reaches a collective\) is reachable only under rank-dependent control flow`
+	}
+}
+
+func uniformCross(t *core.Team) error {
+	return collhelper.Sync(t)
+}

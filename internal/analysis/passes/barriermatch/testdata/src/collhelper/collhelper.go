@@ -1,0 +1,14 @@
+// Package collhelper proves cross-package fact flow: its exported functions
+// reach collectives, and the analyzer's CollectiveFact makes importing
+// packages see that.
+package collhelper
+
+import "core"
+
+// Sync synchronizes the whole team.
+func Sync(t *core.Team) error { return t.Barrier() }
+
+// Reduce reaches a collective through one more local hop.
+func Reduce(t *core.Team, v []float64) error { return sum(t, v) }
+
+func sum(t *core.Team, v []float64) error { return t.CoSumF64(v) }

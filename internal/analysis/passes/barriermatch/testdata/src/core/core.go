@@ -1,0 +1,20 @@
+// Package core is a stand-in for cafmpi/internal/core: same package base
+// name, same receiver type names and method signatures, so the analyzer's
+// (pkg, type, method) matching resolves identically to the real runtime.
+package core
+
+type Image struct{}
+
+func (im *Image) ID() int        { return 0 }
+func (im *Image) N() int         { return 1 }
+func (im *Image) Cofence() error { return nil }
+func (im *Image) World() *Team   { return &Team{} }
+
+type Team struct{}
+
+func (t *Team) Barrier() error                     { return nil }
+func (t *Team) Bcast(buf []byte, root int) error   { return nil }
+func (t *Team) Allgather(send, recv []byte) error  { return nil }
+func (t *Team) CoSumF64(v []float64) error         { return nil }
+func (t *Team) Rank() int                          { return 0 }
+func (t *Team) Size() int                          { return 1 }

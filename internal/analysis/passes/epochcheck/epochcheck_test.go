@@ -1,0 +1,12 @@
+package epochcheck_test
+
+import (
+	"testing"
+
+	"cafmpi/internal/analysis/analysistest"
+	"cafmpi/internal/analysis/passes/epochcheck"
+)
+
+func TestEpochCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), epochcheck.Analyzer, "a", "b")
+}

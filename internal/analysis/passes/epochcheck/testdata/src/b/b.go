@@ -1,0 +1,46 @@
+// Package b exercises the interprocedural half: rmahelper's functions do RMA
+// through their window parameter, visible here only through the exported
+// RequiresEpochFact.
+package b
+
+import (
+	"mpi"
+	"rmahelper"
+)
+
+// epochless: the helper needs an epoch the caller never opened.
+func epochless(c *mpi.Comm) error {
+	w, err := mpi.WinAllocate(c, 16)
+	if err != nil {
+		return err
+	}
+	return rmahelper.Fill(w, nil) // want `w passed to Fill, which performs RMA on it, but no epoch is open`
+}
+
+// epochlessTwoHops: the fact propagated through rmahelper's local call chain.
+func epochlessTwoHops(c *mpi.Comm) error {
+	w, err := mpi.WinAllocate(c, 16)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 8)
+	return rmahelper.Drain(w, buf) // want `w passed to Drain, which performs RMA on it, but no epoch is open`
+}
+
+// withEpoch: caller opens the epoch first — silent.
+func withEpoch(c *mpi.Comm) error {
+	w, err := mpi.WinAllocate(c, 16)
+	if err != nil {
+		return err
+	}
+	if err := w.LockAll(); err != nil {
+		return err
+	}
+	if err := rmahelper.Fill(w, nil); err != nil {
+		return err
+	}
+	if err := w.FlushAll(); err != nil {
+		return err
+	}
+	return w.UnlockAll()
+}

@@ -1,0 +1,20 @@
+// Package rmahelper proves cross-package fact flow: Fill performs RMA on a
+// parameter window without opening an epoch, so it exports a
+// RequiresEpochFact that callers in other packages must honor.
+package rmahelper
+
+import "mpi"
+
+// Fill writes buf into every peer's slot of w. The caller owns the epoch.
+func Fill(w *mpi.Win, buf []byte) error {
+	return w.Put(buf, 1, 0)
+}
+
+// Drain reads through one more local hop; the fact still propagates.
+func Drain(w *mpi.Win, buf []byte) error {
+	return get(w, buf)
+}
+
+func get(w *mpi.Win, buf []byte) error {
+	return w.Get(buf, 1, 0)
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"cafmpi/internal/analysis/analysistest"
+	"cafmpi/internal/analysis/passes/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer, "ok", "cyc", "xpkg")
+}

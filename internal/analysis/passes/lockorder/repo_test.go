@@ -1,0 +1,83 @@
+package lockorder_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"cafmpi/internal/analysis/analysistest"
+	"cafmpi/internal/analysis/passes/lockorder"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/LOCKORDER.golden from the current repository")
+
+// repoPkgs are the runtime layers whose mutexes form the certified order,
+// in dependency order so package facts flow bottom-up.
+var repoPkgs = []string{"internal/fabric", "internal/core", "internal/mpi", "internal/gasnet"}
+
+// TestRepoLockOrder certifies the real runtime's lock acquisition order: it
+// runs the lockorder analyzer over the fabric/core/mpi/gasnet packages,
+// requires the acquisition graph to be cycle-free, and pins its rendering as
+// testdata/LOCKORDER.golden. A legitimate locking change updates the golden
+// with:
+//
+//	go test ./internal/analysis/passes/lockorder -run RepoLockOrder -update
+func TestRepoLockOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks four runtime packages")
+	}
+	root := repoRoot(t)
+	diags, facts, err := analysistest.AnalyzeRepo(lockorder.Analyzer, root, "cafmpi", repoPkgs...)
+	if err != nil {
+		t.Fatalf("analyzing runtime packages: %v", err)
+	}
+	for pkg, ds := range diags {
+		for _, d := range ds {
+			t.Errorf("%s: unexpected lock order diagnostic: %s", pkg, d.Message)
+		}
+	}
+
+	var edges []lockorder.Edge
+	for _, pkg := range repoPkgs {
+		var g lockorder.LockGraphFact
+		if facts.Get("lockorder", "pkg:cafmpi/"+pkg, &g) {
+			edges = append(edges, g.Edges...)
+		}
+	}
+	if len(edges) == 0 {
+		t.Fatal("no lock acquisition edges found; the analyzer lost its runtime model")
+	}
+	got := lockorder.Render(edges)
+
+	golden := filepath.Join("testdata", "LOCKORDER.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, rerr := os.ReadFile(golden)
+	if rerr != nil {
+		t.Fatalf("reading golden (run with -update to create it): %v", rerr)
+	}
+	if got != string(want) {
+		t.Errorf("lock acquisition order drifted from the certified partial order.\n--- got ---\n%s--- want ---\n%s"+
+			"If the locking change is intentional, refresh with: go test ./internal/analysis/passes/lockorder -run RepoLockOrder -update", got, want)
+	}
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate caller")
+	}
+	// internal/analysis/passes/lockorder/repo_test.go -> repo root.
+	d := filepath.Dir(file)
+	for i := 0; i < 4; i++ {
+		d = filepath.Dir(d)
+	}
+	return d
+}

@@ -1,0 +1,28 @@
+// Package cyc seeds a two-lock acquisition cycle: AB nests other under mu,
+// BA nests mu under other. Both edges sit on the cycle, so both witness
+// sites are flagged.
+package cyc
+
+import "sync"
+
+type S struct {
+	mu    sync.Mutex
+	other sync.Mutex
+	n     int // guarded by mu
+}
+
+func (s *S) AB() {
+	s.mu.Lock()
+	s.other.Lock() // want `lock order cycle: cyc\.S\.mu -> cyc\.S\.other -> cyc\.S\.mu`
+	s.n++
+	s.other.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *S) BA() {
+	s.other.Lock()
+	s.mu.Lock() // want `lock order cycle: cyc\.S\.other -> cyc\.S\.mu -> cyc\.S\.other`
+	s.n++
+	s.mu.Unlock()
+	s.other.Unlock()
+}

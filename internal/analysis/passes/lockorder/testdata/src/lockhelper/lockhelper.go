@@ -1,0 +1,21 @@
+// Package lockhelper proves cross-package graph flow: its internal nesting
+// (Mu before Mu2, created through a local helper call) is exported as a
+// LockGraphFact, and WithMu's acquisition set travels as an AcquiresFact.
+package lockhelper
+
+import "sync"
+
+var Mu sync.Mutex
+var Mu2 sync.Mutex
+
+// WithMu runs its critical section under Mu, nesting Mu2 through nested().
+func WithMu() {
+	Mu.Lock()
+	nested()
+	Mu.Unlock()
+}
+
+func nested() {
+	Mu2.Lock()
+	Mu2.Unlock()
+}

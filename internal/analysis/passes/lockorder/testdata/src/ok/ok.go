@@ -1,0 +1,43 @@
+// Package ok holds only consistently-ordered acquisitions: mu always before
+// aux, helper nesting through a local call, and the *Locked/guardedby
+// convention seeding the held set. No cycle, no diagnostics.
+package ok
+
+import "sync"
+
+type T struct {
+	mu   sync.Mutex
+	aux  sync.Mutex
+	data int // guarded by mu
+}
+
+func (t *T) Update() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.bumpLocked()
+}
+
+// bumpLocked runs with mu held (guardedby convention): the aux acquisition
+// nests under mu — same direction as Both, so the order stays a DAG.
+func (t *T) bumpLocked() {
+	t.aux.Lock()
+	t.data++
+	t.aux.Unlock()
+}
+
+func (t *T) Both() {
+	t.mu.Lock()
+	t.aux.Lock()
+	t.data++
+	t.aux.Unlock()
+	t.mu.Unlock()
+}
+
+// Disjoint never nests — contributes no edges.
+func (t *T) Disjoint() {
+	t.mu.Lock()
+	t.data++
+	t.mu.Unlock()
+	t.aux.Lock()
+	t.aux.Unlock()
+}

@@ -1,0 +1,32 @@
+// Package xpkg closes a cycle across a package boundary: lockhelper's
+// internal edge Mu -> Mu2 arrives via its LockGraphFact, WithMu's
+// acquisitions via its AcquiresFact, and this package's two edges complete
+// the loop xpkg.S.mu -> lockhelper.Mu -> lockhelper.Mu2 -> xpkg.S.mu. Only
+// the two local witness sites are flagged — lockhelper alone is acyclic.
+package xpkg
+
+import (
+	"sync"
+
+	"lockhelper"
+)
+
+type S struct {
+	mu sync.Mutex
+}
+
+// CallHelper witnesses two own edges at one site — S.mu -> Mu directly and
+// S.mu -> Mu2 through WithMu's transitive acquisition set — and both sit on
+// cycles once UnderMu2 adds Mu2 -> S.mu.
+func (s *S) CallHelper() {
+	s.mu.Lock()
+	lockhelper.WithMu() // want `lock order cycle: xpkg\.S\.mu -> lockhelper\.Mu -> lockhelper\.Mu2 -> xpkg\.S\.mu` `lock order cycle: xpkg\.S\.mu -> lockhelper\.Mu2 -> xpkg\.S\.mu`
+	s.mu.Unlock()
+}
+
+func (s *S) UnderMu2() {
+	lockhelper.Mu2.Lock()
+	s.mu.Lock() // want `lock order cycle: lockhelper\.Mu2 -> xpkg\.S\.mu -> lockhelper\.Mu2`
+	s.mu.Unlock()
+	lockhelper.Mu2.Unlock()
+}

@@ -112,6 +112,9 @@ func Main(analyzers ...*analysis.Analyzer) {
 		args = []string{"./..."}
 	}
 	cmdArgs := []string{"vet", "-vettool=" + self}
+	if *jsonOut {
+		cmdArgs = append(cmdArgs, "-json")
+	}
 	for _, a := range analyzers {
 		if !*enabled[a.Name] {
 			cmdArgs = append(cmdArgs, "-"+a.Name+"=false")
@@ -176,16 +179,33 @@ func runUnit(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool) {
 		fatal("parsing %s: %v", cfgFile, err)
 	}
 
-	// The facts file must exist even when this run reports nothing: cmd/go
-	// caches it for dependent packages. caflint analyzers exchange no facts,
-	// so the file is an empty placeholder.
-	if cfg.VetxOutput != "" {
-		if err = os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			fatal("writing facts: %v", err)
+	// Facts flow bottom-up through the import graph: merge the stores of
+	// every dependency's .vetx file (cmd/go hands us direct imports; each of
+	// those re-exported its own imports' facts, so the merge is transitive).
+	facts := analysis.NewFactStore()
+	for _, vetx := range cfg.PackageVetx {
+		raw, rerr := os.ReadFile(vetx)
+		if rerr != nil {
+			continue // dependency outside the analyzed set; no facts to gain
+		}
+		dep, derr := analysis.DecodeFacts(raw)
+		if derr != nil {
+			fatal("facts of %s: %v", vetx, derr)
+		}
+		facts.Merge(dep)
+	}
+
+	// Facts-only run with a purely intraprocedural suite: nothing to
+	// compute, just pass the merged dependency facts through.
+	hasFactAnalyzers := false
+	for _, a := range analyzers {
+		if len(a.FactTypes) > 0 {
+			hasFactAnalyzers = true
 		}
 	}
-	if cfg.VetxOnly {
-		return // facts-only run: dependents need the vetx file, not diagnostics
+	if cfg.VetxOnly && !hasFactAnalyzers {
+		writeFacts(&cfg, facts)
+		return
 	}
 
 	fset := token.NewFileSet()
@@ -224,39 +244,79 @@ func runUnit(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool) {
 
 	var diags []analysis.Diagnostic
 	for _, a := range analyzers {
-		pass := analysis.NewPass(a, fset, files, pkg, info, func(d analysis.Diagnostic) {
+		if cfg.VetxOnly && len(a.FactTypes) == 0 {
+			continue // facts-only run: intraprocedural analyzers have nothing to add
+		}
+		pass := analysis.NewPass(a, fset, files, pkg, info, facts, func(d analysis.Diagnostic) {
 			diags = append(diags, d)
 		})
+		pass.KeepSuppressed = jsonOut
 		if err := a.Run(pass); err != nil {
 			fatal("analyzer %s on %s: %v", a.Name, cfg.ImportPath, err)
 		}
 	}
-	if len(diags) == 0 {
+
+	// Write the facts file even when empty: cmd/go caches it for dependent
+	// packages. Imported facts are re-exported so they reach indirect
+	// dependents.
+	writeFacts(&cfg, facts)
+	if cfg.VetxOnly || len(diags) == 0 {
 		return
 	}
 	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	failing := 0
+	for _, d := range diags {
+		if !d.Suppressed {
+			failing++
+		}
+	}
 	if jsonOut {
-		printJSON(os.Stdout, fset, cfg.ImportPath, diags)
+		printJSON(os.Stdout, fset, diags)
 	} else {
 		for _, d := range diags {
 			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
 		}
 	}
-	os.Exit(2)
+	if failing > 0 {
+		os.Exit(2)
+	}
 }
 
-// printJSON emits the x/tools-compatible {pkg: {analyzer: [diag]}} shape.
-func printJSON(w io.Writer, fset *token.FileSet, pkgPath string, diags []analysis.Diagnostic) {
+// writeFacts persists the run's fact store to the path cmd/go named.
+func writeFacts(cfg *Config, facts *analysis.FactStore) {
+	if cfg.VetxOutput == "" {
+		return
+	}
+	enc, err := facts.Encode()
+	if err != nil {
+		fatal("encoding facts: %v", err)
+	}
+	if err = os.WriteFile(cfg.VetxOutput, enc, 0o666); err != nil {
+		fatal("writing facts: %v", err)
+	}
+}
+
+// printJSON emits one flat JSON array of machine-readable diagnostics:
+// {"file","line","col","pass","message","suppressed"} per finding, with
+// suppressed entries (silenced by //caflint:allow) included so CI can audit
+// outstanding waivers alongside hard findings.
+func printJSON(w io.Writer, fset *token.FileSet, diags []analysis.Diagnostic) {
 	type jsonDiag struct {
-		Posn    string `json:"posn"`
-		Message string `json:"message"`
+		File       string `json:"file"`
+		Line       int    `json:"line"`
+		Col        int    `json:"col"`
+		Pass       string `json:"pass"`
+		Message    string `json:"message"`
+		Suppressed bool   `json:"suppressed"`
 	}
-	byAnalyzer := make(map[string][]jsonDiag)
+	out := make([]jsonDiag, 0, len(diags))
 	for _, d := range diags {
-		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer],
-			jsonDiag{Posn: fset.Position(d.Pos).String(), Message: d.Message})
+		p := fset.Position(d.Pos)
+		out = append(out, jsonDiag{
+			File: p.Filename, Line: p.Line, Col: p.Column,
+			Pass: d.Analyzer, Message: d.Message, Suppressed: d.Suppressed,
+		})
 	}
-	out := map[string]map[string][]jsonDiag{pkgPath: byAnalyzer}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "\t")
 	enc.Encode(out)

@@ -1,0 +1,152 @@
+package unit_test
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestVetToolProtocol drives the full cmd/go vet-tool protocol end to end:
+// it builds caflint, lays out a three-package module (a core stand-in, a
+// helper whose collective reach is visible only through an exported
+// CollectiveFact in its .vetx file, and an app with one live and one waived
+// rank-branched call), and runs `go vet -vettool=caflint -json` over it.
+// Passing proves -V=full/-flags/.cfg handling, the facts encode → write →
+// read → import round trip across package boundaries, JSON output, and
+// suppression auditing, all through the real cmd/go scheduler.
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and execs go vet")
+	}
+	repoRoot := repoRoot(t)
+	tmp := t.TempDir()
+
+	caflint := filepath.Join(tmp, "caflint")
+	build := exec.Command("go", "build", "-o", caflint, "./cmd/caflint")
+	build.Dir = repoRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building caflint: %v\n%s", err, out)
+	}
+
+	mod := filepath.Join(tmp, "m")
+	writeFile(t, mod, "go.mod", "module m\n\ngo 1.22\n")
+	writeFile(t, mod, "core/core.go", `// Package core is a stand-in matching the runtime's base names.
+package core
+
+type Image struct{}
+
+func (im *Image) ID() int { return 0 }
+
+type Team struct{}
+
+func (t *Team) Barrier() error { return nil }
+`)
+	writeFile(t, mod, "helper/helper.go", `package helper
+
+import "m/core"
+
+// Sync reaches a collective; callers only learn that through the exported
+// CollectiveFact in this package's facts file.
+func Sync(t *core.Team) error { return t.Barrier() }
+`)
+	writeFile(t, mod, "app/app.go", `package app
+
+import (
+	"m/core"
+	"m/helper"
+)
+
+func bad(im *core.Image, t *core.Team) {
+	if im.ID() == 0 {
+		_ = helper.Sync(t)
+	}
+}
+
+func waived(im *core.Image, t *core.Team) {
+	if im.ID() == 0 {
+		_ = helper.Sync(t) //caflint:allow barriermatch -- protocol test waiver
+	}
+}
+`)
+
+	vet := exec.Command("go", "vet", "-vettool="+caflint, "-json", "./...")
+	vet.Dir = mod
+	var stdout, stderr strings.Builder
+	vet.Stdout = &stdout
+	vet.Stderr = &stderr
+	err := vet.Run()
+	if err == nil {
+		t.Fatalf("go vet succeeded; want the rank-branched finding to fail it\nstdout:\n%s\nstderr:\n%s", stdout.String(), stderr.String())
+	}
+
+	type diag struct {
+		File       string `json:"file"`
+		Line       int    `json:"line"`
+		Pass       string `json:"pass"`
+		Message    string `json:"message"`
+		Suppressed bool   `json:"suppressed"`
+	}
+	// One JSON array per analyzed package. cmd/go streams the vet tool's
+	// output through its own stderr under "# <pkg>" headers; strip those and
+	// decode the arrays back to back (tool stdout kept for robustness).
+	var payload strings.Builder
+	for _, line := range strings.Split(stdout.String()+"\n"+stderr.String(), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		payload.WriteString(line)
+		payload.WriteString("\n")
+	}
+	var all []diag
+	dec := json.NewDecoder(strings.NewReader(payload.String()))
+	for dec.More() {
+		var batch []diag
+		if derr := dec.Decode(&batch); derr != nil {
+			t.Fatalf("parsing -json output: %v\nstdout:\n%s\nstderr:\n%s", derr, stdout.String(), stderr.String())
+		}
+		all = append(all, batch...)
+	}
+
+	var live, waived int
+	for _, d := range all {
+		if d.Pass != "barriermatch" || !strings.Contains(d.Message, "reaches a collective") {
+			continue
+		}
+		if !strings.HasSuffix(d.File, "app.go") {
+			t.Errorf("finding in unexpected file: %+v", d)
+		}
+		if d.Suppressed {
+			waived++
+		} else {
+			live++
+		}
+	}
+	if live != 1 || waived != 1 {
+		t.Fatalf("cross-package findings: live=%d waived=%d, want 1/1\nstdout:\n%s\nstderr:\n%s", live, waived, stdout.String(), stderr.String())
+	}
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate caller")
+	}
+	// internal/analysis/unit/unit_test.go -> repo root.
+	return filepath.Dir(filepath.Dir(filepath.Dir(filepath.Dir(file))))
+}
+
+func writeFile(t *testing.T, dir, name, content string) {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+}

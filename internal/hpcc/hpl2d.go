@@ -93,11 +93,13 @@ func HPL2D(im *caf.Image, cfg HPLConfig) (HPLResult, error) {
 		}
 		// 2. Diagonal broadcasts: down its process column, across its row.
 		if myc == ck {
+			//caflint:allow barriermatch -- every member of colTeam shares myc, so the guard is uniform within the broadcasting team
 			if err := colTeam.Bcast(caf.F64Bytes(diag), rk); err != nil {
 				return HPLResult{}, err
 			}
 		}
 		if myr == rk {
+			//caflint:allow barriermatch -- every member of rowTeam shares myr, so the guard is uniform within the broadcasting team
 			if err := rowTeam.Bcast(caf.F64Bytes(diag), ck); err != nil {
 				return HPLResult{}, err
 			}
@@ -125,6 +127,7 @@ func HPL2D(im *caf.Image, cfg HPLConfig) (HPLResult, error) {
 			if myc == ck {
 				copy(lbufs[li], local(gi, k))
 			}
+			//caflint:allow barriermatch -- loop bounds depend only on myr, identical across rowTeam, so all members broadcast the same block list
 			if err := rowTeam.Bcast(caf.F64Bytes(lbufs[li]), ck); err != nil {
 				return HPLResult{}, err
 			}
@@ -134,6 +137,7 @@ func HPL2D(im *caf.Image, cfg HPLConfig) (HPLResult, error) {
 			if myr == rk {
 				copy(ubufs[lj], local(k, gj))
 			}
+			//caflint:allow barriermatch -- loop bounds depend only on myc, identical across colTeam, so all members broadcast the same block list
 			if err := colTeam.Bcast(caf.F64Bytes(ubufs[lj]), rk); err != nil {
 				return HPLResult{}, err
 			}
