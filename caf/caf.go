@@ -90,31 +90,14 @@ type Config struct {
 	// the paper-faithful mode with bit-exact clocks.
 	SparseFlush bool
 	// Diag groups the diagnostic subsystems (tracing, observability,
-	// sanitizing).
+	// sanitizing). The pre-1.0 top-level aliases (Trace, Observe,
+	// ObsRingCap, Sanitize) are gone; set these fields directly.
 	Diag Diag
 	// Faults installs a deterministic fault-injection plan (drops,
 	// duplicates, delays, reordering, image crashes and stalls) driven by
 	// the virtual clock; nil or an empty plan leaves the fabric untouched
 	// and costs nothing. See faults.Plan / faults.Canonical.
 	Faults *faults.Plan
-
-	// Trace is a deprecated alias for Diag.Trace (ORed in).
-	//
-	// Deprecated: set Diag.Trace.
-	Trace bool
-	// Observe is a deprecated alias for Diag.Observe (ORed in).
-	//
-	// Deprecated: set Diag.Observe.
-	Observe bool
-	// ObsRingCap is a deprecated alias for Diag.ObsRingCap; Diag.ObsRingCap
-	// wins when both are set.
-	//
-	// Deprecated: set Diag.ObsRingCap.
-	ObsRingCap int
-	// Sanitize is a deprecated alias for Diag.Sanitize (ORed in).
-	//
-	// Deprecated: set Diag.Sanitize.
-	Sanitize bool
 
 	// MPIOptions tunes the CAF-MPI binding (e.g. the §5 MPI_WIN_RFLUSH
 	// ablation).
@@ -185,14 +168,6 @@ func (c *Config) normalize() error {
 	}
 	if c.SparseFlush && !c.Platform.SparseSync() {
 		c.Platform = fabric.SparseVariant(c.Platform)
-	}
-	// Fold the deprecated top-level diagnostic fields into Diag: booleans
-	// OR, the ring capacity prefers the Diag value when both are set.
-	c.Diag.Trace = c.Diag.Trace || c.Trace
-	c.Diag.Observe = c.Diag.Observe || c.Observe
-	c.Diag.Sanitize = c.Diag.Sanitize || c.Sanitize
-	if c.Diag.ObsRingCap == 0 {
-		c.Diag.ObsRingCap = c.ObsRingCap
 	}
 	switch c.Substrate {
 	case MPI, GASNet:

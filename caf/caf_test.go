@@ -28,7 +28,7 @@ func forBoth(t *testing.T, n int, fn func(*Image) error) {
 	for _, sub := range []Substrate{MPI, GASNet} {
 		sub := sub
 		t.Run(string(sub), func(t *testing.T) {
-			cfg := Config{Substrate: sub, Platform: testPlatform(), Trace: true}
+			cfg := Config{Substrate: sub, Platform: testPlatform(), Diag: Diag{Trace: true}}
 			wrapped := func(im *Image) error {
 				err := fn(im)
 				if err != nil {

@@ -124,7 +124,7 @@ func TestVirtualTimeInvariance(t *testing.T) {
 func TestHistogramStability(t *testing.T) {
 	run := func() map[string][2]int64 {
 		const iters = 200
-		cfg := caf.Config{Substrate: caf.MPI, Platform: fabric.Platform("fusion"), Observe: true}
+		cfg := caf.Config{Substrate: caf.MPI, Platform: fabric.Platform("fusion"), Diag: caf.Diag{Observe: true}}
 		w, err := caf.RunWorld(2, cfg, func(im *caf.Image) error {
 			evs, err := im.NewEvents(im.World(), 2)
 			if err != nil {

@@ -1,10 +1,11 @@
 // Package poolescape defines an analyzer for the fabric buffer-pool
 // ownership contract (internal/fabric/pool.go): a pooled *Message or *pbuf
 // is dead the moment it is Released, put back with putBuf, or handed to
-// Send/enqueue (ownership transfers to the fabric, and the receiver may
-// recycle it concurrently). Any later use of the same variable in the same
-// function — including a second Release — races with reuse of the pooled
-// object and corrupts unrelated traffic.
+// Send/Inject (ownership transfers to the fabric, and the receiver may
+// recycle it concurrently; Inject consumes the messages inside its Delivery
+// literals). Any later use of the same variable in the same function —
+// including a second Release — races with reuse of the pooled object and
+// corrupts unrelated traffic.
 //
 // The check is intraprocedural and position-based: after a consuming call,
 // later uses of the variable are flagged unless it is first reassigned.
@@ -22,39 +23,58 @@ import (
 // Analyzer flags uses of pooled fabric buffers after ownership ends.
 var Analyzer = &analysis.Analyzer{
 	Name: "poolescape",
-	Doc:  "pooled fabric buffers must not be used after Release/putBuf/Send",
+	Doc:  "pooled fabric buffers must not be used after Release/putBuf/Send/Inject",
 	Run:  run,
 }
 
 // pooledTypes are the named types whose values live in pools.
 var pooledTypes = map[string]bool{"Message": true, "pbuf": true}
 
-// consumeCall classifies a call as consuming one of its operands:
-// returns the consumed identifier and a label for the report.
-func consumeCall(info *types.Info, call *ast.CallExpr) (*ast.Ident, string) {
+// consumeCall classifies a call as consuming some of its operands: returns
+// the consumed identifiers and a label for the report.
+func consumeCall(info *types.Info, call *ast.CallExpr) ([]*ast.Ident, string) {
 	switch fun := call.Fun.(type) {
 	case *ast.SelectorExpr:
 		switch fun.Sel.Name {
 		case "Release":
 			if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok && isPooled(info, id) {
-				return id, "Release"
+				return []*ast.Ident{id}, "Release"
 			}
-		case "Send", "enqueue":
-			// Ownership of a *Message argument transfers to the fabric: the
-			// receiver may absorb and recycle it concurrently. (Absorb and
-			// AbsorbAM are receiver-side accounting — the caller keeps
-			// ownership — so they do not consume.)
+		case "Send", "Inject":
+			// Ownership of every *Message operand transfers to the fabric:
+			// the receiver may absorb and recycle it concurrently. Inject
+			// carries its messages inside Delivery composite literals
+			// (Delivery{Msg: m, Dup: d}), so pooled identifiers one level
+			// down are consumed too. (Absorb and AbsorbAM are receiver-side
+			// accounting — the caller keeps ownership — so they do not
+			// consume.)
+			var ids []*ast.Ident
 			for _, arg := range call.Args {
-				if id, ok := ast.Unparen(arg).(*ast.Ident); ok && isPooled(info, id) {
-					return id, fun.Sel.Name
+				switch a := ast.Unparen(arg).(type) {
+				case *ast.Ident:
+					if isPooled(info, a) {
+						ids = append(ids, a)
+					}
+				case *ast.CompositeLit:
+					for _, el := range a.Elts {
+						if kv, ok := el.(*ast.KeyValueExpr); ok {
+							el = kv.Value
+						}
+						if id, ok := ast.Unparen(el).(*ast.Ident); ok && isPooled(info, id) {
+							ids = append(ids, id)
+						}
+					}
 				}
+			}
+			if len(ids) > 0 {
+				return ids, fun.Sel.Name
 			}
 		}
 	case *ast.Ident:
 		if fun.Name == "putBuf" {
 			for _, arg := range call.Args {
 				if id, ok := ast.Unparen(arg).(*ast.Ident); ok && isPooled(info, id) {
-					return id, "putBuf"
+					return []*ast.Ident{id}, "putBuf"
 				}
 			}
 		}
@@ -117,7 +137,8 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 			case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
 				return false
 			case *ast.CallExpr:
-				if id, label := consumeCall(info, n); id != nil {
+				ids, label := consumeCall(info, n)
+				for _, id := range ids {
 					if v, ok := info.Uses[id].(*types.Var); ok {
 						consumed[v] = append(consumed[v], consumption{pos: n.End(), limit: limit, where: label})
 					}

@@ -1,6 +1,6 @@
 // Package fabric exercises the poolescape analyzer: a pooled *Message or
-// *pbuf is dead after Release/putBuf/Send; later uses of the same variable
-// are flagged unless it is reassigned first.
+// *pbuf is dead after Release/putBuf/Send/Inject; later uses of the same
+// variable are flagged unless it is reassigned first.
 package fabric
 
 type Message struct {
@@ -12,10 +12,15 @@ func (m *Message) Release() {}
 
 type pbuf struct{ b []byte }
 
+type Delivery struct {
+	Msg *Message
+	Dup *Message
+}
+
 type Layer struct{}
 
-func (l *Layer) Send(m *Message)    {}
-func (l *Layer) enqueue(m *Message) {}
+func (l *Layer) Send(m *Message)          {}
+func (l *Layer) Inject(batch ...Delivery) {}
 
 func putBuf(p *pbuf) {}
 
@@ -46,10 +51,17 @@ func badUseAfterSend(l *Layer) int {
 	return m.Class // want `use of m after Send`
 }
 
-func badUseAfterEnqueue(l *Layer) {
+func badUseAfterInject(l *Layer) {
 	m := getMsg()
-	l.enqueue(m)
-	m.Class = 2 // want `use of m after enqueue`
+	l.Inject(Delivery{Msg: m})
+	m.Class = 2 // want `use of m after Inject`
+}
+
+func badDupUseAfterInject(l *Layer) {
+	m := getMsg()
+	d := getMsg()
+	l.Inject(Delivery{Msg: m, Dup: d})
+	d.Release() // want `use of d after Inject`
 }
 
 func badUseAfterPutBuf() []byte {

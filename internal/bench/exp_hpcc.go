@@ -16,7 +16,7 @@ import (
 // harness carries a Stats sink, the job runs with the obs subsystem on and
 // delivers its merged snapshot, labeled by substrate and image count.
 func job(o Options, platform *fabric.Params, sub caf.Substrate, n int, trc bool, fn func(*caf.Image) error) error {
-	cfg := caf.Config{Substrate: sub, Platform: platform, Trace: trc, Observe: o.Stats != nil}
+	cfg := caf.Config{Substrate: sub, Platform: platform, Diag: caf.Diag{Trace: trc, Observe: o.Stats != nil}}
 	w, err := caf.RunWorld(n, cfg, fn)
 	if err != nil {
 		return err

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"cafmpi/caf"
+	"cafmpi/internal/fabric"
 	"cafmpi/internal/hpcc"
 )
 
@@ -30,6 +31,11 @@ type ParallelPoint struct {
 	Workload   string `json:"workload"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	NP         int    `json:"np"`
+	// Shards is the delivery-shard count the fabric used at this point
+	// (derived from GOMAXPROCS unless Params.DeliveryShards pins it) — the
+	// wall-clock curves are meaningless without knowing how the match
+	// engine was partitioned.
+	Shards int `json:"shards"`
 	// WallMS is the host wall-clock time of the job (milliseconds).
 	WallMS float64 `json:"wall_ms"`
 	// VirtualS is the slowest image's final virtual clock. Bit-exact at
@@ -119,7 +125,8 @@ func parallelExperiment() Experiment {
 							wall1, virt0 = wallMS, virtS
 						}
 						pt := ParallelPoint{Substrate: string(sub), Workload: workload,
-							GOMAXPROCS: g, NP: np, WallMS: wallMS, VirtualS: virtS}
+							GOMAXPROCS: g, NP: np, Shards: fabric.ShardsFor(o.Platform, np),
+							WallMS: wallMS, VirtualS: virtS}
 						if virt0 > 0 {
 							pt.VirtJitter = virtS/virt0 - 1
 							if pt.VirtJitter < 0 {

@@ -108,7 +108,7 @@ func scalingPoint(o Options, sub caf.Substrate, np int, workload, mode string) (
 		ra.UpdatesPerImage = 64
 		iters = 50
 	}
-	cfg := caf.Config{Substrate: sub, Platform: o.Platform, SparseFlush: mode == "sparse", Observe: true}
+	cfg := caf.Config{Substrate: sub, Platform: o.Platform, SparseFlush: mode == "sparse", Diag: caf.Diag{Observe: true}}
 	clocks := make([]int64, np)
 	mems := make([]int64, np)
 	w, err := caf.RunWorld(np, cfg, func(im *caf.Image) error {

@@ -9,6 +9,7 @@ import (
 
 	"cafmpi/internal/faults"
 	"cafmpi/internal/obs"
+	"cafmpi/internal/obs/wallprof"
 )
 
 // The receive path. Arriving messages land in per-(class, src) buckets
@@ -22,8 +23,13 @@ import (
 // stamp-ordered.
 //
 // Blocked receivers register the match domain they care about (classes ×
-// source, plus whether pokes count); enqueue and Poke wake only waiters
+// source, plus whether pokes count); injection and Poke wake only waiters
 // whose domain intersects the event instead of broadcasting to everyone.
+//
+// The queue lock is the owning shard's (shard.go): endpoints of one shard
+// share a mutex, cross-shard deliveries arrive through the shard's inject
+// ring, and every queue-reading operation drains that ring first so ring
+// residency is never observable.
 
 // AnySrc in a MatchSpec or WaitDomain matches messages from every source.
 const AnySrc = -1
@@ -102,14 +108,23 @@ var FullDomain = WaitDomain{Classes: AllClasses, Src: AnySrc, Pokes: true}
 type Endpoint struct {
 	layer *Layer
 	rank  int
+	sh    *shard        // owning delivery shard; the queue lock lives there
+	wrec  *wallprof.Rec // owner image's wall-clock recorder, nil when off
 
-	// seq counts arrivals and pokes. It is mutated under mu (the cond
-	// handshake needs that) but read with a plain atomic load, so poll
-	// loops sample it without contending for the queue lock.
+	// seq counts arrivals and pokes. Same-shard injection mutates it under
+	// the shard mutex; cross-shard producers bump it at ring-push time. It
+	// is read with a plain atomic load, so poll loops sample activity
+	// without contending for the queue lock.
 	seq atomic.Uint64
 
-	mu      sync.Mutex
-	cond    *sync.Cond
+	// waiters counts goroutines registered in (or entering) waitLocked.
+	// Cross-shard producers load it after pushing to the inject ring: when
+	// zero they skip the wake handshake entirely; when nonzero they fence
+	// through the shard mutex and broadcast (see waitLocked for why the
+	// pairing cannot miss a wakeup).
+	waiters atomic.Int32
+
+	cond    *sync.Cond // on the shard mutex; woken only for this endpoint's events
 	classes [classLimit]*classQueue
 	present ClassSet // classes with at least one queued message
 	nextSeq uint64   // next arrival stamp
@@ -124,9 +139,9 @@ type Endpoint struct {
 	domOverflow int
 }
 
-func newEndpoint(l *Layer, rank int) *Endpoint {
-	e := &Endpoint{layer: l, rank: rank}
-	e.cond = sync.NewCond(&e.mu)
+func newEndpoint(l *Layer, rank int, sh *shard) *Endpoint {
+	e := &Endpoint{layer: l, rank: rank, sh: sh, wrec: l.net.wp.Rec(rank)}
+	e.cond = sync.NewCond(&sh.mu)
 	return e
 }
 
@@ -161,30 +176,21 @@ func (b *bucket) removeAt(i int) {
 	}
 }
 
-func (e *Endpoint) enqueue(m *Message) {
-	e.mu.Lock()
-	wake := e.enqueueLocked(m)
-	e.mu.Unlock()
-	if wake {
-		e.cond.Broadcast()
+// drainShardLocked makes every delivery parked in the owning shard's inject
+// ring visible. Every queue-reading operation calls it right after taking
+// the shard mutex, so a reader can never observe a message as "sent but not
+// queued" any longer than it could under the old per-endpoint mutex. The
+// empty check is one atomic load; only drains that move entries are billed
+// (to this endpoint's owner, the goroutine doing the work) under the
+// wallprof fabric/drain site.
+func (e *Endpoint) drainShardLocked() {
+	s := e.sh
+	if s.ring.n.Load() == 0 {
+		return
 	}
-}
-
-// enqueue2 inserts m and its injector-made duplicate under a single lock
-// acquisition. The two copies must become visible atomically: with separate
-// enqueues the receiver can match and absorb m in the window between them,
-// the dedup sweep then finds no sibling, and dup is later delivered as a
-// real second copy — breaking the at-most-once guarantee.
-func (e *Endpoint) enqueue2(m, dup *Message) {
-	e.mu.Lock()
-	wake := e.enqueueLocked(m)
-	if e.enqueueLocked(dup) {
-		wake = true
-	}
-	e.mu.Unlock()
-	if wake {
-		e.cond.Broadcast()
-	}
+	wt := e.wrec.Begin(wallprof.SiteFabricDrain)
+	s.drainLocked()
+	e.wrec.End(wallprof.SiteFabricDrain, wt)
 }
 
 func (e *Endpoint) enqueueLocked(m *Message) (wake bool) {
@@ -346,13 +352,14 @@ func (e *Endpoint) sweepDupLocked(m *Message) {
 // also carries the earliest arrival among messages matching everything but
 // the Before gate.
 func (e *Endpoint) TryRecvSpec(spec *MatchSpec) (*Message, PollState) {
-	e.mu.Lock()
+	e.sh.mu.Lock()
+	e.drainShardLocked()
 	st := PollState{Seq: e.seq.Load(), Depth: e.depth}
 	m, earl, has := e.takeSpecLocked(spec)
 	if m != nil {
 		e.sweepDupLocked(m)
 	}
-	e.mu.Unlock()
+	e.sh.mu.Unlock()
 	if m == nil {
 		st.Earliest, st.HasEarliest = earl, has
 	}
@@ -361,8 +368,9 @@ func (e *Endpoint) TryRecvSpec(spec *MatchSpec) (*Message, PollState) {
 
 // PeekSpec returns (without removing) the message TryRecvSpec would take.
 func (e *Endpoint) PeekSpec(spec *MatchSpec) *Message {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.sh.mu.Lock()
+	defer e.sh.mu.Unlock()
+	e.drainShardLocked()
 	m, _, _ := e.takeSpecLocked(spec)
 	if m != nil {
 		e.undoTakeLocked(m)
@@ -403,7 +411,8 @@ func (e *Endpoint) undoTakeLocked(m *Message) {
 // filter-passing message fails the time gate, so the gate-failing earliest
 // equals the ungated earliest PollStateFor would report.
 func (e *Endpoint) TryRecvPeek(recv, peek *MatchSpec) (m *Message, st PollState, pm *Message, pearl int64, phas bool) {
-	e.mu.Lock()
+	e.sh.mu.Lock()
+	e.drainShardLocked()
 	st = PollState{Seq: e.seq.Load(), Depth: e.depth}
 	var earl int64
 	var has bool
@@ -417,7 +426,7 @@ func (e *Endpoint) TryRecvPeek(recv, peek *MatchSpec) (m *Message, st PollState,
 			e.undoTakeLocked(pm)
 		}
 	}
-	e.mu.Unlock()
+	e.sh.mu.Unlock()
 	return
 }
 
@@ -425,8 +434,9 @@ func (e *Endpoint) TryRecvPeek(recv, peek *MatchSpec) (m *Message, st PollState,
 // depth, and earliest arrival among filter-matching messages — without
 // dequeuing anything and under one lock acquisition.
 func (e *Endpoint) PollStateFor(spec *MatchSpec) PollState {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.sh.mu.Lock()
+	defer e.sh.mu.Unlock()
+	e.drainShardLocked()
 	st := PollState{Seq: e.seq.Load(), Depth: e.depth}
 	activeSet := spec.Classes & e.present
 	for set := activeSet; set != 0; set &= set - 1 {
@@ -459,9 +469,10 @@ func scanEarliest(b *bucket, spec *MatchSpec, st *PollState) {
 // non-overtaking guarantee for any (src, class, tag) stream.
 func (e *Endpoint) Recv(match func(*Message) bool) *Message {
 	spec := matchAll(match)
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.sh.mu.Lock()
+	defer e.sh.mu.Unlock()
 	for {
+		e.drainShardLocked()
 		if m, _, _ := e.takeSpecLocked(&spec); m != nil {
 			e.sweepDupLocked(m)
 			return m
@@ -473,8 +484,9 @@ func (e *Endpoint) Recv(match func(*Message) bool) *Message {
 // TryRecv is Recv without blocking; it returns nil when nothing matches.
 func (e *Endpoint) TryRecv(match func(*Message) bool) *Message {
 	spec := matchAll(match)
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.sh.mu.Lock()
+	defer e.sh.mu.Unlock()
+	e.drainShardLocked()
 	m, _, _ := e.takeSpecLocked(&spec)
 	if m != nil {
 		e.sweepDupLocked(m)
@@ -513,7 +525,19 @@ func (e *Endpoint) Seq() uint64 {
 }
 
 // waitLocked registers d and blocks until the cond is signaled for it.
-// Callers must hold e.mu and re-check their predicate on return.
+// Callers must hold the shard mutex and re-check their predicate on return.
+//
+// The park handshake with cross-shard producers cannot miss a wakeup: the
+// waiter registers its domain and publishes its presence (waiters.Add)
+// under the shard mutex, samples seq, then drains the ring once more
+// before parking. A producer loads waiters around its ring push. A load
+// that sees the waiter routes the delivery through the locked path (or
+// drains the just-pushed entry under the lock), where enqueueLocked bumps
+// seq and does the domain-filtered wake — and the mutex serializes with
+// the park, since sync.Cond.Wait registers its ticket before releasing the
+// lock. A load that misses the waiter means the push is ordered before the
+// waiter's registration, so the waiter's own pre-park drain delivers the
+// message, the endpoint's seq moves, and the park is skipped.
 func (e *Endpoint) waitLocked(d WaitDomain) {
 	slot := -1
 	if e.ndoms < len(e.doms) {
@@ -523,7 +547,13 @@ func (e *Endpoint) waitLocked(d WaitDomain) {
 	} else {
 		e.domOverflow++
 	}
-	e.cond.Wait()
+	e.waiters.Add(1)
+	s0 := e.seq.Load()
+	e.drainShardLocked()
+	if e.seq.Load() == s0 {
+		e.cond.Wait()
+	}
+	e.waiters.Add(-1)
 	if slot >= 0 {
 		// Waiters deregister in any order; swap-remove our domain by value
 		// (domains are plain data, any equal entry is interchangeable).
@@ -551,8 +581,8 @@ func (e *Endpoint) WaitActivity(since uint64) uint64 {
 // condition they sleep on, and d must cover every event that could satisfy
 // that condition — including pokes when completion callbacks signal it.
 func (e *Endpoint) WaitActivityFor(since uint64, d WaitDomain) uint64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.sh.mu.Lock()
+	defer e.sh.mu.Unlock()
 	for e.seq.Load() <= since {
 		e.waitLocked(d)
 	}
@@ -564,9 +594,9 @@ func (e *Endpoint) WaitActivityFor(since uint64, d WaitDomain) uint64 {
 // receivers re-check their loop condition — and observe the error — after
 // an image crash or a job cancellation.
 func (e *Endpoint) WakeAll() {
-	e.mu.Lock()
+	e.sh.mu.Lock()
 	e.seq.Add(1)
-	e.mu.Unlock()
+	e.sh.mu.Unlock()
 	e.cond.Broadcast()
 }
 
@@ -574,10 +604,10 @@ func (e *Endpoint) WakeAll() {
 // enqueuing a message. Request-completion callbacks use it so a single wait
 // loop can cover both message arrival and remote completion events.
 func (e *Endpoint) Poke() {
-	e.mu.Lock()
+	e.sh.mu.Lock()
 	e.seq.Add(1)
 	wake := e.wakeNeededLocked(0, 0, true)
-	e.mu.Unlock()
+	e.sh.mu.Unlock()
 	if wake {
 		e.cond.Broadcast()
 	}
@@ -586,7 +616,8 @@ func (e *Endpoint) Poke() {
 // QueueLen returns the current queue depth (used by tests and the SRQ
 // contention diagnostics).
 func (e *Endpoint) QueueLen() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.sh.mu.Lock()
+	defer e.sh.mu.Unlock()
+	e.drainShardLocked()
 	return e.depth
 }

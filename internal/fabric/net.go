@@ -40,7 +40,7 @@ type Message struct {
 	// (sequence-number dedup).
 	DupKey uint64
 
-	aseq     uint64 // global arrival stamp, assigned by enqueue
+	aseq     uint64 // per-endpoint arrival stamp, assigned when the message becomes visible
 	pooled   bool   // from msgPool; Release recycles the struct
 	dataBuf  *pbuf  // pooled payload backing, nil when unpooled
 	owner    *Net   // accounts pooled payload bytes; set at Send
@@ -187,16 +187,24 @@ func (n *Net) World() *sim.World { return n.world }
 
 // Layer returns the named layer, creating endpoints for every image on
 // first use. Each communication library (mpi, gasnet, ...) owns one layer so
-// their traffic never mixes.
+// their traffic never mixes. Endpoints are partitioned into delivery shards
+// (shard.go): contiguous rank blocks, one queue mutex and one inject ring
+// each, with the shard count derived from GOMAXPROCS unless
+// Params.DeliveryShards overrides it.
 func (n *Net) Layer(name string) *Layer {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if l, ok := n.layers[name]; ok {
 		return l
 	}
-	l := &Layer{net: n, name: name, eps: make([]*Endpoint, n.world.N())}
+	np := n.world.N()
+	l := &Layer{net: n, name: name, eps: make([]*Endpoint, np)}
+	l.shards = make([]*shard, deliveryShards(n.params, np))
+	for i := range l.shards {
+		l.shards[i] = &shard{}
+	}
 	for i := range l.eps {
-		l.eps[i] = newEndpoint(l, i)
+		l.eps[i] = newEndpoint(l, i, l.shards[i*len(l.shards)/np])
 	}
 	n.layers[name] = l
 	return l
@@ -227,11 +235,13 @@ func (n *Net) ClaimNIC(dst int, earliest, occ int64) int64 {
 	return n.nics[dst].claim(earliest, occ)
 }
 
-// Layer is one library's view of the interconnect: an endpoint per image.
+// Layer is one library's view of the interconnect: an endpoint per image,
+// partitioned into delivery shards.
 type Layer struct {
-	net  *Net
-	name string
-	eps  []*Endpoint
+	net    *Net
+	name   string
+	eps    []*Endpoint
+	shards []*shard
 }
 
 // Endpoint returns image rank's endpoint in this layer.
@@ -239,6 +249,73 @@ func (l *Layer) Endpoint(rank int) *Endpoint { return l.eps[rank] }
 
 // Net returns the owning interconnect.
 func (l *Layer) Net() *Net { return l.net }
+
+// Shards returns the layer's delivery shard count (host tuning; never part
+// of the virtual-time model).
+func (l *Layer) Shards() int { return len(l.shards) }
+
+// Inject makes each delivery visible at its destination endpoint. It is the
+// single injection seam of the fabric — Send, and through it the fault
+// injector's duplicate path, target nothing else. The contract:
+//
+//   - Ownership of Msg (and Dup) transfers to the fabric at the call; the
+//     receiver may match, absorb and recycle them concurrently, so the
+//     caller must not touch either message afterwards.
+//   - Per-(src,dst) delivery order is program order (non-overtaking): a
+//     delivery rides the cross-shard inject ring only when the shards
+//     differ, and every locked enqueue drains the ring first, so a stream
+//     switching between the two paths — or overflowing the ring — cannot
+//     pass its own parked messages; both paths are FIFO.
+//   - Msg and its injector-made duplicate become visible atomically, under
+//     one shard-mutex hold, preserving the at-most-once dedup sweep; see
+//     Delivery.
+//   - Arrival stamps are issued per endpoint at visibility, so matching
+//     semantics — and with them the virtual clocks — are identical at every
+//     shard count.
+//   - Fault policy (drop/retry/backoff/blackhole verdicts) runs in Send
+//     before injection; Inject itself never fails and never blocks beyond
+//     the ring/mutex handoff.
+func (l *Layer) Inject(batch ...Delivery) {
+	for _, d := range batch {
+		if d.Msg.Src < 0 || d.Msg.Src >= len(l.eps) {
+			panic(fmt.Sprintf("fabric: inject from invalid rank %d (world size %d)", d.Msg.Src, len(l.eps)))
+		}
+		dst := l.eps[d.Msg.Dst]
+		s := dst.sh
+		// The lock-free ring is for the common cross-shard case with an
+		// active (non-parked) receiver: it will drain the ring at its next
+		// queue read. With a parked waiter the producer takes the locked
+		// path instead — enqueueLocked issues the arrival stamp, bumps the
+		// activity counter exactly once per message (the same observable
+		// sequence the unsharded fabric produced) and wakes only waiters
+		// whose domain covers the arrival. See waitLocked for why this
+		// handshake cannot miss a wakeup.
+		if l.eps[d.Msg.Src].sh != s && dst.waiters.Load() == 0 {
+			if s.ring.push(injectEntry{ep: dst, m: d.Msg, dup: d.Dup}) {
+				if dst.waiters.Load() > 0 {
+					// A waiter registered while we pushed; its pre-park
+					// drain may already have run, so drain on its behalf.
+					// The shard mutex serializes with the park: the drain's
+					// enqueue does the domain-filtered wake.
+					s.mu.Lock()
+					s.drainLocked()
+					s.mu.Unlock()
+				}
+				continue
+			}
+		}
+		s.mu.Lock()
+		s.drainLocked()
+		wake := dst.enqueueLocked(d.Msg)
+		if d.Dup != nil && dst.enqueueLocked(d.Dup) {
+			wake = true
+		}
+		s.mu.Unlock()
+		if wake {
+			dst.cond.Broadcast()
+		}
+	}
+}
 
 // Send injects m from image p. It charges the sender's clock, stamps the
 // message, decides eager vs. rendezvous from the payload size, and enqueues
@@ -368,12 +445,7 @@ func (l *Layer) Send(p *sim.Proc, m *Message) error {
 	}
 	dst, tag, rdv := m.Dst, m.Tag, m.Rendezvous
 	injected, retries, retryNS := v.Injected, v.Retries, v.RetryWaitNS
-	if dup != nil {
-		// Both copies must appear in one lock acquisition; see enqueue2.
-		l.eps[dst].enqueue2(m, dup)
-	} else {
-		l.eps[dst].enqueue(m)
-	}
+	l.Inject(Delivery{Msg: m, Dup: dup})
 	// m may already be consumed and recycled by the receiver here; only the
 	// locals captured above are safe to touch.
 	if sh := l.net.shard(p); sh != nil {

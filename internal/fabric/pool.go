@@ -12,6 +12,12 @@ import (
 // returned by the consuming layer (mpi delivery, gasnet handler completion,
 // barrier absorption) once the payload has been copied out or handed to a
 // handler whose contract forbids retention.
+//
+// These free lists are sync.Pools, which the Go runtime already shards
+// per-P, so they scale with GOMAXPROCS without help; the delivery shards
+// (shard.go) additionally keep their ring storage and drain scratch as
+// fixed per-shard blocks, so the cross-shard handoff path allocates
+// nothing at steady state.
 
 // inlineArgs is the inline Args capacity of a pooled Message. The largest
 // wire header in the tree is rtgasnet's fragmented-AM header (5 slots plus

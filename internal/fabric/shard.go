@@ -1,0 +1,142 @@
+package fabric
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Sharded delivery (DESIGN.md §14). A layer partitions its endpoints into S
+// contiguous rank blocks ("shards"); each shard owns the one mutex its
+// endpoints' match queues live under, so images in different shards match
+// and absorb concurrently instead of convoying on per-message lock traffic.
+// Cross-shard senders never touch the shard mutex on the fast path: they
+// park deliveries in the destination shard's bounded inject ring, and the
+// owner side drains the ring in a batch — under a single lock hold — the
+// next time any of its endpoints reads its queues. Virtual-time semantics
+// are untouched: arrival stamps are still assigned per endpoint at the
+// moment a message becomes visible, in ring FIFO order, and every (src,dst)
+// pair uses a fixed path (same-shard direct or cross-shard ring), so
+// per-(src,dst) program order — the non-overtaking guarantee — holds
+// exactly as it did under the per-endpoint mutex.
+
+// Delivery is one unit of fabric injection: the message plus, when the
+// fault injector duplicated it, the sibling copy that must become visible
+// in the same atomic step. At-most-once dedup (Endpoint.sweepDupLocked)
+// relies on both copies entering the match queues under one lock hold: with
+// separate injections the receiver can match and absorb Msg in the window
+// between them, the dedup sweep then finds no sibling, and Dup is later
+// delivered as a real second copy.
+type Delivery struct {
+	Msg *Message
+	Dup *Message // nil unless the fault injector duplicated Msg
+}
+
+// injectRingCap bounds each shard's inject ring. Overflow is not loss: a
+// sender that finds the ring full falls back to draining it into the owner
+// shard itself and enqueuing directly, so the bound only caps how much a
+// slow consumer can lag, never how much can be sent.
+const injectRingCap = 256
+
+// injectEntry is one ring slot: the destination endpoint and the delivery.
+type injectEntry struct {
+	ep  *Endpoint
+	m   *Message
+	dup *Message
+}
+
+// injectRing is the bounded MPSC mailbox cross-shard senders target. The
+// short ring mutex serializes producers against each other and against the
+// draining consumer, but is never held across match-queue work — the
+// consumer copies entries out into the shard's scratch block and releases
+// it before enqueuing — so producers only ever wait out a memcpy.
+type injectRing struct {
+	mu   sync.Mutex
+	n    atomic.Int32               // occupied slots; consumers skip the lock when zero
+	head int                        // next slot to drain; guarded by mu
+	buf  [injectRingCap]injectEntry // guarded by mu
+}
+
+// push parks e in the ring. It reports false when the ring is full; the
+// caller must then take the slow path (drain + direct enqueue) — dropping
+// the entry would lose a message.
+func (r *injectRing) push(e injectEntry) bool {
+	r.mu.Lock()
+	n := int(r.n.Load())
+	if n == injectRingCap {
+		r.mu.Unlock()
+		return false
+	}
+	r.buf[(r.head+n)%injectRingCap] = e
+	r.n.Add(1)
+	r.mu.Unlock()
+	return true
+}
+
+// shard is one delivery partition: the mutex its endpoints' match queues
+// live under, the inject ring cross-shard senders feed, and the per-shard
+// drain scratch (its "pool": batched drains recycle this block instead of
+// allocating; message and payload storage already recycle through the
+// per-P-sharded sync.Pools in pool.go).
+type shard struct {
+	mu      sync.Mutex
+	ring    injectRing
+	scratch [injectRingCap]injectEntry // drain staging; guarded by mu
+}
+
+// drainLocked makes every ring-parked delivery visible in its endpoint's
+// match queues. The caller holds s.mu. Entries drain in ring FIFO order, so
+// a (src,dst) stream's stamps are issued in program order; a delivery's
+// duplicate enters under the same s.mu hold as the original, preserving
+// dup atomicity. Endpoint wakeups stay shard-local: only conds of this
+// shard's endpoints — and only those with an intersecting registered
+// waiter domain — are broadcast.
+func (s *shard) drainLocked() {
+	for s.ring.n.Load() > 0 {
+		s.ring.mu.Lock()
+		k := int(s.ring.n.Load())
+		for i := 0; i < k; i++ {
+			j := (s.ring.head + i) % injectRingCap
+			s.scratch[i] = s.ring.buf[j]
+			s.ring.buf[j] = injectEntry{}
+		}
+		s.ring.head = (s.ring.head + k) % injectRingCap
+		s.ring.n.Add(int32(-k))
+		s.ring.mu.Unlock()
+		for i := 0; i < k; i++ {
+			ent := &s.scratch[i]
+			wake := ent.ep.enqueueLocked(ent.m)
+			if ent.dup != nil && ent.ep.enqueueLocked(ent.dup) {
+				wake = true
+			}
+			if wake {
+				ent.ep.cond.Broadcast()
+			}
+			*ent = injectEntry{}
+		}
+	}
+}
+
+// deliveryShards resolves the shard count for a world of n images: the
+// Params override when set, else GOMAXPROCS, clamped to [1, n]. Host
+// tuning only — the count never appears in any virtual-time computation.
+// ShardsFor reports the delivery-shard count a Layer of n endpoints would
+// use under p: p.DeliveryShards when set, else GOMAXPROCS at call time,
+// clamped to [1, n]. Exported so experiments and launchers can label
+// wall-clock measurements with the engine configuration that produced them
+// without constructing a Net.
+func ShardsFor(p *Params, n int) int { return deliveryShards(p, n) }
+
+func deliveryShards(p *Params, n int) int {
+	s := p.DeliveryShards
+	if s <= 0 {
+		s = runtime.GOMAXPROCS(0)
+	}
+	if s > n {
+		s = n
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

@@ -23,7 +23,7 @@ func forBoth(t *testing.T, n int, fn func(*caf.Image) error) {
 	for _, sub := range []caf.Substrate{caf.MPI, caf.GASNet} {
 		sub := sub
 		t.Run(string(sub), func(t *testing.T) {
-			cfg := caf.Config{Substrate: sub, Platform: testPlatform(), Trace: true}
+			cfg := caf.Config{Substrate: sub, Platform: testPlatform(), Diag: caf.Diag{Trace: true}}
 			if err := caf.Run(n, cfg, fn); err != nil {
 				t.Fatal(err)
 			}

@@ -131,7 +131,7 @@ func TestWalkerTruncation(t *testing.T) {
 // among the top non-compute contributors.
 func TestCritPathRandomAccessMPI(t *testing.T) {
 	clocks := make([]int64, 8)
-	cfg := caf.Config{Substrate: caf.MPI, Platform: fabric.Platform("fusion"), Observe: true}
+	cfg := caf.Config{Substrate: caf.MPI, Platform: fabric.Platform("fusion"), Diag: caf.Diag{Observe: true}}
 	w, err := caf.RunWorld(8, cfg, func(im *caf.Image) error {
 		if _, err := hpcc.RandomAccess(im, hpcc.RAConfig{TableBits: 8, UpdatesPerImage: 512, BatchSize: 128}); err != nil {
 			return err

@@ -17,6 +17,7 @@ var virtComps = map[Site][]string{
 	SiteMPIFlush:     {"flush_scan", "flush_wait"},
 	SiteGASNetAM:     {"srq_stall"},
 	SiteSanitizer:    {}, // pure simulator overhead: no virtual counterpart by design
+	SiteFabricDrain:  {}, // sharded-delivery handoff: simulator overhead only
 	SiteApp:          {"compute", "event_wait"},
 }
 

@@ -17,7 +17,7 @@ var substrates = []caf.Substrate{caf.MPI, caf.GASNet}
 func TestSeededRace(t *testing.T) {
 	for _, sub := range substrates {
 		t.Run(string(sub), func(t *testing.T) {
-			w, err := caf.RunWorld(2, caf.Config{Substrate: sub, Sanitize: true}, func(im *caf.Image) error {
+			w, err := caf.RunWorld(2, caf.Config{Substrate: sub, Diag: caf.Diag{Sanitize: true}}, func(im *caf.Image) error {
 				co, err := im.AllocCoarray(im.World(), 64)
 				if err != nil {
 					return err
@@ -54,7 +54,7 @@ func TestSeededRace(t *testing.T) {
 func TestSeededRaceFixed(t *testing.T) {
 	for _, sub := range substrates {
 		t.Run(string(sub), func(t *testing.T) {
-			w, err := caf.RunWorld(2, caf.Config{Substrate: sub, Sanitize: true}, func(im *caf.Image) error {
+			w, err := caf.RunWorld(2, caf.Config{Substrate: sub, Diag: caf.Diag{Sanitize: true}}, func(im *caf.Image) error {
 				co, err := im.AllocCoarray(im.World(), 64)
 				if err != nil {
 					return err
@@ -94,7 +94,7 @@ func TestSeededRaceFixed(t *testing.T) {
 // TestWriteWriteRace checks the two-writer flavor: overlapping unordered
 // Puts from two images into a third's window.
 func TestWriteWriteRace(t *testing.T) {
-	w, err := caf.RunWorld(3, caf.Config{Sanitize: true}, func(im *caf.Image) error {
+	w, err := caf.RunWorld(3, caf.Config{Diag: caf.Diag{Sanitize: true}}, func(im *caf.Image) error {
 		co, err := im.AllocCoarray(im.World(), 64)
 		if err != nil {
 			return err
@@ -123,7 +123,7 @@ func TestWriteWriteRace(t *testing.T) {
 func TestRMAOrderDeferredGet(t *testing.T) {
 	for _, sub := range substrates {
 		t.Run(string(sub), func(t *testing.T) {
-			w, err := caf.RunWorld(2, caf.Config{Substrate: sub, Sanitize: true}, func(im *caf.Image) error {
+			w, err := caf.RunWorld(2, caf.Config{Substrate: sub, Diag: caf.Diag{Sanitize: true}}, func(im *caf.Image) error {
 				co, err := im.AllocCoarray(im.World(), 64)
 				if err != nil {
 					return err
@@ -165,7 +165,7 @@ func TestRMAOrderDeferredGet(t *testing.T) {
 func TestTier1Clean(t *testing.T) {
 	for _, sub := range substrates {
 		t.Run(string(sub)+"/ra", func(t *testing.T) {
-			w, err := caf.RunWorld(4, caf.Config{Substrate: sub, Sanitize: true}, func(im *caf.Image) error {
+			w, err := caf.RunWorld(4, caf.Config{Substrate: sub, Diag: caf.Diag{Sanitize: true}}, func(im *caf.Image) error {
 				_, err := hpcc.RandomAccess(im, hpcc.RAConfig{TableBits: 8, UpdatesPerImage: 256, Verify: true})
 				return err
 			})
@@ -177,7 +177,7 @@ func TestTier1Clean(t *testing.T) {
 			}
 		})
 		t.Run(string(sub)+"/fft", func(t *testing.T) {
-			w, err := caf.RunWorld(4, caf.Config{Substrate: sub, Sanitize: true}, func(im *caf.Image) error {
+			w, err := caf.RunWorld(4, caf.Config{Substrate: sub, Diag: caf.Diag{Sanitize: true}}, func(im *caf.Image) error {
 				_, err := hpcc.FFT(im, hpcc.FFTConfig{LogSize: 8, Verify: true})
 				return err
 			})
@@ -189,7 +189,7 @@ func TestTier1Clean(t *testing.T) {
 			}
 		})
 		t.Run(string(sub)+"/pingpong", func(t *testing.T) {
-			w, err := caf.RunWorld(2, caf.Config{Substrate: sub, Sanitize: true}, func(im *caf.Image) error {
+			w, err := caf.RunWorld(2, caf.Config{Substrate: sub, Diag: caf.Diag{Sanitize: true}}, func(im *caf.Image) error {
 				co, err := im.AllocCoarray(im.World(), 64)
 				if err != nil {
 					return err
@@ -245,7 +245,7 @@ func TestClockPure(t *testing.T) {
 		t.Run(string(sub), func(t *testing.T) {
 			run := func(sanitize bool) int64 {
 				var clock int64
-				_, err := caf.RunWorld(1, caf.Config{Substrate: sub, Sanitize: sanitize}, func(im *caf.Image) error {
+				_, err := caf.RunWorld(1, caf.Config{Substrate: sub, Diag: caf.Diag{Sanitize: sanitize}}, func(im *caf.Image) error {
 					defer func() { clock = im.Proc().Now() }()
 					co, err := im.AllocCoarray(im.World(), 64)
 					if err != nil {
@@ -309,7 +309,7 @@ func TestClockPureMultiImage(t *testing.T) {
 		t.Run(string(sub), func(t *testing.T) {
 			run := func(sanitize bool) []int64 {
 				clocks := make([]int64, 4)
-				_, err := caf.RunWorld(4, caf.Config{Substrate: sub, Sanitize: sanitize}, func(im *caf.Image) error {
+				_, err := caf.RunWorld(4, caf.Config{Substrate: sub, Diag: caf.Diag{Sanitize: sanitize}}, func(im *caf.Image) error {
 					defer func() { clocks[im.ID()] = im.Proc().Now() }()
 					_, err := hpcc.RandomAccess(im, hpcc.RAConfig{TableBits: 8, UpdatesPerImage: 256, Verify: true})
 					return err

@@ -52,7 +52,7 @@ func deferredGetThenForeignFlush(im *caf.Image) error {
 func TestSparseFlushKeepsUntouchedPeerPending(t *testing.T) {
 	run := func(sparse bool) *sanitizer.World {
 		t.Helper()
-		w, err := caf.RunWorld(3, caf.Config{Substrate: caf.MPI, Sanitize: true, SparseFlush: sparse},
+		w, err := caf.RunWorld(3, caf.Config{Substrate: caf.MPI, Diag: caf.Diag{Sanitize: true}, SparseFlush: sparse},
 			deferredGetThenForeignFlush)
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,7 @@
+//go:build !race
+
+package cafmpi_test
+
+// raceDetectorOn reports whether the test binary was built with -race; see
+// race_on_test.go.
+const raceDetectorOn = false

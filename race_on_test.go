@@ -1,0 +1,10 @@
+//go:build race
+
+package cafmpi_test
+
+// raceDetectorOn reports whether the test binary was built with -race.
+// The determinism tests key their assertion strength on it: the race
+// detector changes goroutine scheduling, which changes how many idle
+// progress polls each image runs, and final clocks absorb those MatchNS
+// charges (see TestVirtualTimeInvariance).
+const raceDetectorOn = true

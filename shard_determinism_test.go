@@ -1,0 +1,154 @@
+package cafmpi_test
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+
+	"cafmpi/caf"
+	"cafmpi/internal/fabric"
+	"cafmpi/internal/faults"
+	"cafmpi/internal/hpcc"
+)
+
+// shardedFusion is the fusion preset with the delivery-shard count pinned
+// (a host-tuning knob: the virtual clocks must not see it).
+func shardedFusion(s int) *fabric.Params {
+	cp := *fabric.Platform("fusion")
+	cp.DeliveryShards = s
+	return &cp
+}
+
+func shardedRAClocks(t *testing.T, pf *fabric.Params) []int64 {
+	t.Helper()
+	clocks := make([]int64, 8)
+	cfg := caf.Config{Substrate: caf.MPI, Platform: pf}
+	err := caf.Run(8, cfg, func(im *caf.Image) error {
+		if _, err := hpcc.RandomAccess(im, hpcc.RAConfig{TableBits: 8, UpdatesPerImage: 512, BatchSize: 128}); err != nil {
+			return err
+		}
+		clocks[im.ID()] = im.Proc().Now()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clocks
+}
+
+func shardedPingPongClocks(t *testing.T, pf *fabric.Params) []int64 {
+	t.Helper()
+	const iters = 200
+	clocks := make([]int64, 2)
+	cfg := caf.Config{Substrate: caf.MPI, Platform: pf}
+	err := caf.Run(2, cfg, func(im *caf.Image) error {
+		evs, err := im.NewEvents(im.World(), 2)
+		if err != nil {
+			return err
+		}
+		peer := 1 - im.ID()
+		for i := 0; i < iters; i++ {
+			if im.ID() == 0 {
+				if err := evs.Notify(peer, 0); err != nil {
+					return err
+				}
+				if err := evs.Wait(1); err != nil {
+					return err
+				}
+			} else {
+				if err := evs.Wait(0); err != nil {
+					return err
+				}
+				if err := evs.Notify(peer, 1); err != nil {
+					return err
+				}
+			}
+		}
+		clocks[im.ID()] = im.Proc().Now()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clocks
+}
+
+// TestShardCountClockInvariance: the delivery-shard count is pure host
+// tuning — on the tier-1 configurations the per-image final clocks must be
+// bit-identical at S=1 and S=8. The test pins GOMAXPROCS=1 (the golden
+// scheduler of TestVirtualTimeInvariance) so the only source of divergence
+// left is the sharding itself: any mismatch here means a message became
+// visible in a different order because of which shard it crossed, which is
+// exactly the regression the redesign must never introduce.
+//
+// Under -race the equality is held to a band instead: the race detector
+// reschedules goroutines, final clocks absorb idle-poll MatchNS charges
+// whose count follows that schedule (the property TestVirtualTimeInvariance
+// documents and tolerates the same way), and the shard count changes which
+// locks those reschedules happen on. The deterministic matching semantics
+// are still pinned exactly — by the non-race run of this test and by the
+// seed goldens.
+func TestShardCountClockInvariance(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	const raceBand = 0.25 // TestVirtualTimeInvariance's RandomAccess band
+	for _, w := range []struct {
+		name string
+		run  func(*testing.T, *fabric.Params) []int64
+	}{
+		{"RandomAccess", shardedRAClocks},
+		{"EventPingPong", shardedPingPongClocks},
+	} {
+		s1 := w.run(t, shardedFusion(1))
+		s8 := w.run(t, shardedFusion(8))
+		for i := range s1 {
+			if s1[i] == s8[i] {
+				continue
+			}
+			if raceDetectorOn {
+				if diff := float64(s8[i]-s1[i]) / float64(s1[i]); diff < -raceBand || diff > raceBand {
+					t.Errorf("%s image %d under -race: final clock %d ns at S=1 but %d ns at S=8 (outside the idle-poll jitter band)",
+						w.name, i, s1[i], s8[i])
+				}
+				continue
+			}
+			t.Errorf("%s image %d: final clock %d ns at S=1 but %d ns at S=8 (shard count leaked into virtual time)",
+				w.name, i, s1[i], s8[i])
+		}
+	}
+}
+
+// TestShardedDeliveryFaultPlans is the full-stack -race stress for the
+// inject rings: every pair cross-shard (S=8), GOMAXPROCS=8 so producers
+// genuinely race, and the fault injector active — first a dup plan (each
+// duplicate must ride its original's Delivery atomically and be absorbed
+// at most once, which RA's self-verification would catch), then a crash
+// plan (the crashing image's panic unwinds mid-epoch while peers are still
+// pushing into its shard's ring, and must surface as the typed failure).
+func TestShardedDeliveryFaultPlans(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	pf := shardedFusion(8)
+	ra := func(im *caf.Image) error {
+		_, err := hpcc.RandomAccess(im, hpcc.RAConfig{TableBits: 8, UpdatesPerImage: 256, BatchSize: 64, Verify: true})
+		return err
+	}
+	t.Run("dup", func(t *testing.T) {
+		plan := &faults.Plan{Seed: 9, Rules: []faults.Rule{
+			{Kind: faults.KindDup, Src: -1, Dst: -1, Prob: 0.3, DelayNS: 400},
+		}}
+		cfg := caf.Config{Substrate: caf.MPI, Platform: pf, Faults: plan}
+		if _, err := caf.RunWorld(8, cfg, ra); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("crash", func(t *testing.T) {
+		plan := &faults.Plan{Seed: 9, Crashes: []faults.CrashPoint{{Image: 3, AtNS: 50_000}}}
+		cfg := caf.Config{Substrate: caf.MPI, Platform: pf, Faults: plan}
+		_, err := caf.RunWorld(8, cfg, ra)
+		if err == nil {
+			t.Fatal("crash plan completed without error")
+		}
+		if !errors.Is(err, faults.ErrImageFailed) {
+			t.Fatalf("err = %v, want the typed ErrImageFailed chain", err)
+		}
+	})
+}
